@@ -1,0 +1,93 @@
+//! Experiment A1 — ablation of the way-point density constant `c` in the
+//! randomized Hierarchical-THC solver (`p = c·log₂ n / n^{1/k}`,
+//! Proposition 5.14).
+//!
+//! Lemmas 5.16 and 5.18 need `c ≥ 3`: smaller constants risk segments with
+//! no light way-point (validity failures), larger constants inflate the
+//! recursion count (volume). The sweep measures both sides of the
+//! trade-off, on the skewed family where way-points actually matter (deep
+//! top-level backbone, trivially solvable level-1 components).
+//!
+//! Run with `cargo bench --bench ablation_waypoints`.
+
+use vc_bench::{print_header, print_heading, print_row};
+use vc_core::lcl::count_violations;
+use vc_core::problems::hierarchical::{waypoint_probability, HierarchicalThc, RandomizedSolver};
+use vc_graph::{Color, GraphBuilder, Instance, NodeLabel};
+use vc_model::run::{run_all, RunConfig};
+use vc_model::RandomTape;
+
+/// A skewed k=2 instance: a deep level-2 backbone (length `len`) whose RC
+/// components are single level-1 nodes — every level-2 node needs a
+/// way-point within the threshold window to become exempt.
+fn skewed_instance(len: usize) -> Instance {
+    let mut b = GraphBuilder::new();
+    let mut labels = Vec::new();
+    let mut prev: Option<usize> = None;
+    for i in 0..len {
+        let v = b.add_node_with_id((2 * i + 1) as u64);
+        labels.push(
+            NodeLabel::empty().with_color(if i % 3 == 0 { Color::R } else { Color::B }),
+        );
+        let c = b.add_node_with_id((2 * i + 2) as u64);
+        labels.push(NodeLabel::empty().with_color(Color::B));
+        let (pv, pc) = b.connect_auto(v, c).unwrap();
+        labels[v].right_child = Some(pv);
+        labels[c].parent = Some(pc);
+        if let Some(p) = prev {
+            let (pp, pv2) = b.connect_auto(p, v).unwrap();
+            labels[p].left_child = Some(pp);
+            labels[v].parent = Some(pv2);
+        }
+        prev = Some(v);
+    }
+    Instance::new(b.build().unwrap(), labels)
+}
+
+fn main() {
+    println!("# Ablation A1 — way-point density c (Proposition 5.14)");
+    let k = 2u32;
+    let inst = skewed_instance(3000); // n = 6000, threshold = 2·⌈√6000⌉ = 156
+    let problem = HierarchicalThc::new(k);
+
+    print_heading("c sweep on the skewed family (n = 6000, 20 seeds each)");
+    print_header(&[
+        "c",
+        "p (way-point prob.)",
+        "mean max volume",
+        "validity failures / runs",
+    ]);
+    for c in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let mut max_vol_sum = 0usize;
+        let mut failures = 0usize;
+        let runs = 20;
+        for seed in 0..runs {
+            let solver = RandomizedSolver { k, c };
+            let report = run_all(
+                &inst,
+                &solver,
+                &RunConfig {
+                    tape: Some(RandomTape::private(1000 + seed)),
+                    ..RunConfig::default()
+                },
+            );
+            let outputs = report.complete_outputs().unwrap();
+            if count_violations(&problem, &inst, &outputs) > 0 {
+                failures += 1;
+            }
+            max_vol_sum += report.summary().max_volume;
+        }
+        print_row(&[
+            format!("{c}"),
+            format!("{:.4}", waypoint_probability(inst.n(), k, c)),
+            format!("{:.0}", max_vol_sum as f64 / runs as f64),
+            format!("{failures} / {runs}"),
+        ]);
+    }
+    println!("\nExpected shape: below the Lemma 5.16/5.18 constant the segment");
+    println!("between consecutive light way-points can exceed the 2·n^(1/k)");
+    println!("window — validity failures — and the longer scans also inflate");
+    println!("volume. Above the knee both stabilize; on *balanced* families the");
+    println!("opposite pressure appears (each extra way-point costs a recursive");
+    println!("solve), which is why the paper fixes c just above the threshold.");
+}

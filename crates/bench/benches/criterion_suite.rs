@@ -1,0 +1,160 @@
+//! Experiment W1 — wall-clock performance of the substrate: generators,
+//! checkers and solvers under Criterion. The paper's results are
+//! combinatorial, but a reproduction should also be *fast enough to use*;
+//! this suite tracks the runtime of the pieces every experiment leans on.
+//!
+//! Run with `cargo bench --bench criterion_suite`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vc_core::lcl::check_solution;
+use vc_core::problems::{balanced_tree, hierarchical, leaf_coloring};
+use vc_graph::{gen, Color};
+use vc_model::run::{run_all, run_from, RunConfig};
+use vc_model::RandomTape;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.bench_function("complete_binary_tree/4095", |b| {
+        b.iter(|| gen::complete_binary_tree(black_box(11), Color::R, Color::B))
+    });
+    g.bench_function("random_full_binary_tree/4095", |b| {
+        b.iter(|| gen::random_full_binary_tree(black_box(4095), 7))
+    });
+    g.bench_function("hierarchical_for_size/k2/4096", |b| {
+        b.iter(|| gen::hierarchical_for_size(2, black_box(4096), 7))
+    });
+    g.bench_function("hybrid_for_size/k2/4096", |b| {
+        b.iter(|| gen::hybrid_for_size(2, black_box(4096), 7))
+    });
+    g.bench_function("disjointness_embedding/1024", |b| {
+        let (x, y) = vc_comm::promise_pair(1024, false, 3);
+        b.iter(|| gen::disjointness_embedding(black_box(&x), black_box(&y)))
+    });
+    g.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solvers");
+    let tree = gen::complete_binary_tree(11, Color::R, Color::B);
+    g.bench_function("leaf_coloring/distance/root/4095", |b| {
+        b.iter(|| {
+            run_from(
+                &tree,
+                &leaf_coloring::DistanceSolver,
+                0,
+                &RunConfig {
+                    exact_distance: false,
+                    ..RunConfig::default()
+                },
+            )
+        })
+    });
+    g.bench_function("leaf_coloring/rw_to_leaf/root/4095", |b| {
+        b.iter(|| {
+            run_from(
+                &tree,
+                &leaf_coloring::RwToLeaf::default(),
+                0,
+                &RunConfig {
+                    tape: Some(RandomTape::private(3)),
+                    exact_distance: false,
+                    ..RunConfig::default()
+                },
+            )
+        })
+    });
+    let hier = gen::hierarchical_for_size(2, 4096, 5);
+    g.bench_function("hierarchical/deterministic/root/4096", |b| {
+        b.iter(|| {
+            run_from(
+                &hier,
+                &hierarchical::DeterministicSolver { k: 2 },
+                0,
+                &RunConfig {
+                    exact_distance: false,
+                    ..RunConfig::default()
+                },
+            )
+        })
+    });
+    g.bench_function("hierarchical/way_points/root/4096", |b| {
+        b.iter(|| {
+            run_from(
+                &hier,
+                &hierarchical::RandomizedSolver::new(2),
+                0,
+                &RunConfig {
+                    tape: Some(RandomTape::private(5)),
+                    exact_distance: false,
+                    ..RunConfig::default()
+                },
+            )
+        })
+    });
+    let (bt, _) = gen::balanced_tree_compatible(10);
+    g.bench_function("balanced_tree/distance/root/2047", |b| {
+        b.iter(|| {
+            run_from(
+                &bt,
+                &balanced_tree::DistanceSolver,
+                0,
+                &RunConfig {
+                    exact_distance: false,
+                    ..RunConfig::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkers");
+    let tree = gen::complete_binary_tree(11, Color::R, Color::B);
+    let outputs = vec![Color::B; tree.n()];
+    g.bench_function("leaf_coloring/check/4095", |b| {
+        b.iter(|| check_solution(&leaf_coloring::LeafColoring, black_box(&tree), &outputs))
+    });
+    let (bt, _) = gen::balanced_tree_compatible(9);
+    let bt_out: Vec<_> = (0..bt.n())
+        .map(|v| vc_core::output::BtOutput::balanced(bt.labels[v].parent))
+        .collect();
+    g.bench_function("balanced_tree/check/1023", |b| {
+        b.iter(|| check_solution(&balanced_tree::BalancedTree, black_box(&bt), &bt_out))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("leaf_coloring/run_all+check/511", |b| {
+        b.iter_batched(
+            || gen::complete_binary_tree(8, Color::R, Color::B),
+            |inst| {
+                let report = run_all(
+                    &inst,
+                    &leaf_coloring::DistanceSolver,
+                    &RunConfig {
+                        exact_distance: false,
+                        ..RunConfig::default()
+                    },
+                );
+                let outputs = report.complete_outputs().unwrap();
+                check_solution(&leaf_coloring::LeafColoring, &inst, &outputs).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_solvers,
+    bench_checkers,
+    bench_end_to_end
+);
+criterion_main!(benches);

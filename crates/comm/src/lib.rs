@@ -1,0 +1,14 @@
+//! # vc-comm
+//!
+//! The communication-complexity substrate of paper §2.5: two-party
+//! protocols, the disjointness function (Theorem 2.10), embeddings of
+//! Boolean functions into labeled graphs (Definition 2.7), and the
+//! query-to-communication simulation with per-query cost accounting
+//! (Definitions 2.8–2.9, Theorem 2.9) used by the `Ω(n)` volume lower
+//! bound for BalancedTree (Proposition 4.9).
+
+pub mod disjointness;
+pub mod embedding;
+
+pub use disjointness::{disj, promise_pair};
+pub use embedding::{simulate_charged, ChargedRun, ChargingOracle};

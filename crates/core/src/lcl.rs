@@ -1,0 +1,166 @@
+//! Locally checkable labelings (Definition 2.6) and the global checker.
+//!
+//! An LCL is a graph problem over finite input/output alphabets whose global
+//! validity is equivalent to per-node validity in some constant-radius
+//! neighborhood. Each problem implements [`Lcl::check_node`], which examines
+//! only the radius-[`Lcl::check_radius`] ball around the node;
+//! [`check_solution`] quantifies it over all nodes and reports the first
+//! violated constraint with the rule that failed — the debuggability hook the
+//! solver tests lean on.
+
+use std::error::Error;
+use std::fmt;
+use vc_graph::Instance;
+
+/// A violated local constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The node at which the constraint is anchored.
+    pub node: usize,
+    /// Identifier of the violated rule, e.g. `"3.4:leaf-keeps-color"`.
+    pub rule: &'static str,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {} violates rule {}", self.node, self.rule)
+    }
+}
+
+impl Error for Violation {}
+
+/// A locally checkable labeling problem (Definition 2.6).
+///
+/// Implementations must only inspect the radius-`check_radius` neighborhood
+/// of `v` inside `check_node` — that restriction is what makes the problem an
+/// LCL (Lemmas 3.5, 4.4, 5.8, 6.2 argue it for each construction).
+pub trait Lcl {
+    /// The finite output alphabet.
+    type Output: Clone + fmt::Debug + PartialEq;
+
+    /// Human-readable problem name.
+    fn name(&self) -> String;
+
+    /// The constant checkability radius `c` of Definition 2.6.
+    fn check_radius(&self) -> u32;
+
+    /// Verifies the constraint anchored at `v` given the full output
+    /// labeling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated rule, if any.
+    fn check_node(
+        &self,
+        inst: &Instance,
+        outputs: &[Self::Output],
+        v: usize,
+    ) -> Result<(), Violation>;
+}
+
+/// Checks a complete output labeling against an LCL: valid iff every node's
+/// local constraint holds (Definition 2.6).
+///
+/// # Errors
+///
+/// Returns the first violation in node order.
+///
+/// # Panics
+///
+/// Panics if `outputs.len() != inst.n()`.
+pub fn check_solution<P: Lcl>(
+    problem: &P,
+    inst: &Instance,
+    outputs: &[P::Output],
+) -> Result<(), Violation> {
+    assert_eq!(
+        outputs.len(),
+        inst.n(),
+        "output labeling must cover every node"
+    );
+    for v in 0..inst.n() {
+        problem.check_node(inst, outputs, v)?;
+    }
+    Ok(())
+}
+
+/// Counts all violations instead of stopping at the first — used by
+/// experiments that estimate failure probabilities of truncated algorithms.
+pub fn count_violations<P: Lcl>(problem: &P, inst: &Instance, outputs: &[P::Output]) -> usize {
+    (0..inst.n())
+        .filter(|&v| problem.check_node(inst, outputs, v).is_err())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_graph::{GraphBuilder, NodeLabel};
+
+    /// Toy LCL: every node outputs its own degree.
+    struct DegreeEcho;
+
+    impl Lcl for DegreeEcho {
+        type Output = usize;
+
+        fn name(&self) -> String {
+            "degree-echo".into()
+        }
+
+        fn check_radius(&self) -> u32 {
+            0
+        }
+
+        fn check_node(
+            &self,
+            inst: &Instance,
+            outputs: &[usize],
+            v: usize,
+        ) -> Result<(), Violation> {
+            if outputs[v] == inst.graph.degree(v) {
+                Ok(())
+            } else {
+                Err(Violation {
+                    node: v,
+                    rule: "degree-echo:mismatch",
+                })
+            }
+        }
+    }
+
+    fn path3() -> Instance {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.connect_auto(0, 1).unwrap();
+        b.connect_auto(1, 2).unwrap();
+        Instance::new(b.build().unwrap(), vec![NodeLabel::empty(); 3])
+    }
+
+    #[test]
+    fn accepts_valid_labeling() {
+        let inst = path3();
+        assert!(check_solution(&DegreeEcho, &inst, &[1, 2, 1]).is_ok());
+    }
+
+    #[test]
+    fn reports_first_violation() {
+        let inst = path3();
+        let err = check_solution(&DegreeEcho, &inst, &[1, 0, 0]).unwrap_err();
+        assert_eq!(err.node, 1);
+        assert_eq!(err.rule, "degree-echo:mismatch");
+        assert!(err.to_string().contains("node 1"));
+    }
+
+    #[test]
+    fn counts_all_violations() {
+        let inst = path3();
+        assert_eq!(count_violations(&DegreeEcho, &inst, &[1, 0, 0]), 2);
+        assert_eq!(count_violations(&DegreeEcho, &inst, &[1, 2, 1]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn wrong_length_panics() {
+        let inst = path3();
+        let _ = check_solution(&DegreeEcho, &inst, &[1]);
+    }
+}

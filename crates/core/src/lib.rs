@@ -1,0 +1,24 @@
+//! # vc-core
+//!
+//! The paper's primary contribution: the LCL formalism (Definition 2.6) and
+//! the five problem constructions of Table 1 with their upper-bound solvers,
+//! plus the classic problems populating the landscape of Figures 1–2.
+//!
+//! | Problem | Defined in | Checker | Solvers |
+//! |---|---|---|---|
+//! | LeafColoring | §3 | [`problems::leaf_coloring::LeafColoring`] | deterministic `O(log n)`-distance (Prop. 3.9), randomized `O(log n)`-volume (`RWtoLeaf`, Alg. 1 / Prop. 3.10) |
+//! | BalancedTree | §4 | [`problems::balanced_tree::BalancedTree`] | deterministic `O(log n)`-distance (Prop. 4.8) |
+//! | Hierarchical-THC(k) | §5 | [`problems::hierarchical::HierarchicalThc`] | deterministic `O(k·n^{1/k})`-distance (`RecursiveHTHC`, Alg. 2 / Prop. 5.12), randomized `Θ̃(n^{1/k})`-volume way-point variant (Prop. 5.14) |
+//! | Hybrid-THC(k) | §6 | [`problems::hybrid::HybridThc`] | deterministic `O(log n)`-distance, randomized `Θ̃(n^{1/k})`-volume |
+//! | HH-THC(k, ℓ) | §6.1 | [`problems::hh::HhThc`] | dispatching combinations of the above |
+//!
+//! Everything runs in the query model of `vc-model`; validity is verified by
+//! the generic LCL checker in [`lcl`].
+
+pub mod congest;
+pub mod lcl;
+pub mod output;
+pub mod problems;
+
+pub use lcl::{check_solution, Lcl, Violation};
+pub use output::{BtFlag, BtOutput, HybridOutput, ThcColor};

@@ -1,0 +1,734 @@
+//! Hierarchical 2½-coloring, `Hierarchical-THC(k)` (paper §5): distance
+//! `Θ(n^{1/k})`, randomized volume `Θ̃(n^{1/k})`, deterministic volume
+//! `Θ̃(n)`.
+//!
+//! The input is a colored tree labeling whose `RC`-chains induce *levels*
+//! (Definition 5.1): level-1 components are `LC`-paths/cycles, and each
+//! node at level `ℓ > 1` hangs a level-`(ℓ−1)` component off its `RC`. The
+//! output palette is `{R, B, D, X}` — color, *decline*, *exempt* — with the
+//! validity conditions of Definition 5.5.
+
+use crate::lcl::{Lcl, Violation};
+use crate::output::ThcColor;
+use crate::problems::util::Explorer;
+use std::collections::HashMap;
+use vc_graph::{structure, Color, Instance};
+use vc_model::oracle::{NodeView, Oracle, QueryError};
+use vc_model::run::QueryAlgorithm;
+
+/// The Hierarchical-THC(k) LCL (Definition 5.5).
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchicalThc {
+    /// The hierarchy parameter `k ≥ 1`.
+    pub k: u32,
+}
+
+impl HierarchicalThc {
+    /// Creates the problem for a fixed `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1);
+        Self { k }
+    }
+}
+
+/// `LC(v)` resolved with its parent back-pointer (the `G_k` edge condition
+/// of Definition 5.1): the node `u` with `u = LC(v)` and `P(u) = v`.
+pub(crate) fn lc_strict(inst: &Instance, v: usize) -> Option<usize> {
+    let u = inst.left_child_node(v)?;
+    (inst.parent_node(u) == Some(v)).then_some(u)
+}
+
+/// `RC(v)` resolved with its parent back-pointer.
+pub(crate) fn rc_strict(inst: &Instance, v: usize) -> Option<usize> {
+    let u = inst.right_child_node(v)?;
+    (inst.parent_node(u) == Some(v)).then_some(u)
+}
+
+fn chi_in(inst: &Instance, v: usize) -> Color {
+    inst.labels[v].color.unwrap_or(Color::R)
+}
+
+/// Checks the per-node conditions of Definition 5.5 at a node whose level is
+/// `lvl`. Outputs are supplied through a getter so that HH-THC (and the
+/// lower-bound adversaries, which only know the outputs of simulated nodes)
+/// can map partial or mixed output alphabets onto symbols (`None` marks an
+/// unknown/non-symbol output, which fails whichever rule references it).
+pub fn check_thc_node(
+    inst: &Instance,
+    get_out: &dyn Fn(usize) -> Option<ThcColor>,
+    v: usize,
+    lvl: u32,
+    k: u32,
+) -> Result<(), Violation> {
+    let Some(out) = get_out(v) else {
+        return Err(Violation {
+            node: v,
+            rule: "5.5:needs-symbol",
+        });
+    };
+    // Condition 1: levels above k are exempt.
+    if lvl > k {
+        return if out == ThcColor::X {
+            Ok(())
+        } else {
+            Err(Violation {
+                node: v,
+                rule: "5.5:1:exempt-above-k",
+            })
+        };
+    }
+    let lc = lc_strict(inst, v);
+    let rc = rc_strict(inst, v);
+    let is_leaf = lc.is_none();
+    let input = ThcColor::from_color(chi_in(inst, v));
+    // Condition 2: leaves keep their color, decline, or are exempt.
+    if is_leaf && !(out == input || out == ThcColor::D || out == ThcColor::X) {
+        return Err(Violation {
+            node: v,
+            rule: "5.5:2:leaf-palette",
+        });
+    }
+    if lvl == 1 {
+        // Condition 3(a).
+        if !matches!(out, ThcColor::R | ThcColor::B | ThcColor::D) {
+            return Err(Violation {
+                node: v,
+                rule: "5.5:3a:level1-palette",
+            });
+        }
+        // Condition 3(b).
+        if let Some(lc) = lc {
+            if get_out(lc) != Some(out) {
+                return Err(Violation {
+                    node: v,
+                    rule: "5.5:3b:level1-unanimous",
+                });
+            }
+        }
+        if k > 1 {
+            return Ok(());
+        }
+        // For k = 1, level 1 is also the top level: condition 5 applies as
+        // well (so declining is forbidden); fall through.
+    }
+    if lvl > 1 && lvl < k {
+        // Condition 4 (only constrains non-leaves).
+        let Some(lc) = lc else {
+            return Ok(());
+        };
+        let a = get_out(lc) == Some(out)
+            && matches!(out, ThcColor::R | ThcColor::B | ThcColor::D);
+        let b = out == ThcColor::X
+            && rc
+                .and_then(&get_out)
+                .map(ThcColor::is_solved)
+                .unwrap_or(false);
+        let c = (out == input || out == ThcColor::D) && get_out(lc) == Some(ThcColor::X);
+        return if a || b || c {
+            Ok(())
+        } else {
+            Err(Violation {
+                node: v,
+                rule: "5.5:4:mid-level",
+            })
+        };
+    }
+    // Condition 5: lvl == k.
+    if !matches!(out, ThcColor::R | ThcColor::B | ThcColor::X) {
+        return Err(Violation {
+            node: v,
+            rule: "5.5:5:top-palette",
+        });
+    }
+    if out == ThcColor::X {
+        // Condition 5(a).
+        let ok = rc
+            .and_then(&get_out)
+            .map(ThcColor::is_solved)
+            .unwrap_or(false);
+        return if ok {
+            Ok(())
+        } else {
+            Err(Violation {
+                node: v,
+                rule: "5.5:5a:exempt-needs-solved-rc",
+            })
+        };
+    }
+    if let Some(lc) = lc {
+        // Condition 5(b).
+        let lc_out = get_out(lc);
+        let ok = match lc_out {
+            Some(ThcColor::X) => out == input,
+            Some(c) => out == c,
+            None => false,
+        };
+        if !ok {
+            return Err(Violation {
+                node: v,
+                rule: "5.5:5b:top-segment",
+            });
+        }
+    }
+    Ok(())
+}
+
+impl Lcl for HierarchicalThc {
+    type Output = ThcColor;
+
+    fn name(&self) -> String {
+        format!("Hierarchical-THC({})", self.k)
+    }
+
+    fn check_radius(&self) -> u32 {
+        // Levels are read off RC-chains of length ≤ k, plus one hop for the
+        // child conditions.
+        self.k + 1
+    }
+
+    fn check_node(&self, inst: &Instance, outputs: &[ThcColor], v: usize) -> Result<(), Violation> {
+        let lvl = structure::level_capped(inst, v, self.k);
+        check_thc_node(inst, &|u| Some(outputs[u]), v, lvl, self.k)
+    }
+}
+
+/// Whether recursion is gated by a way-point lottery (the randomized
+/// volume-efficient variant of Proposition 5.14) or always allowed (the
+/// deterministic `RecursiveHTHC`, Algorithm 2).
+#[derive(Clone, Copy, Debug)]
+enum Gate {
+    Always,
+    WayPoints {
+        /// Lottery success probability `p = c·log₂(n) / n^{1/k}`.
+        p: f64,
+    },
+}
+
+/// The solver engine shared by the deterministic and randomized variants.
+struct Engine<'x, 'o> {
+    xp: &'x mut Explorer<'o>,
+    k: u32,
+    threshold: usize,
+    gate: Gate,
+    memo: HashMap<usize, ThcColor>,
+}
+
+impl Engine<'_, '_> {
+    /// Level of `v` per Definition 5.1, capped at `k + 1`.
+    fn level(&mut self, v: &NodeView) -> Result<u32, QueryError> {
+        let mut cur = *v;
+        let mut lvl = 1u32;
+        while lvl <= self.k {
+            match self.xp.follow(&cur, cur.label.right_child)? {
+                Some(u) => {
+                    cur = u;
+                    lvl += 1;
+                }
+                None => return Ok(lvl),
+            }
+        }
+        Ok(self.k + 1)
+    }
+
+    /// Backbone successor (`u = LC(v)` with `P(u) = v`).
+    fn next(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        let Some(u) = self.xp.follow(v, v.label.left_child)? else {
+            return Ok(None);
+        };
+        let back = self.xp.follow(&u, u.label.parent)?;
+        Ok((back.map(|b| b.node) == Some(v.node)).then_some(u))
+    }
+
+    /// Backbone predecessor (`p = P(v)` with `LC(p) = v`); `None` at a
+    /// level-`ℓ` root (Definition 5.2).
+    fn prev(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        let Some(p) = self.xp.follow(v, v.label.parent)? else {
+            return Ok(None);
+        };
+        let down = self.xp.follow(&p, p.label.left_child)?;
+        Ok((down.map(|d| d.node) == Some(v.node)).then_some(p))
+    }
+
+    /// The `RC` child with back-pointer, i.e. the level-`(ℓ−1)` root below.
+    fn down(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        let Some(u) = self.xp.follow(v, v.label.right_child)? else {
+            return Ok(None);
+        };
+        let back = self.xp.follow(&u, u.label.parent)?;
+        Ok((back.map(|b| b.node) == Some(v.node)).then_some(u))
+    }
+
+    /// Whether `v` may become exempt: its recursion gate is open and the
+    /// component below solves to a non-`D` value (Algorithm 2 lines 7, 12,
+    /// 15, 23 with the way-point modification of Proposition 5.14).
+    fn exempt_candidate(&mut self, v: &NodeView) -> Result<bool, QueryError> {
+        match self.gate {
+            Gate::Always => {}
+            Gate::WayPoints { p } => {
+                if !self.xp.bernoulli(v.node, p)? {
+                    return Ok(false);
+                }
+            }
+        }
+        let Some(r) = self.down(v)? else {
+            return Ok(false);
+        };
+        Ok(self.solve(r)?.is_solved())
+    }
+
+    /// `RecursiveHTHC(v)` (Algorithm 2), memoized per execution.
+    fn solve(&mut self, v: NodeView) -> Result<ThcColor, QueryError> {
+        if let Some(&c) = self.memo.get(&v.node) {
+            return Ok(c);
+        }
+        let c = self.solve_uncached(v)?;
+        self.memo.insert(v.node, c);
+        Ok(c)
+    }
+
+    fn solve_uncached(&mut self, v: NodeView) -> Result<ThcColor, QueryError> {
+        let lvl = self.level(&v)?;
+        if lvl > self.k {
+            return Ok(ThcColor::X);
+        }
+        // Lines 1–4: probe the component; shallow components are colored by
+        // their level leaf (path) or minimum-ID node (cycle).
+        if let Some(anchor) = self.shallow_anchor(&v)? {
+            return Ok(ThcColor::from_color(anchor.label.color.unwrap_or(Color::R)));
+        }
+        // Lines 5–6: deep level-1 components decline.
+        if lvl == 1 {
+            return Ok(ThcColor::D);
+        }
+        // Line 7: exemption if the component below solves.
+        if self.exempt_candidate(&v)? {
+            return Ok(ThcColor::X);
+        }
+        // Lines 10–18: scan for the nearest exempt-capable descendant `u`
+        // and ancestor `w` along the backbone.
+        let t = self.threshold;
+        let mut u = v;
+        let mut u_prev: Option<NodeView> = None;
+        let mut du = 0usize;
+        let mut u_stop = false;
+        let mut w = v;
+        let mut dw = 0usize;
+        let mut w_stop = false;
+        for _ in 0..=t {
+            if !u_stop {
+                if self.exempt_candidate(&u)? {
+                    u_stop = true;
+                } else if let Some(nx) = self.next(&u)? {
+                    u_prev = Some(u);
+                    u = nx;
+                    du += 1;
+                } else {
+                    u_stop = true; // level-ℓ leaf
+                }
+            }
+            if !w_stop {
+                if self.exempt_candidate(&w)? {
+                    w_stop = true;
+                } else if let Some(pv) = self.prev(&w)? {
+                    w = pv;
+                    dw += 1;
+                } else {
+                    w_stop = true; // level-ℓ root
+                }
+            }
+            if u_stop && w_stop {
+                break;
+            }
+        }
+        // Lines 22–30.
+        if !(u_stop && w_stop) || du + dw > t {
+            return Ok(ThcColor::D);
+        }
+        if self.exempt_candidate(&u)? {
+            // `u` outputs X; the segment above it is unanimously colored by
+            // the input color of u's backbone parent (condition 5(b)'s
+            // "χ_in(P(u))").
+            let anchor = u_prev.unwrap_or(u);
+            Ok(ThcColor::from_color(anchor.label.color.unwrap_or(Color::R)))
+        } else {
+            // `u` is a level-ℓ leaf whose subtree declined: the segment is
+            // colored by the leaf's own input color.
+            Ok(ThcColor::from_color(u.label.color.unwrap_or(Color::R)))
+        }
+    }
+
+    /// Probes whether `v`'s component `C` has at most `threshold` nodes
+    /// (Definition 5.10 "shallow"); returns the coloring anchor — the level
+    /// leaf of a path, or the minimum-ID node of a cycle.
+    fn shallow_anchor(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        let t = self.threshold;
+        // Forward walk (towards the level leaf / around the cycle).
+        let mut fwd = Vec::new();
+        let mut cur = *v;
+        loop {
+            match self.next(&cur)? {
+                Some(nx) => {
+                    if nx.node == v.node {
+                        // A cycle of length fwd.len() + 1.
+                        let mut all = fwd;
+                        all.push(*v);
+                        if all.len() <= t {
+                            let anchor = all
+                                .into_iter()
+                                .min_by_key(|x| x.id)
+                                .expect("cycle is nonempty");
+                            return Ok(Some(anchor));
+                        }
+                        return Ok(None);
+                    }
+                    fwd.push(nx);
+                    if fwd.len() > t {
+                        return Ok(None);
+                    }
+                    cur = nx;
+                }
+                None => break,
+            }
+        }
+        let leaf = *fwd.last().unwrap_or(v);
+        // Backward walk to the component root.
+        let mut count = fwd.len() + 1;
+        let mut back = *v;
+        loop {
+            match self.prev(&back)? {
+                Some(pv) => {
+                    count += 1;
+                    if count > t {
+                        return Ok(None);
+                    }
+                    back = pv;
+                }
+                None => break,
+            }
+        }
+        Ok(Some(leaf))
+    }
+}
+
+/// The deterministic `RecursiveHTHC` solver (Algorithm 2, Proposition 5.12):
+/// distance `O(k·n^{1/k})`, volume `Θ̃(n)`.
+#[derive(Clone, Copy, Debug)]
+pub struct DeterministicSolver {
+    /// The hierarchy parameter `k`.
+    pub k: u32,
+}
+
+/// The randomized way-point solver (Proposition 5.14): volume
+/// `O(n^{1/k} · log^{O(k)} n)` with high probability.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomizedSolver {
+    /// The hierarchy parameter `k`.
+    pub k: u32,
+    /// The way-point density constant `c` in `p = c·log₂(n)/n^{1/k}`
+    /// (the paper's analysis works for `c ≥ 3`).
+    pub c: f64,
+}
+
+impl RandomizedSolver {
+    /// Way-point solver with the default density constant.
+    pub fn new(k: u32) -> Self {
+        Self { k, c: 4.0 }
+    }
+}
+
+/// Shared threshold `2·⌈n^{1/k}⌉` (Definition 5.10 / Algorithm 2).
+pub(crate) fn component_threshold(n: usize, k: u32) -> usize {
+    (2.0 * (n.max(2) as f64).powf(1.0 / f64::from(k)).ceil()) as usize
+}
+
+fn run_engine(oracle: &mut dyn Oracle, k: u32, gate: Gate) -> Result<ThcColor, QueryError> {
+    let mut xp = Explorer::new(oracle);
+    let threshold = component_threshold(xp.n(), k);
+    let root = xp.root();
+    let mut engine = Engine {
+        xp: &mut xp,
+        k,
+        threshold,
+        gate,
+        memo: HashMap::new(),
+    };
+    engine.solve(root)
+}
+
+impl QueryAlgorithm for DeterministicSolver {
+    type Output = ThcColor;
+
+    fn name(&self) -> &'static str {
+        "hierarchical-thc/deterministic"
+    }
+
+    fn fallback(&self) -> ThcColor {
+        ThcColor::D
+    }
+
+    fn run(&self, oracle: &mut dyn Oracle) -> Result<ThcColor, QueryError> {
+        run_engine(oracle, self.k, Gate::Always)
+    }
+}
+
+impl QueryAlgorithm for RandomizedSolver {
+    type Output = ThcColor;
+
+    fn name(&self) -> &'static str {
+        "hierarchical-thc/way-points"
+    }
+
+    fn fallback(&self) -> ThcColor {
+        ThcColor::D
+    }
+
+    fn run(&self, oracle: &mut dyn Oracle) -> Result<ThcColor, QueryError> {
+        let n = oracle.n().max(2) as f64;
+        let p = (self.c * n.log2() / n.powf(1.0 / f64::from(self.k))).min(1.0);
+        run_engine(oracle, self.k, Gate::WayPoints { p })
+    }
+}
+
+/// The way-point probability used by [`RandomizedSolver`] — exposed for the
+/// ablation experiment (Lemmas 5.16 and 5.18 need `c ≥ 3`).
+pub fn waypoint_probability(n: usize, k: u32, c: f64) -> f64 {
+    let n = n.max(2) as f64;
+    (c * n.log2() / n.powf(1.0 / f64::from(k))).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcl::check_solution;
+    use vc_graph::gen;
+    use vc_model::run::{run_all, RunConfig};
+    use vc_model::RandomTape;
+
+    fn rand_config(seed: u64) -> RunConfig {
+        RunConfig {
+            tape: Some(RandomTape::private(seed)),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_solver_valid_on_balanced_instances() {
+        for k in 1..=3u32 {
+            for seed in 0..3 {
+                let inst = gen::hierarchical(gen::HierarchicalParams {
+                    k,
+                    backbone_len: 4,
+                    seed,
+                });
+                let problem = HierarchicalThc::new(k);
+                let report = run_all(&inst, &DeterministicSolver { k }, &RunConfig::default());
+                let outputs = report.complete_outputs().unwrap();
+                assert!(
+                    check_solution(&problem, &inst, &outputs).is_ok(),
+                    "k={k} seed={seed}: {:?}",
+                    check_solution(&problem, &inst, &outputs)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_solver_valid_on_cycle_instances() {
+        let inst = gen::hierarchical_with_cycle(gen::HierarchicalParams {
+            k: 2,
+            backbone_len: 5,
+            seed: 3,
+        });
+        let problem = HierarchicalThc::new(2);
+        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default());
+        let outputs = report.complete_outputs().unwrap();
+        assert!(check_solution(&problem, &inst, &outputs).is_ok());
+    }
+
+    #[test]
+    fn shallow_components_color_unanimously() {
+        let inst = gen::hierarchical(gen::HierarchicalParams {
+            k: 2,
+            backbone_len: 3,
+            seed: 1,
+        });
+        // n = 12, threshold = 2·⌈√12⌉ = 8 ≥ 3: all components shallow, so
+        // every node outputs a color — no D, no X.
+        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default());
+        let outputs = report.complete_outputs().unwrap();
+        assert!(outputs.iter().all(|c| c.is_color()));
+        assert!(check_solution(&HierarchicalThc::new(2), &inst, &outputs).is_ok());
+    }
+
+    #[test]
+    fn deep_level1_path_declines() {
+        // A single long level-1 path evaluated with k = 2: the path is deep
+        // (300 > 2·⌈√300⌉ = 36), so every node declines.
+        let inst = gen::hierarchical(gen::HierarchicalParams {
+            k: 1,
+            backbone_len: 300,
+            seed: 2,
+        });
+        let problem = HierarchicalThc::new(2);
+        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default());
+        let outputs = report.complete_outputs().unwrap();
+        assert!(outputs.iter().all(|&c| c == ThcColor::D));
+        assert!(check_solution(&problem, &inst, &outputs).is_ok());
+    }
+
+    #[test]
+    fn deep_balanced_instance_uses_exemptions_and_validates() {
+        // Large enough that backbones (≈ n^{1/2}) exceed the threshold ...
+        // here backbone_len L with n = L + L², threshold = 2⌈√n⌉ ≈ 2L, so
+        // balanced instances are always shallow for k=2. Deep behavior needs
+        // skew: a long level-2 backbone with unit level-1 components.
+        let inst = skewed_instance(200, 4);
+        let problem = HierarchicalThc::new(2);
+        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default());
+        let outputs = report.complete_outputs().unwrap();
+        let check = check_solution(&problem, &inst, &outputs);
+        assert!(check.is_ok(), "{check:?}");
+        // The top backbone is deep (200 > 2⌈√400⌉ = 40) and every level-1
+        // component is trivially shallow → every level-2 node is exempt.
+        let lvl = structure::levels_capped(&inst, 2);
+        assert!((0..inst.n())
+            .filter(|&v| lvl[v] == 2)
+            .all(|v| outputs[v] == ThcColor::X));
+    }
+
+    /// A skewed k=2 instance: a level-2 backbone of length `len` whose RC
+    /// components are single level-1 nodes.
+    fn skewed_instance(len: usize, _seed: u64) -> Instance {
+        // Build directly: backbone of `len`, each with one level-1 child.
+        let mut b = vc_graph::GraphBuilder::new();
+        let mut labels = Vec::new();
+        let mut prev: Option<usize> = None;
+        for i in 0..len {
+            let v = b.add_node_with_id((2 * i + 1) as u64);
+            labels.push(
+                vc_graph::NodeLabel::empty()
+                    .with_color(if i % 3 == 0 { Color::R } else { Color::B }),
+            );
+            let c = b.add_node_with_id((2 * i + 2) as u64);
+            labels.push(vc_graph::NodeLabel::empty().with_color(Color::B));
+            let (pv, pc) = b.connect_auto(v, c).unwrap();
+            labels[v].right_child = Some(pv);
+            labels[c].parent = Some(pc);
+            if let Some(p) = prev {
+                let (pp, pv2) = b.connect_auto(p, v).unwrap();
+                labels[p].left_child = Some(pp);
+                labels[v].parent = Some(pv2);
+            }
+            prev = Some(v);
+        }
+        Instance::new(b.build().unwrap(), labels)
+    }
+
+    #[test]
+    fn randomized_solver_valid_whp_on_balanced_instances() {
+        for seed in 0..3 {
+            let inst = gen::hierarchical_for_size(2, 900, seed);
+            let problem = HierarchicalThc::new(2);
+            let report = run_all(&inst, &RandomizedSolver::new(2), &rand_config(seed));
+            let outputs = report.complete_outputs().unwrap();
+            assert!(
+                check_solution(&problem, &inst, &outputs).is_ok(),
+                "seed {seed}: {:?}",
+                check_solution(&problem, &inst, &outputs)
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_solver_valid_on_skewed_instances() {
+        let inst = skewed_instance(300, 9);
+        let problem = HierarchicalThc::new(2);
+        let report = run_all(&inst, &RandomizedSolver::new(2), &rand_config(5));
+        let outputs = report.complete_outputs().unwrap();
+        let check = check_solution(&problem, &inst, &outputs);
+        assert!(check.is_ok(), "{check:?}");
+    }
+
+    #[test]
+    fn randomized_volume_not_worse_than_deterministic() {
+        let inst = gen::hierarchical_for_size(2, 3000, 11);
+        let starts = vc_model::StartSelection::Sample { count: 40, seed: 1 };
+        let det = run_all(
+            &inst,
+            &DeterministicSolver { k: 2 },
+            &RunConfig {
+                starts,
+                exact_distance: false,
+                ..RunConfig::default()
+            },
+        );
+        let rnd = run_all(
+            &inst,
+            &RandomizedSolver::new(2),
+            &RunConfig {
+                tape: Some(RandomTape::private(11)),
+                starts,
+                exact_distance: false,
+                ..RunConfig::default()
+            },
+        );
+        assert!(rnd.summary().max_volume <= det.summary().max_volume);
+    }
+
+    #[test]
+    fn checker_rejects_bad_outputs() {
+        let inst = gen::hierarchical(gen::HierarchicalParams {
+            k: 2,
+            backbone_len: 3,
+            seed: 1,
+        });
+        let problem = HierarchicalThc::new(2);
+        let outputs = vec![ThcColor::D; inst.n()];
+        let err = check_solution(&problem, &inst, &outputs).unwrap_err();
+        assert_eq!(err.rule, "5.5:5:top-palette");
+        let outputs = vec![ThcColor::X; inst.n()];
+        let err = check_solution(&problem, &inst, &outputs).unwrap_err();
+        assert_eq!(err.rule, "5.5:3a:level1-palette");
+    }
+
+    #[test]
+    fn checker_enforces_level1_unanimity() {
+        let inst = gen::hierarchical(gen::HierarchicalParams {
+            k: 1,
+            backbone_len: 4,
+            seed: 9,
+        });
+        let problem = HierarchicalThc::new(1);
+        let report = run_all(&inst, &DeterministicSolver { k: 1 }, &RunConfig::default());
+        let mut outputs = report.complete_outputs().unwrap();
+        assert!(check_solution(&problem, &inst, &outputs).is_ok());
+        let lvl = structure::levels_capped(&inst, 1);
+        let v = (0..inst.n())
+            .find(|&v| lvl[v] == 1 && lc_strict(&inst, v).is_some())
+            .unwrap();
+        outputs[v] = match outputs[v] {
+            ThcColor::R => ThcColor::B,
+            _ => ThcColor::R,
+        };
+        assert!(check_solution(&problem, &inst, &outputs).is_err());
+    }
+
+    #[test]
+    fn threshold_formula() {
+        assert_eq!(component_threshold(100, 2), 20);
+        assert_eq!(component_threshold(100, 1), 200);
+        assert!(component_threshold(1000, 3) >= 20);
+        assert!(waypoint_probability(16, 2, 4.0) >= 1.0);
+        assert!(waypoint_probability(1_000_000, 2, 4.0) < 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        let _ = HierarchicalThc::new(0);
+    }
+}

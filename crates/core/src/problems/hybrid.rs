@@ -1,0 +1,775 @@
+//! Hybrid balanced 2½-coloring, `Hybrid-THC(k)` (paper §6): distance
+//! `Θ(log n)`, randomized volume `Θ̃(n^{1/k})`, deterministic volume
+//! `Θ̃(n)`.
+//!
+//! Levels are *explicit inputs* (`level(v) ∈ [k+1]`, Definition 6.1). Each
+//! level-1 component is a BalancedTree instance (§4), which may be solved
+//! (all nodes output pairs) or unanimously declined (`D`). Levels `≥ 2`
+//! follow the Hierarchical-THC validity conditions, except that a level-2
+//! node may only become exempt when the BalancedTree below it is *solved*:
+//! condition 4(b) becomes "`χ_out(v) = X` and `χ_out(RC(v)) ∈ {B, U}`".
+//!
+//! ## A note on the top level
+//!
+//! Definition 6.1 prescribes "conditions 2 and 4 (with the new 4(b))" at
+//! `ℓ = 2` and "valid in the sense of Definition 5.5" for `ℓ > 2`. Applied
+//! literally with `k = 2` this leaves *no* level subject to condition 5, and
+//! the problem would be solvable by declining everywhere — contradicting the
+//! `Θ(log n)` distance and `Θ̃(n^{1/k})` volume bounds of Theorem 6.3. As in
+//! Hierarchical-THC, the top level `ℓ = k` must anchor the hierarchy: we
+//! apply condition 5 (palette `{R, B, X}`, no declining) at `ℓ = k`, with
+//! the exemption license of 5(a) replaced at `k = 2` by the hybrid license
+//! `χ_out(RC(v)) ∈ {B, U}`. For `k > 2` this is exactly the literal
+//! definition; for `k = 2` it is the minimal reading that keeps Theorem 6.3
+//! true.
+
+use crate::lcl::{Lcl, Violation};
+use crate::output::{HybridOutput, ThcColor};
+use crate::problems::balanced_tree::{check_bt_node_in, solve_bt};
+use crate::problems::hierarchical::{component_threshold, lc_strict, rc_strict};
+use crate::problems::util::Explorer;
+use std::collections::{HashMap, HashSet, VecDeque};
+use vc_graph::{Color, Instance, Port};
+use vc_model::oracle::{NodeView, Oracle, QueryError};
+use vc_model::run::QueryAlgorithm;
+
+/// The Hybrid-THC(k) LCL (Definition 6.1).
+#[derive(Clone, Copy, Debug)]
+pub struct HybridThc {
+    /// The hierarchy parameter `k ≥ 2`.
+    pub k: u32,
+}
+
+impl HybridThc {
+    /// Creates the problem for a fixed `k ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 2, "Hybrid-THC needs k ≥ 2");
+        Self { k }
+    }
+}
+
+/// The explicit input level of `v`; `None` for unlabeled nodes (which are
+/// treated as exempt, like levels above `k`).
+pub(crate) fn input_level(inst: &Instance, v: usize) -> Option<u32> {
+    inst.labels[v].level.map(u32::from)
+}
+
+fn sym(outputs: &[HybridOutput], v: usize) -> Option<ThcColor> {
+    outputs[v].sym()
+}
+
+/// Checks the per-node condition of Hybrid-THC(k) (see the module docs for
+/// the exact reading). Shared with HH-THC.
+pub(crate) fn check_hybrid_node(
+    inst: &Instance,
+    outputs: &[HybridOutput],
+    v: usize,
+    k: u32,
+) -> Result<(), Violation> {
+    let Some(lvl) = input_level(inst, v) else {
+        // Unlabeled nodes are exempt.
+        return if outputs[v] == HybridOutput::Sym(ThcColor::X) {
+            Ok(())
+        } else {
+            Err(Violation {
+                node: v,
+                rule: "6.1:unlabeled-exempt",
+            })
+        };
+    };
+    if lvl == 1 {
+        return check_level1(inst, outputs, v);
+    }
+    let Some(out) = sym(outputs, v) else {
+        return Err(Violation {
+            node: v,
+            rule: "6.1:upper-levels-output-symbols",
+        });
+    };
+    if lvl > k {
+        // Definition 5.5 condition 1.
+        return if out == ThcColor::X {
+            Ok(())
+        } else {
+            Err(Violation {
+                node: v,
+                rule: "5.5:1:exempt-above-k",
+            })
+        };
+    }
+    let lc = lc_strict(inst, v);
+    let rc = rc_strict(inst, v);
+    let is_leaf = lc.is_none();
+    let input = ThcColor::from_color(inst.labels[v].color.unwrap_or(Color::R));
+    // The exemption license: BalancedTree solved below (ℓ = 2) or a solved
+    // symbol below (ℓ > 2).
+    let license = match rc {
+        None => false,
+        Some(r) => {
+            if lvl == 2 {
+                outputs[r].is_solved_pair()
+            } else {
+                sym(outputs, r).map(ThcColor::is_solved).unwrap_or(false)
+            }
+        }
+    };
+    // Condition 2 (leaves at any level ≤ k).
+    if is_leaf && !(out == input || out == ThcColor::D || out == ThcColor::X) {
+        return Err(Violation {
+            node: v,
+            rule: "5.5:2:leaf-palette",
+        });
+    }
+    if lvl == k {
+        // Condition 5 (top anchor; see module docs for k = 2).
+        if !matches!(out, ThcColor::R | ThcColor::B | ThcColor::X) {
+            return Err(Violation {
+                node: v,
+                rule: "5.5:5:top-palette",
+            });
+        }
+        if out == ThcColor::X {
+            return if license {
+                Ok(())
+            } else {
+                Err(Violation {
+                    node: v,
+                    rule: "5.5:5a:exempt-needs-solved-rc",
+                })
+            };
+        }
+        if let Some(lc) = lc {
+            let ok = match sym(outputs, lc) {
+                Some(ThcColor::X) => out == input,
+                Some(c) => out == c,
+                None => false,
+            };
+            if !ok {
+                return Err(Violation {
+                    node: v,
+                    rule: "5.5:5b:top-segment",
+                });
+            }
+        }
+        return Ok(());
+    }
+    // 2 ≤ lvl < k: condition 4 with the modified 4(b).
+    let Some(lc) = lc else {
+        return Ok(()); // leaves already constrained by condition 2
+    };
+    let lc_sym = sym(outputs, lc);
+    let a = matches!(out, ThcColor::R | ThcColor::B | ThcColor::D) && lc_sym == Some(out);
+    let b = out == ThcColor::X && license;
+    let c = (out == input || out == ThcColor::D) && lc_sym == Some(ThcColor::X);
+    if a || b || c {
+        Ok(())
+    } else {
+        Err(Violation {
+            node: v,
+            rule: "6.1:4:mid-level",
+        })
+    }
+}
+
+/// Level-1 validity: a BalancedTree-valid pair labeling on the level-1
+/// subgraph, or unanimous declining.
+fn check_level1(inst: &Instance, outputs: &[HybridOutput], v: usize) -> Result<(), Violation> {
+    let keep = |u: usize| input_level(inst, u) == Some(1);
+    match outputs[v] {
+        HybridOutput::Sym(ThcColor::D) => {
+            // Alternative (b): decline, unanimously with the level-1 G_T
+            // neighbors.
+            let mut nbrs = Vec::new();
+            if let Some(u) = lc_strict(inst, v) {
+                nbrs.push(u);
+            }
+            if let Some(u) = rc_strict(inst, v) {
+                nbrs.push(u);
+            }
+            if let Some(p) = inst.parent_node(v) {
+                if lc_strict(inst, p) == Some(v) || rc_strict(inst, p) == Some(v) {
+                    nbrs.push(p);
+                }
+            }
+            for u in nbrs {
+                if keep(u) && outputs[u] != HybridOutput::Sym(ThcColor::D) {
+                    return Err(Violation {
+                        node: v,
+                        rule: "6.1:decline-unanimous",
+                    });
+                }
+            }
+            Ok(())
+        }
+        HybridOutput::Sym(_) => Err(Violation {
+            node: v,
+            rule: "6.1:level1-palette",
+        }),
+        HybridOutput::Pair(_) => {
+            let get_out = |u: usize| match outputs[u] {
+                HybridOutput::Pair(p) => Some(p),
+                HybridOutput::Sym(_) => None,
+            };
+            check_bt_node_in(inst, &get_out, v, &keep)
+        }
+    }
+}
+
+impl Lcl for HybridThc {
+    type Output = HybridOutput;
+
+    fn name(&self) -> String {
+        format!("Hybrid-THC({})", self.k)
+    }
+
+    fn check_radius(&self) -> u32 {
+        3
+    }
+
+    fn check_node(
+        &self,
+        inst: &Instance,
+        outputs: &[HybridOutput],
+        v: usize,
+    ) -> Result<(), Violation> {
+        check_hybrid_node(inst, outputs, v, self.k)
+    }
+}
+
+/// The deterministic `O(log n)`-distance solver (Theorem 6.3): level-1
+/// nodes run the BalancedTree distance solver (Proposition 4.8); everything
+/// above is exempt, licensed by the solved instances below.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistanceSolver;
+
+impl QueryAlgorithm for DistanceSolver {
+    type Output = HybridOutput;
+
+    fn name(&self) -> &'static str {
+        "hybrid-thc/distance"
+    }
+
+    fn fallback(&self) -> HybridOutput {
+        HybridOutput::Sym(ThcColor::X)
+    }
+
+    fn run(&self, oracle: &mut dyn Oracle) -> Result<HybridOutput, QueryError> {
+        let mut xp = Explorer::new(oracle);
+        let root = xp.root();
+        match root.label.level {
+            Some(1) => Ok(HybridOutput::Pair(solve_bt(&mut xp, root)?)),
+            _ => Ok(HybridOutput::Sym(ThcColor::X)),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Gate {
+    Always,
+    WayPoints { p: f64 },
+}
+
+struct Engine<'x, 'o> {
+    xp: &'x mut Explorer<'o>,
+    k: u32,
+    /// Backbone window threshold `2·⌈n^{1/k}⌉`.
+    threshold: usize,
+    /// Size cap above which a level-1 BalancedTree component declines.
+    bt_cap: usize,
+    gate: Gate,
+    memo: HashMap<usize, HybridOutput>,
+}
+
+impl Engine<'_, '_> {
+    fn next(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        let Some(u) = self.xp.follow(v, v.label.left_child)? else {
+            return Ok(None);
+        };
+        let back = self.xp.follow(&u, u.label.parent)?;
+        Ok((back.map(|b| b.node) == Some(v.node)).then_some(u))
+    }
+
+    fn prev(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        let Some(p) = self.xp.follow(v, v.label.parent)? else {
+            return Ok(None);
+        };
+        let down = self.xp.follow(&p, p.label.left_child)?;
+        Ok((down.map(|d| d.node) == Some(v.node)).then_some(p))
+    }
+
+    fn down(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        let Some(u) = self.xp.follow(v, v.label.right_child)? else {
+            return Ok(None);
+        };
+        let back = self.xp.follow(&u, u.label.parent)?;
+        Ok((back.map(|b| b.node) == Some(v.node)).then_some(u))
+    }
+
+    /// The hybrid exemption license (Definition 6.1): at level 2 the
+    /// component below must be a *solved* BalancedTree; above, a solved
+    /// symbol.
+    fn exempt_candidate(&mut self, v: &NodeView, lvl: u32) -> Result<bool, QueryError> {
+        match self.gate {
+            Gate::Always => {}
+            Gate::WayPoints { p } => {
+                if !self.xp.bernoulli(v.node, p)? {
+                    return Ok(false);
+                }
+            }
+        }
+        let Some(r) = self.down(v)? else {
+            return Ok(false);
+        };
+        let below = self.solve(r)?;
+        Ok(if lvl == 2 {
+            below.is_solved_pair()
+        } else {
+            below.sym().map(ThcColor::is_solved).unwrap_or(false)
+        })
+    }
+
+    fn solve(&mut self, v: NodeView) -> Result<HybridOutput, QueryError> {
+        if let Some(&c) = self.memo.get(&v.node) {
+            return Ok(c);
+        }
+        let c = self.solve_uncached(v)?;
+        self.memo.insert(v.node, c);
+        Ok(c)
+    }
+
+    fn solve_uncached(&mut self, v: NodeView) -> Result<HybridOutput, QueryError> {
+        let Some(lvl) = v.label.level.map(u32::from) else {
+            return Ok(HybridOutput::Sym(ThcColor::X));
+        };
+        if lvl > self.k {
+            return Ok(HybridOutput::Sym(ThcColor::X));
+        }
+        if lvl == 1 {
+            return self.solve_level1(v);
+        }
+        // Backbone machinery, as in RecursiveHTHC.
+        if let Some(anchor) = self.shallow_anchor(&v)? {
+            return Ok(HybridOutput::Sym(ThcColor::from_color(
+                anchor.label.color.unwrap_or(Color::R),
+            )));
+        }
+        if self.exempt_candidate(&v, lvl)? {
+            return Ok(HybridOutput::Sym(ThcColor::X));
+        }
+        let t = self.threshold;
+        let mut u = v;
+        let mut u_prev: Option<NodeView> = None;
+        let mut du = 0usize;
+        let mut u_stop = false;
+        let mut w = v;
+        let mut dw = 0usize;
+        let mut w_stop = false;
+        for _ in 0..=t {
+            if !u_stop {
+                if self.exempt_candidate(&u, lvl)? {
+                    u_stop = true;
+                } else if let Some(nx) = self.next(&u)? {
+                    u_prev = Some(u);
+                    u = nx;
+                    du += 1;
+                } else {
+                    u_stop = true;
+                }
+            }
+            if !w_stop {
+                if self.exempt_candidate(&w, lvl)? {
+                    w_stop = true;
+                } else if let Some(pv) = self.prev(&w)? {
+                    w = pv;
+                    dw += 1;
+                } else {
+                    w_stop = true;
+                }
+            }
+            if u_stop && w_stop {
+                break;
+            }
+        }
+        if !(u_stop && w_stop) || du + dw > t {
+            return Ok(HybridOutput::Sym(ThcColor::D));
+        }
+        if self.exempt_candidate(&u, lvl)? {
+            let anchor = u_prev.unwrap_or(u);
+            Ok(HybridOutput::Sym(ThcColor::from_color(
+                anchor.label.color.unwrap_or(Color::R),
+            )))
+        } else {
+            Ok(HybridOutput::Sym(ThcColor::from_color(
+                u.label.color.unwrap_or(Color::R),
+            )))
+        }
+    }
+
+    /// Level-1: measure the component; small ones are solved as
+    /// BalancedTree instances, large ones decline unanimously.
+    fn solve_level1(&mut self, v: NodeView) -> Result<HybridOutput, QueryError> {
+        if self.component_at_most(&v, self.bt_cap)? {
+            Ok(HybridOutput::Pair(solve_bt(self.xp, v)?))
+        } else {
+            Ok(HybridOutput::Sym(ThcColor::D))
+        }
+    }
+
+    /// BFS over the level-1 component of `v` (through all ports, restricted
+    /// to level-1 nodes), counting up to `cap + 1` nodes.
+    fn component_at_most(&mut self, v: &NodeView, cap: usize) -> Result<bool, QueryError> {
+        let mut seen: HashSet<usize> = HashSet::from([v.node]);
+        let mut queue = VecDeque::from([*v]);
+        let mut count = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for p in 1..=u.degree as u8 {
+                let w = self.xp.follow(&u, Some(Port::new(p)))?.expect("valid port");
+                if w.label.level == Some(1) && seen.insert(w.node) {
+                    count += 1;
+                    if count > cap {
+                        return Ok(false);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Backbone shallow probe, as in Hierarchical-THC.
+    fn shallow_anchor(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        let t = self.threshold;
+        let mut fwd = Vec::new();
+        let mut cur = *v;
+        loop {
+            match self.next(&cur)? {
+                Some(nx) => {
+                    if nx.node == v.node {
+                        let mut all = fwd;
+                        all.push(*v);
+                        if all.len() <= t {
+                            let anchor = all
+                                .into_iter()
+                                .min_by_key(|x| x.id)
+                                .expect("cycle is nonempty");
+                            return Ok(Some(anchor));
+                        }
+                        return Ok(None);
+                    }
+                    fwd.push(nx);
+                    if fwd.len() > t {
+                        return Ok(None);
+                    }
+                    cur = nx;
+                }
+                None => break,
+            }
+        }
+        let leaf = *fwd.last().unwrap_or(v);
+        let mut count = fwd.len() + 1;
+        let mut back = *v;
+        loop {
+            match self.prev(&back)? {
+                Some(pv) => {
+                    count += 1;
+                    if count > t {
+                        return Ok(None);
+                    }
+                    back = pv;
+                }
+                None => break,
+            }
+        }
+        Ok(Some(leaf))
+    }
+}
+
+fn run_engine(oracle: &mut dyn Oracle, k: u32, gate: Gate) -> Result<HybridOutput, QueryError> {
+    let mut xp = Explorer::new(oracle);
+    let n = xp.n();
+    let threshold = component_threshold(n, k);
+    let root = xp.root();
+    let mut engine = Engine {
+        xp: &mut xp,
+        k,
+        threshold,
+        bt_cap: 2 * threshold + 8,
+        gate,
+        memo: HashMap::new(),
+    };
+    engine.solve(root)
+}
+
+/// The randomized way-point solver: volume `Θ̃(n^{1/k})` on the balanced
+/// instance family (Theorem 6.3), using the same way-point technique as
+/// Hierarchical-THC with the BalancedTree base case.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomizedSolver {
+    /// The hierarchy parameter `k ≥ 2`.
+    pub k: u32,
+    /// Way-point density constant.
+    pub c: f64,
+}
+
+impl RandomizedSolver {
+    /// Way-point solver with the default density constant.
+    pub fn new(k: u32) -> Self {
+        Self { k, c: 4.0 }
+    }
+}
+
+impl QueryAlgorithm for RandomizedSolver {
+    type Output = HybridOutput;
+
+    fn name(&self) -> &'static str {
+        "hybrid-thc/way-points"
+    }
+
+    fn fallback(&self) -> HybridOutput {
+        HybridOutput::Sym(ThcColor::D)
+    }
+
+    fn run(&self, oracle: &mut dyn Oracle) -> Result<HybridOutput, QueryError> {
+        let n = oracle.n().max(2) as f64;
+        let p = (self.c * n.log2() / n.powf(1.0 / f64::from(self.k))).min(1.0);
+        run_engine(oracle, self.k, Gate::WayPoints { p })
+    }
+}
+
+/// The ungated engine: a deterministic solver whose volume is `Θ̃(n)` —
+/// the upper-bound counterpart of the `D-VOL` row of Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct DeterministicVolumeSolver {
+    /// The hierarchy parameter `k ≥ 2`.
+    pub k: u32,
+}
+
+impl QueryAlgorithm for DeterministicVolumeSolver {
+    type Output = HybridOutput;
+
+    fn name(&self) -> &'static str {
+        "hybrid-thc/deterministic"
+    }
+
+    fn fallback(&self) -> HybridOutput {
+        HybridOutput::Sym(ThcColor::D)
+    }
+
+    fn run(&self, oracle: &mut dyn Oracle) -> Result<HybridOutput, QueryError> {
+        run_engine(oracle, self.k, Gate::Always)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcl::check_solution;
+    use crate::output::BtFlag;
+    use vc_graph::gen;
+    use vc_model::run::{run_all, RunConfig};
+    use vc_model::RandomTape;
+
+    fn rand_config(seed: u64) -> RunConfig {
+        RunConfig {
+            tape: Some(RandomTape::private(seed)),
+            ..RunConfig::default()
+        }
+    }
+
+    fn small_instance(seed: u64) -> Instance {
+        gen::hybrid(gen::HybridParams {
+            k: 2,
+            backbone_len: 4,
+            bt_depth: 2,
+            seed,
+        })
+    }
+
+    #[test]
+    fn distance_solver_valid_on_hybrid_instances() {
+        for seed in 0..4 {
+            let inst = small_instance(seed);
+            let problem = HybridThc::new(2);
+            let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+            let outputs = report.complete_outputs().unwrap();
+            let check = check_solution(&problem, &inst, &outputs);
+            assert!(check.is_ok(), "seed {seed}: {check:?}");
+            // Level-1 nodes all solved their BTs; levels ≥ 2 are exempt.
+            for v in 0..inst.n() {
+                match inst.labels[v].level {
+                    Some(1) => assert!(matches!(outputs[v], HybridOutput::Pair(_))),
+                    _ => assert_eq!(outputs[v], HybridOutput::Sym(ThcColor::X)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_solver_distance_is_logarithmic() {
+        let inst = gen::hybrid_for_size(2, 2000, 3);
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let s = report.summary();
+        // BT depth ≈ log(n^(1/2)) plus O(1) checks.
+        let bound = (inst.n() as f64).log2() as u32 + 4;
+        assert!(s.max_distance <= bound, "{} > {bound}", s.max_distance);
+        let problem = HybridThc::new(2);
+        assert!(check_solution(&problem, &inst, &report.complete_outputs().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn randomized_solver_valid_on_hybrid_instances() {
+        for k in 2..=3u32 {
+            for seed in 0..3 {
+                let inst = gen::hybrid_for_size(k, 800, seed);
+                let problem = HybridThc::new(k);
+                let report = run_all(&inst, &RandomizedSolver::new(k), &rand_config(seed));
+                let outputs = report.complete_outputs().unwrap();
+                let check = check_solution(&problem, &inst, &outputs);
+                assert!(check.is_ok(), "k={k} seed={seed}: {check:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_volume_solver_valid() {
+        let inst = gen::hybrid_for_size(2, 500, 7);
+        let problem = HybridThc::new(2);
+        let report = run_all(
+            &inst,
+            &DeterministicVolumeSolver { k: 2 },
+            &RunConfig::default(),
+        );
+        let outputs = report.complete_outputs().unwrap();
+        let check = check_solution(&problem, &inst, &outputs);
+        assert!(check.is_ok(), "{check:?}");
+    }
+
+    #[test]
+    fn randomized_volume_is_sublinear() {
+        let inst = gen::hybrid_for_size(2, 4000, 9);
+        let report = run_all(
+            &inst,
+            &RandomizedSolver::new(2),
+            &RunConfig {
+                tape: Some(RandomTape::private(9)),
+                starts: vc_model::StartSelection::Sample { count: 60, seed: 2 },
+                exact_distance: false,
+                ..RunConfig::default()
+            },
+        );
+        let s = report.summary();
+        assert!(
+            s.max_volume < inst.n() / 3,
+            "volume {} should be ≪ n = {}",
+            s.max_volume,
+            inst.n()
+        );
+    }
+
+    #[test]
+    fn checker_rejects_decline_at_top_level() {
+        let inst = small_instance(1);
+        let problem = HybridThc::new(2);
+        let outputs: Vec<HybridOutput> = (0..inst.n())
+            .map(|_| HybridOutput::Sym(ThcColor::D))
+            .collect();
+        let err = check_solution(&problem, &inst, &outputs).unwrap_err();
+        assert_eq!(err.rule, "5.5:5:top-palette");
+    }
+
+    #[test]
+    fn checker_rejects_exemption_over_declined_bt() {
+        let inst = small_instance(2);
+        let problem = HybridThc::new(2);
+        // Level 1 declines (valid per se), level 2 claims X: the license
+        // fails because the BT below was not solved.
+        let outputs: Vec<HybridOutput> = (0..inst.n())
+            .map(|v| match inst.labels[v].level {
+                Some(1) => HybridOutput::Sym(ThcColor::D),
+                _ => HybridOutput::Sym(ThcColor::X),
+            })
+            .collect();
+        let err = check_solution(&problem, &inst, &outputs).unwrap_err();
+        assert_eq!(err.rule, "5.5:5a:exempt-needs-solved-rc");
+    }
+
+    #[test]
+    fn checker_rejects_mixed_level1_component() {
+        let inst = small_instance(3);
+        let problem = HybridThc::new(2);
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let mut outputs = report.complete_outputs().unwrap();
+        // Flip a single level-1 internal node to D inside a solved BT.
+        let v = (0..inst.n())
+            .find(|&v| {
+                inst.labels[v].level == Some(1)
+                    && crate::problems::balanced_tree::is_internal_in(&inst, v, &|u| {
+                        inst.labels[u].level == Some(1)
+                    })
+            })
+            .unwrap();
+        outputs[v] = HybridOutput::Sym(ThcColor::D);
+        assert!(check_solution(&problem, &inst, &outputs).is_err());
+    }
+
+    #[test]
+    fn declining_one_component_with_consistent_parent_is_valid() {
+        let inst = small_instance(4);
+        let problem = HybridThc::new(2);
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let mut outputs = report.complete_outputs().unwrap();
+        // Decline the BT below the last backbone node (a level-2 leaf) and
+        // let that leaf keep its input color (condition 2); all other
+        // level-2 nodes stay exempt via their solved BTs.
+        let lvl2_leaf = (0..inst.n())
+            .find(|&v| inst.labels[v].level == Some(2) && lc_strict(&inst, v).is_none())
+            .unwrap();
+        let bt_root = rc_strict(&inst, lvl2_leaf).unwrap();
+        let keep = |u: usize| inst.labels[u].level == Some(1);
+        let mut stack = vec![bt_root];
+        let mut comp = std::collections::HashSet::new();
+        comp.insert(bt_root);
+        while let Some(u) = stack.pop() {
+            for w in inst.graph.neighbors(u) {
+                if keep(w) && comp.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        for &u in &comp {
+            outputs[u] = HybridOutput::Sym(ThcColor::D);
+        }
+        outputs[lvl2_leaf] = HybridOutput::Sym(ThcColor::from_color(
+            inst.labels[lvl2_leaf].color.unwrap(),
+        ));
+        let check = check_solution(&problem, &inst, &outputs);
+        assert!(check.is_ok(), "{check:?}");
+    }
+
+    #[test]
+    fn outputs_are_pairs_exactly_at_level1_for_solved_instances() {
+        let inst = gen::hybrid_for_size(3, 600, 5);
+        let report = run_all(&inst, &RandomizedSolver::new(3), &rand_config(6));
+        let outputs = report.complete_outputs().unwrap();
+        for v in 0..inst.n() {
+            if inst.labels[v].level != Some(1) {
+                assert!(outputs[v].sym().is_some());
+            }
+        }
+        // At least some BTs got solved with flag B.
+        assert!(outputs.iter().any(|o| matches!(
+            o,
+            HybridOutput::Pair(p) if p.flag == BtFlag::Balanced
+        )));
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 2")]
+    fn k1_rejected() {
+        let _ = HybridThc::new(1);
+    }
+}

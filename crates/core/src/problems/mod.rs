@@ -1,0 +1,9 @@
+//! The problem constructions of the paper and their solvers.
+
+pub mod balanced_tree;
+pub mod classic;
+pub mod hh;
+pub mod hierarchical;
+pub mod hybrid;
+pub mod leaf_coloring;
+pub mod util;

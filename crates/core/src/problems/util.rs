@@ -1,0 +1,285 @@
+//! Query-model exploration helpers shared by the solvers.
+//!
+//! Solvers repeatedly need the Definition 3.3 status of nodes, which in the
+//! query model takes a handful of queries per node (follow both children and
+//! check their parent back-pointers). [`Explorer`] wraps an oracle with view
+//! and status caches so that each fact is established once per execution.
+
+use std::collections::HashMap;
+use vc_graph::Port;
+use vc_model::oracle::{follow, NodeView, Oracle, QueryError};
+
+/// An oracle wrapper with view/status caches and Bernoulli sampling from the
+/// node's private bits.
+pub struct Explorer<'o> {
+    oracle: &'o mut dyn Oracle,
+    views: HashMap<usize, NodeView>,
+    internal: HashMap<usize, bool>,
+    first_bits: HashMap<usize, bool>,
+    bernoulli: HashMap<usize, bool>,
+}
+
+impl<'o> Explorer<'o> {
+    /// Wraps an oracle.
+    pub fn new(oracle: &'o mut dyn Oracle) -> Self {
+        let root = oracle.root();
+        let mut views = HashMap::new();
+        views.insert(root.node, root);
+        Self {
+            oracle,
+            views,
+            internal: HashMap::new(),
+            first_bits: HashMap::new(),
+            bernoulli: HashMap::new(),
+        }
+    }
+
+    /// The number of nodes `n` (global input).
+    pub fn n(&self) -> usize {
+        self.oracle.n()
+    }
+
+    /// The initiating node's view.
+    pub fn root(&self) -> NodeView {
+        self.oracle.root()
+    }
+
+    /// Follows an optional port label; `⊥` and malformed ports give `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors (budget exhaustion etc.).
+    pub fn follow(
+        &mut self,
+        from: &NodeView,
+        port: Option<Port>,
+    ) -> Result<Option<NodeView>, QueryError> {
+        let out = follow(self.oracle, from, port)?;
+        if let Some(v) = out {
+            self.views.insert(v.node, v);
+        }
+        Ok(out)
+    }
+
+    /// The parent node `P(v)` (with no back-pointer requirement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors.
+    pub fn parent(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        self.follow(&v.clone(), v.label.parent)
+    }
+
+    /// The left child `LC(v)` (no back-pointer requirement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors.
+    pub fn left_child(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        self.follow(&v.clone(), v.label.left_child)
+    }
+
+    /// The right child `RC(v)` (no back-pointer requirement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors.
+    pub fn right_child(&mut self, v: &NodeView) -> Result<Option<NodeView>, QueryError> {
+        self.follow(&v.clone(), v.label.right_child)
+    }
+
+    /// Whether `v` is internal per Definition 3.3, established with `O(1)`
+    /// queries and cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors.
+    pub fn is_internal(&mut self, v: &NodeView) -> Result<bool, QueryError> {
+        if let Some(&b) = self.internal.get(&v.node) {
+            return Ok(b);
+        }
+        let b = self.compute_internal(v)?;
+        self.internal.insert(v.node, b);
+        Ok(b)
+    }
+
+    fn compute_internal(&mut self, v: &NodeView) -> Result<bool, QueryError> {
+        let l = v.label;
+        let (Some(lc_port), Some(rc_port)) = (l.left_child, l.right_child) else {
+            return Ok(false);
+        };
+        if lc_port == rc_port || l.parent == Some(lc_port) || l.parent == Some(rc_port) {
+            return Ok(false);
+        }
+        let Some(lc) = self.follow(v, Some(lc_port))? else {
+            return Ok(false);
+        };
+        let Some(rc) = self.follow(v, Some(rc_port))? else {
+            return Ok(false);
+        };
+        let back_lc = self.follow(&lc, lc.label.parent)?;
+        if back_lc.map(|u| u.node) != Some(v.node) {
+            return Ok(false);
+        }
+        let back_rc = self.follow(&rc, rc.label.parent)?;
+        Ok(back_rc.map(|u| u.node) == Some(v.node))
+    }
+
+    /// Whether `v` is *consistent* (internal, or a leaf — i.e. its parent is
+    /// internal; Definition 3.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors.
+    pub fn is_consistent(&mut self, v: &NodeView) -> Result<bool, QueryError> {
+        if self.is_internal(v)? {
+            return Ok(true);
+        }
+        match self.parent(v)? {
+            Some(p) => self.is_internal(&p),
+            None => Ok(false),
+        }
+    }
+
+    /// The `G_T` children `(LC(v), RC(v))` of an internal node; `None` if
+    /// `v` is not internal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors.
+    pub fn gt_children(
+        &mut self,
+        v: &NodeView,
+    ) -> Result<Option<(NodeView, NodeView)>, QueryError> {
+        if !self.is_internal(v)? {
+            return Ok(None);
+        }
+        let lc = self.left_child(v)?.expect("internal has LC");
+        let rc = self.right_child(v)?.expect("internal has RC");
+        Ok(Some((lc, rc)))
+    }
+
+    /// The first bit `r_v(0)` of the node's private string — cached so that
+    /// repeated visits observe the same value, as Algorithm 1 requires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors (e.g. secret randomness of other nodes).
+    pub fn first_bit(&mut self, node: usize) -> Result<bool, QueryError> {
+        if let Some(&b) = self.first_bits.get(&node) {
+            return Ok(b);
+        }
+        let b = self.oracle.rand_bit(node)?;
+        self.first_bits.insert(node, b);
+        Ok(b)
+    }
+
+    /// Bernoulli(`p`) sample from the node's private bits, cached per node —
+    /// the way-point lottery of Proposition 5.14 (footnote 3 requires all
+    /// visitors to agree on the outcome, hence the node's own randomness).
+    ///
+    /// Uses 30 bits of the node's string on first evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors.
+    pub fn bernoulli(&mut self, node: usize, p: f64) -> Result<bool, QueryError> {
+        if let Some(&b) = self.bernoulli.get(&node) {
+            return Ok(b);
+        }
+        let mut x = 0u32;
+        for _ in 0..30 {
+            x = (x << 1) | u32::from(self.oracle.rand_bit(node)?);
+        }
+        let threshold = (p.clamp(0.0, 1.0) * f64::from(1u32 << 30)) as u32;
+        let b = x < threshold;
+        self.bernoulli.insert(node, b);
+        Ok(b)
+    }
+
+    /// A cached view by node handle, if this execution has seen it.
+    pub fn view(&self, node: usize) -> Option<&NodeView> {
+        self.views.get(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_graph::{gen, Color};
+    use vc_model::{Budget, Execution, RandomTape};
+
+    #[test]
+    fn explorer_caches_status() {
+        let inst = gen::complete_binary_tree(3, Color::R, Color::B);
+        let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        let mut xp = Explorer::new(&mut ex);
+        let root = xp.root();
+        assert!(xp.is_internal(&root).unwrap());
+        // Second call answers from cache (same result).
+        assert!(xp.is_internal(&root).unwrap());
+        let leaf = xp.view(0).copied().unwrap();
+        assert_eq!(leaf.node, 0);
+        let lc = xp.left_child(&root).unwrap().unwrap();
+        assert_eq!(lc.node, 1);
+        assert!(xp.is_consistent(&lc).unwrap());
+    }
+
+    #[test]
+    fn leaf_is_consistent_but_not_internal() {
+        let inst = gen::complete_binary_tree(2, Color::R, Color::B);
+        let mut ex = Execution::new(&inst, 3, None, Budget::unlimited());
+        let mut xp = Explorer::new(&mut ex);
+        let root = xp.root();
+        assert!(!xp.is_internal(&root).unwrap());
+        assert!(xp.is_consistent(&root).unwrap());
+    }
+
+    #[test]
+    fn single_node_is_inconsistent() {
+        let inst = gen::complete_binary_tree(0, Color::R, Color::B);
+        let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        let mut xp = Explorer::new(&mut ex);
+        let root = xp.root();
+        assert!(!xp.is_consistent(&root).unwrap());
+    }
+
+    #[test]
+    fn first_bit_is_stable() {
+        let inst = gen::complete_binary_tree(2, Color::R, Color::B);
+        let tape = RandomTape::private(11);
+        let mut ex = Execution::new(&inst, 0, Some(tape), Budget::unlimited());
+        let mut xp = Explorer::new(&mut ex);
+        let b1 = xp.first_bit(0).unwrap();
+        let b2 = xp.first_bit(0).unwrap();
+        assert_eq!(b1, b2);
+        // And equals the tape's bit 0 for that node's id.
+        assert_eq!(b1, tape.bit(inst.graph.id(0), 0));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let inst = gen::complete_binary_tree(2, Color::R, Color::B);
+        let tape = RandomTape::private(13);
+        let mut ex = Execution::new(&inst, 0, Some(tape), Budget::unlimited());
+        let mut xp = Explorer::new(&mut ex);
+        assert!(!xp.bernoulli(0, 0.0).unwrap());
+        let mut ex2 = Execution::new(&inst, 1, Some(tape), Budget::unlimited());
+        let mut xp2 = Explorer::new(&mut ex2);
+        assert!(xp2.bernoulli(1, 1.0).unwrap());
+    }
+
+    #[test]
+    fn bernoulli_agrees_across_executions() {
+        let inst = gen::complete_binary_tree(3, Color::R, Color::B);
+        let tape = RandomTape::private(5);
+        let p = 0.5;
+        let mut ex1 = Execution::new(&inst, 1, Some(tape), Budget::unlimited());
+        let mut xp1 = Explorer::new(&mut ex1);
+        let b1 = xp1.bernoulli(1, p).unwrap();
+        let mut ex2 = Execution::new(&inst, 1, Some(tape), Budget::unlimited());
+        let mut xp2 = Explorer::new(&mut ex2);
+        let b2 = xp2.bernoulli(1, p).unwrap();
+        assert_eq!(b1, b2, "way-point lottery must be execution-independent");
+    }
+}

@@ -1,0 +1,509 @@
+//! Port-numbered bounded-degree graphs (paper §2.1).
+
+use crate::label::Port;
+use crate::NodeIdx;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`Graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index referenced a node that does not exist.
+    NoSuchNode(NodeIdx),
+    /// A port on a node was assigned twice.
+    PortInUse { node: NodeIdx, port: Port },
+    /// The ports of a node do not form a contiguous range `1..=deg(v)`.
+    PortsNotContiguous { node: NodeIdx },
+    /// An undirected edge is present in only one endpoint's adjacency.
+    AsymmetricEdge { from: NodeIdx, to: NodeIdx },
+    /// Two nodes share the same unique identifier.
+    DuplicateId { id: u64 },
+    /// A self-loop was requested; the model uses simple graphs.
+    SelfLoop { node: NodeIdx },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NoSuchNode(v) => write!(f, "node {v} does not exist"),
+            GraphError::PortInUse { node, port } => {
+                write!(f, "port {port} of node {node} is already in use")
+            }
+            GraphError::PortsNotContiguous { node } => {
+                write!(f, "ports of node {node} do not form a contiguous range 1..=deg")
+            }
+            GraphError::AsymmetricEdge { from, to } => {
+                write!(f, "edge {from}->{to} has no reverse counterpart")
+            }
+            GraphError::DuplicateId { id } => write!(f, "duplicate unique identifier {id}"),
+            GraphError::SelfLoop { node } => write!(f, "self-loop requested at node {node}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An undirected graph with port-numbered edges and unique node identifiers.
+///
+/// Every edge `{v, w}` is realized as the two ordered edges `(v, w)` and
+/// `(w, v)`; node `v` reaches `w` through a port `p(v, w) ∈ [deg(v)]`, and
+/// `p` is a bijection between `v`'s ordered out-edges and `[deg(v)]`
+/// (paper §2.1). Unique identifiers are arbitrary distinct `u64` values
+/// (the paper draws them from `[n^α]`).
+///
+/// Construct via [`GraphBuilder`]; a built graph is always structurally
+/// valid (validated ports, symmetric edges, distinct identifiers).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `adj[v][p-1]` = neighbor reached from `v` through port `p`.
+    adj: Vec<Vec<u32>>,
+    /// Unique identifiers.
+    ids: Vec<u64>,
+}
+
+impl Graph {
+    /// Number of nodes `n = |V|`.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn degree(&self, v: NodeIdx) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree `Δ` over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Unique identifier of `v`.
+    pub fn id(&self, v: NodeIdx) -> u64 {
+        self.ids[v]
+    }
+
+    /// The neighbor reached from `v` through `port`, or `None` if the port
+    /// number exceeds `deg(v)`.
+    pub fn neighbor(&self, v: NodeIdx, port: Port) -> Option<NodeIdx> {
+        self.adj[v].get(port.index()).map(|&w| w as NodeIdx)
+    }
+
+    /// The port through which `v` reaches `w`, if `{v, w}` is an edge.
+    pub fn port_to(&self, v: NodeIdx, w: NodeIdx) -> Option<Port> {
+        self.adj[v]
+            .iter()
+            .position(|&u| u as usize == w)
+            .map(Port::from_index)
+    }
+
+    /// Iterates over the neighbors of `v` in port order.
+    pub fn neighbors(&self, v: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.adj[v].iter().map(|&w| w as NodeIdx)
+    }
+
+    /// Iterates over all undirected edges `(v, w)` with `v < w`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeIdx, NodeIdx)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(v, row)| {
+            row.iter()
+                .filter_map(move |&w| (v < w as usize).then_some((v, w as usize)))
+        })
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// BFS distances from `src`; unreachable nodes get `u32::MAX`.
+    ///
+    /// This is the graph metric used by the distance cost of Definition 2.1.
+    pub fn bfs_distances(&self, src: NodeIdx) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n()];
+        let mut queue = VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v];
+            for w in self.neighbors(v) {
+                if dist[w] == u32::MAX {
+                    dist[w] = dv + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Distance between two nodes, or `None` if disconnected.
+    pub fn distance(&self, v: NodeIdx, w: NodeIdx) -> Option<u32> {
+        let d = self.bfs_distances(v)[w];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// All nodes within distance `r` of `v` — the ball `N_v(r)` of §2.1.
+    pub fn ball(&self, v: NodeIdx, r: u32) -> Vec<NodeIdx> {
+        let mut out = Vec::new();
+        let mut dist = vec![u32::MAX; self.n()];
+        let mut queue = VecDeque::new();
+        dist[v] = 0;
+        queue.push_back(v);
+        out.push(v);
+        while let Some(u) = queue.pop_front() {
+            if dist[u] >= r {
+                continue;
+            }
+            for w in self.neighbors(u) {
+                if dist[w] == u32::MAX {
+                    dist[w] = dist[u] + 1;
+                    out.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks structural validity (symmetric edges, unique identifiers, no
+    /// self-loops). Builders enforce this, so it only fails for graphs
+    /// deserialized from untrusted data.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural constraint.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut seen = HashSet::with_capacity(self.n());
+        for &id in &self.ids {
+            if !seen.insert(id) {
+                return Err(GraphError::DuplicateId { id });
+            }
+        }
+        for (v, row) in self.adj.iter().enumerate() {
+            for &w in row {
+                let w = w as usize;
+                if w >= self.n() {
+                    return Err(GraphError::NoSuchNode(w));
+                }
+                if w == v {
+                    return Err(GraphError::SelfLoop { node: v });
+                }
+                if !self.adj[w].iter().any(|&u| u as usize == v) {
+                    return Err(GraphError::AsymmetricEdge { from: v, to: w });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Nodes are added first, then edges are connected either at explicit port
+/// pairs ([`GraphBuilder::connect`]) or at the next free ports
+/// ([`GraphBuilder::connect_auto`]). [`GraphBuilder::build`] validates that
+/// each node's assigned ports form exactly `1..=deg(v)`.
+///
+/// # Example
+///
+/// ```
+/// use vc_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), vc_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_node();
+/// let v = b.add_node();
+/// b.connect(u, 1, v, 1)?;
+/// let g = b.build()?;
+/// assert_eq!(g.n(), 2);
+/// assert_eq!(g.degree(u), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    /// Per node: (port number, neighbor) pairs, unsorted.
+    ports: Vec<Vec<(u8, u32)>>,
+    ids: Vec<u64>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-populated with `n` isolated nodes whose
+    /// identifiers are `1..=n`.
+    pub fn with_nodes(n: usize) -> Self {
+        let mut b = Self::new();
+        for _ in 0..n {
+            b.add_node();
+        }
+        b
+    }
+
+    /// Number of nodes added so far.
+    pub fn n(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Adds a node with default identifier `index + 1`; returns its index.
+    pub fn add_node(&mut self) -> NodeIdx {
+        let idx = self.ports.len();
+        self.ports.push(Vec::new());
+        self.ids.push(idx as u64 + 1);
+        idx
+    }
+
+    /// Adds a node with an explicit unique identifier; returns its index.
+    pub fn add_node_with_id(&mut self, id: u64) -> NodeIdx {
+        let idx = self.add_node();
+        self.ids[idx] = id;
+        idx
+    }
+
+    /// Overrides the unique identifier of `v`.
+    pub fn set_id(&mut self, v: NodeIdx, id: u64) {
+        self.ids[v] = id;
+    }
+
+    /// Degree of `v` as currently built.
+    pub fn degree(&self, v: NodeIdx) -> usize {
+        self.ports[v].len()
+    }
+
+    /// The smallest unused port number at `v` (1-based).
+    pub fn next_free_port(&self, v: NodeIdx) -> u8 {
+        (1..=255u8)
+            .find(|p| !self.ports[v].iter().any(|&(q, _)| q == *p))
+            .expect("more than 254 ports on one node")
+    }
+
+    /// Connects `u` (through port `pu`) to `v` (through port `pv`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if either node does not exist, either port is already in use,
+    /// or `u == v`.
+    pub fn connect(&mut self, u: NodeIdx, pu: u8, v: NodeIdx, pv: u8) -> Result<(), GraphError> {
+        if u >= self.n() {
+            return Err(GraphError::NoSuchNode(u));
+        }
+        if v >= self.n() {
+            return Err(GraphError::NoSuchNode(v));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.ports[u].iter().any(|&(p, _)| p == pu) {
+            return Err(GraphError::PortInUse {
+                node: u,
+                port: Port::new(pu),
+            });
+        }
+        if self.ports[v].iter().any(|&(p, _)| p == pv) {
+            return Err(GraphError::PortInUse {
+                node: v,
+                port: Port::new(pv),
+            });
+        }
+        self.ports[u].push((pu, v as u32));
+        self.ports[v].push((pv, u as u32));
+        Ok(())
+    }
+
+    /// Connects `u` and `v` at the next free port on each side; returns the
+    /// chosen ports `(p(u,v), p(v,u))`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either node does not exist or `u == v`.
+    pub fn connect_auto(&mut self, u: NodeIdx, v: NodeIdx) -> Result<(Port, Port), GraphError> {
+        if u >= self.n() {
+            return Err(GraphError::NoSuchNode(u));
+        }
+        if v >= self.n() {
+            return Err(GraphError::NoSuchNode(v));
+        }
+        let pu = self.next_free_port(u);
+        let pv = self.next_free_port(v);
+        self.connect(u, pu, v, pv)?;
+        Ok((Port::new(pu), Port::new(pv)))
+    }
+
+    /// Finalizes the graph, validating port contiguity, edge symmetry and
+    /// identifier uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural constraint.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let mut adj = Vec::with_capacity(self.ports.len());
+        for (v, mut row) in self.ports.into_iter().enumerate() {
+            row.sort_unstable_by_key(|&(p, _)| p);
+            for (i, &(p, _)) in row.iter().enumerate() {
+                if usize::from(p) != i + 1 {
+                    return Err(GraphError::PortsNotContiguous { node: v });
+                }
+            }
+            adj.push(row.into_iter().map(|(_, w)| w).collect());
+        }
+        let g = Graph {
+            adj,
+            ids: self.ids,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::with_nodes(n);
+        for v in 0..n - 1 {
+            b.connect_auto(v, v + 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = path(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.neighbor(0, Port::new(1)), Some(1));
+        assert_eq!(g.neighbor(0, Port::new(2)), None);
+        assert_eq!(g.port_to(1, 0), Some(Port::new(1)));
+        assert_eq!(g.port_to(1, 2), Some(Port::new(2)));
+        assert_eq!(g.port_to(0, 3), None);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(6);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(g.distance(1, 4), Some(3));
+    }
+
+    #[test]
+    fn disconnected_distance_is_none() {
+        let b = GraphBuilder::with_nodes(2);
+        let g = b.build().unwrap();
+        assert_eq!(g.distance(0, 1), None);
+        assert_eq!(g.bfs_distances(0)[1], u32::MAX);
+    }
+
+    #[test]
+    fn ball_respects_radius() {
+        let g = path(7);
+        let mut ball = g.ball(3, 2);
+        ball.sort_unstable();
+        assert_eq!(ball, vec![1, 2, 3, 4, 5]);
+        assert_eq!(g.ball(3, 0), vec![3]);
+    }
+
+    #[test]
+    fn explicit_ports() {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.connect(0, 2, 1, 1).unwrap();
+        b.connect(0, 1, 2, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbor(0, Port::new(1)), Some(2));
+        assert_eq!(g.neighbor(0, Port::new(2)), Some(1));
+    }
+
+    #[test]
+    fn port_in_use_rejected() {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.connect(0, 1, 1, 1).unwrap();
+        let err = b.connect(0, 1, 2, 1).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::PortInUse {
+                node: 0,
+                port: Port::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn non_contiguous_ports_rejected() {
+        let mut b = GraphBuilder::with_nodes(2);
+        b.connect(0, 2, 1, 1).unwrap();
+        let err = b.build().unwrap_err();
+        assert_eq!(err, GraphError::PortsNotContiguous { node: 0 });
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::with_nodes(1);
+        assert_eq!(
+            b.connect(0, 1, 0, 2).unwrap_err(),
+            GraphError::SelfLoop { node: 0 }
+        );
+        assert!(b.connect_auto(0, 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut b = GraphBuilder::with_nodes(2);
+        b.set_id(1, 1); // same as node 0's default id
+        assert_eq!(b.build().unwrap_err(), GraphError::DuplicateId { id: 1 });
+    }
+
+    #[test]
+    fn missing_node_rejected() {
+        let mut b = GraphBuilder::with_nodes(1);
+        assert_eq!(
+            b.connect(0, 1, 7, 1).unwrap_err(),
+            GraphError::NoSuchNode(7)
+        );
+        assert!(b.connect_auto(5, 0).is_err());
+    }
+
+    #[test]
+    fn edges_iterator_counts_each_once() {
+        let g = path(4);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs: Vec<GraphError> = vec![
+            GraphError::NoSuchNode(1),
+            GraphError::PortInUse {
+                node: 0,
+                port: Port::new(1),
+            },
+            GraphError::PortsNotContiguous { node: 2 },
+            GraphError::AsymmetricEdge { from: 0, to: 1 },
+            GraphError::DuplicateId { id: 9 },
+            GraphError::SelfLoop { node: 3 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

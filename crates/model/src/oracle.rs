@@ -1,0 +1,547 @@
+//! The query model of §2.2.
+//!
+//! An execution initiated at `v` maintains the visited set `V_v` (initially
+//! `{v}`) and issues queries `query(w, j)` with `w ∈ V_v`, `j ∈ [deg(w)]`.
+//! The response reveals the identity, degree and entire input of the `j`-th
+//! neighbor of `w`, which joins `V_v`.
+//!
+//! [`Oracle`] abstracts the queried *world*: [`Execution`] answers from a
+//! concrete [`Instance`], while the lower-bound adversaries in
+//! `vc-adversary` construct the graph lazily in response to queries — the
+//! process `P` of Propositions 3.13 and 5.20.
+
+use crate::cost::{Budget, ExecutionRecord};
+use crate::randomness::{RandomTape, RandomnessMode};
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use vc_graph::{Instance, NodeLabel, Port};
+
+/// What a query reveals about a node: its handle, unique identifier, degree
+/// and entire input label (§2.2).
+///
+/// The `node` handle is world-internal (for [`Execution`] it is the node
+/// index) and is how the algorithm addresses later queries; algorithms may
+/// compare handles to detect revisits, mirroring the paper's algorithms that
+/// recognize "the walk returned to `v_0`".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeView {
+    /// World-internal node handle.
+    pub node: usize,
+    /// Unique identifier.
+    pub id: u64,
+    /// Degree (number of ports).
+    pub degree: usize,
+    /// The node's input label.
+    pub label: NodeLabel,
+}
+
+/// Errors surfaced to a running algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query origin is not in the visited set `V_v`.
+    NotVisited {
+        /// Offending node handle.
+        node: usize,
+    },
+    /// The port number exceeds the origin's degree.
+    InvalidPort {
+        /// Query origin.
+        node: usize,
+        /// Offending port.
+        port: Port,
+    },
+    /// Admitting the queried node would exceed the volume budget.
+    VolumeExhausted,
+    /// Admitting the queried node would exceed the distance budget.
+    DistanceExhausted,
+    /// The query budget (number of steps) is spent.
+    QueriesExhausted,
+    /// Secret-randomness mode forbids reading another node's random string
+    /// (§7.4).
+    SecretRandomness {
+        /// The node whose string was requested.
+        node: usize,
+    },
+    /// The adversarial world refused to answer (used by `vc-adversary` when
+    /// an algorithm exceeds the budget the adversary was built for).
+    AdversaryRefused,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NotVisited { node } => {
+                write!(f, "query origin {node} is not a visited node")
+            }
+            QueryError::InvalidPort { node, port } => {
+                write!(f, "port {port} exceeds the degree of node {node}")
+            }
+            QueryError::VolumeExhausted => write!(f, "volume budget exhausted"),
+            QueryError::DistanceExhausted => write!(f, "distance budget exhausted"),
+            QueryError::QueriesExhausted => write!(f, "query budget exhausted"),
+            QueryError::SecretRandomness { node } => {
+                write!(f, "random string of node {node} is secret")
+            }
+            QueryError::AdversaryRefused => write!(f, "adversary refused to answer"),
+        }
+    }
+}
+
+impl Error for QueryError {}
+
+/// Running totals of an execution, available from any [`Oracle`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// `|V_v|` so far.
+    pub volume: usize,
+    /// Maximum discovery-path length so far (an upper bound on the distance
+    /// cost of Definition 2.1).
+    pub distance_upper: u32,
+    /// Queries issued so far.
+    pub queries: u64,
+    /// Random bits consumed so far.
+    pub random_bits: u64,
+}
+
+/// A queryable world (§2.2).
+///
+/// Implemented by [`Execution`] (a concrete labeled graph) and by the
+/// adaptive adversaries of `vc-adversary`.
+pub trait Oracle {
+    /// The number of nodes `n`, which the paper provides to every algorithm
+    /// as part of its input (§2.1).
+    fn n(&self) -> usize;
+
+    /// The view of the initiating node (already in `V_v`).
+    fn root(&self) -> NodeView;
+
+    /// Performs `query(from, port)`: reveals the neighbor of `from` behind
+    /// `port` and adds it to `V_v`.
+    ///
+    /// # Errors
+    ///
+    /// See [`QueryError`]. Re-querying an edge whose endpoint is already
+    /// visited is permitted and costs a query but no volume.
+    fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError>;
+
+    /// Draws the next unread bit of the random string `r_node`.
+    ///
+    /// Bits are consumed sequentially per node, as the paper's model
+    /// requires (§2.2). The node must be visited.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unvisited nodes, in secret mode for non-root nodes, or
+    /// when the world is deterministic-only.
+    fn rand_bit(&mut self, node: usize) -> Result<bool, QueryError>;
+
+    /// Current cost totals.
+    fn stats(&self) -> OracleStats;
+
+    /// Follows an *optional port label* from a view: `None` (the label `⊥`)
+    /// and out-of-range ports resolve to `Ok(None)`; real ports are queried.
+    ///
+    /// This mirrors [`Instance::resolve`] and is the primitive the solvers
+    /// use to walk `P` / `LC` / `RC` / `LN` / `RN` pointers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates budget and visitation errors from [`Oracle::query`].
+    fn follow(
+        &mut self,
+        from: &NodeView,
+        port: Option<Port>,
+    ) -> Result<Option<NodeView>, QueryError>
+    where
+        Self: Sized,
+    {
+        follow(self, from, port)
+    }
+}
+
+/// Object-safe version of [`Oracle::follow`], usable on `&mut dyn Oracle`.
+///
+/// # Errors
+///
+/// Propagates budget and visitation errors from [`Oracle::query`].
+pub fn follow<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    from: &NodeView,
+    port: Option<Port>,
+) -> Result<Option<NodeView>, QueryError> {
+    match port {
+        None => Ok(None),
+        Some(p) if p.index() >= from.degree => Ok(None),
+        Some(p) => oracle.query(from.node, p).map(Some),
+    }
+}
+
+/// An execution of the query model over a concrete [`Instance`].
+#[derive(Debug)]
+pub struct Execution<'a> {
+    inst: &'a Instance,
+    tape: Option<RandomTape>,
+    budget: Budget,
+    root: usize,
+    /// Discovery distance (path-length upper bound) per visited node.
+    visit_dist: HashMap<usize, u32>,
+    /// Visit order (first element is the root).
+    order: Vec<usize>,
+    queries: u64,
+    distance_upper: u32,
+    rand_cursor: HashMap<usize, u64>,
+    random_bits: u64,
+}
+
+impl<'a> Execution<'a> {
+    /// Starts an execution at `root`. Pass `tape: None` for deterministic
+    /// algorithms (any randomness request then fails).
+    pub fn new(inst: &'a Instance, root: usize, tape: Option<RandomTape>, budget: Budget) -> Self {
+        assert!(root < inst.n(), "root must be a node of the instance");
+        let mut visit_dist = HashMap::new();
+        visit_dist.insert(root, 0);
+        Self {
+            inst,
+            tape,
+            budget,
+            root,
+            visit_dist,
+            order: vec![root],
+            queries: 0,
+            distance_upper: 0,
+            rand_cursor: HashMap::new(),
+            random_bits: 0,
+        }
+    }
+
+    fn view_of(&self, v: usize) -> NodeView {
+        NodeView {
+            node: v,
+            id: self.inst.graph.id(v),
+            degree: self.inst.graph.degree(v),
+            label: self.inst.labels[v],
+        }
+    }
+
+    /// Visited nodes in discovery order (the root first).
+    pub fn visited(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Finalizes the execution into a cost record.
+    ///
+    /// When `exact_distance` is set, the true distance cost of
+    /// Definition 2.1 is computed with a truncated BFS in the host graph
+    /// (stopping as soon as every visited node has been reached).
+    pub fn record(&self, exact_distance: bool, completed: bool) -> ExecutionRecord {
+        let distance = exact_distance.then(|| self.exact_distance());
+        ExecutionRecord {
+            root: self.root,
+            volume: self.order.len(),
+            distance,
+            distance_upper: self.distance_upper,
+            queries: self.queries,
+            random_bits: self.random_bits,
+            completed,
+        }
+    }
+
+    /// `max { dist(root, w) : w ∈ V_v }` via BFS truncated once all visited
+    /// nodes are found.
+    fn exact_distance(&self) -> u32 {
+        let mut remaining = self.order.len() - 1; // root found at distance 0
+        if remaining == 0 {
+            return 0;
+        }
+        let mut dist: HashMap<usize, u32> = HashMap::new();
+        dist.insert(self.root, 0);
+        let mut queue = VecDeque::from([self.root]);
+        let mut max_d = 0;
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[&v];
+            for w in self.inst.graph.neighbors(v) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                    e.insert(dv + 1);
+                    if self.visit_dist.contains_key(&w) {
+                        max_d = max_d.max(dv + 1);
+                        remaining -= 1;
+                        if remaining == 0 {
+                            return max_d;
+                        }
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        max_d
+    }
+}
+
+impl Oracle for Execution<'_> {
+    fn n(&self) -> usize {
+        self.inst.n()
+    }
+
+    fn root(&self) -> NodeView {
+        self.view_of(self.root)
+    }
+
+    fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
+        let Some(&from_dist) = self.visit_dist.get(&from) else {
+            return Err(QueryError::NotVisited { node: from });
+        };
+        if let Some(maxq) = self.budget.max_queries {
+            if self.queries >= maxq {
+                return Err(QueryError::QueriesExhausted);
+            }
+        }
+        let Some(target) = self.inst.graph.neighbor(from, port) else {
+            return Err(QueryError::InvalidPort { node: from, port });
+        };
+        if !self.visit_dist.contains_key(&target) {
+            if let Some(maxv) = self.budget.max_volume {
+                if self.order.len() >= maxv {
+                    return Err(QueryError::VolumeExhausted);
+                }
+            }
+            let d = from_dist + 1;
+            if let Some(maxd) = self.budget.max_distance {
+                if d > maxd {
+                    return Err(QueryError::DistanceExhausted);
+                }
+            }
+            self.visit_dist.insert(target, d);
+            self.order.push(target);
+            self.distance_upper = self.distance_upper.max(d);
+        }
+        self.queries += 1;
+        Ok(self.view_of(target))
+    }
+
+    fn rand_bit(&mut self, node: usize) -> Result<bool, QueryError> {
+        if !self.visit_dist.contains_key(&node) {
+            return Err(QueryError::NotVisited { node });
+        }
+        let Some(tape) = self.tape else {
+            return Err(QueryError::SecretRandomness { node });
+        };
+        if tape.mode() == RandomnessMode::Secret && node != self.root {
+            return Err(QueryError::SecretRandomness { node });
+        }
+        let cursor = self.rand_cursor.entry(node).or_insert(0);
+        let bit = tape.bit(self.inst.graph.id(node), *cursor);
+        *cursor += 1;
+        self.random_bits += 1;
+        Ok(bit)
+    }
+
+    fn stats(&self) -> OracleStats {
+        OracleStats {
+            volume: self.order.len(),
+            distance_upper: self.distance_upper,
+            queries: self.queries,
+            random_bits: self.random_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_graph::{gen, Color};
+
+    fn tree() -> Instance {
+        gen::complete_binary_tree(3, Color::R, Color::B)
+    }
+
+    #[test]
+    fn root_is_visited_for_free() {
+        let inst = tree();
+        let ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        assert_eq!(ex.stats().volume, 1);
+        assert_eq!(ex.root().node, 0);
+        assert_eq!(ex.root().id, 1);
+        assert_eq!(ex.root().degree, 2);
+    }
+
+    #[test]
+    fn query_reveals_and_admits() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        let v = ex.query(0, Port::new(1)).unwrap();
+        assert_eq!(v.node, 1);
+        assert_eq!(ex.stats().volume, 2);
+        assert_eq!(ex.stats().queries, 1);
+        assert_eq!(ex.stats().distance_upper, 1);
+        // Requery: a step, but no volume.
+        let again = ex.query(0, Port::new(1)).unwrap();
+        assert_eq!(again, v);
+        assert_eq!(ex.stats().volume, 2);
+        assert_eq!(ex.stats().queries, 2);
+    }
+
+    #[test]
+    fn unvisited_origin_rejected() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        assert_eq!(
+            ex.query(5, Port::new(1)).unwrap_err(),
+            QueryError::NotVisited { node: 5 }
+        );
+    }
+
+    #[test]
+    fn invalid_port_rejected() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        assert_eq!(
+            ex.query(0, Port::new(7)).unwrap_err(),
+            QueryError::InvalidPort {
+                node: 0,
+                port: Port::new(7)
+            }
+        );
+    }
+
+    #[test]
+    fn volume_budget_enforced() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, None, Budget::volume(2));
+        ex.query(0, Port::new(1)).unwrap();
+        assert_eq!(
+            ex.query(0, Port::new(2)).unwrap_err(),
+            QueryError::VolumeExhausted
+        );
+        // Re-query of a visited node is still fine.
+        assert!(ex.query(0, Port::new(1)).is_ok());
+    }
+
+    #[test]
+    fn distance_budget_enforced() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, None, Budget::distance(1));
+        let v = ex.query(0, Port::new(1)).unwrap();
+        assert_eq!(
+            ex.query(v.node, Port::new(2)).unwrap_err(),
+            QueryError::DistanceExhausted
+        );
+    }
+
+    #[test]
+    fn query_budget_enforced() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, None, Budget::queries(1));
+        ex.query(0, Port::new(1)).unwrap();
+        assert_eq!(
+            ex.query(0, Port::new(2)).unwrap_err(),
+            QueryError::QueriesExhausted
+        );
+    }
+
+    #[test]
+    fn follow_treats_bottom_and_overflow_as_none() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        let root = ex.root();
+        assert_eq!(follow(&mut ex, &root, None).unwrap(), None);
+        assert_eq!(follow(&mut ex, &root, Some(Port::new(9))).unwrap(), None);
+        let lc = follow(&mut ex, &root, root.label.left_child)
+            .unwrap()
+            .unwrap();
+        assert_eq!(lc.node, 1);
+    }
+
+    #[test]
+    fn exact_distance_via_truncated_bfs() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        let v = ex.query(0, Port::new(1)).unwrap(); // node 1, dist 1
+        let w = ex.query(v.node, Port::new(2)).unwrap(); // node 3, dist 2
+        ex.query(w.node, Port::new(2)).unwrap(); // node 7, dist 3
+        let rec = ex.record(true, true);
+        assert_eq!(rec.distance, Some(3));
+        assert_eq!(rec.distance_upper, 3);
+        assert_eq!(rec.volume, 4);
+        assert!(rec.lemma_2_5_holds(3));
+    }
+
+    #[test]
+    fn exact_distance_can_beat_upper_bound() {
+        // A 4-cycle: walking the long way round discovers a node at path
+        // length 3 whose true distance is 1.
+        let mut b = vc_graph::GraphBuilder::with_nodes(4);
+        for v in 0..4 {
+            b.connect(v, 1, (v + 1) % 4, 2).unwrap();
+        }
+        let inst = Instance::new(b.build().unwrap(), vec![vc_graph::NodeLabel::empty(); 4]);
+        let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        let a = ex.query(0, Port::new(1)).unwrap();
+        let c = ex.query(a.node, Port::new(1)).unwrap();
+        ex.query(c.node, Port::new(1)).unwrap(); // node 3: true distance 1
+        let rec = ex.record(true, true);
+        assert_eq!(rec.distance_upper, 3);
+        assert_eq!(rec.distance, Some(2));
+    }
+
+    #[test]
+    fn randomness_consistent_across_executions() {
+        let inst = tree();
+        let tape = RandomTape::private(7);
+        let mut ex1 = Execution::new(&inst, 0, Some(tape), Budget::unlimited());
+        let mut ex2 = Execution::new(&inst, 1, Some(tape), Budget::unlimited());
+        ex2.query(1, Port::new(1)).unwrap(); // visit node 0 from node 1
+        let bits1: Vec<bool> = (0..32).map(|_| ex1.rand_bit(0).unwrap()).collect();
+        let bits2: Vec<bool> = (0..32).map(|_| ex2.rand_bit(0).unwrap()).collect();
+        assert_eq!(bits1, bits2, "r_v must look the same from any execution");
+        assert_eq!(ex1.stats().random_bits, 32);
+    }
+
+    #[test]
+    fn secret_mode_blocks_other_nodes() {
+        let inst = tree();
+        let tape = RandomTape::secret(7);
+        let mut ex = Execution::new(&inst, 0, Some(tape), Budget::unlimited());
+        let v = ex.query(0, Port::new(1)).unwrap();
+        assert!(ex.rand_bit(0).is_ok());
+        assert_eq!(
+            ex.rand_bit(v.node).unwrap_err(),
+            QueryError::SecretRandomness { node: v.node }
+        );
+    }
+
+    #[test]
+    fn deterministic_world_has_no_randomness() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        assert!(ex.rand_bit(0).is_err());
+    }
+
+    #[test]
+    fn rand_bit_requires_visited() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, Some(RandomTape::private(1)), Budget::unlimited());
+        assert_eq!(
+            ex.rand_bit(5).unwrap_err(),
+            QueryError::NotVisited { node: 5 }
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            QueryError::NotVisited { node: 0 },
+            QueryError::InvalidPort {
+                node: 0,
+                port: Port::new(1),
+            },
+            QueryError::VolumeExhausted,
+            QueryError::DistanceExhausted,
+            QueryError::QueriesExhausted,
+            QueryError::SecretRandomness { node: 0 },
+            QueryError::AdversaryRefused,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

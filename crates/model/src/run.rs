@@ -1,0 +1,286 @@
+//! Executing a query algorithm from every node and aggregating the induced
+//! output labeling and worst-case costs (`VOL_n`, `DIST_n` of
+//! Definitions 2.1–2.2).
+
+use crate::cost::{Budget, CostSummary, ExecutionRecord};
+use crate::oracle::{Execution, Oracle, OracleStats, QueryError};
+use crate::randomness::RandomTape;
+use vc_graph::Instance;
+
+/// A query-model algorithm: a strategy mapping oracle interactions to a
+/// local output (§2.2, Definition 2.4).
+///
+/// `run` receives the world through `&mut dyn Oracle`; the initiating node's
+/// view is `oracle.root()`. When the oracle reports a budget error the
+/// runner records [`QueryAlgorithm::fallback`] as the node's output — the
+/// paper's "truncate and produce arbitrary output" convention
+/// (Remark 3.11).
+pub trait QueryAlgorithm {
+    /// The local output type.
+    type Output: Clone;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str {
+        "query-algorithm"
+    }
+
+    /// Output recorded when an execution is truncated by its budget.
+    fn fallback(&self) -> Self::Output;
+
+    /// Runs the algorithm to completion against the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Budget and visitation errors are propagated; the runner converts
+    /// them into the fallback output.
+    fn run(&self, oracle: &mut dyn Oracle) -> Result<Self::Output, QueryError>;
+}
+
+/// Which nodes to initiate executions from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StartSelection {
+    /// Every node — yields a complete output labeling for the checker.
+    All,
+    /// A deterministic pseudo-random sample of `count` distinct nodes
+    /// (used to keep large-`n` sweeps affordable while still estimating
+    /// worst-case costs).
+    Sample {
+        /// Number of start nodes.
+        count: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+impl StartSelection {
+    /// Materializes the start set for an `n`-node instance.
+    pub fn starts(&self, n: usize) -> Vec<usize> {
+        match *self {
+            StartSelection::All => (0..n).collect(),
+            StartSelection::Sample { count, seed } => {
+                if count >= n {
+                    return (0..n).collect();
+                }
+                // Floyd's algorithm over a splitmix stream.
+                let mut chosen = std::collections::BTreeSet::new();
+                let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+                let mut next = || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    state
+                };
+                for j in (n - count)..n {
+                    let t = (next() % (j as u64 + 1)) as usize;
+                    if !chosen.insert(t) {
+                        chosen.insert(j);
+                    }
+                }
+                chosen.into_iter().collect()
+            }
+        }
+    }
+}
+
+/// The result of running an algorithm from a set of start nodes.
+#[derive(Clone, Debug)]
+pub struct RunReport<O> {
+    /// Per-node outputs (`None` where no execution was started).
+    pub outputs: Vec<Option<O>>,
+    /// Per-execution cost records, in start order.
+    pub records: Vec<ExecutionRecord>,
+}
+
+impl<O: Clone> RunReport<O> {
+    /// Aggregated cost summary.
+    pub fn summary(&self) -> CostSummary {
+        CostSummary::from_records(&self.records)
+    }
+
+    /// The complete output labeling, if every node produced an output.
+    pub fn complete_outputs(&self) -> Option<Vec<O>> {
+        self.outputs.iter().cloned().collect()
+    }
+
+    /// Number of truncated (fallback) executions.
+    pub fn truncated(&self) -> usize {
+        self.records.iter().filter(|r| !r.completed).count()
+    }
+}
+
+/// Configuration for [`run_all`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Shared randomness tape (`None` for deterministic algorithms).
+    pub tape: Option<RandomTape>,
+    /// Per-execution budget.
+    pub budget: Budget,
+    /// Start-node selection.
+    pub starts: StartSelection,
+    /// Whether to compute the exact distance cost of Definition 2.1 (a
+    /// truncated BFS per execution; disable for very large sweeps).
+    pub exact_distance: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            tape: None,
+            budget: Budget::unlimited(),
+            starts: StartSelection::All,
+            exact_distance: true,
+        }
+    }
+}
+
+/// Runs `algo` once from `root` on a concrete instance, returning the
+/// output (or fallback) and the execution record.
+pub fn run_from<A: QueryAlgorithm>(
+    inst: &Instance,
+    algo: &A,
+    root: usize,
+    config: &RunConfig,
+) -> (A::Output, ExecutionRecord) {
+    let mut ex = Execution::new(inst, root, config.tape, config.budget);
+    match algo.run(&mut ex) {
+        Ok(out) => {
+            let rec = ex.record(config.exact_distance, true);
+            (out, rec)
+        }
+        Err(_) => {
+            let rec = ex.record(config.exact_distance, false);
+            (algo.fallback(), rec)
+        }
+    }
+}
+
+/// Runs `algo` from every selected start node. All executions share the
+/// same random tape, so each node's string `r_v` looks identical from every
+/// initiation — the coupling the paper's randomized algorithms rely on.
+pub fn run_all<A: QueryAlgorithm>(inst: &Instance, algo: &A, config: &RunConfig) -> RunReport<A::Output> {
+    let starts = config.starts.starts(inst.n());
+    let mut outputs = vec![None; inst.n()];
+    let mut records = Vec::with_capacity(starts.len());
+    for root in starts {
+        let (out, rec) = run_from(inst, algo, root, config);
+        outputs[root] = Some(out);
+        records.push(rec);
+    }
+    RunReport { outputs, records }
+}
+
+/// Runs an algorithm against an arbitrary (possibly adversarial) oracle.
+///
+/// Returns the algorithm's result together with the oracle's final cost
+/// totals. Used by the lower-bound experiments, where the world is built
+/// lazily by the adversary process.
+pub fn run_against<A: QueryAlgorithm, O: Oracle>(
+    algo: &A,
+    oracle: &mut O,
+) -> (Result<A::Output, QueryError>, OracleStats) {
+    let result = algo.run(oracle);
+    (result, oracle.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::follow;
+    use vc_graph::{gen, Color};
+
+    /// Toy algorithm: walk left children until none remains; output how many
+    /// steps were taken.
+    struct WalkLeft;
+
+    impl QueryAlgorithm for WalkLeft {
+        type Output = u32;
+
+        fn name(&self) -> &'static str {
+            "walk-left"
+        }
+
+        fn fallback(&self) -> u32 {
+            u32::MAX
+        }
+
+        fn run(&self, oracle: &mut dyn Oracle) -> Result<u32, QueryError> {
+            let mut cur = oracle.root();
+            let mut steps = 0;
+            while let Some(next) = follow(oracle, &cur, cur.label.left_child)? {
+                cur = next;
+                steps += 1;
+            }
+            Ok(steps)
+        }
+    }
+
+    #[test]
+    fn run_all_collects_outputs() {
+        let inst = gen::complete_binary_tree(3, Color::R, Color::B);
+        let report = run_all(&inst, &WalkLeft, &RunConfig::default());
+        let outs = report.complete_outputs().expect("all nodes ran");
+        // Root walks left 3 times; leaves walk 0 times.
+        assert_eq!(outs[0], 3);
+        assert_eq!(outs[7], 0);
+        let s = report.summary();
+        assert_eq!(s.runs, 15);
+        assert_eq!(s.max_distance, 3);
+        assert_eq!(s.max_volume, 4);
+        assert_eq!(report.truncated(), 0);
+    }
+
+    #[test]
+    fn budget_triggers_fallback() {
+        let inst = gen::complete_binary_tree(4, Color::R, Color::B);
+        let config = RunConfig {
+            budget: Budget::volume(2),
+            ..RunConfig::default()
+        };
+        let report = run_all(&inst, &WalkLeft, &config);
+        // The root needs volume 5; it gets truncated.
+        assert_eq!(report.outputs[0], Some(u32::MAX));
+        assert!(report.truncated() > 0);
+        assert!(!report.records[0].completed);
+    }
+
+    #[test]
+    fn sampled_starts_are_distinct_and_bounded() {
+        let sel = StartSelection::Sample { count: 10, seed: 3 };
+        let starts = sel.starts(100);
+        assert_eq!(starts.len(), 10);
+        let mut sorted = starts.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(starts.iter().all(|&v| v < 100));
+        // Deterministic.
+        assert_eq!(starts, sel.starts(100));
+    }
+
+    #[test]
+    fn sample_larger_than_n_is_all() {
+        let sel = StartSelection::Sample {
+            count: 50,
+            seed: 1,
+        };
+        assert_eq!(sel.starts(5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_against_reports_stats() {
+        let inst = gen::complete_binary_tree(2, Color::R, Color::B);
+        let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+        let (res, stats) = run_against(&WalkLeft, &mut ex);
+        assert_eq!(res.unwrap(), 2);
+        assert_eq!(stats.volume, 3);
+    }
+
+    #[test]
+    fn lemma_2_5_on_real_runs() {
+        let inst = gen::random_full_binary_tree(101, 5);
+        let delta = inst.graph.max_degree() as u32;
+        let report = run_all(&inst, &WalkLeft, &RunConfig::default());
+        for rec in &report.records {
+            assert!(rec.lemma_2_5_holds(delta));
+        }
+    }
+}

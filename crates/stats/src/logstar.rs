@@ -1,0 +1,50 @@
+//! Iterated logarithms.
+
+/// Base-2 logarithm of `n` as `f64`, with `log2f(x) = 0` for `x ≤ 1`.
+pub fn log2f(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.log2()
+    }
+}
+
+/// The iterated logarithm `log* n`: the number of times `log2` must be
+/// applied before the value drops to at most 1.
+///
+/// `log_star(1) = 0`, `log_star(2) = 1`, `log_star(4) = 2`,
+/// `log_star(16) = 3`, `log_star(65536) = 4`.
+pub fn log_star(n: f64) -> u32 {
+    let mut x = n;
+    let mut i = 0;
+    while x > 1.0 {
+        x = x.log2();
+        i += 1;
+        if i > 64 {
+            break; // unreachable for finite inputs; guard anyway
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_log_star_values() {
+        assert_eq!(log_star(1.0), 0);
+        assert_eq!(log_star(2.0), 1);
+        assert_eq!(log_star(4.0), 2);
+        assert_eq!(log_star(16.0), 3);
+        assert_eq!(log_star(65536.0), 4);
+        assert_eq!(log_star(1e12), 5);
+    }
+
+    #[test]
+    fn log2f_clamps() {
+        assert_eq!(log2f(0.5), 0.0);
+        assert_eq!(log2f(1.0), 0.0);
+        assert!((log2f(8.0) - 3.0).abs() < 1e-12);
+    }
+}

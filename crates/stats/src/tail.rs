@@ -1,0 +1,149 @@
+//! Tail bounds used by the paper's analyses (§2.6).
+//!
+//! These are the *bounds themselves* as executable functions, so tests can
+//! verify them against empirical samples — e.g. the negative-binomial bound
+//! of Lemma 2.12 drives the `O(log n)`-volume claim for `RWtoLeaf`
+//! (Proposition 3.10).
+
+/// Chernoff upper-tail bound (Lemma 2.11, Eq. (3)):
+/// `Pr(Y ≥ (1+δ)μ) ≤ exp(−μ δ² / 3)` for `0 < δ < 1`.
+///
+/// # Panics
+///
+/// Panics unless `0 < delta < 1` and `mu > 0`.
+pub fn chernoff_upper(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "Chernoff needs 0 < δ < 1");
+    assert!(mu > 0.0, "mean must be positive");
+    (-mu * delta * delta / 3.0).exp()
+}
+
+/// Chernoff lower-tail bound (Lemma 2.11, Eq. (4)):
+/// `Pr(Y ≤ (1−δ)μ) ≤ exp(−μ δ² / 2)` for `0 < δ < 1`.
+///
+/// # Panics
+///
+/// Panics unless `0 < delta < 1` and `mu > 0`.
+pub fn chernoff_lower(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "Chernoff needs 0 < δ < 1");
+    assert!(mu > 0.0, "mean must be positive");
+    (-mu * delta * delta / 2.0).exp()
+}
+
+/// Negative-binomial tail bound (Lemma 2.12): for `N ∼ N(k, p)` (number of
+/// Bernoulli(p) trials until `k` successes),
+/// `Pr(N > c·k/p) ≤ exp(−k (c−1)² / (2c))` for `c > 1`.
+///
+/// # Panics
+///
+/// Panics unless `c > 1`, `k > 0`, `0 < p ≤ 1`.
+pub fn negative_binomial_tail(k: f64, p: f64, c: f64) -> f64 {
+    assert!(c > 1.0, "Lemma 2.12 needs c > 1");
+    assert!(k > 0.0 && p > 0.0 && p <= 1.0);
+    (-k * (c - 1.0) * (c - 1.0) / (2.0 * c)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Empirical check of the Chernoff upper bound: sample sums of
+    /// Bernoullis and compare the empirical tail with the bound.
+    #[test]
+    fn chernoff_upper_holds_empirically() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (m, p, delta) = (200usize, 0.5f64, 0.5f64);
+        let mu = m as f64 * p;
+        let trials = 2000;
+        let exceed = (0..trials)
+            .filter(|_| {
+                let y: usize = (0..m).filter(|_| rng.random_bool(p)).count();
+                (y as f64) >= (1.0 + delta) * mu
+            })
+            .count();
+        let empirical = exceed as f64 / trials as f64;
+        // The bound must dominate the empirical tail (with slack for noise).
+        assert!(
+            empirical <= chernoff_upper(mu, delta) + 0.02,
+            "empirical {empirical} vs bound {}",
+            chernoff_upper(mu, delta)
+        );
+    }
+
+    #[test]
+    fn chernoff_lower_holds_empirically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (m, p, delta) = (200usize, 0.5f64, 0.5f64);
+        let mu = m as f64 * p;
+        let trials = 2000;
+        let below = (0..trials)
+            .filter(|_| {
+                let y: usize = (0..m).filter(|_| rng.random_bool(p)).count();
+                (y as f64) <= (1.0 - delta) * mu
+            })
+            .count();
+        let empirical = below as f64 / trials as f64;
+        assert!(empirical <= chernoff_lower(mu, delta) + 0.02);
+    }
+
+    /// Empirical check of Lemma 2.12 with k = log n, p = 1/2, c = 16 — the
+    /// exact parameters of the claim inside Proposition 3.10.
+    #[test]
+    fn negative_binomial_tail_holds_empirically() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (k, p, c) = (10.0f64, 0.5f64, 4.0f64);
+        let threshold = c * k / p;
+        let trials = 4000;
+        let exceed = (0..trials)
+            .filter(|_| {
+                let mut successes = 0.0;
+                let mut n = 0.0;
+                while successes < k {
+                    n += 1.0;
+                    if rng.random_bool(p) {
+                        successes += 1.0;
+                    }
+                }
+                n > threshold
+            })
+            .count();
+        let empirical = exceed as f64 / trials as f64;
+        assert!(
+            empirical <= negative_binomial_tail(k, p, c) + 0.01,
+            "empirical {empirical} vs bound {}",
+            negative_binomial_tail(k, p, c)
+        );
+    }
+
+    #[test]
+    fn bounds_decrease_in_mu_and_k() {
+        assert!(chernoff_upper(20.0, 0.5) < chernoff_upper(10.0, 0.5));
+        assert!(chernoff_lower(20.0, 0.5) < chernoff_lower(10.0, 0.5));
+        assert!(negative_binomial_tail(20.0, 0.5, 2.0) < negative_binomial_tail(10.0, 0.5, 2.0));
+    }
+
+    #[test]
+    fn proposition_3_10_constant() {
+        // The paper's claim: Pr(|π'_v| ≥ 16 log n) ≤ 1/n³ via
+        // Pr(N > 16 log n) with N ∼ N(log n, 1/2), i.e. c = 8.
+        let log_n = 20.0; // n ≈ 10^6
+        let bound = negative_binomial_tail(log_n, 0.5, 8.0);
+        let n_cubed_inv = (2.0f64.powf(log_n)).powi(-3);
+        assert!(bound < 1e-10);
+        // The paper claims the bound is below n^{-3}.
+        assert!(bound <= n_cubed_inv * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < δ < 1")]
+    fn chernoff_rejects_bad_delta() {
+        let _ = chernoff_upper(10.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "c > 1")]
+    fn negbin_rejects_bad_c() {
+        let _ = negative_binomial_tail(10.0, 0.5, 1.0);
+    }
+}

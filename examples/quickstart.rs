@@ -1,0 +1,56 @@
+//! Quickstart: build a LeafColoring instance, solve it two ways, verify the
+//! solutions, and compare the costs — the paper's "seeing far vs. seeing
+//! wide" distinction in thirty lines.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use vc_core::lcl::check_solution;
+use vc_core::problems::leaf_coloring::{DistanceSolver, LeafColoring, RwToLeaf};
+use vc_graph::{gen, Color};
+use vc_model::run::{run_all, RunConfig};
+use vc_model::RandomTape;
+
+fn main() {
+    // The extremal family: a complete binary tree whose leaves all carry
+    // the same hidden color (Proposition 3.12 / Figure 4).
+    let depth = 10;
+    let inst = gen::complete_binary_tree(depth, Color::R, Color::B);
+    println!("LeafColoring on the complete binary tree: n = {}", inst.n());
+
+    // Deterministic solver (Proposition 3.9): sees *far* — O(log n)
+    // distance — but pays Θ(n) volume at the root.
+    let det = run_all(&inst, &DistanceSolver, &RunConfig::default());
+    let det_outputs = det.complete_outputs().expect("every node ran");
+    check_solution(&LeafColoring, &inst, &det_outputs).expect("valid labeling");
+    let ds = det.summary();
+    println!(
+        "  deterministic:  max distance {:>4}   max volume {:>6}",
+        ds.max_distance, ds.max_volume
+    );
+
+    // Randomized solver (Algorithm 1, RWtoLeaf): a coupled random walk down
+    // the tree — O(log n) *volume* with high probability.
+    let rnd = run_all(
+        &inst,
+        &RwToLeaf::default(),
+        &RunConfig {
+            tape: Some(RandomTape::private(42)),
+            ..RunConfig::default()
+        },
+    );
+    let rnd_outputs = rnd.complete_outputs().expect("every node ran");
+    check_solution(&LeafColoring, &inst, &rnd_outputs).expect("valid labeling");
+    let rs = rnd.summary();
+    println!(
+        "  randomized:     max distance {:>4}   max volume {:>6}",
+        rs.max_distance, rs.max_volume
+    );
+
+    println!(
+        "\nBoth algorithms see {} hops far; the deterministic one must see\n\
+         {}× wider. That gap — impossible for distance complexity — is the\n\
+         paper's headline phenomenon.",
+        ds.max_distance,
+        ds.max_volume / rs.max_volume.max(1)
+    );
+}

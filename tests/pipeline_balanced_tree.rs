@@ -1,0 +1,101 @@
+//! Integration: BalancedTree — generate (compatible / defective /
+//! disjointness-embedded) → solve → check, with property-based sweeps over
+//! arbitrary disjointness inputs.
+
+use proptest::prelude::*;
+use vc_core::lcl::check_solution;
+use vc_core::output::BtFlag;
+use vc_core::problems::balanced_tree::{is_compatible, BalancedTree, DistanceSolver};
+use vc_graph::{gen, structure};
+use vc_model::run::{run_all, RunConfig};
+
+#[test]
+fn compatible_instances_go_all_balanced() {
+    for depth in 1..=6u32 {
+        let (inst, meta) = gen::balanced_tree_compatible(depth);
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let outputs = report.complete_outputs().unwrap();
+        assert!(check_solution(&BalancedTree, &inst, &outputs).is_ok());
+        assert!(outputs.iter().all(|o| o.flag == BtFlag::Balanced));
+        assert_eq!(outputs[meta.root].port, None);
+    }
+}
+
+#[test]
+fn unbalanced_instances_report_u_at_the_root() {
+    for depth in 2..=5u32 {
+        let (inst, meta) = gen::unbalanced_tree(depth);
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let outputs = report.complete_outputs().unwrap();
+        assert!(
+            check_solution(&BalancedTree, &inst, &outputs).is_ok(),
+            "depth {depth}"
+        );
+        assert_eq!(outputs[meta.root].flag, BtFlag::Unbalanced);
+    }
+}
+
+#[test]
+fn distance_stays_logarithmic_volume_linear() {
+    let (inst, meta) = gen::balanced_tree_compatible(9); // n = 1023
+    let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+    let s = report.summary();
+    assert!(s.max_distance <= 9 + 3);
+    let root_rec = report.records.iter().find(|r| r.root == meta.root).unwrap();
+    assert!(root_rec.volume > inst.n() / 2, "the root must see Θ(n)");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness of the embedding + validity of the solver on arbitrary
+    /// (not just promise) disjointness inputs.
+    #[test]
+    fn prop_embedding_pipeline(bits in proptest::collection::vec(any::<(bool, bool)>(), 8)) {
+        let x: Vec<bool> = bits.iter().map(|b| b.0).collect();
+        let y: Vec<bool> = bits.iter().map(|b| b.1).collect();
+        let (inst, meta) = gen::disjointness_embedding(&x, &y);
+        // Exactly the intersecting v_i are incompatible.
+        for (i, &vi) in meta.penultimate.iter().enumerate() {
+            prop_assert_eq!(is_compatible(&inst, vi), !(x[i] && y[i]));
+        }
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let outputs = report.complete_outputs().unwrap();
+        prop_assert!(check_solution(&BalancedTree, &inst, &outputs).is_ok());
+        let disjoint = !x.iter().zip(&y).any(|(&a, &b)| a && b);
+        prop_assert_eq!(outputs[meta.root].flag == BtFlag::Balanced, disjoint);
+    }
+
+    /// Corrupting any single lateral label of a compatible instance is
+    /// detected: the labeling is no longer all-compatible.
+    #[test]
+    fn prop_label_corruption_detected(node_sel in 0usize..100, kill_ln in any::<bool>()) {
+        let (mut inst, _) = gen::balanced_tree_compatible(4);
+        // Pick a consistent node with a lateral label to erase.
+        let candidates: Vec<usize> = (0..inst.n())
+            .filter(|&v| structure::status(&inst, v).is_consistent())
+            .filter(|&v| if kill_ln {
+                inst.labels[v].left_nbr.is_some()
+            } else {
+                inst.labels[v].right_nbr.is_some()
+            })
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let v = candidates[node_sel % candidates.len()];
+        if kill_ln {
+            inst.labels[v].left_nbr = None;
+        } else {
+            inst.labels[v].right_nbr = None;
+        }
+        // Some consistent node must now be incompatible (agreement breaks
+        // at the lateral partner, or siblings at the parent).
+        let any_incompatible = (0..inst.n())
+            .filter(|&u| structure::status(&inst, u).is_consistent())
+            .any(|u| !is_compatible(&inst, u));
+        prop_assert!(any_incompatible);
+        // And the solver still produces a checker-valid labeling.
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let outputs = report.complete_outputs().unwrap();
+        prop_assert!(check_solution(&BalancedTree, &inst, &outputs).is_ok());
+    }
+}
