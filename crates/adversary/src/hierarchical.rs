@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 use vc_core::output::ThcColor;
 use vc_core::problems::hierarchical::check_thc_node;
-use vc_graph::{structure, Color, GraphBuilder, Instance, NodeLabel, Port};
+use vc_graph::{structure, Color, GraphBuilder, GraphError, Instance, NodeLabel, Port};
 use vc_model::oracle::{NodeView, Oracle, OracleStats, QueryError};
 use vc_model::run::QueryAlgorithm;
 
@@ -76,6 +76,14 @@ impl HthcWorld {
     /// Total queries served across all simulations.
     pub fn total_queries(&self) -> u64 {
         self.total_queries
+    }
+
+    /// Starts one algorithm execution rooted at `root` (a node previously
+    /// created through [`HthcWorld::new_root`], [`HthcWorld::new_floating`]
+    /// or growth). The returned oracle shares — and keeps growing — this
+    /// world, so later executions see every answer given earlier.
+    pub fn execution(&mut self, root: usize) -> WorldExecution<'_> {
+        WorldExecution::new(self, root)
     }
 
     fn push(&mut self, node: HNode) -> Result<usize, QueryError> {
@@ -154,23 +162,29 @@ impl HthcWorld {
             (n.level, n.label.color.unwrap_or(Color::R), n.label)
         };
         let idx = port.index();
+        // Freshly built inner nodes always carry parent and LC ports; a
+        // missing one means the world itself is corrupt, and the adversary
+        // refuses rather than serving from a broken state.
         let fresh = if Some(idx) == Self::port_index(&label, PortKind::Parent) {
             // Backbone predecessor (same level), whose LC is `from`.
             let p = self.new_inner(level, color)?;
-            let lc_idx = Self::port_index(&self.nodes[p].label, PortKind::Lc).unwrap();
+            let lc_idx = Self::port_index(&self.nodes[p].label, PortKind::Lc)
+                .ok_or(QueryError::AdversaryRefused)?;
             self.nodes[p].ports[lc_idx] = Some(from);
             p
         } else if Some(idx) == Self::port_index(&label, PortKind::Lc) {
             // Backbone successor (same level), whose parent is `from`.
             let c = self.new_inner(level, color)?;
-            let p_idx = Self::port_index(&self.nodes[c].label, PortKind::Parent).unwrap();
+            let p_idx = Self::port_index(&self.nodes[c].label, PortKind::Parent)
+                .ok_or(QueryError::AdversaryRefused)?;
             self.nodes[c].ports[p_idx] = Some(from);
             c
         } else {
             // RC: the level-(ℓ−1) component root below `from`.
             debug_assert!(level >= 2);
             let c = self.new_inner(level - 1, color)?;
-            let p_idx = Self::port_index(&self.nodes[c].label, PortKind::Parent).unwrap();
+            let p_idx = Self::port_index(&self.nodes[c].label, PortKind::Parent)
+                .ok_or(QueryError::AdversaryRefused)?;
             self.nodes[c].ports[p_idx] = Some(from);
             c
         };
@@ -179,9 +193,20 @@ impl HthcWorld {
     }
 
     /// The `RC` child of a level-`≥2` node, growing it if necessary.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidPort`] when `v` has no `RC` port (level-1
+    /// nodes); [`QueryError::AdversaryRefused`] when growth is exhausted.
     pub fn rc_of(&mut self, v: usize) -> Result<usize, QueryError> {
-        let idx = Self::port_index(&self.nodes[v].label, PortKind::Rc)
-            .expect("rc_of needs level ≥ 2");
+        let Some(idx) = Self::port_index(&self.nodes[v].label, PortKind::Rc) else {
+            // Level-1 nodes have no RC port; report the first out-of-range
+            // port number so the caller sees a §2.2-shaped rejection.
+            return Err(QueryError::InvalidPort {
+                node: v,
+                port: Port::from_index(self.nodes[v].ports.len()),
+            });
+        };
         match self.nodes[v].ports[idx] {
             Some(w) => Ok(w),
             None => self.grow(v, Port::from_index(idx)),
@@ -216,42 +241,56 @@ impl HthcWorld {
     /// Splices component of `lower` below the backbone of `upper`: the
     /// bottom of `upper`'s chain adopts the top of `lower`'s chain as its
     /// LC child. Both ports involved have never been queried.
-    pub fn splice_below(&mut self, upper: usize, lower: usize) {
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::AdversaryRefused`] when the splice preconditions do
+    /// not hold — unequal levels, a missing LC/parent port, or a port
+    /// already revealed to the algorithm. The duel only splices ports it
+    /// knows were never queried, so a refusal signals a corrupt world.
+    pub fn splice_below(&mut self, upper: usize, lower: usize) -> Result<(), QueryError> {
         let ub = self.chain_bottom(upper);
         let lt = self.chain_top(lower);
-        assert_eq!(self.nodes[ub].level, self.nodes[lt].level, "splice levels");
-        let lc_idx = Self::port_index(&self.nodes[ub].label, PortKind::Lc).unwrap();
-        assert!(self.nodes[ub].ports[lc_idx].is_none(), "LC already queried");
-        let p_idx = Self::port_index(&self.nodes[lt].label, PortKind::Parent);
-        let Some(p_idx) = p_idx else {
-            panic!("splice target must have a parent port (mid-backbone node)");
+        if self.nodes[ub].level != self.nodes[lt].level {
+            return Err(QueryError::AdversaryRefused);
+        }
+        let Some(lc_idx) = Self::port_index(&self.nodes[ub].label, PortKind::Lc) else {
+            return Err(QueryError::AdversaryRefused);
         };
-        assert!(self.nodes[lt].ports[p_idx].is_none(), "parent already queried");
+        let Some(p_idx) = Self::port_index(&self.nodes[lt].label, PortKind::Parent) else {
+            return Err(QueryError::AdversaryRefused);
+        };
+        if self.nodes[ub].ports[lc_idx].is_some() || self.nodes[lt].ports[p_idx].is_some() {
+            return Err(QueryError::AdversaryRefused);
+        }
         self.nodes[ub].ports[lc_idx] = Some(lt);
         self.nodes[lt].ports[p_idx] = Some(ub);
+        Ok(())
     }
 
-    /// The backbone path from `from` down to `to` along assigned LC links.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `to` is not below `from`.
-    pub fn path_down(&self, from: usize, to: usize) -> Vec<usize> {
+    /// The backbone path from `from` down to `to` along assigned LC links,
+    /// or `None` when `to` is not below `from`.
+    pub fn path_down(&self, from: usize, to: usize) -> Option<Vec<usize>> {
         let mut path = vec![from];
         let mut cur = from;
         while cur != to {
-            let idx = Self::port_index(&self.nodes[cur].label, PortKind::Lc)
-                .expect("path must follow LC links");
-            cur = self.nodes[cur].ports[idx].expect("path must be assigned");
+            let idx = Self::port_index(&self.nodes[cur].label, PortKind::Lc)?;
+            cur = self.nodes[cur].ports[idx]?;
             path.push(cur);
         }
-        path
+        Some(path)
     }
 
     /// Completes the world into a finite instance (node indices preserved):
     /// unassigned LC ports get level-leaves, unassigned RC ports get minimal
     /// lower-level chains, unassigned parent ports get fresh backbone tops.
-    pub fn finalize(&self) -> Instance {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the lazily grown world is structurally
+    /// corrupt (an asymmetric port assignment or an invalid builder edge);
+    /// a correct adversary never produces one.
+    pub fn finalize(&self) -> Result<Instance, GraphError> {
         let mut b = GraphBuilder::new();
         let mut labels = Vec::new();
         for v in 0..self.nodes.len() {
@@ -266,8 +305,8 @@ impl HthcWorld {
                             .ports
                             .iter()
                             .position(|&x| x == Some(v))
-                            .expect("symmetric edge");
-                        b.connect(v, i as u8 + 1, w, pw as u8 + 1).unwrap();
+                            .ok_or(GraphError::AsymmetricEdge { from: v, to: w })?;
+                        b.connect(v, i as u8 + 1, w, pw as u8 + 1)?;
                     }
                 }
             }
@@ -280,7 +319,7 @@ impl HthcWorld {
             labels: &mut Vec<NodeLabel>,
             lvl: u32,
             color: Color,
-        ) -> usize {
+        ) -> Result<usize, GraphError> {
             // Head: parent port 1 wired by the caller.
             let head = b.add_node();
             if lvl == 1 {
@@ -292,10 +331,10 @@ impl HthcWorld {
                         .with_right_child(2)
                         .with_color(color),
                 );
-                let below = minimal_chain(b, labels, lvl - 1, color);
-                b.connect(head, 2, below, 1).unwrap();
+                let below = minimal_chain(b, labels, lvl - 1, color)?;
+                b.connect(head, 2, below, 1)?;
             }
-            head
+            Ok(head)
         }
         for v in 0..self.nodes.len() {
             let lvl = self.nodes[v].level;
@@ -311,7 +350,7 @@ impl HthcWorld {
                     let top = b.add_node();
                     if lvl == 1 {
                         labels.push(NodeLabel::empty().with_left_child(1).with_color(color));
-                        b.connect(v, i as u8 + 1, top, 1).unwrap();
+                        b.connect(v, i as u8 + 1, top, 1)?;
                     } else {
                         labels.push(
                             NodeLabel::empty()
@@ -319,16 +358,16 @@ impl HthcWorld {
                                 .with_right_child(2)
                                 .with_color(color),
                         );
-                        b.connect(v, i as u8 + 1, top, 1).unwrap();
-                        let below = minimal_chain(&mut b, &mut labels, lvl - 1, color);
-                        b.connect(top, 2, below, 1).unwrap();
+                        b.connect(v, i as u8 + 1, top, 1)?;
+                        let below = minimal_chain(&mut b, &mut labels, lvl - 1, color)?;
+                        b.connect(top, 2, below, 1)?;
                     }
                 } else if Some(i) == Self::port_index(&label, PortKind::Lc) {
                     // Level leaf continuation: a same-level node with LC=⊥.
                     let leaf = b.add_node();
                     if lvl == 1 {
                         labels.push(NodeLabel::empty().with_parent(1).with_color(color));
-                        b.connect(v, i as u8 + 1, leaf, 1).unwrap();
+                        b.connect(v, i as u8 + 1, leaf, 1)?;
                     } else {
                         labels.push(
                             NodeLabel::empty()
@@ -336,21 +375,18 @@ impl HthcWorld {
                                 .with_right_child(2)
                                 .with_color(color),
                         );
-                        b.connect(v, i as u8 + 1, leaf, 1).unwrap();
-                        let below = minimal_chain(&mut b, &mut labels, lvl - 1, color);
-                        b.connect(leaf, 2, below, 1).unwrap();
+                        b.connect(v, i as u8 + 1, leaf, 1)?;
+                        let below = minimal_chain(&mut b, &mut labels, lvl - 1, color)?;
+                        b.connect(leaf, 2, below, 1)?;
                     }
                 } else {
                     // RC: minimal level-(ℓ−1) tower.
-                    let below = minimal_chain(&mut b, &mut labels, lvl - 1, color);
-                    b.connect(v, i as u8 + 1, below, 1).unwrap();
+                    let below = minimal_chain(&mut b, &mut labels, lvl - 1, color)?;
+                    b.connect(v, i as u8 + 1, below, 1)?;
                 }
             }
         }
-        Instance::new(
-            b.build().expect("adversary worlds are structurally valid"),
-            labels,
-        )
+        Ok(Instance::new(b.build()?, labels))
     }
 }
 
@@ -362,7 +398,12 @@ enum PortKind {
 }
 
 /// One execution of an algorithm against the shared world.
-struct WorldExecution<'w> {
+///
+/// Obtained from [`HthcWorld::execution`]; implements [`Oracle`] so that a
+/// single lazily grown world can serve several simulations consistently
+/// (the duel), and so that external auditors can interpose on the query
+/// stream of an individual simulation.
+pub struct WorldExecution<'w> {
     world: &'w mut HthcWorld,
     root: usize,
     visited: HashMap<usize, u32>,
@@ -516,7 +557,17 @@ impl DuelReport {
 }
 
 /// Runs the Proposition 5.20 duel against a deterministic algorithm.
-pub fn duel<A>(algo: &A, k: u32, n_report: usize, max_nodes: usize) -> DuelReport
+///
+/// # Errors
+///
+/// Propagates a [`GraphError`] from [`HthcWorld::finalize`]; a correct
+/// adversary never produces one.
+pub fn duel<A>(
+    algo: &A,
+    k: u32,
+    n_report: usize,
+    max_nodes: usize,
+) -> Result<DuelReport, GraphError>
 where
     A: QueryAlgorithm<Output = ThcColor>,
 {
@@ -525,15 +576,15 @@ where
     let mut trace = Vec::new();
     let top_level = world.k();
     let outcome = duel_inner(algo, &mut world, top_level, &mut outputs, &mut trace);
-    let instance = world.finalize();
-    DuelReport {
+    let instance = world.finalize()?;
+    Ok(DuelReport {
         outcome,
         outputs,
         total_queries: world.total_queries(),
         nodes_created: world.created(),
         instance,
         trace,
-    }
+    })
 }
 
 fn simulate<A>(
@@ -690,7 +741,11 @@ where
             trace.push(format!(
                 "splicing component of {opp_inner} below component of {seed}"
             ));
-            world.splice_below(seed, opp_inner);
+            if world.splice_below(seed, opp_inner).is_err() {
+                // Unreachable for a correct duel: both ports were never
+                // queried. Refusing counts as the volume horn.
+                return DuelOutcome::Exhausted;
+            }
             binary_search_boundary(algo, world, level, seed, opp_inner, outputs, trace)
         }
     }
@@ -711,17 +766,25 @@ fn binary_search_boundary<A>(
 where
     A: QueryAlgorithm<Output = ThcColor>,
 {
-    let mut path = world.path_down(top, bottom);
+    let Some(mut path) = world.path_down(top, bottom) else {
+        // Unreachable for a correct duel: the splice placed `bottom` below
+        // `top`. A missing path signals a corrupt world; count it as the
+        // volume horn rather than serving from a broken state.
+        return DuelOutcome::Exhausted;
+    };
     loop {
         if path.len() <= 2 {
-            let (upper, lower) = (path[0], path[1]);
+            let (Some(&upper), Some(&lower)) = (path.first(), path.get(1)) else {
+                return DuelOutcome::Exhausted;
+            };
             trace.push(format!(
                 "adjacent conflict: {upper} ({}) above {lower} ({})",
                 outputs[&upper], outputs[&lower]
             ));
             return DuelOutcome::AdjacentConflict { upper, lower };
         }
-        let mid = path[path.len() / 2];
+        let idx = path.len() / 2;
+        let mid = path[idx];
         let Ok(out) = simulate(algo, world, mid, outputs, trace) else {
             return DuelOutcome::Exhausted;
         };
@@ -741,7 +804,6 @@ where
             }
             o => {
                 let top_out = outputs[&path[0]];
-                let idx = path.iter().position(|&x| x == mid).unwrap();
                 if o == top_out {
                     path.drain(..idx);
                 } else {
@@ -781,7 +843,7 @@ mod tests {
         let mut exec = WorldExecution::new(&mut world, root);
         let lc = exec.query(root, Port::new(1)).unwrap();
         let _ = exec.query(lc.node, Port::new(3)).unwrap(); // RC of inner node
-        let inst = world.finalize();
+        let inst = world.finalize().unwrap();
         assert!(inst.graph.validate().is_ok());
         // The seed has level 3 in the finalized instance.
         assert_eq!(structure::level_capped(&inst, root, 3), 3);
@@ -793,7 +855,7 @@ mod tests {
         // grows past every threshold walk, so the solver ends up declining
         // at the top level — a palette violation — or exhausts the budget.
         for k in 2..=3 {
-            let report = duel(&DeterministicSolver { k }, k, 400, 200_000);
+            let report = duel(&DeterministicSolver { k }, k, 400, 200_000).unwrap();
             match &report.outcome {
                 DuelOutcome::PaletteViolation { out, .. } => {
                     assert_eq!(*out, ThcColor::D);
@@ -829,7 +891,7 @@ mod tests {
 
     #[test]
     fn echo_color_loses_binary_search() {
-        let report = duel(&EchoColor, 2, 100, 10_000);
+        let report = duel(&EchoColor, 2, 100, 10_000).unwrap();
         match report.outcome {
             DuelOutcome::AdjacentConflict { upper, lower } => {
                 assert_ne!(report.outputs[&upper], report.outputs[&lower]);
@@ -856,7 +918,7 @@ mod tests {
 
     #[test]
     fn always_exempt_hits_level_one() {
-        let report = duel(&AlwaysExempt, 3, 100, 10_000);
+        let report = duel(&AlwaysExempt, 3, 100, 10_000).unwrap();
         assert_eq!(
             report.outcome,
             DuelOutcome::PaletteViolation {
@@ -892,7 +954,7 @@ mod tests {
 
     #[test]
     fn always_decline_breaks_palette() {
-        let report = duel(&AlwaysDecline, 2, 100, 10_000);
+        let report = duel(&AlwaysDecline, 2, 100, 10_000).unwrap();
         assert!(matches!(
             report.outcome,
             DuelOutcome::PaletteViolation {
@@ -905,7 +967,7 @@ mod tests {
 
     #[test]
     fn tiny_budget_exhausts() {
-        let report = duel(&DeterministicSolver { k: 2 }, 2, 400, 10);
+        let report = duel(&DeterministicSolver { k: 2 }, 2, 400, 10).unwrap();
         assert_eq!(report.outcome, DuelOutcome::Exhausted);
     }
 }

@@ -17,7 +17,7 @@
 //! demonstrates why adaptivity is not allowed in randomized lower bounds.
 
 use std::collections::HashMap;
-use vc_graph::{Color, GraphBuilder, Instance, NodeLabel, Port};
+use vc_graph::{Color, GraphBuilder, GraphError, Instance, NodeLabel, Port};
 use vc_model::oracle::{NodeView, Oracle, OracleStats, QueryError};
 use vc_model::randomness::RandomTape;
 use vc_model::run::QueryAlgorithm;
@@ -98,7 +98,13 @@ impl LeafColoringAdversary {
     /// unassigned parent port receives a fresh root above. Returns the
     /// instance (node indices preserved) and the color every internal node
     /// is forced to output.
-    pub fn finalize(&self, answer: Color) -> (Instance, Color) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the lazily grown world is structurally
+    /// corrupt (an asymmetric port assignment or an invalid builder edge);
+    /// a correct adversary never produces one.
+    pub fn finalize(&self, answer: Color) -> Result<(Instance, Color), GraphError> {
         let forced = answer.flip();
         let mut b = GraphBuilder::new();
         let mut labels = Vec::new();
@@ -116,8 +122,8 @@ impl LeafColoringAdversary {
                             .ports
                             .iter()
                             .position(|&x| x == Some(v))
-                            .expect("symmetric edge");
-                        b.connect(v, i as u8 + 1, w, pw as u8 + 1).unwrap();
+                            .ok_or(GraphError::AsymmetricEdge { from: v, to: w })?;
+                        b.connect(v, i as u8 + 1, w, pw as u8 + 1)?;
                     }
                 }
             }
@@ -136,16 +142,16 @@ impl LeafColoringAdversary {
                     labels.push(
                         NodeLabel::empty().with_left_child(1).with_color(forced),
                     );
-                    b.connect(v, i as u8 + 1, fresh, 1).unwrap();
+                    b.connect(v, i as u8 + 1, fresh, 1)?;
                 } else {
                     // A fresh leaf below v, carrying the forcing color.
                     labels.push(NodeLabel::empty().with_parent(1).with_color(forced));
-                    b.connect(v, i as u8 + 1, fresh, 1).unwrap();
+                    b.connect(v, i as u8 + 1, fresh, 1)?;
                 }
             }
         }
-        let graph = b.build().expect("adversary worlds are structurally valid");
-        (Instance::new(graph, labels), forced)
+        let graph = b.build()?;
+        Ok((Instance::new(graph, labels), forced))
     }
 }
 
@@ -265,7 +271,16 @@ impl DefeatReport {
 /// The algorithm is told `n = n_report`; the world grows up to
 /// `3 · n_report` nodes before refusing (at which point the algorithm has
 /// already spent `Ω(n)` volume, the other horn of the dilemma).
-pub fn defeat<A>(algo: &A, n_report: usize, tape: Option<RandomTape>) -> DefeatReport
+///
+/// # Errors
+///
+/// Propagates a [`GraphError`] from [`LeafColoringAdversary::finalize`];
+/// a correct adversary never produces one.
+pub fn defeat<A>(
+    algo: &A,
+    n_report: usize,
+    tape: Option<RandomTape>,
+) -> Result<DefeatReport, GraphError>
 where
     A: QueryAlgorithm<Output = Color>,
 {
@@ -276,15 +291,15 @@ where
     let result = algo.run(&mut world);
     let stats = world.stats();
     let answer = result.ok();
-    let (instance, forced_color) = world.finalize(answer.unwrap_or(Color::R));
-    DefeatReport {
+    let (instance, forced_color) = world.finalize(answer.unwrap_or(Color::R))?;
+    Ok(DefeatReport {
         n: instance.n(),
         instance,
         answer,
         forced_color,
         queries: stats.queries,
         volume: stats.volume,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -340,7 +355,7 @@ mod tests {
         let mut w = LeafColoringAdversary::new(50, 150);
         let a = w.query(0, Port::new(1)).unwrap();
         let _ = w.query(a.node, Port::new(2)).unwrap();
-        let (inst, forced) = w.finalize(Color::B);
+        let (inst, forced) = w.finalize(Color::B).unwrap();
         assert!(inst.graph.validate().is_ok());
         assert_eq!(forced, Color::R);
         // The forced labeling (run the reference solver) is valid and gives
@@ -355,7 +370,7 @@ mod tests {
     fn defeats_the_distance_solver() {
         // The O(log n)-distance solver explores Θ(n) volume against the
         // adversary and still answers its fallback — defeated.
-        let report = defeat(&DistanceSolver, 64, None);
+        let report = defeat(&DistanceSolver, 64, None).unwrap();
         assert!(report.defeated());
         // The dilemma: either it answered wrong, or it burned the cap.
         assert!(report.answer.is_none() || report.volume > 0);
@@ -370,7 +385,8 @@ mod tests {
             &RwToLeaf { step_factor: 4 },
             256,
             Some(RandomTape::private(7)),
-        );
+        )
+        .unwrap();
         assert!(report.defeated());
         // Crucially it used only O(log n) volume — the adversary, not the
         // budget, is what defeated it.
@@ -381,7 +397,7 @@ mod tests {
     fn certificate_rejected_by_checker() {
         // Build the explicit certificate: algorithm's answer at v₀, forced
         // color everywhere else → the checker must reject at/near v₀.
-        let report = defeat(&DistanceSolver, 32, None);
+        let report = defeat(&DistanceSolver, 32, None).unwrap();
         let answer = report.answer.unwrap_or(Color::R);
         let mut outputs = vec![report.forced_color; report.n];
         outputs[0] = answer;

@@ -1,0 +1,416 @@
+//! [`AuditedOracle`]: the §2.2 contract interposer.
+//!
+//! Wraps any [`Oracle`] and passes every call through unchanged while
+//! re-deriving the model's bookkeeping from the observed probe stream:
+//! the visited set, discovery depths and the revealed adjacency are all
+//! recomputed on the auditor's side and checked against the world's
+//! self-reported [`OracleStats`] after every probe. Nothing the inner world
+//! claims is trusted; everything is cross-checked.
+
+use crate::report::{AuditReport, Invariant, Violation};
+use crate::trace::{Probe, ProbeTrace};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use vc_graph::Port;
+use vc_model::oracle::{NodeView, Oracle, OracleStats, QueryError};
+
+/// An [`Oracle`] wrapper that records every probe and independently
+/// re-verifies the query-model contract of §2.2.
+///
+/// The wrapper is transparent to the algorithm: answers and errors are
+/// forwarded verbatim. Contract breaches never panic — they accumulate as
+/// [`Violation`]s, retrievable via [`AuditedOracle::violations`] during the
+/// run or [`AuditedOracle::finish`] afterwards.
+#[derive(Debug)]
+pub struct AuditedOracle<O: Oracle> {
+    inner: O,
+    trace: ProbeTrace,
+    violations: Vec<Violation>,
+    /// The reported `n`, recorded at construction.
+    n: usize,
+    /// The root view, recorded at construction.
+    root_view: NodeView,
+    /// The auditor's own `V_v` (node handles).
+    visited: BTreeSet<usize>,
+    /// Discovery depth per visited node (the paper's path-length bound).
+    depth: BTreeMap<usize, u32>,
+    /// Deepest discovery path so far.
+    max_depth: u32,
+    /// Revealed views per node handle, for immutability checks.
+    views: BTreeMap<usize, NodeView>,
+    /// Identifier -> handle, for uniqueness checks.
+    ids: BTreeMap<u64, usize>,
+    /// Answer per queried `(from, port)`, for consistency checks.
+    answers: BTreeMap<(usize, u8), usize>,
+    /// Undirected adjacency revealed by the trace, for the BFS radius.
+    adj: BTreeMap<usize, BTreeSet<usize>>,
+    /// Stats snapshot after the previous probe.
+    last_stats: OracleStats,
+    /// If set, any `rand_bit` call is a violation.
+    expect_deterministic: bool,
+    /// If set, a successful foreign-node `rand_bit` is a violation.
+    expect_secret: bool,
+}
+
+impl<O: Oracle> AuditedOracle<O> {
+    /// Starts auditing `inner`. The root view and `n` are recorded
+    /// immediately; the probe trace opens with [`Probe::Root`].
+    pub fn new(inner: O) -> Self {
+        let root_view = inner.root();
+        let n = inner.n();
+        let last_stats = inner.stats();
+        let mut audited = Self {
+            inner,
+            trace: ProbeTrace::default(),
+            violations: Vec::new(),
+            n,
+            root_view,
+            visited: BTreeSet::from([root_view.node]),
+            depth: BTreeMap::from([(root_view.node, 0)]),
+            max_depth: 0,
+            views: BTreeMap::from([(root_view.node, root_view)]),
+            ids: BTreeMap::from([(root_view.id, root_view.node)]),
+            answers: BTreeMap::new(),
+            adj: BTreeMap::new(),
+            last_stats,
+            expect_deterministic: false,
+            expect_secret: false,
+        };
+        audited.trace.probes.push(Probe::Root { view: root_view });
+        if last_stats.volume != 1 {
+            audited.flag(
+                Invariant::VolumeAccounting,
+                format!(
+                    "world reports volume {} before any query; V_v = {{root}} has size 1",
+                    last_stats.volume
+                ),
+            );
+        }
+        audited
+    }
+
+    /// Declares the run deterministic: any `rand_bit` call — even a failing
+    /// one — is flagged as [`Invariant::DeterministicNoRandomness`].
+    pub fn expect_deterministic(mut self) -> Self {
+        self.expect_deterministic = true;
+        self
+    }
+
+    /// Declares the run secret-randomness (§7.4): a *successful* `rand_bit`
+    /// for any node other than the root is flagged as
+    /// [`Invariant::SecretTapeLeak`].
+    pub fn expect_secret(mut self) -> Self {
+        self.expect_secret = true;
+        self
+    }
+
+    /// Violations detected so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The probe trace recorded so far.
+    pub fn trace(&self) -> &ProbeTrace {
+        &self.trace
+    }
+
+    /// Ends the audit: runs the final whole-trace checks (BFS radius vs the
+    /// reported distance bound) and returns the inner world together with
+    /// the report.
+    pub fn finish(mut self) -> (O, AuditReport) {
+        let final_stats = self.inner.stats();
+        let radius = self.bfs_radius();
+        if final_stats.distance_upper < radius {
+            self.flag(
+                Invariant::DistanceAccounting,
+                format!(
+                    "reported distance bound {} is below the BFS radius {} of the revealed region",
+                    final_stats.distance_upper, radius
+                ),
+            );
+        }
+        if final_stats.volume != self.visited.len() {
+            self.flag(
+                Invariant::VolumeAccounting,
+                format!(
+                    "final reported volume {} but the trace visited {} nodes",
+                    final_stats.volume,
+                    self.visited.len()
+                ),
+            );
+        }
+        let report = AuditReport {
+            violations: self.violations,
+            trace: self.trace,
+            final_stats,
+        };
+        (self.inner, report)
+    }
+
+    fn flag(&mut self, invariant: Invariant, detail: String) {
+        let probe = self.trace.len().saturating_sub(1);
+        self.violations.push(Violation {
+            invariant,
+            probe,
+            detail,
+        });
+    }
+
+    /// BFS radius of the region revealed by the trace, from the root, over
+    /// the undirected edges observed in answers. Every visited node is
+    /// reachable in a contract-respecting execution, so the radius is a
+    /// lower bound for any legitimate distance report (Definition 2.1).
+    fn bfs_radius(&self) -> u32 {
+        let root = self.root_view.node;
+        let mut dist: BTreeMap<usize, u32> = BTreeMap::from([(root, 0)]);
+        let mut queue = VecDeque::from([root]);
+        let mut radius = 0;
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[&v];
+            if let Some(nbrs) = self.adj.get(&v) {
+                for &w in nbrs {
+                    if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(w) {
+                        e.insert(dv + 1);
+                        radius = radius.max(dv + 1);
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        radius
+    }
+
+    /// Cross-checks the world's self-reported totals after a probe.
+    fn check_stats(&mut self, answered_query: bool, served_bit: bool) {
+        let stats = self.inner.stats();
+        if stats.volume != self.visited.len() {
+            self.flag(
+                Invariant::VolumeAccounting,
+                format!(
+                    "world reports volume {} but the trace shows |V_v| = {}",
+                    stats.volume,
+                    self.visited.len()
+                ),
+            );
+        }
+        if stats.distance_upper > self.max_depth {
+            self.flag(
+                Invariant::DistanceAccounting,
+                format!(
+                    "world reports distance bound {} exceeding the deepest discovery path {}",
+                    stats.distance_upper, self.max_depth
+                ),
+            );
+        }
+        if answered_query && stats.queries != self.last_stats.queries + 1 {
+            self.flag(
+                Invariant::QueryAccounting,
+                format!(
+                    "query counter moved {} -> {} across one answered query",
+                    self.last_stats.queries, stats.queries
+                ),
+            );
+        }
+        if served_bit && stats.random_bits != self.last_stats.random_bits + 1 {
+            self.flag(
+                Invariant::RandomnessAccounting,
+                format!(
+                    "random-bit counter moved {} -> {} across one served bit",
+                    self.last_stats.random_bits, stats.random_bits
+                ),
+            );
+        }
+        self.last_stats = stats;
+    }
+
+    /// Registers a revealed view, checking immutability and id uniqueness.
+    fn register_view(&mut self, view: NodeView) {
+        if let Some(prev) = self.views.get(&view.node) {
+            if *prev != view {
+                self.flag(
+                    Invariant::NodeImmutability,
+                    format!(
+                        "node {} changed across revisits: was id {} deg {} label {:?}, now id {} \
+                         deg {} label {:?}",
+                        view.node, prev.id, prev.degree, prev.label, view.id, view.degree,
+                        view.label
+                    ),
+                );
+            }
+        } else {
+            self.views.insert(view.node, view);
+        }
+        match self.ids.get(&view.id) {
+            Some(&other) if other != view.node => {
+                self.flag(
+                    Invariant::IdentifierUniqueness,
+                    format!(
+                        "identifier {} is shared by node handles {other} and {}",
+                        view.id, view.node
+                    ),
+                );
+            }
+            Some(_) => {}
+            None => {
+                self.ids.insert(view.id, view.node);
+            }
+        }
+    }
+}
+
+impl<O: Oracle> Oracle for AuditedOracle<O> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn root(&self) -> NodeView {
+        self.inner.root()
+    }
+
+    fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
+        let from_visited = self.visited.contains(&from);
+        let known_degree = self.views.get(&from).map(|v| v.degree);
+        let result = self.inner.query(from, port);
+        self.trace.probes.push(Probe::Query { from, port, result });
+
+        // `n` and the root view are immutable inputs of the execution; a
+        // drifting world breaks every algorithm that cached them.
+        if self.inner.n() != self.n {
+            self.flag(
+                Invariant::AnswerConsistency,
+                format!("reported n changed from {} to {}", self.n, self.inner.n()),
+            );
+        }
+        let root_now = self.inner.root();
+        if root_now != self.root_view {
+            self.flag(
+                Invariant::NodeImmutability,
+                format!(
+                    "root view changed: was node {} (id {}), now node {} (id {})",
+                    self.root_view.node, self.root_view.id, root_now.node, root_now.id
+                ),
+            );
+        }
+
+        match result {
+            Ok(view) => {
+                if !from_visited {
+                    self.flag(
+                        Invariant::ConnectedRegion,
+                        format!(
+                            "world answered a probe issued at node {from}, which is not in V_v"
+                        ),
+                    );
+                    // Adopt the origin so the breach is reported once, not
+                    // once per subsequent probe from the same region.
+                    self.visited.insert(from);
+                    self.depth.entry(from).or_insert(0);
+                }
+                if let Some(deg) = known_degree {
+                    if port.index() >= deg {
+                        self.flag(
+                            Invariant::AnswerConsistency,
+                            format!(
+                                "world answered port {port} of node {from} whose revealed \
+                                 degree is {deg}"
+                            ),
+                        );
+                    }
+                }
+                self.register_view(view);
+                match self.answers.get(&(from, port.number())) {
+                    Some(&prev) if prev != view.node => {
+                        self.flag(
+                            Invariant::AnswerConsistency,
+                            format!(
+                                "query({from}, {port}) previously revealed node {prev}, now \
+                                 node {}",
+                                view.node
+                            ),
+                        );
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.answers.insert((from, port.number()), view.node);
+                    }
+                }
+                let from_depth = self.depth.get(&from).copied().unwrap_or(0);
+                if !self.visited.contains(&view.node) {
+                    self.visited.insert(view.node);
+                    self.depth.insert(view.node, from_depth + 1);
+                    self.max_depth = self.max_depth.max(from_depth + 1);
+                }
+                self.adj.entry(from).or_default().insert(view.node);
+                self.adj.entry(view.node).or_default().insert(from);
+                self.check_stats(true, false);
+            }
+            Err(err) => {
+                match err {
+                    QueryError::NotVisited { .. } if from_visited => {
+                        self.flag(
+                            Invariant::AnswerConsistency,
+                            format!(
+                                "world claims node {from} is unvisited although the trace \
+                                 revealed it"
+                            ),
+                        );
+                    }
+                    QueryError::InvalidPort { .. } => {
+                        if let Some(deg) = known_degree {
+                            if port.index() < deg {
+                                self.flag(
+                                    Invariant::AnswerConsistency,
+                                    format!(
+                                        "world rejected port {port} of node {from} as invalid \
+                                         although the revealed degree is {deg}"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                self.check_stats(false, false);
+            }
+        }
+        result
+    }
+
+    fn rand_bit(&mut self, node: usize) -> Result<bool, QueryError> {
+        let node_visited = self.visited.contains(&node);
+        let result = self.inner.rand_bit(node);
+        self.trace.probes.push(Probe::RandBit { node, result });
+        if self.expect_deterministic {
+            self.flag(
+                Invariant::DeterministicNoRandomness,
+                format!("deterministic run requested a random bit of node {node}"),
+            );
+        }
+        match result {
+            Ok(_) => {
+                if !node_visited {
+                    self.flag(
+                        Invariant::ConnectedRegion,
+                        format!("world served a random bit of node {node}, which is not in V_v"),
+                    );
+                }
+                if self.expect_secret && node != self.root_view.node {
+                    self.flag(
+                        Invariant::SecretTapeLeak,
+                        format!(
+                            "secret-randomness run was served a bit of foreign node {node} \
+                             (root is {})",
+                            self.root_view.node
+                        ),
+                    );
+                }
+                self.check_stats(false, true);
+            }
+            Err(_) => self.check_stats(false, false),
+        }
+        result
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.inner.stats()
+    }
+}

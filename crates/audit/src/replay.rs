@@ -1,0 +1,160 @@
+//! Replay of a probe trace against a finalized [`Instance`].
+//!
+//! The adaptive adversaries of `vc-adversary` build their worlds lazily and
+//! only commit to a concrete instance when the interaction ends. Replay
+//! closes the loop: every answer the world gave during the run must be
+//! realized by the instance it finalized — same neighbor behind the same
+//! port, same identifier, degree and label — and the revealed edges must be
+//! symmetric (the port involution of §2.1). The adversaries preserve node
+//! indices across finalization, so trace handles address the instance
+//! directly.
+
+use crate::report::{Invariant, Violation};
+use crate::trace::{Probe, ProbeTrace};
+use vc_graph::Instance;
+use vc_model::oracle::{NodeView, QueryError};
+
+fn view_of(inst: &Instance, v: usize) -> NodeView {
+    NodeView {
+        node: v,
+        id: inst.graph.id(v),
+        degree: inst.graph.degree(v),
+        label: inst.labels[v],
+    }
+}
+
+/// Replays `trace` against the finalized `inst`, returning every
+/// disagreement as a [`Violation`].
+///
+/// Checks per probe:
+///
+/// * the root view matches the instance's view of the root node;
+/// * every answered `query(from, port)` is realized: the instance has the
+///   answered node behind that exact port, with identical identifier,
+///   degree and label;
+/// * every revealed edge is symmetric in the instance
+///   ([`Invariant::PortSymmetry`]);
+/// * a [`QueryError::InvalidPort`] rejection is honest: the port really
+///   exceeds the node's degree in the finalized world.
+///
+/// Budget-dependent errors (`VolumeExhausted`, `QueriesExhausted`,
+/// `AdversaryRefused`, …) say nothing about the world and are skipped.
+pub fn replay_trace(inst: &Instance, trace: &ProbeTrace) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut flag = |invariant: Invariant, probe: usize, detail: String| {
+        violations.push(Violation {
+            invariant,
+            probe,
+            detail,
+        });
+    };
+    for (i, probe) in trace.probes.iter().enumerate() {
+        match probe {
+            Probe::Root { view } => {
+                if view.node >= inst.n() {
+                    flag(
+                        Invariant::ReplayMismatch,
+                        i,
+                        format!(
+                            "root handle {} does not exist in the finalized instance (n = {})",
+                            view.node,
+                            inst.n()
+                        ),
+                    );
+                    continue;
+                }
+                let actual = view_of(inst, view.node);
+                if actual != *view {
+                    flag(
+                        Invariant::ReplayMismatch,
+                        i,
+                        format!(
+                            "root view diverges from the finalized instance: answered id {} \
+                             deg {} label {:?}, finalized id {} deg {} label {:?}",
+                            view.id, view.degree, view.label, actual.id, actual.degree,
+                            actual.label
+                        ),
+                    );
+                }
+            }
+            Probe::Query { from, port, result } => match result {
+                Ok(view) => {
+                    if *from >= inst.n() || view.node >= inst.n() {
+                        flag(
+                            Invariant::ReplayMismatch,
+                            i,
+                            format!(
+                                "answered handles {from} -> {} exceed the finalized instance \
+                                 (n = {})",
+                                view.node,
+                                inst.n()
+                            ),
+                        );
+                        continue;
+                    }
+                    match inst.graph.neighbor(*from, *port) {
+                        Some(w) if w == view.node => {}
+                        Some(w) => flag(
+                            Invariant::ReplayMismatch,
+                            i,
+                            format!(
+                                "finalized instance has node {w} behind port {port} of node \
+                                 {from}, but the world answered node {}",
+                                view.node
+                            ),
+                        ),
+                        None => flag(
+                            Invariant::ReplayMismatch,
+                            i,
+                            format!(
+                                "finalized instance has no port {port} at node {from}, but \
+                                 the world answered node {}",
+                                view.node
+                            ),
+                        ),
+                    }
+                    let actual = view_of(inst, view.node);
+                    if actual != *view {
+                        flag(
+                            Invariant::ReplayMismatch,
+                            i,
+                            format!(
+                                "view of node {} diverges: answered id {} deg {} label {:?}, \
+                                 finalized id {} deg {} label {:?}",
+                                view.node, view.id, view.degree, view.label, actual.id,
+                                actual.degree, actual.label
+                            ),
+                        );
+                    }
+                    if inst.graph.port_to(view.node, *from).is_none() {
+                        flag(
+                            Invariant::PortSymmetry,
+                            i,
+                            format!(
+                                "edge {from} -> {} revealed through port {port} has no \
+                                 reverse port in the finalized instance",
+                                view.node
+                            ),
+                        );
+                    }
+                }
+                Err(QueryError::InvalidPort { .. }) => {
+                    if *from < inst.n() && port.index() < inst.graph.degree(*from) {
+                        flag(
+                            Invariant::ReplayMismatch,
+                            i,
+                            format!(
+                                "world rejected port {port} of node {from} as invalid, but \
+                                 the finalized instance has degree {}",
+                                inst.graph.degree(*from)
+                            ),
+                        );
+                    }
+                }
+                Err(_) => {}
+            },
+            Probe::RandBit { .. } => {}
+        }
+    }
+    violations
+}

@@ -1,0 +1,160 @@
+//! Structured audit diagnostics: which invariant broke, at which probe.
+
+use crate::trace::ProbeTrace;
+use std::fmt;
+use vc_model::oracle::OracleStats;
+
+/// The §2.2 model invariants the auditor re-verifies independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Invariant {
+    /// `V_v` grows only through queries issued at visited nodes
+    /// (Definition 2.2): the visited region stays connected.
+    ConnectedRegion,
+    /// Reported volume equals `|V_v|` recomputed from the probe trace
+    /// (Definition 2.2).
+    VolumeAccounting,
+    /// The reported distance upper bound dominates the BFS radius of the
+    /// revealed region and never exceeds the discovery-path depth
+    /// (Definition 2.1).
+    DistanceAccounting,
+    /// The query counter advances by exactly one per answered query.
+    QueryAccounting,
+    /// The random-bit counter advances by exactly one per served bit.
+    RandomnessAccounting,
+    /// Repeated probes receive identical answers, and errors agree with
+    /// previously revealed degrees and visits.
+    AnswerConsistency,
+    /// A node's identifier, degree and input label never change across
+    /// revisits.
+    NodeImmutability,
+    /// Distinct node handles never share a unique identifier (§2.1).
+    IdentifierUniqueness,
+    /// A run declared deterministic never touches a random tape.
+    DeterministicNoRandomness,
+    /// Secret-randomness mode (§7.4) never reveals a foreign node's tape.
+    SecretTapeLeak,
+    /// Port numbering is an involution on the finalized world: every
+    /// revealed edge has a reverse port (§2.1).
+    PortSymmetry,
+    /// A recorded answer is not realized by the finalized instance the
+    /// world committed to.
+    ReplayMismatch,
+}
+
+impl Invariant {
+    /// The paper anchor the invariant formalizes.
+    pub fn anchor(self) -> &'static str {
+        match self {
+            Invariant::ConnectedRegion => "§2.2, Def. 2.2 (connected visited region)",
+            Invariant::VolumeAccounting => "§2.2, Def. 2.2 (volume = |V_v|)",
+            Invariant::DistanceAccounting => "§2.2, Def. 2.1 (distance bound)",
+            Invariant::QueryAccounting => "§2.2 (one answer per query)",
+            Invariant::RandomnessAccounting => "§2.2 (sequential random bits)",
+            Invariant::AnswerConsistency => "§2.2 (consistent answers)",
+            Invariant::NodeImmutability => "§2.1 (immutable node data)",
+            Invariant::IdentifierUniqueness => "§2.1 (unique identifiers)",
+            Invariant::DeterministicNoRandomness => "§2.2 (deterministic run)",
+            Invariant::SecretTapeLeak => "§7.4 (secret randomness)",
+            Invariant::PortSymmetry => "§2.1 (port involution)",
+            Invariant::ReplayMismatch => "§2.2 (world self-consistency)",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Invariant::ConnectedRegion => "connected-region",
+            Invariant::VolumeAccounting => "volume-accounting",
+            Invariant::DistanceAccounting => "distance-accounting",
+            Invariant::QueryAccounting => "query-accounting",
+            Invariant::RandomnessAccounting => "randomness-accounting",
+            Invariant::AnswerConsistency => "answer-consistency",
+            Invariant::NodeImmutability => "node-immutability",
+            Invariant::IdentifierUniqueness => "identifier-uniqueness",
+            Invariant::DeterministicNoRandomness => "deterministic-no-randomness",
+            Invariant::SecretTapeLeak => "secret-tape-leak",
+            Invariant::PortSymmetry => "port-symmetry",
+            Invariant::ReplayMismatch => "replay-mismatch",
+        };
+        write!(f, "{name} [{}]", self.anchor())
+    }
+}
+
+/// One detected contract breach.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant that broke.
+    pub invariant: Invariant,
+    /// Index into the probe trace of the offending probe (the probe being
+    /// processed when the breach was detected).
+    pub probe: usize,
+    /// Human-readable specifics: observed vs recomputed values.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "violated {} at probe #{}: {}",
+            self.invariant, self.probe, self.detail
+        )
+    }
+}
+
+/// The outcome of an audited execution: the collected violations and the
+/// trace that supports each of them.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Detected breaches, in detection order.
+    pub violations: Vec<Violation>,
+    /// The full probe trace of the execution.
+    pub trace: ProbeTrace,
+    /// The audited world's final self-reported totals.
+    pub final_stats: OracleStats,
+}
+
+impl AuditReport {
+    /// Whether the execution respected every audited invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The offending probes, rendered for diagnostics: each violation with
+    /// the probe that triggered it.
+    pub fn offending_probes(&self) -> Vec<String> {
+        self.violations
+            .iter()
+            .map(|v| {
+                let probe = self
+                    .trace
+                    .probes
+                    .get(v.probe)
+                    .map(crate::trace::Probe::describe)
+                    .unwrap_or_else(|| "<probe not recorded>".to_string());
+                format!("{v} ({probe})")
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "audit clean: {} probes, volume {}, distance ≤ {}",
+                self.trace.len(),
+                self.final_stats.volume,
+                self.final_stats.distance_upper
+            )
+        } else {
+            writeln!(f, "audit found {} violation(s):", self.violations.len())?;
+            for line in self.offending_probes() {
+                writeln!(f, "  - {line}")?;
+            }
+            Ok(())
+        }
+    }
+}

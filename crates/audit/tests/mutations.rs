@@ -1,0 +1,224 @@
+//! Mutation tests: three deliberately broken oracles, each violating one
+//! §2.2 invariant, are caught by [`AuditedOracle`] with a diagnostic naming
+//! the violated invariant and its paper anchor.
+
+use std::collections::BTreeSet;
+use vc_audit::{AuditedOracle, Invariant};
+use vc_graph::{NodeLabel, Port};
+use vc_model::oracle::{NodeView, Oracle, OracleStats, QueryError};
+
+/// A fixed path world `0 - 1 - ... - len-1` used as the honest substrate of
+/// every mutant. Port 1 goes left, port 2 goes right (endpoints have a
+/// single port towards the inside).
+struct PathWorld {
+    len: usize,
+    visited: BTreeSet<usize>,
+    stats: OracleStats,
+}
+
+impl PathWorld {
+    fn new(len: usize) -> Self {
+        Self {
+            len,
+            visited: BTreeSet::from([0]),
+            stats: OracleStats {
+                volume: 1,
+                distance_upper: 0,
+                queries: 0,
+                random_bits: 0,
+            },
+        }
+    }
+
+    fn view_of(&self, v: usize) -> NodeView {
+        NodeView {
+            node: v,
+            id: v as u64 + 1,
+            degree: if v == 0 || v == self.len - 1 { 1 } else { 2 },
+            label: NodeLabel::empty(),
+        }
+    }
+
+    fn neighbor(&self, from: usize, port: Port) -> Option<usize> {
+        match (from, port.number()) {
+            (0, 1) => Some(1),
+            (v, 1) => Some(v - 1),
+            (v, 2) if v > 0 && v < self.len - 1 => Some(v + 1),
+            _ => None,
+        }
+    }
+
+    /// Honest answer: enforces the visited-set rule and updates the stats
+    /// the way `Execution` does.
+    fn honest_query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
+        if !self.visited.contains(&from) {
+            return Err(QueryError::NotVisited { node: from });
+        }
+        let Some(w) = self.neighbor(from, port) else {
+            return Err(QueryError::InvalidPort { node: from, port });
+        };
+        self.stats.queries += 1;
+        if self.visited.insert(w) {
+            self.stats.volume += 1;
+            // On a path explored outward from 0, the discovery depth of `w`
+            // is its index.
+            self.stats.distance_upper = self.stats.distance_upper.max(w as u32);
+        }
+        Ok(self.view_of(w))
+    }
+}
+
+/// Mutant 1: skips the visited-set check and happily answers probes issued
+/// at nodes the algorithm has never reached — a disconnected region.
+struct DisconnectedProbeOracle(PathWorld);
+
+impl Oracle for DisconnectedProbeOracle {
+    fn n(&self) -> usize {
+        self.0.len
+    }
+    fn root(&self) -> NodeView {
+        self.0.view_of(0)
+    }
+    fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
+        // BUG: `from` is adopted instead of rejected.
+        self.0.visited.insert(from);
+        self.0.stats.volume = self.0.visited.len();
+        self.0.honest_query(from, port)
+    }
+    fn rand_bit(&mut self, node: usize) -> Result<bool, QueryError> {
+        Err(QueryError::SecretRandomness { node })
+    }
+    fn stats(&self) -> OracleStats {
+        self.0.stats
+    }
+}
+
+/// Mutant 2: answers honestly but under-reports the volume by one — the
+/// classic "the root is free" accounting bug.
+struct VolumeUndercountOracle(PathWorld);
+
+impl Oracle for VolumeUndercountOracle {
+    fn n(&self) -> usize {
+        self.0.len
+    }
+    fn root(&self) -> NodeView {
+        self.0.view_of(0)
+    }
+    fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
+        self.0.honest_query(from, port)
+    }
+    fn rand_bit(&mut self, node: usize) -> Result<bool, QueryError> {
+        Err(QueryError::SecretRandomness { node })
+    }
+    fn stats(&self) -> OracleStats {
+        // BUG: |V_v| minus one.
+        OracleStats {
+            volume: self.0.stats.volume - 1,
+            ..self.0.stats
+        }
+    }
+}
+
+/// Mutant 3: serves any node's random bit in secret mode — peeking at a
+/// foreign tape (§7.4 forbids it).
+struct TapePeekOracle(PathWorld);
+
+impl Oracle for TapePeekOracle {
+    fn n(&self) -> usize {
+        self.0.len
+    }
+    fn root(&self) -> NodeView {
+        self.0.view_of(0)
+    }
+    fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
+        self.0.honest_query(from, port)
+    }
+    fn rand_bit(&mut self, node: usize) -> Result<bool, QueryError> {
+        // BUG: in secret mode only the root's own tape may be read.
+        self.0.stats.random_bits += 1;
+        Ok(node.is_multiple_of(2))
+    }
+    fn stats(&self) -> OracleStats {
+        self.0.stats
+    }
+}
+
+fn assert_caught(violations: &[vc_audit::Violation], invariant: Invariant) {
+    assert!(
+        violations.iter().any(|v| v.invariant == invariant),
+        "expected a {invariant} violation, got: {violations:?}"
+    );
+    let v = violations
+        .iter()
+        .find(|v| v.invariant == invariant)
+        .unwrap();
+    // The rendered diagnostic names the invariant and its §-anchor.
+    let rendered = v.to_string();
+    assert!(
+        rendered.contains(invariant.anchor()),
+        "diagnostic {rendered:?} does not cite {:?}",
+        invariant.anchor()
+    );
+}
+
+#[test]
+fn disconnected_probe_is_caught() {
+    let mut audited = AuditedOracle::new(DisconnectedProbeOracle(PathWorld::new(10)));
+    // Probe a node far from everything the algorithm has seen.
+    let answer = audited.query(5, Port::new(2));
+    assert!(answer.is_ok(), "mutant should answer: {answer:?}");
+    let (_, report) = audited.finish();
+    assert_caught(&report.violations, Invariant::ConnectedRegion);
+    assert!(report.violations[0].to_string().contains("§2.2"));
+}
+
+#[test]
+fn volume_undercount_is_caught() {
+    let mut audited = AuditedOracle::new(VolumeUndercountOracle(PathWorld::new(10)));
+    let a = audited.query(0, Port::new(1)).unwrap();
+    let _ = audited.query(a.node, Port::new(2)).unwrap();
+    let (_, report) = audited.finish();
+    assert_caught(&report.violations, Invariant::VolumeAccounting);
+}
+
+#[test]
+fn secret_tape_peek_is_caught() {
+    let mut audited = AuditedOracle::new(TapePeekOracle(PathWorld::new(10))).expect_secret();
+    // Legitimately reach node 1 first, so the only breach is the tape peek.
+    let a = audited.query(0, Port::new(1)).unwrap();
+    let _ = audited.rand_bit(a.node).unwrap();
+    let (_, report) = audited.finish();
+    assert_caught(&report.violations, Invariant::SecretTapeLeak);
+    assert!(report.violations.iter().all(|v| v.invariant == Invariant::SecretTapeLeak));
+}
+
+#[test]
+fn honest_path_walk_is_clean() {
+    // Control: the same substrate without a bug passes the audit.
+    struct Honest(PathWorld);
+    impl Oracle for Honest {
+        fn n(&self) -> usize {
+            self.0.len
+        }
+        fn root(&self) -> NodeView {
+            self.0.view_of(0)
+        }
+        fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
+            self.0.honest_query(from, port)
+        }
+        fn rand_bit(&mut self, node: usize) -> Result<bool, QueryError> {
+            Err(QueryError::SecretRandomness { node })
+        }
+        fn stats(&self) -> OracleStats {
+            self.0.stats
+        }
+    }
+    let mut audited = AuditedOracle::new(Honest(PathWorld::new(6))).expect_deterministic();
+    let mut cur = audited.root();
+    for _ in 0..4 {
+        cur = audited.query(cur.node, Port::new(if cur.node == 0 { 1 } else { 2 })).unwrap();
+    }
+    assert!(audited.query(cur.node, Port::new(9)).is_err());
+    let (_, report) = audited.finish();
+    assert!(report.is_clean(), "{report}");
+}

@@ -1,5 +1,5 @@
-//! Experiment A2 — the randomness models of §7.4: private vs public vs
-//! secret random strings.
+//! Experiment A2 — the randomness models of §7.4, ablated on the randomized
+//! Table 1 algorithm: private vs public vs secret random strings.
 //!
 //! * `RWtoLeaf` under *private* randomness is the paper's algorithm;
 //! * under *public* randomness every node shares one string, so the walk

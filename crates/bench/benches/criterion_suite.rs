@@ -1,5 +1,5 @@
-//! Experiment W1 — wall-clock performance of the substrate: generators,
-//! checkers and solvers under Criterion. The paper's results are
+//! Experiment W1 — wall-clock performance of the substrate behind the
+//! Table 1 sweeps: generators, checkers and solvers under Criterion. The paper's results are
 //! combinatorial, but a reproduction should also be *fast enough to use*;
 //! this suite tracks the runtime of the pieces every experiment leans on.
 //!

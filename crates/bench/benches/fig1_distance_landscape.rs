@@ -44,7 +44,7 @@ fn main() {
 
     // Class A: constant problems.
     let pts = sweep_distance(
-        |n, s| gen::random_full_binary_tree(n, s),
+        gen::random_full_binary_tree,
         &classic::TrivialSolver,
         &sizes,
         None,
@@ -59,7 +59,7 @@ fn main() {
 
     // Class B: Cole–Vishkin 3-coloring of cycles.
     let pts = sweep_distance(
-        |n, s| gen::directed_cycle(n, s),
+        gen::directed_cycle,
         &classic::ColeVishkin,
         &sizes,
         None,

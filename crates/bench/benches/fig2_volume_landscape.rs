@@ -39,7 +39,7 @@ fn sweep_volume<A: QueryAlgorithm>(
 
 fn complete_tree(n: usize, s: u64) -> Instance {
     let depth = (usize::BITS - n.leading_zeros() - 1).max(2);
-    gen::complete_binary_tree(depth, Color::R, if s % 2 == 0 { Color::B } else { Color::R })
+    gen::complete_binary_tree(depth, Color::R, if s.is_multiple_of(2) { Color::B } else { Color::R })
 }
 
 fn main() {
@@ -50,7 +50,7 @@ fn main() {
 
     // Class A.
     let det = sweep_volume(
-        |n, s| gen::random_full_binary_tree(n, s),
+        gen::random_full_binary_tree,
         &classic::TrivialSolver,
         &sizes,
         None,
@@ -65,7 +65,7 @@ fn main() {
 
     // Class B: volume = distance for Cole–Vishkin (§1.2, Even et al.).
     let det = sweep_volume(
-        |n, s| gen::directed_cycle(n, s),
+        gen::directed_cycle,
         &classic::ColeVishkin,
         &sizes,
         None,

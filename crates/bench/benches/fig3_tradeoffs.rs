@@ -16,7 +16,7 @@
 
 use vc_bench::{
     distance_series, fit, loglog_exponent, measure_costs_with_roots, print_header, print_heading,
-    print_row, size_grid, size_grid_dense, sweep_config, volume_series, Measurement,
+    print_row, size_grid_dense, sweep_config, volume_series, Measurement,
 };
 use vc_core::problems::{hierarchical, hybrid};
 use vc_graph::gen;

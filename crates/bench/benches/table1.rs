@@ -28,7 +28,7 @@ use vc_model::RandomTape;
 /// at depth log n) — the instance class where Lemma 3.8's bound is tight.
 fn make_leaf_coloring(n: usize, seed: u64) -> (Instance, Vec<usize>) {
     let depth = (usize::BITS - n.leading_zeros() - 1).max(2);
-    let leaf = if seed % 2 == 0 {
+    let leaf = if seed.is_multiple_of(2) {
         vc_graph::Color::B
     } else {
         vc_graph::Color::R

@@ -95,7 +95,7 @@ where
 {
     let report = run_all(inst, algo, config);
     let mut records = report.records.clone();
-    let covered: std::collections::HashSet<usize> =
+    let covered: std::collections::BTreeSet<usize> =
         records.iter().map(|r| r.root).collect();
     for &root in extra_roots {
         if !covered.contains(&root) {
@@ -138,7 +138,7 @@ pub fn measure_costs_with_roots<A: QueryAlgorithm>(
 ) -> Measurement {
     let report = run_all(inst, algo, config);
     let mut records = report.records;
-    let covered: std::collections::HashSet<usize> =
+    let covered: std::collections::BTreeSet<usize> =
         records.iter().map(|r| r.root).collect();
     for &root in extra_roots {
         if !covered.contains(&root) {

@@ -94,10 +94,11 @@ impl<O: Oracle> Oracle for ChargingOracle<'_, O> {
 pub fn chargeable_queries(inst: &Instance, meta: &BalancedTreeMeta) -> HashSet<(usize, Port)> {
     let mut set = HashSet::new();
     for &vi in &meta.penultimate {
-        for port in [inst.labels[vi].left_child, inst.labels[vi].right_child] {
-            if let Some(p) = port {
-                set.insert((vi, p));
-            }
+        for p in [inst.labels[vi].left_child, inst.labels[vi].right_child]
+            .into_iter()
+            .flatten()
+        {
+            set.insert((vi, p));
         }
     }
     set

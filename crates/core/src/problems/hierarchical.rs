@@ -369,46 +369,36 @@ impl Engine<'_, '_> {
         // Forward walk (towards the level leaf / around the cycle).
         let mut fwd = Vec::new();
         let mut cur = *v;
-        loop {
-            match self.next(&cur)? {
-                Some(nx) => {
-                    if nx.node == v.node {
-                        // A cycle of length fwd.len() + 1.
-                        let mut all = fwd;
-                        all.push(*v);
-                        if all.len() <= t {
-                            let anchor = all
-                                .into_iter()
-                                .min_by_key(|x| x.id)
-                                .expect("cycle is nonempty");
-                            return Ok(Some(anchor));
-                        }
-                        return Ok(None);
-                    }
-                    fwd.push(nx);
-                    if fwd.len() > t {
-                        return Ok(None);
-                    }
-                    cur = nx;
+        while let Some(nx) = self.next(&cur)? {
+            if nx.node == v.node {
+                // A cycle of length fwd.len() + 1.
+                let mut all = fwd;
+                all.push(*v);
+                if all.len() <= t {
+                    let anchor = all
+                        .into_iter()
+                        .min_by_key(|x| x.id)
+                        .expect("cycle is nonempty");
+                    return Ok(Some(anchor));
                 }
-                None => break,
+                return Ok(None);
             }
+            fwd.push(nx);
+            if fwd.len() > t {
+                return Ok(None);
+            }
+            cur = nx;
         }
         let leaf = *fwd.last().unwrap_or(v);
         // Backward walk to the component root.
         let mut count = fwd.len() + 1;
         let mut back = *v;
-        loop {
-            match self.prev(&back)? {
-                Some(pv) => {
-                    count += 1;
-                    if count > t {
-                        return Ok(None);
-                    }
-                    back = pv;
-                }
-                None => break,
+        while let Some(pv) = self.prev(&back)? {
+            count += 1;
+            if count > t {
+                return Ok(None);
             }
+            back = pv;
         }
         Ok(Some(leaf))
     }

@@ -445,44 +445,34 @@ impl Engine<'_, '_> {
         let t = self.threshold;
         let mut fwd = Vec::new();
         let mut cur = *v;
-        loop {
-            match self.next(&cur)? {
-                Some(nx) => {
-                    if nx.node == v.node {
-                        let mut all = fwd;
-                        all.push(*v);
-                        if all.len() <= t {
-                            let anchor = all
-                                .into_iter()
-                                .min_by_key(|x| x.id)
-                                .expect("cycle is nonempty");
-                            return Ok(Some(anchor));
-                        }
-                        return Ok(None);
-                    }
-                    fwd.push(nx);
-                    if fwd.len() > t {
-                        return Ok(None);
-                    }
-                    cur = nx;
+        while let Some(nx) = self.next(&cur)? {
+            if nx.node == v.node {
+                let mut all = fwd;
+                all.push(*v);
+                if all.len() <= t {
+                    let anchor = all
+                        .into_iter()
+                        .min_by_key(|x| x.id)
+                        .expect("cycle is nonempty");
+                    return Ok(Some(anchor));
                 }
-                None => break,
+                return Ok(None);
             }
+            fwd.push(nx);
+            if fwd.len() > t {
+                return Ok(None);
+            }
+            cur = nx;
         }
         let leaf = *fwd.last().unwrap_or(v);
         let mut count = fwd.len() + 1;
         let mut back = *v;
-        loop {
-            match self.prev(&back)? {
-                Some(pv) => {
-                    count += 1;
-                    if count > t {
-                        return Ok(None);
-                    }
-                    back = pv;
-                }
-                None => break,
+        while let Some(pv) = self.prev(&back)? {
+            count += 1;
+            if count > t {
+                return Ok(None);
             }
+            back = pv;
         }
         Ok(Some(leaf))
     }
@@ -599,10 +589,10 @@ mod tests {
             let check = check_solution(&problem, &inst, &outputs);
             assert!(check.is_ok(), "seed {seed}: {check:?}");
             // Level-1 nodes all solved their BTs; levels ≥ 2 are exempt.
-            for v in 0..inst.n() {
+            for (v, out) in outputs.iter().enumerate() {
                 match inst.labels[v].level {
-                    Some(1) => assert!(matches!(outputs[v], HybridOutput::Pair(_))),
-                    _ => assert_eq!(outputs[v], HybridOutput::Sym(ThcColor::X)),
+                    Some(1) => assert!(matches!(out, HybridOutput::Pair(_))),
+                    _ => assert_eq!(*out, HybridOutput::Sym(ThcColor::X)),
                 }
             }
         }
@@ -755,9 +745,9 @@ mod tests {
         let inst = gen::hybrid_for_size(3, 600, 5);
         let report = run_all(&inst, &RandomizedSolver::new(3), &rand_config(6));
         let outputs = report.complete_outputs().unwrap();
-        for v in 0..inst.n() {
+        for (v, out) in outputs.iter().enumerate() {
             if inst.labels[v].level != Some(1) {
-                assert!(outputs[v].sym().is_some());
+                assert!(out.sym().is_some());
             }
         }
         // At least some BTs got solved with flag B.

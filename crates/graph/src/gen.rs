@@ -203,8 +203,8 @@ fn shuffle_ids(inst: &mut Instance, rng: &mut StdRng) {
     // Rebuild the graph with permuted ids by editing through a builder —
     // Graph ids are immutable, so we reconstruct.
     let mut b = GraphBuilder::new();
-    for v in 0..n {
-        b.add_node_with_id(ids[v]);
+    for &id in &ids {
+        b.add_node_with_id(id);
     }
     for (v, w) in inst.graph.edges().collect::<Vec<_>>() {
         let pv = inst.graph.port_to(v, w).unwrap();

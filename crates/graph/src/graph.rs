@@ -14,15 +14,34 @@ pub enum GraphError {
     /// A node index referenced a node that does not exist.
     NoSuchNode(NodeIdx),
     /// A port on a node was assigned twice.
-    PortInUse { node: NodeIdx, port: Port },
+    PortInUse {
+        /// The node whose port was reused.
+        node: NodeIdx,
+        /// The doubly assigned port.
+        port: Port,
+    },
     /// The ports of a node do not form a contiguous range `1..=deg(v)`.
-    PortsNotContiguous { node: NodeIdx },
+    PortsNotContiguous {
+        /// The node with a gap in its port numbering.
+        node: NodeIdx,
+    },
     /// An undirected edge is present in only one endpoint's adjacency.
-    AsymmetricEdge { from: NodeIdx, to: NodeIdx },
+    AsymmetricEdge {
+        /// The endpoint that has the edge.
+        from: NodeIdx,
+        /// The endpoint missing the reverse port.
+        to: NodeIdx,
+    },
     /// Two nodes share the same unique identifier.
-    DuplicateId { id: u64 },
+    DuplicateId {
+        /// The repeated identifier.
+        id: u64,
+    },
     /// A self-loop was requested; the model uses simple graphs.
-    SelfLoop { node: NodeIdx },
+    SelfLoop {
+        /// The node that was connected to itself.
+        node: NodeIdx,
+    },
 }
 
 impl fmt::Display for GraphError {

@@ -35,6 +35,8 @@
 //! assert_eq!(status.iter().filter(|s| **s == NodeStatus::Leaf).count(), 8);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod gen;
 mod graph;
 mod instance;

@@ -201,34 +201,29 @@ pub fn backbone_of(inst: &Instance, levels: &[u32], v: NodeIdx) -> Backbone {
     // Walk backwards until no predecessor, detecting cycles with a budget.
     let mut start = v;
     let mut steps = 0usize;
-    loop {
-        match backbone_prev(inst, levels, start) {
-            Some(p) => {
-                start = p;
-                steps += 1;
-                if steps > inst.n() {
-                    // Cycle through v: collect it starting from v.
-                    let mut nodes = vec![v];
-                    let mut cur = v;
-                    while let Some(nx) = backbone_next(inst, levels, cur) {
-                        if nx == v {
-                            return Backbone {
-                                nodes,
-                                is_cycle: true,
-                            };
-                        }
-                        nodes.push(nx);
-                        cur = nx;
-                    }
-                    // Walked off the cycle — shouldn't happen, but return the
-                    // path we saw.
+    while let Some(p) = backbone_prev(inst, levels, start) {
+        start = p;
+        steps += 1;
+        if steps > inst.n() {
+            // Cycle through v: collect it starting from v.
+            let mut nodes = vec![v];
+            let mut cur = v;
+            while let Some(nx) = backbone_next(inst, levels, cur) {
+                if nx == v {
                     return Backbone {
                         nodes,
-                        is_cycle: false,
+                        is_cycle: true,
                     };
                 }
+                nodes.push(nx);
+                cur = nx;
             }
-            None => break,
+            // Walked off the cycle — shouldn't happen, but return the
+            // path we saw.
+            return Backbone {
+                nodes,
+                is_cycle: false,
+            };
         }
     }
     let mut nodes = vec![start];

@@ -118,6 +118,14 @@ pub enum CongestError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// The instance's adjacency is corrupt: an edge present at the sender
+    /// has no reverse port at the receiver.
+    AsymmetricEdge {
+        /// Sending node.
+        node: usize,
+        /// Receiving node with no port back.
+        neighbor: usize,
+    },
 }
 
 impl fmt::Display for CongestError {
@@ -137,6 +145,9 @@ impl fmt::Display for CongestError {
             }
             CongestError::RoundLimit { limit } => {
                 write!(f, "simulation did not terminate within {limit} rounds")
+            }
+            CongestError::AsymmetricEdge { node, neighbor } => {
+                write!(f, "edge {node} -> {neighbor} has no reverse port at the receiver")
             }
         }
     }
@@ -216,10 +227,9 @@ pub fn run_congest<N: CongestNode>(
                 let Some(w) = inst.graph.neighbor(v, port) else {
                     return Err(CongestError::InvalidPort { node: v, port });
                 };
-                let arrival = inst
-                    .graph
-                    .port_to(w, v)
-                    .expect("edges are symmetric in valid graphs");
+                let Some(arrival) = inst.graph.port_to(w, v) else {
+                    return Err(CongestError::AsymmetricEdge { node: v, neighbor: w });
+                };
                 report.total_messages += 1;
                 report.total_bits += bits as u64;
                 report.max_message_bits = report.max_message_bits.max(bits);

@@ -23,6 +23,8 @@
 //! * [`congest`] — a synchronous CONGEST simulator with B-bit links (§7.3,
 //!   Observations 7.4–7.5, Example 7.6).
 
+#![deny(missing_docs)]
+
 pub mod congest;
 pub mod cost;
 pub mod local;

@@ -98,8 +98,8 @@ pub fn gather_ball<O: Oracle + ?Sized>(oracle: &mut O, radius: u32) -> Result<Ba
             for p in 1..=deg as u8 {
                 let w = oracle.query(v, Port::new(p))?;
                 ball.edges.insert((v, p), w.node);
-                if !ball.views.contains_key(&w.node) {
-                    ball.views.insert(w.node, w);
+                if let std::collections::hash_map::Entry::Vacant(e) = ball.views.entry(w.node) {
+                    e.insert(w);
                     ball.depth.insert(w.node, d + 1);
                     ball.order.push(w.node);
                     next.push(w.node);

@@ -1,0 +1,133 @@
+//! Integration coverage for every [`QueryError`] path, exercised through the
+//! public `Execution` API rather than the oracle's own unit tests. Each error
+//! corresponds to a rule of the §2.2 query model: probes must originate inside
+//! the visited region, ports must exist, and the volume / distance / query
+//! budgets of Definition 2.2 are hard caps.
+
+use vc_graph::{gen, Color, Port};
+use vc_model::{Budget, Execution, Oracle, QueryError, RandomTape};
+
+fn tree() -> vc_graph::Instance {
+    gen::complete_binary_tree(4, Color::R, Color::B)
+}
+
+#[test]
+fn not_visited_rejected_and_has_no_side_effects() {
+    let inst = tree();
+    let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+    let before = ex.stats();
+    assert_eq!(
+        ex.query(9, Port::new(1)).unwrap_err(),
+        QueryError::NotVisited { node: 9 }
+    );
+    // A rejected probe must not leak into the cost accounting.
+    assert_eq!(ex.stats(), before);
+}
+
+#[test]
+fn invalid_port_rejected_per_node_degree() {
+    let inst = tree();
+    let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+    // The root of a complete binary tree has degree 2: port 3 is invalid.
+    assert_eq!(
+        ex.query(0, Port::new(3)).unwrap_err(),
+        QueryError::InvalidPort {
+            node: 0,
+            port: Port::new(3)
+        }
+    );
+    // But the same port number is valid at an internal node of degree 3.
+    let child = ex.query(0, Port::new(1)).unwrap();
+    assert!(ex.query(child.node, Port::new(3)).is_ok());
+}
+
+#[test]
+fn volume_exhausted_still_allows_revisits() {
+    let inst = tree();
+    let mut ex = Execution::new(&inst, 0, None, Budget::volume(2));
+    let v = ex.query(0, Port::new(1)).unwrap();
+    // |V_v| = 2 now; discovering a third node is over budget...
+    assert_eq!(
+        ex.query(0, Port::new(2)).unwrap_err(),
+        QueryError::VolumeExhausted
+    );
+    // ...but walking inside the already-visited region is free volume-wise.
+    assert_eq!(ex.query(0, Port::new(1)).unwrap(), v);
+    assert_eq!(ex.stats().volume, 2);
+}
+
+#[test]
+fn distance_exhausted_caps_the_radius() {
+    let inst = tree();
+    let mut ex = Execution::new(&inst, 0, None, Budget::distance(1));
+    let v = ex.query(0, Port::new(1)).unwrap();
+    // Depth-2 discovery exceeds the distance budget.
+    assert_eq!(
+        ex.query(v.node, Port::new(2)).unwrap_err(),
+        QueryError::DistanceExhausted
+    );
+    // Width at depth 1 is still allowed: distance and volume are distinct axes.
+    assert!(ex.query(0, Port::new(2)).is_ok());
+    assert_eq!(ex.stats().distance_upper, 1);
+}
+
+#[test]
+fn queries_exhausted_counts_revisits_too() {
+    let inst = tree();
+    let mut ex = Execution::new(&inst, 0, None, Budget::queries(2));
+    ex.query(0, Port::new(1)).unwrap();
+    // Even a revisit consumes a query step.
+    ex.query(0, Port::new(1)).unwrap();
+    assert_eq!(
+        ex.query(0, Port::new(1)).unwrap_err(),
+        QueryError::QueriesExhausted
+    );
+}
+
+#[test]
+fn secret_randomness_hides_foreign_tapes() {
+    let inst = tree();
+    let mut ex = Execution::new(&inst, 0, Some(RandomTape::secret(11)), Budget::unlimited());
+    let v = ex.query(0, Port::new(1)).unwrap();
+    // The root may read its own tape; any other node's tape is off limits
+    // even after that node has been visited (§7.4).
+    assert!(ex.rand_bit(0).is_ok());
+    assert_eq!(
+        ex.rand_bit(v.node).unwrap_err(),
+        QueryError::SecretRandomness { node: v.node }
+    );
+}
+
+#[test]
+fn deterministic_execution_has_no_tape_at_all() {
+    let inst = tree();
+    let mut ex = Execution::new(&inst, 0, None, Budget::unlimited());
+    assert_eq!(
+        ex.rand_bit(0).unwrap_err(),
+        QueryError::SecretRandomness { node: 0 }
+    );
+    assert_eq!(ex.stats().random_bits, 0);
+}
+
+#[test]
+fn errors_render_distinct_messages() {
+    let errors = [
+        QueryError::NotVisited { node: 3 },
+        QueryError::InvalidPort {
+            node: 3,
+            port: Port::new(2),
+        },
+        QueryError::VolumeExhausted,
+        QueryError::DistanceExhausted,
+        QueryError::QueriesExhausted,
+        QueryError::SecretRandomness { node: 3 },
+        QueryError::AdversaryRefused,
+    ];
+    let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+    for (i, a) in rendered.iter().enumerate() {
+        assert!(!a.is_empty());
+        for b in rendered.iter().skip(i + 1) {
+            assert_ne!(a, b, "two QueryError variants render identically");
+        }
+    }
+}

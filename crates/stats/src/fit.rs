@@ -212,7 +212,7 @@ pub fn fit_complexity(samples: &[(f64, f64)]) -> FitResult {
             x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
         }
     });
-    let best = scored[0].clone();
+    let best = scored[0];
     FitResult {
         class: best.0,
         scale: best.1,

@@ -1,0 +1,539 @@
+//! In-repo automation tasks (the `cargo xtask` pattern), dependency-free.
+//!
+//! `cargo run -p xtask -- lint` enforces the repo's static-analysis rules:
+//!
+//! 1. **No panic paths in library code.** Non-test code of `vc-model` and
+//!    `vc-adversary` must not call `.unwrap()` / `.expect(..)` or invoke the
+//!    `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros — model
+//!    and adversary failures are [`QueryError`]/`GraphError` values, never
+//!    aborts. (`assert!`/`debug_assert!` precondition checks are allowed.)
+//! 2. **Documentation is mandatory.** `vc-model`, `vc-graph` and `vc-audit`
+//!    must carry `#![deny(missing_docs)]`.
+//! 3. **Deterministic figure/table paths.** `crates/bench` must not use
+//!    `HashMap`/`HashSet`: iteration order feeds the paper's figures and
+//!    tables, so only ordered collections are permitted.
+//! 4. **Benchmarks declare provenance.** Every file under
+//!    `crates/bench/benches/` must cite the paper artifact it reproduces
+//!    (a Table/Figure/Example/Observation/Proposition anchor) in its
+//!    header comment.
+//!
+//! The scanner strips comments and string literals before matching and
+//! skips `#[cfg(test)]` modules by brace counting, so documentation may
+//! discuss `unwrap` freely and tests may use it.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint finding, rendered `file:line: [rule] detail`.
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.detail
+        )
+    }
+}
+
+/// Replaces comments, string literals and char literals with spaces,
+/// preserving every newline so line numbers survive.
+fn strip_comments_and_strings(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match st {
+            St::Code => match (b, next) {
+                (b'/', Some(b'/')) => {
+                    st = St::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                (b'/', Some(b'*')) => {
+                    st = St::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                (b'r', Some(b'"')) | (b'r', Some(b'#')) => {
+                    // Raw string: r"..." or r#"..."# (any hash count).
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        st = St::RawStr(hashes);
+                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        i = j + 1;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                }
+                (b'"', _) => {
+                    st = St::Str;
+                    out.push(b' ');
+                    i += 1;
+                }
+                (b'\'', _) => {
+                    // Distinguish a char literal from a lifetime: a lifetime
+                    // is `'ident` not followed by a closing quote.
+                    let is_lifetime = next.is_some_and(|c| {
+                        (c.is_ascii_alphabetic() || c == b'_') && bytes.get(i + 2) != Some(&b'\'')
+                    });
+                    if is_lifetime {
+                        out.push(b);
+                        i += 1;
+                    } else {
+                        st = St::Char;
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(b);
+                    i += 1;
+                }
+            },
+            St::LineComment => {
+                if b == b'\n' {
+                    st = St::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            St::BlockComment(depth) => match (b, next) {
+                (b'*', Some(b'/')) => {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                (b'/', Some(b'*')) => {
+                    st = St::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                (b'\n', _) => {
+                    out.push(b'\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(b' ');
+                    i += 1;
+                }
+            },
+            St::Str => match (b, next) {
+                (b'\\', Some(_)) => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                (b'"', _) => {
+                    st = St::Code;
+                    out.push(b' ');
+                    i += 1;
+                }
+                (b'\n', _) => {
+                    out.push(b'\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(b' ');
+                    i += 1;
+                }
+            },
+            St::RawStr(hashes) => {
+                if b == b'"' {
+                    let closes = (0..hashes).all(|h| bytes.get(i + 1 + h) == Some(&b'#'));
+                    if closes {
+                        st = St::Code;
+                        out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                out.push(if b == b'\n' { b'\n' } else { b' ' });
+                i += 1;
+            }
+            St::Char => match (b, next) {
+                (b'\\', Some(_)) => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                (b'\'', _) => {
+                    st = St::Code;
+                    out.push(b' ');
+                    i += 1;
+                }
+                _ => {
+                    out.push(b' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    String::from_utf8(out).expect("stripping preserves UTF-8 by replacing whole bytes with spaces")
+}
+
+/// Blanks out every `#[cfg(test)] mod ... { ... }` block (and any other
+/// item directly following a `#[cfg(test)]` attribute) from already
+/// stripped source, preserving newlines.
+fn remove_cfg_test(stripped: &str) -> String {
+    let mut out = stripped.as_bytes().to_vec();
+    let mut search_from = 0;
+    while let Some(rel) = stripped[search_from..].find("#[cfg(test)]") {
+        let attr_start = search_from + rel;
+        // Find the first `{` after the attribute and blank to its matching
+        // `}` (strings/comments are already gone, so counting is exact).
+        let bytes = stripped.as_bytes();
+        let mut i = attr_start;
+        let mut depth = 0usize;
+        let mut opened = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        break;
+                    }
+                }
+                // An item-ending semicolon before any brace: attribute on a
+                // braceless item (e.g. `#[cfg(test)] use ...;`).
+                b';' if !opened => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let end = (i + 1).min(out.len());
+        for b in &mut out[attr_start..end] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+        search_from = end;
+    }
+    String::from_utf8(out).expect("blanking preserves UTF-8")
+}
+
+/// 1-indexed line of a byte offset.
+fn line_of(text: &str, offset: usize) -> usize {
+    text[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return files;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            files.extend(rs_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    files
+}
+
+/// Tokens whose presence in non-test library code is a lint error.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Crates whose non-test code must be panic-free (rule 1).
+const PANIC_FREE_CRATES: &[&str] = &["crates/model", "crates/adversary", "crates/audit"];
+
+/// Crates that must carry `#![deny(missing_docs)]` (rule 2).
+const MISSING_DOCS_CRATES: &[&str] = &["crates/model", "crates/graph", "crates/audit"];
+
+/// Paper anchors accepted as benchmark provenance (rule 4).
+const PROVENANCE_ANCHORS: &[&str] = &[
+    "Table",
+    "Figure",
+    "Example",
+    "Observation",
+    "Proposition",
+];
+
+fn lint_panic_tokens(root: &Path, findings: &mut Vec<Finding>) {
+    for krate in PANIC_FREE_CRATES {
+        for file in rs_files(&root.join(krate).join("src")) {
+            let Ok(src) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let code = remove_cfg_test(&strip_comments_and_strings(&src));
+            for token in PANIC_TOKENS {
+                let mut from = 0;
+                while let Some(rel) = code[from..].find(token) {
+                    let at = from + rel;
+                    findings.push(Finding {
+                        file: file.clone(),
+                        line: line_of(&code, at),
+                        rule: "no-panic-paths",
+                        detail: format!(
+                            "`{token}` in non-test code; return a QueryError/GraphError instead"
+                        ),
+                    });
+                    from = at + token.len();
+                }
+            }
+        }
+    }
+}
+
+fn lint_missing_docs_attr(root: &Path, findings: &mut Vec<Finding>) {
+    for krate in MISSING_DOCS_CRATES {
+        let lib = root.join(krate).join("src/lib.rs");
+        let Ok(src) = std::fs::read_to_string(&lib) else {
+            findings.push(Finding {
+                file: lib,
+                line: 1,
+                rule: "deny-missing-docs",
+                detail: "crate root not readable".to_string(),
+            });
+            continue;
+        };
+        let code = strip_comments_and_strings(&src);
+        let normalized: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+        if !normalized.contains("#![deny(missing_docs)]") {
+            findings.push(Finding {
+                file: lib,
+                line: 1,
+                rule: "deny-missing-docs",
+                detail: "crate must declare `#![deny(missing_docs)]`".to_string(),
+            });
+        }
+    }
+}
+
+fn lint_no_hash_collections(root: &Path, findings: &mut Vec<Finding>) {
+    let bench = root.join("crates/bench");
+    for dir in ["src", "benches"] {
+        for file in rs_files(&bench.join(dir)) {
+            let Ok(src) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let code = remove_cfg_test(&strip_comments_and_strings(&src));
+            for token in ["HashMap", "HashSet"] {
+                let mut from = 0;
+                while let Some(rel) = code[from..].find(token) {
+                    let at = from + rel;
+                    findings.push(Finding {
+                        file: file.clone(),
+                        line: line_of(&code, at),
+                        rule: "ordered-collections-only",
+                        detail: format!(
+                            "`{token}` in a figure/table code path; use BTreeMap/BTreeSet \
+                             so iteration order is deterministic"
+                        ),
+                    });
+                    from = at + token.len();
+                }
+            }
+        }
+    }
+}
+
+fn lint_bench_provenance(root: &Path, findings: &mut Vec<Finding>) {
+    for file in rs_files(&root.join("crates/bench/benches")) {
+        let Ok(src) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        // The header comment: leading `//!`/`//` lines before any code.
+        let header: String = src
+            .lines()
+            .take_while(|l| {
+                let t = l.trim();
+                t.is_empty() || t.starts_with("//")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let cited = PROVENANCE_ANCHORS.iter().any(|a| header.contains(a));
+        if !cited {
+            findings.push(Finding {
+                file,
+                line: 1,
+                rule: "bench-provenance",
+                detail: format!(
+                    "benchmark header must cite its paper artifact (one of: {})",
+                    PROVENANCE_ANCHORS.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+fn run_lint(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    lint_panic_tokens(root, &mut findings);
+    lint_missing_docs_attr(root, &mut findings);
+    lint_no_hash_collections(root, &mut findings);
+    lint_bench_provenance(root, &mut findings);
+    findings
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            // The workspace root is two levels above this crate's manifest,
+            // independent of the invocation directory.
+            let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .and_then(Path::parent)
+                .expect("crates/xtask sits two levels below the workspace root")
+                .to_path_buf();
+            let findings = run_lint(&root);
+            if findings.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("xtask lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = r#"
+// a comment mentioning .unwrap()
+/* block with panic! inside */
+let s = "contains .unwrap() too";
+let c = '"';
+let real = x.unwrap();
+"#;
+        let code = strip_comments_and_strings(src);
+        assert_eq!(code.matches(".unwrap()").count(), 1);
+        assert!(!code.contains("panic!"));
+        // Newlines survive so line numbers stay meaningful.
+        assert_eq!(code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = r##"let s = r#"panic!("inside")"#; let t = y.unwrap();"##;
+        let code = strip_comments_and_strings(src);
+        assert!(!code.contains("panic!"));
+        assert!(code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let u = z.unwrap();";
+        let code = strip_comments_and_strings(src);
+        assert!(code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "
+fn good() -> Option<u32> { Some(1) }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = good().unwrap();
+        assert_eq!(v, 1);
+    }
+}
+";
+        let code = remove_cfg_test(&strip_comments_and_strings(src));
+        assert!(!code.contains(".unwrap()"));
+        assert!(code.contains("fn good"));
+    }
+
+    #[test]
+    fn code_outside_cfg_test_is_kept() {
+        let src = "
+fn bad() { let _ = q.unwrap(); }
+
+#[cfg(test)]
+mod tests {}
+";
+        let code = remove_cfg_test(&strip_comments_and_strings(src));
+        assert_eq!(code.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_point_at_the_token() {
+        let src = "let a = 1;\nlet b = c.unwrap();\n";
+        let code = strip_comments_and_strings(src);
+        let at = code.find(".unwrap()").unwrap();
+        assert_eq!(line_of(&code, at), 2);
+    }
+
+    #[test]
+    fn repo_is_clean() {
+        // The lint must hold on the repository itself — this is the same
+        // check `cargo run -p xtask -- lint` performs in CI.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .unwrap();
+        let findings = run_lint(root);
+        assert!(
+            findings.is_empty(),
+            "lint findings:\n{}",
+            findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

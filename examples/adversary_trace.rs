@@ -25,7 +25,7 @@ fn main() {
     }
 
     println!("\n=== Proposition 3.13: the leaf-coloring adversary ===\n");
-    let report = defeat(&DistanceSolver, 256, None);
+    let report = defeat(&DistanceSolver, 256, None).expect("adversary world is structurally valid");
     println!("against the deterministic O(log n)-distance solver:");
     println!(
         "  queries {}, volume {}, completed instance n = {}",
@@ -41,7 +41,8 @@ fn main() {
         &RwToLeaf::default(),
         256,
         Some(vc_model::RandomTape::private(3)),
-    );
+    )
+    .expect("adversary world is structurally valid");
     println!("\nagainst RWtoLeaf (adaptive adversary, so this is *not* a valid");
     println!("randomized lower bound — it demonstrates why Prop. 3.13 needs");
     println!("determinism):");
@@ -52,7 +53,7 @@ fn main() {
     );
 
     println!("\n=== Proposition 5.20: the leveled duel ===\n");
-    let report = duel(&HthcSolver { k: 2 }, 2, 128, 500_000);
+    let report = duel(&HthcSolver { k: 2 }, 2, 128, 500_000).expect("adversary world is structurally valid");
     println!("against RecursiveHTHC (k = 2), reported n = 128:");
     for line in &report.trace {
         println!("  {line}");

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Tier-1 verification plus the static-analysis pass, in order, fail-fast:
+#   build -> test -> clippy -> xtask lint
+# Run from anywhere; works fully offline (deps are vendored, see README).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo clippy --all-targets --features proptest -p vc-bench -- -D warnings"
+cargo clippy --all-targets --features proptest -p vc-bench -- -D warnings
+
+echo "==> cargo run -p xtask -- lint"
+cargo run -p xtask -- lint
+
+echo "CI OK"

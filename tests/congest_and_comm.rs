@@ -1,10 +1,12 @@
 //! Integration: the CONGEST simulators and algorithms (§7.3) and the
 //! classic problems populating the landscape figures.
 
+#[cfg(feature = "proptest")]
 use proptest::prelude::*;
 use vc_core::congest::{BitTransferWithBandwidth, BtFlood, GadgetQuery};
 use vc_core::lcl::check_solution;
 use vc_core::problems::balanced_tree::BalancedTree;
+#[cfg(feature = "proptest")]
 use vc_core::problems::classic::{ColeVishkin, CycleColoring};
 use vc_graph::gen;
 use vc_model::congest::run_congest;
@@ -59,6 +61,9 @@ fn bit_transfer_round_lower_bound_shape() {
     assert!(q.summary().max_volume <= 2 * 6 + 3);
 }
 
+// Property-based sweeps: compiled only with the vc-bench `proptest`
+// feature (`cargo test -p vc-bench --features proptest`).
+#[cfg(feature = "proptest")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

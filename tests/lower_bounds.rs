@@ -3,6 +3,7 @@
 //! disjointness embedding (Prop. 4.9) — against the repository's own
 //! solvers, with certificates re-verified by the checkers.
 
+#[cfg(feature = "proptest")]
 use proptest::prelude::*;
 use vc_adversary::hidden_leaf::hidden_leaf_experiment;
 use vc_adversary::hierarchical::{duel, DuelOutcome};
@@ -36,7 +37,7 @@ fn hidden_leaf_budget_transition() {
 fn leaf_coloring_adversary_defeats_and_scales() {
     let mut last_n = 0;
     for n in [64usize, 256, 1024] {
-        let report = defeat(&DistanceSolver, n, None);
+        let report = defeat(&DistanceSolver, n, None).expect("adversary world is structurally valid");
         assert!(report.defeated());
         assert!(report.instance.graph.validate().is_ok());
         assert!(report.n > last_n, "completed instances grow with budget");
@@ -56,7 +57,7 @@ fn leaf_coloring_adversary_defeats_and_scales() {
 #[test]
 fn hthc_duel_corners_recursive_hthc() {
     for k in [2u32, 3] {
-        let report = duel(&HthcSolver { k }, k, 200, 2_000_000);
+        let report = duel(&HthcSolver { k }, k, 200, 2_000_000).expect("adversary world is structurally valid");
         assert!(report.certificate_holds(k), "k={k}");
         assert!(
             matches!(
@@ -82,6 +83,9 @@ fn embedding_lower_bound_forces_linear_bits() {
     }
 }
 
+// Property-based sweeps: compiled only with the vc-bench `proptest`
+// feature (`cargo test -p vc-bench --features proptest`).
+#[cfg(feature = "proptest")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -89,7 +93,7 @@ proptest! {
     /// the completed world stays a valid colored tree labeling.
     #[test]
     fn prop_adversary_always_wins(n in 16usize..400) {
-        let report = defeat(&DistanceSolver, n, None);
+        let report = defeat(&DistanceSolver, n, None).expect("adversary world is structurally valid");
         prop_assert!(report.defeated());
         prop_assert!(report.instance.graph.validate().is_ok());
         // All leaves of the completed instance carry the forcing color.
@@ -114,7 +118,7 @@ fn adversary_world_matches_finalized_instance() {
     // Determinism check: re-running the solver on the finalized instance
     // from v0 reproduces the adversarial answer (the completion is
     // consistent with everything the algorithm saw).
-    let report = defeat(&DistanceSolver, 128, None);
+    let report = defeat(&DistanceSolver, 128, None).expect("adversary world is structurally valid");
     if let Some(answer) = report.answer {
         // The adversarial world reports n = n_report, the finalized
         // instance has its own n; the solver's exploration cap depends on

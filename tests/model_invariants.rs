@@ -2,11 +2,14 @@
 //! execution of every solver, randomness-coupling guarantees, budget
 //! semantics, and the volume/distance accounting itself.
 
+#[cfg(feature = "proptest")]
 use proptest::prelude::*;
 use vc_core::problems::{balanced_tree, hierarchical, leaf_coloring};
 use vc_graph::{gen, Color};
 use vc_model::run::{run_all, RunConfig};
-use vc_model::{Budget, RandomTape, StartSelection};
+use vc_model::{Budget, RandomTape};
+#[cfg(feature = "proptest")]
+use vc_model::StartSelection;
 
 /// Lemma 2.5: `DIST ≤ VOL ≤ Δ^DIST + 1` for every recorded execution.
 #[test]
@@ -152,6 +155,9 @@ fn different_tapes_differ_somewhere() {
     );
 }
 
+// Property-based sweeps: compiled only with the vc-bench `proptest`
+// feature (`cargo test -p vc-bench --features proptest`).
+#[cfg(feature = "proptest")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -2,11 +2,16 @@
 //! disjointness-embedded) → solve → check, with property-based sweeps over
 //! arbitrary disjointness inputs.
 
+#[cfg(feature = "proptest")]
 use proptest::prelude::*;
 use vc_core::lcl::check_solution;
 use vc_core::output::BtFlag;
-use vc_core::problems::balanced_tree::{is_compatible, BalancedTree, DistanceSolver};
-use vc_graph::{gen, structure};
+use vc_core::problems::balanced_tree::{BalancedTree, DistanceSolver};
+#[cfg(feature = "proptest")]
+use vc_core::problems::balanced_tree::is_compatible;
+use vc_graph::gen;
+#[cfg(feature = "proptest")]
+use vc_graph::structure;
 use vc_model::run::{run_all, RunConfig};
 
 #[test]
@@ -45,6 +50,9 @@ fn distance_stays_logarithmic_volume_linear() {
     assert!(root_rec.volume > inst.n() / 2, "the root must see Θ(n)");
 }
 
+// Property-based sweeps: compiled only with the vc-bench `proptest`
+// feature (`cargo test -p vc-bench --features proptest`).
+#[cfg(feature = "proptest")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

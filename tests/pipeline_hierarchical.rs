@@ -2,9 +2,12 @@
 //! families, both solvers, validated end to end; the measured costs match
 //! the Θ(n^{1/k}) rows of Table 1.
 
+#[cfg(feature = "proptest")]
 use proptest::prelude::*;
 use vc_bench::{distance_series, loglog_exponent, measure, sweep_config, volume_series};
-use vc_core::lcl::{check_solution, count_violations};
+use vc_core::lcl::check_solution;
+#[cfg(feature = "proptest")]
+use vc_core::lcl::count_violations;
 use vc_core::problems::hierarchical::{
     DeterministicSolver, HierarchicalThc, RandomizedSolver,
 };
@@ -107,6 +110,9 @@ fn randomized_volume_exponent_matches_one_over_k() {
     }
 }
 
+// Property-based sweeps: compiled only with the vc-bench `proptest`
+// feature (`cargo test -p vc-bench --features proptest`).
+#[cfg(feature = "proptest")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

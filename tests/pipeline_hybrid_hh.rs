@@ -2,13 +2,20 @@
 //! heavy-component and union families; the headline distance/volume
 //! separation is asserted end to end.
 
+#[cfg(feature = "proptest")]
 use proptest::prelude::*;
-use vc_core::lcl::{check_solution, count_violations};
+use vc_core::lcl::check_solution;
+#[cfg(feature = "proptest")]
+use vc_core::lcl::count_violations;
 use vc_core::output::HybridOutput;
 use vc_core::problems::{hh, hybrid};
 use vc_graph::gen;
-use vc_model::run::{run_all, run_from, RunConfig};
-use vc_model::{RandomTape, StartSelection};
+use vc_model::run::{run_all, RunConfig};
+#[cfg(feature = "proptest")]
+use vc_model::run::run_from;
+use vc_model::RandomTape;
+#[cfg(feature = "proptest")]
+use vc_model::StartSelection;
 
 fn rand_config(seed: u64) -> RunConfig {
     RunConfig {
@@ -109,15 +116,15 @@ fn hh_outputs_respect_sides() {
     let inst = gen::hh(2, 3, 400, 8);
     let report = run_all(&inst, &hh::DistanceSolver { k: 2, l: 3 }, &RunConfig::default());
     let outputs = report.complete_outputs().unwrap();
-    for v in 0..inst.n() {
+    for (v, out) in outputs.iter().enumerate() {
         match inst.labels[v].bit {
             Some(false) => assert!(
-                outputs[v].sym().is_some(),
+                out.sym().is_some(),
                 "hierarchical side outputs symbols"
             ),
             Some(true) => {
                 if inst.labels[v].level == Some(1) {
-                    assert!(matches!(outputs[v], HybridOutput::Pair(_)));
+                    assert!(matches!(out, HybridOutput::Pair(_)));
                 }
             }
             None => unreachable!("generator sets every bit"),
@@ -125,6 +132,9 @@ fn hh_outputs_respect_sides() {
     }
 }
 
+// Property-based sweeps: compiled only with the vc-bench `proptest`
+// feature (`cargo test -p vc-bench --features proptest`).
+#[cfg(feature = "proptest")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 

@@ -2,9 +2,12 @@
 //! solvers) → check → measure → fit — across instance families, including
 //! property-based sweeps over seeds and shapes.
 
+#[cfg(feature = "proptest")]
 use proptest::prelude::*;
 use vc_bench::{distance_series, fit, sweep_config, volume_series};
-use vc_core::lcl::{check_solution, count_violations};
+use vc_core::lcl::check_solution;
+#[cfg(feature = "proptest")]
+use vc_core::lcl::count_violations;
 use vc_core::problems::leaf_coloring::{DistanceSolver, LeafColoring, RwToLeaf};
 use vc_graph::{gen, Color};
 use vc_model::run::{run_all, RunConfig};
@@ -90,6 +93,9 @@ fn unique_solution_on_hidden_leaf_instances() {
     }
 }
 
+// Property-based sweeps: compiled only with the vc-bench `proptest`
+// feature (`cargo test -p vc-bench --features proptest`).
+#[cfg(feature = "proptest")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -1,0 +1,152 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace must build with **zero registry access** (see the README's
+//! offline-workflow section), so the small slice of `rand`'s API that the
+//! generators and tests use is reimplemented here on top of a deterministic
+//! splitmix64 stream. Determinism per seed is the only property the
+//! workspace relies on — every consumer seeds explicitly via
+//! [`SeedableRng::seed_from_u64`] so that instances and experiments are
+//! reproducible.
+//!
+//! Sampling uses plain modulo reduction; the tiny bias is irrelevant for
+//! instance generation and is accepted in exchange for zero dependencies.
+
+/// A source of pseudo-random 64-bit words.
+pub trait RngCore {
+    /// The next 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of an RNG from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`RngExt::random_range`] can sample.
+pub trait UniformSample: Copy {
+    /// Samples uniformly from `[lo, hi)` (modulo reduction).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_sample {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample from an empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u128;
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_sample!(u8, u16, u32, u64, usize);
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Samples uniformly from a half-open range `lo..hi`.
+    fn random_range<T: UniformSample>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// A biased coin: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        // 53 random bits give a uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 stream — the stand-in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// In-place Fisher–Yates shuffling, as `rand::seq::SliceRandom` provides.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly at random.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000usize), b.random_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(3..9u8);
+            assert!((3..9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ones = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so that real serialization can be
+//! switched on the moment registry access is available, but no code path
+//! actually serializes anything today. This crate keeps those annotations
+//! compiling offline: the derive macros expand to nothing and the traits are
+//! empty markers. Swap the `serde` entry in the workspace manifest back to
+//! the registry version to restore real serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; never implemented by the no-op
+/// derive, so any future `T: Serialize` bound will fail loudly rather than
+/// silently misbehave.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
