@@ -360,7 +360,7 @@ mod tests {
         assert_eq!(forced, Color::R);
         // The forced labeling (run the reference solver) is valid and gives
         // `forced` at v₀.
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(check_solution(&LeafColoring, &inst, &outputs).is_ok());
         assert_eq!(outputs[0], forced);

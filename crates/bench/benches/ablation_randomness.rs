@@ -83,7 +83,7 @@ fn main() {
                 tape: Some(tape),
                 ..RunConfig::default()
             },
-        );
+        ).unwrap();
         let outputs = report.complete_outputs().unwrap();
         let violations = count_violations(&problem, &inst, &outputs);
         print_row(&[
@@ -110,7 +110,7 @@ fn main() {
                 tape: Some(RandomTape::secret(depth.into())),
                 ..RunConfig::default()
             },
-        );
+        ).unwrap();
         let outputs = report.complete_outputs().unwrap();
         // Under the promise, every node must report the leaf color B.
         let leaves_start = (1usize << depth) - 1;

@@ -70,7 +70,7 @@ fn main() {
                     tape: Some(RandomTape::private(1000 + seed)),
                     ..RunConfig::default()
                 },
-            );
+            ).unwrap();
             let outputs = report.complete_outputs().unwrap();
             if count_violations(&problem, &inst, &outputs) > 0 {
                 failures += 1;

@@ -50,7 +50,7 @@ fn main() {
                 starts: StartSelection::All,
                 ..RunConfig::default()
             },
-        );
+        ).unwrap();
         let outs = report.complete_outputs().unwrap();
         for (i, &u) in meta.u_leaves.iter().enumerate() {
             assert_eq!(outs[u], Some(bits[i]));

@@ -18,12 +18,16 @@ use vc_core::problems::{classic, hierarchical, hybrid, leaf_coloring};
 use vc_graph::{gen, Color, Instance};
 use vc_model::{QueryAlgorithm, RandomTape};
 
-fn sweep_distance<A: QueryAlgorithm>(
+fn sweep_distance<A>(
     make: impl Fn(usize, u64) -> Instance,
     algo: &A,
     sizes: &[usize],
     tape_seed: Option<u64>,
-) -> Vec<Measurement> {
+) -> Vec<Measurement>
+where
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
+{
     sizes
         .iter()
         .enumerate()

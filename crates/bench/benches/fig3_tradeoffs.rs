@@ -21,12 +21,16 @@ use vc_bench::{
 use vc_core::problems::{hierarchical, hybrid};
 use vc_graph::gen;
 use vc_model::{QueryAlgorithm, RandomTape};
-fn sweep<A: QueryAlgorithm>(
+fn sweep<A>(
     make: impl Fn(usize, u64) -> vc_graph::Instance,
     algo: &A,
     sizes: &[usize],
     tape: bool,
-) -> Vec<Measurement> {
+) -> Vec<Measurement>
+where
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
+{
     sizes
         .iter()
         .enumerate()

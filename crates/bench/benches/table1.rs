@@ -112,9 +112,12 @@ fn sweep<P, D, R, V>(
 ) -> Row
 where
     P: vc_core::lcl::Lcl<Output = D::Output>,
-    D: vc_model::QueryAlgorithm,
-    R: vc_model::QueryAlgorithm,
-    V: vc_model::QueryAlgorithm,
+    D: vc_model::QueryAlgorithm + Sync,
+    D::Output: Send,
+    R: vc_model::QueryAlgorithm + Sync,
+    R::Output: Send,
+    V: vc_model::QueryAlgorithm + Sync,
+    V::Output: Send,
 {
     let mut dist_pts: Vec<Measurement> = Vec::new();
     let mut rvol_pts: Vec<Measurement> = Vec::new();

@@ -11,8 +11,9 @@
 //! themselves is measured separately by the `criterion_suite` bench.
 
 use vc_core::lcl::{count_violations, Lcl};
+use vc_engine::Engine;
 use vc_graph::Instance;
-use vc_model::run::{run_all, run_from, QueryAlgorithm, RunConfig};
+use vc_model::run::{run_from, QueryAlgorithm, RunConfig};
 use vc_model::{Budget, RandomTape, StartSelection};
 use vc_stats::fit::{fit_complexity, FitResult};
 
@@ -34,6 +35,12 @@ pub struct Measurement {
     /// Local-constraint violations of the produced labeling (`None` when
     /// start nodes were sampled and the labeling is incomplete).
     pub violations: Option<usize>,
+    /// Executions per wall-clock second of the engine sweep (excludes the
+    /// serially-run `extra_roots`; indicative only — combinatorial costs
+    /// above are exact and machine-independent).
+    pub starts_per_sec: f64,
+    /// Oracle queries per wall-clock second of the engine sweep.
+    pub queries_per_sec: f64,
 }
 
 /// How many executions to start per instance before switching from
@@ -73,7 +80,8 @@ pub fn measure<P, A>(
 ) -> Measurement
 where
     P: Lcl<Output = A::Output>,
-    A: QueryAlgorithm,
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
 {
     measure_with_roots(problem, inst, algo, config, &[])
 }
@@ -91,53 +99,65 @@ pub fn measure_with_roots<P, A>(
 ) -> Measurement
 where
     P: Lcl<Output = A::Output>,
-    A: QueryAlgorithm,
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
 {
-    let report = run_all(inst, algo, config);
-    let mut records = report.records.clone();
-    let covered: std::collections::BTreeSet<usize> =
-        records.iter().map(|r| r.root).collect();
-    for &root in extra_roots {
-        if !covered.contains(&root) {
-            let (_, rec) = run_from(inst, algo, root, config);
-            records.push(rec);
-        }
-    }
-    let summary = vc_model::CostSummary::from_records(&records);
-    let violations = match (problem, report.complete_outputs()) {
+    let engine_report = Engine::from_env()
+        .run_all(inst, algo, config)
+        .expect("sweep configs always select at least one start");
+    let violations = match (problem, engine_report.report.complete_outputs()) {
         (Some(p), Some(outputs)) => Some(count_violations(p, inst, &outputs)),
         _ => None,
     };
-    Measurement {
-        n: inst.n(),
-        max_volume: summary.max_volume,
-        mean_volume: summary.mean_volume,
-        max_distance: summary.max_distance,
-        mean_distance: summary.mean_distance,
-        truncated: records.iter().filter(|r| !r.completed).count(),
-        violations,
-    }
+    let mut m = finish_measurement(inst, algo, config, engine_report, extra_roots);
+    m.violations = violations;
+    m
 }
 
 /// [`measure`] without validity checking — for cost-only sweeps where the
 /// solver's output type differs from the reference problem's.
-pub fn measure_costs<A: QueryAlgorithm>(
-    inst: &Instance,
-    algo: &A,
-    config: &RunConfig,
-) -> Measurement {
+pub fn measure_costs<A>(inst: &Instance, algo: &A, config: &RunConfig) -> Measurement
+where
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
+{
     measure_costs_with_roots(inst, algo, config, &[])
 }
 
 /// [`measure_costs`] with always-included extremal start nodes.
-pub fn measure_costs_with_roots<A: QueryAlgorithm>(
+pub fn measure_costs_with_roots<A>(
     inst: &Instance,
     algo: &A,
     config: &RunConfig,
     extra_roots: &[usize],
-) -> Measurement {
-    let report = run_all(inst, algo, config);
-    let mut records = report.records;
+) -> Measurement
+where
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
+{
+    let engine_report = Engine::from_env()
+        .run_all(inst, algo, config)
+        .expect("sweep configs always select at least one start");
+    finish_measurement(inst, algo, config, engine_report, extra_roots)
+}
+
+/// Appends the serially-run `extra_roots` (the known-extremal initiating
+/// nodes deterministic sampling would miss) to an engine sweep and folds
+/// everything into a [`Measurement`].
+fn finish_measurement<A>(
+    inst: &Instance,
+    algo: &A,
+    config: &RunConfig,
+    engine_report: vc_engine::EngineReport<A::Output>,
+    extra_roots: &[usize],
+) -> Measurement
+where
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
+{
+    let starts_per_sec = engine_report.starts_per_sec();
+    let queries_per_sec = engine_report.queries_per_sec();
+    let mut records = engine_report.report.records;
     let covered: std::collections::BTreeSet<usize> =
         records.iter().map(|r| r.root).collect();
     for &root in extra_roots {
@@ -155,6 +175,8 @@ pub fn measure_costs_with_roots<A: QueryAlgorithm>(
         mean_distance: summary.mean_distance,
         truncated: records.iter().filter(|r| !r.completed).count(),
         violations: None,
+        starts_per_sec,
+        queries_per_sec,
     }
 }
 
@@ -296,6 +318,8 @@ mod tests {
             mean_distance: 1.5,
             truncated: 0,
             violations: Some(0),
+            starts_per_sec: 0.0,
+            queries_per_sec: 0.0,
         }];
         assert_eq!(volume_series(&ms), vec![(8.0, 4.0)]);
         assert_eq!(distance_series(&ms), vec![(8.0, 3.0)]);

@@ -608,7 +608,7 @@ mod tests {
     fn gadget_query_solves_with_logarithmic_volume() {
         let bits: Vec<bool> = (0..16).map(|i| i % 2 == 1).collect();
         let (inst, meta) = gen::two_tree_gadget(4, &bits);
-        let report = run_all(&inst, &GadgetQuery, &RunConfig::default());
+        let report = run_all(&inst, &GadgetQuery, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         for (i, &u) in meta.u_leaves.iter().enumerate() {
             assert_eq!(outputs[u], Some(bits[i]), "leaf {i}");

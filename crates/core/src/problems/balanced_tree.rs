@@ -466,7 +466,7 @@ mod tests {
     #[test]
     fn solver_outputs_all_balanced_on_compatible_instance() {
         let (inst, meta) = gen::balanced_tree_compatible(4);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(check_solution(&BalancedTree, &inst, &outputs).is_ok());
         assert_eq!(outputs[meta.root], BtOutput::balanced(None));
@@ -478,7 +478,7 @@ mod tests {
         let a = vec![false, true, false, false];
         let b = vec![false, true, false, false];
         let (inst, meta) = gen::disjointness_embedding(&a, &b);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(check_solution(&BalancedTree, &inst, &outputs).is_ok());
         // The root must report U (Lemma 4.7).
@@ -492,7 +492,7 @@ mod tests {
         let a = vec![true, false, true, false];
         let b = vec![false, true, false, true];
         let (inst, meta) = gen::disjointness_embedding(&a, &b);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(check_solution(&BalancedTree, &inst, &outputs).is_ok());
         assert_eq!(outputs[meta.root].flag, BtFlag::Balanced);
@@ -501,7 +501,7 @@ mod tests {
     #[test]
     fn solver_valid_on_unbalanced_tree() {
         let (inst, meta) = gen::unbalanced_tree(3);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(check_solution(&BalancedTree, &inst, &outputs).is_ok());
         assert_eq!(outputs[meta.root].flag, BtFlag::Unbalanced);
@@ -510,7 +510,7 @@ mod tests {
     #[test]
     fn solver_distance_is_logarithmic_volume_linear_at_root() {
         let (inst, meta) = gen::balanced_tree_compatible(7);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let s = report.summary();
         // Distance ≈ depth + O(1); the +O(1) comes from compatibility
         // checks touching lateral neighbors and grandchildren.
@@ -543,7 +543,7 @@ mod tests {
         let a = vec![true, true];
         let b = vec![true, true];
         let (inst, meta) = gen::disjointness_embedding(&a, &b);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let mut outputs = report.complete_outputs().unwrap();
         // The root's children include a U-child; force the root to claim B.
         outputs[meta.root] = BtOutput::balanced(None);

@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn trivial_problem_roundtrip() {
         let inst = gen::complete_binary_tree(3, vc_graph::Color::R, vc_graph::Color::B);
-        let report = run_all(&inst, &TrivialSolver, &RunConfig::default());
+        let report = run_all(&inst, &TrivialSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(check_solution(&TrivialLabel, &inst, &outputs).is_ok());
         assert_eq!(report.summary().max_volume, 1);
@@ -233,7 +233,7 @@ mod tests {
         for n in [3usize, 5, 8, 64, 257] {
             for seed in 0..3 {
                 let inst = gen::directed_cycle(n, seed);
-                let report = run_all(&inst, &ColeVishkin, &RunConfig::default());
+                let report = run_all(&inst, &ColeVishkin, &RunConfig::default()).unwrap();
                 let outputs = report.complete_outputs().unwrap();
                 let check = check_solution(&CycleColoring, &inst, &outputs);
                 assert!(check.is_ok(), "n={n} seed={seed}: {check:?}");
@@ -248,12 +248,12 @@ mod tests {
             &gen::directed_cycle(16, 1),
             &ColeVishkin,
             &RunConfig::default(),
-        );
+        ).unwrap();
         let large = run_all(
             &gen::directed_cycle(4096, 1),
             &ColeVishkin,
             &RunConfig::default(),
-        );
+        ).unwrap();
         assert_eq!(
             small.summary().max_volume,
             large.summary().max_volume,

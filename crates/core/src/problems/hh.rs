@@ -171,7 +171,7 @@ mod tests {
         for seed in 0..3 {
             let inst = gen::hh(2, 2, 500, seed);
             let problem = HhThc::new(2, 2);
-            let report = run_all(&inst, &DistanceSolver { k: 2, l: 2 }, &RunConfig::default());
+            let report = run_all(&inst, &DistanceSolver { k: 2, l: 2 }, &RunConfig::default()).unwrap();
             let outputs = report.complete_outputs().unwrap();
             let check = check_solution(&problem, &inst, &outputs);
             assert!(check.is_ok(), "seed {seed}: {check:?}");
@@ -187,7 +187,7 @@ mod tests {
                 tape: Some(RandomTape::private(5)),
                 ..RunConfig::default()
             };
-            let report = run_all(&inst, &RandomizedSolver { k, l }, &config);
+            let report = run_all(&inst, &RandomizedSolver { k, l }, &config).unwrap();
             let outputs = report.complete_outputs().unwrap();
             let check = check_solution(&problem, &inst, &outputs);
             assert!(check.is_ok(), "k={k} l={l}: {check:?}");
@@ -202,7 +202,7 @@ mod tests {
             &inst,
             &DeterministicVolumeSolver { k: 2, l: 2 },
             &RunConfig::default(),
-        );
+        ).unwrap();
         let outputs = report.complete_outputs().unwrap();
         let check = check_solution(&problem, &inst, &outputs);
         assert!(check.is_ok(), "{check:?}");

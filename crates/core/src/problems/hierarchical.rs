@@ -515,7 +515,7 @@ mod tests {
                     seed,
                 });
                 let problem = HierarchicalThc::new(k);
-                let report = run_all(&inst, &DeterministicSolver { k }, &RunConfig::default());
+                let report = run_all(&inst, &DeterministicSolver { k }, &RunConfig::default()).unwrap();
                 let outputs = report.complete_outputs().unwrap();
                 assert!(
                     check_solution(&problem, &inst, &outputs).is_ok(),
@@ -534,7 +534,7 @@ mod tests {
             seed: 3,
         });
         let problem = HierarchicalThc::new(2);
-        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default());
+        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(check_solution(&problem, &inst, &outputs).is_ok());
     }
@@ -548,7 +548,7 @@ mod tests {
         });
         // n = 12, threshold = 2·⌈√12⌉ = 8 ≥ 3: all components shallow, so
         // every node outputs a color — no D, no X.
-        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default());
+        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(outputs.iter().all(|c| c.is_color()));
         assert!(check_solution(&HierarchicalThc::new(2), &inst, &outputs).is_ok());
@@ -564,7 +564,7 @@ mod tests {
             seed: 2,
         });
         let problem = HierarchicalThc::new(2);
-        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default());
+        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(outputs.iter().all(|&c| c == ThcColor::D));
         assert!(check_solution(&problem, &inst, &outputs).is_ok());
@@ -578,7 +578,7 @@ mod tests {
         // skew: a long level-2 backbone with unit level-1 components.
         let inst = skewed_instance(200, 4);
         let problem = HierarchicalThc::new(2);
-        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default());
+        let report = run_all(&inst, &DeterministicSolver { k: 2 }, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         let check = check_solution(&problem, &inst, &outputs);
         assert!(check.is_ok(), "{check:?}");
@@ -623,7 +623,7 @@ mod tests {
         for seed in 0..3 {
             let inst = gen::hierarchical_for_size(2, 900, seed);
             let problem = HierarchicalThc::new(2);
-            let report = run_all(&inst, &RandomizedSolver::new(2), &rand_config(seed));
+            let report = run_all(&inst, &RandomizedSolver::new(2), &rand_config(seed)).unwrap();
             let outputs = report.complete_outputs().unwrap();
             assert!(
                 check_solution(&problem, &inst, &outputs).is_ok(),
@@ -637,7 +637,7 @@ mod tests {
     fn randomized_solver_valid_on_skewed_instances() {
         let inst = skewed_instance(300, 9);
         let problem = HierarchicalThc::new(2);
-        let report = run_all(&inst, &RandomizedSolver::new(2), &rand_config(5));
+        let report = run_all(&inst, &RandomizedSolver::new(2), &rand_config(5)).unwrap();
         let outputs = report.complete_outputs().unwrap();
         let check = check_solution(&problem, &inst, &outputs);
         assert!(check.is_ok(), "{check:?}");
@@ -655,7 +655,7 @@ mod tests {
                 exact_distance: false,
                 ..RunConfig::default()
             },
-        );
+        ).unwrap();
         let rnd = run_all(
             &inst,
             &RandomizedSolver::new(2),
@@ -665,7 +665,7 @@ mod tests {
                 exact_distance: false,
                 ..RunConfig::default()
             },
-        );
+        ).unwrap();
         assert!(rnd.summary().max_volume <= det.summary().max_volume);
     }
 
@@ -693,7 +693,7 @@ mod tests {
             seed: 9,
         });
         let problem = HierarchicalThc::new(1);
-        let report = run_all(&inst, &DeterministicSolver { k: 1 }, &RunConfig::default());
+        let report = run_all(&inst, &DeterministicSolver { k: 1 }, &RunConfig::default()).unwrap();
         let mut outputs = report.complete_outputs().unwrap();
         assert!(check_solution(&problem, &inst, &outputs).is_ok());
         let lvl = structure::levels_capped(&inst, 1);

@@ -584,7 +584,7 @@ mod tests {
         for seed in 0..4 {
             let inst = small_instance(seed);
             let problem = HybridThc::new(2);
-            let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+            let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
             let outputs = report.complete_outputs().unwrap();
             let check = check_solution(&problem, &inst, &outputs);
             assert!(check.is_ok(), "seed {seed}: {check:?}");
@@ -601,7 +601,7 @@ mod tests {
     #[test]
     fn distance_solver_distance_is_logarithmic() {
         let inst = gen::hybrid_for_size(2, 2000, 3);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let s = report.summary();
         // BT depth ≈ log(n^(1/2)) plus O(1) checks.
         let bound = (inst.n() as f64).log2() as u32 + 4;
@@ -616,7 +616,7 @@ mod tests {
             for seed in 0..3 {
                 let inst = gen::hybrid_for_size(k, 800, seed);
                 let problem = HybridThc::new(k);
-                let report = run_all(&inst, &RandomizedSolver::new(k), &rand_config(seed));
+                let report = run_all(&inst, &RandomizedSolver::new(k), &rand_config(seed)).unwrap();
                 let outputs = report.complete_outputs().unwrap();
                 let check = check_solution(&problem, &inst, &outputs);
                 assert!(check.is_ok(), "k={k} seed={seed}: {check:?}");
@@ -632,7 +632,7 @@ mod tests {
             &inst,
             &DeterministicVolumeSolver { k: 2 },
             &RunConfig::default(),
-        );
+        ).unwrap();
         let outputs = report.complete_outputs().unwrap();
         let check = check_solution(&problem, &inst, &outputs);
         assert!(check.is_ok(), "{check:?}");
@@ -650,7 +650,7 @@ mod tests {
                 exact_distance: false,
                 ..RunConfig::default()
             },
-        );
+        ).unwrap();
         let s = report.summary();
         assert!(
             s.max_volume < inst.n() / 3,
@@ -691,7 +691,7 @@ mod tests {
     fn checker_rejects_mixed_level1_component() {
         let inst = small_instance(3);
         let problem = HybridThc::new(2);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let mut outputs = report.complete_outputs().unwrap();
         // Flip a single level-1 internal node to D inside a solved BT.
         let v = (0..inst.n())
@@ -710,7 +710,7 @@ mod tests {
     fn declining_one_component_with_consistent_parent_is_valid() {
         let inst = small_instance(4);
         let problem = HybridThc::new(2);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let mut outputs = report.complete_outputs().unwrap();
         // Decline the BT below the last backbone node (a level-2 leaf) and
         // let that leaf keep its input color (condition 2); all other
@@ -743,7 +743,7 @@ mod tests {
     #[test]
     fn outputs_are_pairs_exactly_at_level1_for_solved_instances() {
         let inst = gen::hybrid_for_size(3, 600, 5);
-        let report = run_all(&inst, &RandomizedSolver::new(3), &rand_config(6));
+        let report = run_all(&inst, &RandomizedSolver::new(3), &rand_config(6)).unwrap();
         let outputs = report.complete_outputs().unwrap();
         for (v, out) in outputs.iter().enumerate() {
             if inst.labels[v].level != Some(1) {

@@ -246,7 +246,7 @@ mod tests {
         // Hidden-leaf-color instance of Proposition 3.12: unique solution is
         // the leaf color everywhere.
         let inst = gen::complete_binary_tree(5, Color::R, Color::B);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(outputs.iter().all(|&c| c == Color::B));
         assert!(check_solution(&LeafColoring, &inst, &outputs).is_ok());
@@ -260,7 +260,7 @@ mod tests {
     fn distance_solver_on_random_trees() {
         for seed in 0..5 {
             let inst = gen::random_full_binary_tree(150, seed);
-            let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+            let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
             let outputs = report.complete_outputs().unwrap();
             assert!(
                 check_solution(&LeafColoring, &inst, &outputs).is_ok(),
@@ -273,7 +273,7 @@ mod tests {
     fn distance_solver_on_pseudo_trees_with_cycles() {
         for seed in 0..5 {
             let inst = gen::pseudo_tree(120, 7, seed);
-            let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+            let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
             let outputs = report.complete_outputs().unwrap();
             assert!(
                 check_solution(&LeafColoring, &inst, &outputs).is_ok(),
@@ -286,7 +286,7 @@ mod tests {
     fn rw_to_leaf_valid_on_random_trees() {
         for seed in 0..5 {
             let inst = gen::random_full_binary_tree(150, seed);
-            let report = run_all(&inst, &RwToLeaf::default(), &config_with_tape(seed));
+            let report = run_all(&inst, &RwToLeaf::default(), &config_with_tape(seed)).unwrap();
             let outputs = report.complete_outputs().unwrap();
             assert!(
                 check_solution(&LeafColoring, &inst, &outputs).is_ok(),
@@ -300,7 +300,7 @@ mod tests {
     fn rw_to_leaf_valid_on_cycles() {
         for seed in 0..5 {
             let inst = gen::pseudo_tree(150, 9, seed);
-            let report = run_all(&inst, &RwToLeaf::default(), &config_with_tape(100 + seed));
+            let report = run_all(&inst, &RwToLeaf::default(), &config_with_tape(100 + seed)).unwrap();
             let outputs = report.complete_outputs().unwrap();
             assert!(
                 check_solution(&LeafColoring, &inst, &outputs).is_ok(),
@@ -312,7 +312,7 @@ mod tests {
     #[test]
     fn rw_to_leaf_volume_is_logarithmic() {
         let inst = gen::complete_binary_tree(9, Color::R, Color::B); // n = 1023
-        let report = run_all(&inst, &RwToLeaf::default(), &config_with_tape(7));
+        let report = run_all(&inst, &RwToLeaf::default(), &config_with_tape(7)).unwrap();
         let s = report.summary();
         // Each step costs O(1) queries; whp the walk is ≤ 16 log n long.
         assert!(
@@ -332,7 +332,7 @@ mod tests {
             starts: StartSelection::All,
             exact_distance: true,
         };
-        let report = run_all(&inst, &RwToLeaf::default(), &config);
+        let report = run_all(&inst, &RwToLeaf::default(), &config).unwrap();
         // Many executions get truncated and output the fallback; the
         // labeling is then (almost surely) invalid — which is the point of
         // the truncation experiments.
@@ -346,7 +346,7 @@ mod tests {
         // All nodes on the walk from the root output the same color as the
         // leaf the walk reaches — the coupling through r_w(0).
         let inst = gen::random_full_binary_tree(80, 2);
-        let report = run_all(&inst, &RwToLeaf::default(), &config_with_tape(2));
+        let report = run_all(&inst, &RwToLeaf::default(), &config_with_tape(2)).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(check_solution(&LeafColoring, &inst, &outputs).is_ok());
     }
@@ -361,7 +361,7 @@ mod tests {
             tape: Some(RandomTape::secret(4)),
             ..RunConfig::default()
         };
-        let report = run_all(&inst, &RwToLeaf::default(), &config);
+        let report = run_all(&inst, &RwToLeaf::default(), &config).unwrap();
         assert!(report.truncated() > 0, "RWtoLeaf needs non-secret bits");
     }
 }

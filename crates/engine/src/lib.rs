@@ -1,0 +1,392 @@
+//! # vc-engine
+//!
+//! A sharded, deterministic sweep runner for the query-model experiments.
+//!
+//! The experiments of the paper sweep an algorithm over every (or a sampled
+//! set of) start node(s) of an instance (`run_all` in `vc-model`). The
+//! executions are independent — the query model gives each initiating node
+//! its own visited set `V_v` (§2.2) — so the sweep is embarrassingly
+//! parallel. This crate shards the start set over `std::thread::scope`
+//! worker threads while keeping the result **bit-for-bit identical to the
+//! serial runner for any thread count**:
+//!
+//! * The start set is cut into fixed-size chunks ([`CHUNK`]) whose
+//!   boundaries depend only on the number of starts, never on the number of
+//!   workers. Workers claim chunks from an atomic counter, so scheduling is
+//!   racy, but each chunk's content and index are not.
+//! * Outputs and [`ExecutionRecord`]s are placed by chunk index, so the
+//!   merged [`RunReport`] lists records in start order exactly like the
+//!   serial runner.
+//! * Cost aggregation goes through [`CostAccumulator`], whose partial state
+//!   is purely integral; merging per-chunk partials (in chunk order) yields
+//!   the same [`CostSummary`] bits as a serial fold regardless of how chunks
+//!   were distributed over threads.
+//!
+//! With one worker the engine delegates to `vc_model::run::run_all`
+//! directly, making the serial runner the semantic anchor the determinism
+//! tests compare against.
+//!
+//! The worker count defaults to `std::thread::available_parallelism` and can
+//! be overridden with the `VC_THREADS` environment variable.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use vc_graph::Instance;
+use vc_model::cost::{CostAccumulator, CostSummary, ExecutionRecord};
+use vc_model::oracle::ExecScratch;
+use vc_model::run::{run_from_with, QueryAlgorithm, RunConfig, RunReport, StartError};
+
+/// Start nodes per work chunk. Fixed (instead of derived from the worker
+/// count) so the partition of the start set — and therefore the merge order
+/// of outputs, records and cost partials — is identical for every thread
+/// count.
+pub const CHUNK: usize = 64;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "VC_THREADS";
+
+/// A sharded sweep runner with a fixed worker-thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine with the ambient worker count: the `VC_THREADS` environment
+    /// variable when set to a positive integer, otherwise
+    /// `std::thread::available_parallelism`, otherwise 1.
+    pub fn from_env() -> Self {
+        let ambient = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1);
+        let threads = match ambient {
+            Some(t) => t,
+            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        };
+        Self::with_threads(threads)
+    }
+
+    /// An engine with exactly `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `algo` from every selected start node of `inst`, sharding the
+    /// sweep over the engine's worker threads.
+    ///
+    /// Outputs, records and the cost summary are bit-for-bit identical to
+    /// `vc_model::run::run_all` for every thread count; only
+    /// [`EngineReport::elapsed`] (and the throughput rates derived from it)
+    /// varies between runs.
+    ///
+    /// # Errors
+    ///
+    /// [`StartError`] when the configured start selection is invalid, same
+    /// as the serial runner.
+    pub fn run_all<A>(
+        &self,
+        inst: &Instance,
+        algo: &A,
+        config: &RunConfig,
+    ) -> Result<EngineReport<A::Output>, StartError>
+    where
+        A: QueryAlgorithm + Sync,
+        A::Output: Send,
+    {
+        let t0 = Instant::now();
+        let starts = config.starts.starts(inst.n())?;
+        let num_chunks = starts.len().div_ceil(CHUNK);
+        let workers = self.threads.min(num_chunks.max(1));
+        let (report, acc) = if workers <= 1 {
+            run_serial(inst, algo, config)?
+        } else {
+            run_sharded(inst, algo, config, &starts, num_chunks, workers)
+        };
+        Ok(EngineReport {
+            summary: acc.finish(),
+            total_queries: acc.total_queries(),
+            report,
+            threads: workers,
+            elapsed: t0.elapsed(),
+        })
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// One worker: the exact serial loop of `vc_model::run::run_all`, plus the
+/// streaming cost fold. Keeping this the literal delegate makes "engine at
+/// one thread equals the serial runner" true by construction.
+fn run_serial<A: QueryAlgorithm>(
+    inst: &Instance,
+    algo: &A,
+    config: &RunConfig,
+) -> Result<(RunReport<A::Output>, CostAccumulator), StartError> {
+    let report = vc_model::run::run_all(inst, algo, config)?;
+    let mut acc = CostAccumulator::default();
+    for rec in &report.records {
+        acc.add(rec);
+    }
+    Ok((report, acc))
+}
+
+/// The work a single chunk produces: `(root, output, record)` per start, in
+/// chunk-local start order, plus the chunk's cost partial.
+type ChunkResult<O> = (Vec<(usize, O, ExecutionRecord)>, CostAccumulator);
+
+/// What one worker thread hands back at join: every chunk it claimed,
+/// tagged with the chunk's index for order-independent reassembly.
+type WorkerResult<O> = std::thread::Result<Vec<(usize, ChunkResult<O>)>>;
+
+fn run_sharded<A>(
+    inst: &Instance,
+    algo: &A,
+    config: &RunConfig,
+    starts: &[usize],
+    num_chunks: usize,
+    workers: usize,
+) -> (RunReport<A::Output>, CostAccumulator)
+where
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
+{
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<ChunkResult<A::Output>>> = Vec::with_capacity(num_chunks);
+    slots.resize_with(num_chunks, || None);
+
+    let joined: Vec<WorkerResult<A::Output>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut scratch = ExecScratch::new();
+                        let mut produced = Vec::new();
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= num_chunks {
+                                break;
+                            }
+                            let lo = c * CHUNK;
+                            let hi = starts.len().min(lo + CHUNK);
+                            let mut outs = Vec::with_capacity(hi - lo);
+                            let mut acc = CostAccumulator::default();
+                            for &root in &starts[lo..hi] {
+                                let (out, rec) =
+                                    run_from_with(inst, algo, root, config, &mut scratch);
+                                acc.add(&rec);
+                                outs.push((root, out, rec));
+                            }
+                            produced.push((c, (outs, acc)));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+    for res in joined {
+        match res {
+            Ok(produced) => {
+                for (c, chunk) in produced {
+                    slots[c] = Some(chunk);
+                }
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    // Merge in chunk order: chunks partition `starts` contiguously, so this
+    // reproduces the serial runner's start-order records exactly.
+    let mut outputs = vec![None; inst.n()];
+    let mut records = Vec::with_capacity(starts.len());
+    let mut total = CostAccumulator::default();
+    assert!(
+        slots.iter().all(Option::is_some),
+        "every chunk index below num_chunks is claimed by some worker"
+    );
+    for (outs, acc) in slots.into_iter().flatten() {
+        total.merge(&acc);
+        for (root, out, rec) in outs {
+            outputs[root] = Some(out);
+            records.push(rec);
+        }
+    }
+    assert!(
+        records.len() == starts.len(),
+        "merged records must cover every start"
+    );
+    (RunReport { outputs, records }, total)
+}
+
+/// The result of a sharded sweep: the serial-identical [`RunReport`] plus
+/// aggregate costs and wall-clock throughput.
+#[derive(Clone, Debug)]
+pub struct EngineReport<O> {
+    /// Per-node outputs and per-execution records, bit-identical to the
+    /// serial runner's report.
+    pub report: RunReport<O>,
+    /// Aggregated costs (merged from per-chunk integral partials; identical
+    /// to `report.summary()` for every thread count).
+    pub summary: CostSummary,
+    /// Worker threads actually used (after clamping to the chunk count).
+    pub threads: usize,
+    /// Wall-clock duration of the sweep. The only field that varies between
+    /// runs.
+    pub elapsed: Duration,
+    /// Total queries across all executions.
+    pub total_queries: u128,
+}
+
+impl<O> EngineReport<O> {
+    /// Executions per wall-clock second.
+    pub fn starts_per_sec(&self) -> f64 {
+        rate(self.report.records.len() as f64, self.elapsed)
+    }
+
+    /// Oracle queries per wall-clock second.
+    pub fn queries_per_sec(&self) -> f64 {
+        rate(self.total_queries as f64, self.elapsed)
+    }
+}
+
+fn rate(count: f64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        count / secs
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_graph::{gen, Color};
+    use vc_model::oracle::{follow, Oracle, QueryError};
+    use vc_model::run::StartSelection;
+    use vc_model::Budget;
+
+    /// Toy algorithm: walk left children until none remains.
+    struct WalkLeft;
+
+    impl QueryAlgorithm for WalkLeft {
+        type Output = u32;
+
+        fn fallback(&self) -> u32 {
+            u32::MAX
+        }
+
+        fn run(&self, oracle: &mut dyn Oracle) -> Result<u32, QueryError> {
+            let mut cur = oracle.root();
+            let mut steps = 0;
+            while let Some(next) = follow(oracle, &cur, cur.label.left_child)? {
+                cur = next;
+                steps += 1;
+            }
+            Ok(steps)
+        }
+    }
+
+    fn assert_equal_reports(a: &EngineReport<u32>, b: &RunReport<u32>) {
+        assert_eq!(a.report.outputs, b.outputs);
+        assert_eq!(a.report.records, b.records);
+        assert_eq!(a.summary, b.summary());
+        assert_eq!(a.report.truncated(), b.truncated());
+    }
+
+    #[test]
+    fn one_thread_equals_serial_runner() {
+        let inst = gen::random_full_binary_tree(301, 5);
+        let config = RunConfig::default();
+        let serial = vc_model::run::run_all(&inst, &WalkLeft, &config).unwrap();
+        let engine = Engine::with_threads(1).run_all(&inst, &WalkLeft, &config).unwrap();
+        assert_eq!(engine.threads, 1);
+        assert_equal_reports(&engine, &serial);
+    }
+
+    #[test]
+    fn many_threads_equal_serial_runner() {
+        let inst = gen::random_full_binary_tree(777, 9);
+        let config = RunConfig::default();
+        let serial = vc_model::run::run_all(&inst, &WalkLeft, &config).unwrap();
+        for threads in [2, 3, 8] {
+            let engine = Engine::with_threads(threads)
+                .run_all(&inst, &WalkLeft, &config)
+                .unwrap();
+            assert_equal_reports(&engine, &serial);
+        }
+    }
+
+    #[test]
+    fn truncation_is_thread_count_independent() {
+        let inst = gen::complete_binary_tree(7, Color::R, Color::B);
+        let config = RunConfig {
+            budget: Budget::volume(3),
+            ..RunConfig::default()
+        };
+        let serial = vc_model::run::run_all(&inst, &WalkLeft, &config).unwrap();
+        assert!(serial.truncated() > 0);
+        for threads in [1, 4] {
+            let engine = Engine::with_threads(threads)
+                .run_all(&inst, &WalkLeft, &config)
+                .unwrap();
+            assert_equal_reports(&engine, &serial);
+        }
+    }
+
+    #[test]
+    fn sampled_starts_merge_identically() {
+        let inst = gen::random_full_binary_tree(900, 2);
+        let config = RunConfig {
+            starts: StartSelection::Sample {
+                count: 300,
+                seed: 42,
+            },
+            ..RunConfig::default()
+        };
+        let serial = vc_model::run::run_all(&inst, &WalkLeft, &config).unwrap();
+        let engine = Engine::with_threads(8).run_all(&inst, &WalkLeft, &config).unwrap();
+        assert_equal_reports(&engine, &serial);
+    }
+
+    #[test]
+    fn start_errors_propagate() {
+        let inst = gen::complete_binary_tree(2, Color::R, Color::B);
+        let config = RunConfig {
+            starts: StartSelection::Sample { count: 0, seed: 0 },
+            ..RunConfig::default()
+        };
+        let err = Engine::with_threads(4).run_all(&inst, &WalkLeft, &config).unwrap_err();
+        assert_eq!(err, StartError::EmptySample);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(Engine::with_threads(0).threads(), 1);
+        assert!(Engine::from_env().threads() >= 1);
+        // A tiny sweep cannot use more workers than chunks.
+        let inst = gen::complete_binary_tree(2, Color::R, Color::B);
+        let engine = Engine::with_threads(16)
+            .run_all(&inst, &WalkLeft, &RunConfig::default())
+            .unwrap();
+        assert_eq!(engine.threads, 1);
+        assert!(engine.starts_per_sec() >= 0.0);
+        assert!(engine.queries_per_sec() >= 0.0);
+    }
+}

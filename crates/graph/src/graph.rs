@@ -42,6 +42,10 @@ pub enum GraphError {
         /// The node that was connected to itself.
         node: NodeIdx,
     },
+    /// The flat CSR arrays are internally inconsistent (possible only for
+    /// graphs deserialized from untrusted data; the builder always produces
+    /// well-formed CSR).
+    MalformedCsr,
 }
 
 impl fmt::Display for GraphError {
@@ -59,6 +63,7 @@ impl fmt::Display for GraphError {
             }
             GraphError::DuplicateId { id } => write!(f, "duplicate unique identifier {id}"),
             GraphError::SelfLoop { node } => write!(f, "self-loop requested at node {node}"),
+            GraphError::MalformedCsr => write!(f, "flat CSR adjacency arrays are inconsistent"),
         }
     }
 }
@@ -75,18 +80,42 @@ impl Error for GraphError {}
 ///
 /// Construct via [`GraphBuilder`]; a built graph is always structurally
 /// valid (validated ports, symmetric edges, distinct identifiers).
+///
+/// ## Representation
+///
+/// Adjacency is stored in *compressed sparse row* (CSR) form: three flat
+/// arrays shared by all nodes. Node `v`'s ports occupy the contiguous slice
+/// `offsets[v] .. offsets[v + 1]` of `neighbors` (the endpoint behind each
+/// port, in port order — ports are contiguous `1..=deg(v)`, so the slice
+/// *is* the port table) and of `ports` (the reverse port `p(w, v)` of the
+/// same slot). Both `neighbor` and `reverse_port` lookups are a single
+/// bounds-checked flat-array access — no per-node `Vec` indirection — which
+/// is what keeps the query-model hot loop in `vc-model` cache-friendly.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
-    /// `adj[v][p-1]` = neighbor reached from `v` through port `p`.
-    adj: Vec<Vec<u32>>,
+    /// CSR row offsets; node `v`'s slots are `offsets[v]..offsets[v+1]`.
+    /// Always `n + 1` entries with `offsets[0] == 0`.
+    offsets: Vec<u32>,
+    /// `neighbors[offsets[v] + p - 1]` = neighbor reached from `v` through
+    /// port `p`.
+    neighbors: Vec<u32>,
+    /// `ports[offsets[v] + p - 1]` = the port through which that neighbor
+    /// reaches `v` back (the mirror port `p(w, v)`).
+    ports: Vec<u8>,
     /// Unique identifiers.
     ids: Vec<u64>,
 }
 
 impl Graph {
+    /// Node `v`'s neighbor row (port order).
+    #[inline]
+    fn row(&self, v: NodeIdx) -> &[u32] {
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
     /// Number of nodes `n = |V|`.
     pub fn n(&self) -> usize {
-        self.adj.len()
+        self.ids.len()
     }
 
     /// Degree of `v`.
@@ -94,29 +123,49 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `v >= n`.
+    #[inline]
     pub fn degree(&self, v: NodeIdx) -> usize {
-        self.adj[v].len()
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// Maximum degree `Δ` over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Unique identifier of `v`.
+    #[inline]
     pub fn id(&self, v: NodeIdx) -> u64 {
         self.ids[v]
     }
 
     /// The neighbor reached from `v` through `port`, or `None` if the port
     /// number exceeds `deg(v)`.
+    #[inline]
     pub fn neighbor(&self, v: NodeIdx, port: Port) -> Option<NodeIdx> {
-        self.adj[v].get(port.index()).map(|&w| w as NodeIdx)
+        self.row(v).get(port.index()).map(|&w| w as NodeIdx)
+    }
+
+    /// The port through which the neighbor behind `(v, port)` reaches `v`
+    /// back: `p(w, v)` for `w = neighbor(v, port)`. `None` when the port
+    /// number exceeds `deg(v)`.
+    ///
+    /// O(1) via the flat CSR mirror-port array — walk-style solvers use this
+    /// to step back across an edge without scanning the far endpoint's row.
+    #[inline]
+    pub fn reverse_port(&self, v: NodeIdx, port: Port) -> Option<Port> {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        self.ports[lo..hi].get(port.index()).map(|&p| Port::new(p))
     }
 
     /// The port through which `v` reaches `w`, if `{v, w}` is an edge.
     pub fn port_to(&self, v: NodeIdx, w: NodeIdx) -> Option<Port> {
-        self.adj[v]
+        self.row(v)
             .iter()
             .position(|&u| u as usize == w)
             .map(Port::from_index)
@@ -124,20 +173,21 @@ impl Graph {
 
     /// Iterates over the neighbors of `v` in port order.
     pub fn neighbors(&self, v: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
-        self.adj[v].iter().map(|&w| w as NodeIdx)
+        self.row(v).iter().map(|&w| w as NodeIdx)
     }
 
     /// Iterates over all undirected edges `(v, w)` with `v < w`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeIdx, NodeIdx)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(v, row)| {
-            row.iter()
+        (0..self.n()).flat_map(move |v| {
+            self.row(v)
+                .iter()
                 .filter_map(move |&w| (v < w as usize).then_some((v, w as usize)))
         })
     }
 
     /// Number of undirected edges.
     pub fn m(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.neighbors.len() / 2
     }
 
     /// BFS distances from `src`; unreachable nodes get `u32::MAX`.
@@ -189,22 +239,33 @@ impl Graph {
         out
     }
 
-    /// Checks structural validity (symmetric edges, unique identifiers, no
-    /// self-loops). Builders enforce this, so it only fails for graphs
-    /// deserialized from untrusted data.
+    /// Checks structural validity (well-formed CSR arrays, symmetric edges,
+    /// consistent mirror ports, unique identifiers, no self-loops). Builders
+    /// enforce this, so it only fails for graphs deserialized from untrusted
+    /// data.
     ///
     /// # Errors
     ///
     /// Returns the first violated structural constraint.
     pub fn validate(&self) -> Result<(), GraphError> {
+        // CSR shape first, so the per-edge checks below can index freely.
+        let n = self.ids.len();
+        if self.offsets.len() != n + 1
+            || self.offsets.first() != Some(&0)
+            || self.offsets.windows(2).any(|w| w[0] > w[1])
+            || self.offsets.last().map(|&e| e as usize) != Some(self.neighbors.len())
+            || self.ports.len() != self.neighbors.len()
+        {
+            return Err(GraphError::MalformedCsr);
+        }
         let mut seen = HashSet::with_capacity(self.n());
         for &id in &self.ids {
             if !seen.insert(id) {
                 return Err(GraphError::DuplicateId { id });
             }
         }
-        for (v, row) in self.adj.iter().enumerate() {
-            for &w in row {
+        for v in 0..n {
+            for (i, &w) in self.row(v).iter().enumerate() {
                 let w = w as usize;
                 if w >= self.n() {
                     return Err(GraphError::NoSuchNode(w));
@@ -212,7 +273,15 @@ impl Graph {
                 if w == v {
                     return Err(GraphError::SelfLoop { node: v });
                 }
-                if !self.adj[w].iter().any(|&u| u as usize == v) {
+                // The mirror port must lead straight back along this edge.
+                let back = self.ports[self.offsets[v] as usize + i];
+                if back == 0 || usize::from(back) > self.degree(w) {
+                    return Err(GraphError::AsymmetricEdge { from: v, to: w });
+                }
+                let mirror_slot = self.offsets[w] as usize + usize::from(back) - 1;
+                if self.neighbors[mirror_slot] as usize != v
+                    || usize::from(self.ports[mirror_slot]) != i + 1
+                {
                     return Err(GraphError::AsymmetricEdge { from: v, to: w });
                 }
             }
@@ -246,8 +315,10 @@ impl Graph {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct GraphBuilder {
-    /// Per node: (port number, neighbor) pairs, unsorted.
-    ports: Vec<Vec<(u8, u32)>>,
+    /// Per node: `(port number, neighbor, reverse port)` triples, unsorted.
+    /// The reverse port is recorded at `connect` time so the built CSR's
+    /// mirror-port array needs no quadratic reconstruction scan.
+    ports: Vec<Vec<(u8, u32, u8)>>,
     ids: Vec<u64>,
 }
 
@@ -300,7 +371,7 @@ impl GraphBuilder {
     /// The smallest unused port number at `v` (1-based).
     pub fn next_free_port(&self, v: NodeIdx) -> u8 {
         (1..=255u8)
-            .find(|p| !self.ports[v].iter().any(|&(q, _)| q == *p))
+            .find(|p| !self.ports[v].iter().any(|&(q, _, _)| q == *p))
             .expect("more than 254 ports on one node")
     }
 
@@ -320,20 +391,20 @@ impl GraphBuilder {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
-        if self.ports[u].iter().any(|&(p, _)| p == pu) {
+        if self.ports[u].iter().any(|&(p, _, _)| p == pu) {
             return Err(GraphError::PortInUse {
                 node: u,
                 port: Port::new(pu),
             });
         }
-        if self.ports[v].iter().any(|&(p, _)| p == pv) {
+        if self.ports[v].iter().any(|&(p, _, _)| p == pv) {
             return Err(GraphError::PortInUse {
                 node: v,
                 port: Port::new(pv),
             });
         }
-        self.ports[u].push((pu, v as u32));
-        self.ports[v].push((pv, u as u32));
+        self.ports[u].push((pu, v as u32, pv));
+        self.ports[v].push((pv, u as u32, pu));
         Ok(())
     }
 
@@ -356,25 +427,33 @@ impl GraphBuilder {
         Ok((Port::new(pu), Port::new(pv)))
     }
 
-    /// Finalizes the graph, validating port contiguity, edge symmetry and
-    /// identifier uniqueness.
+    /// Finalizes the graph into its flat CSR representation, validating port
+    /// contiguity, edge symmetry and identifier uniqueness.
     ///
     /// # Errors
     ///
     /// Returns the first violated structural constraint.
     pub fn build(self) -> Result<Graph, GraphError> {
-        let mut adj = Vec::with_capacity(self.ports.len());
+        let slots: usize = self.ports.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(self.ports.len() + 1);
+        let mut neighbors = Vec::with_capacity(slots);
+        let mut ports = Vec::with_capacity(slots);
+        offsets.push(0u32);
         for (v, mut row) in self.ports.into_iter().enumerate() {
-            row.sort_unstable_by_key(|&(p, _)| p);
-            for (i, &(p, _)) in row.iter().enumerate() {
+            row.sort_unstable_by_key(|&(p, _, _)| p);
+            for (i, &(p, w, back)) in row.iter().enumerate() {
                 if usize::from(p) != i + 1 {
                     return Err(GraphError::PortsNotContiguous { node: v });
                 }
+                neighbors.push(w);
+                ports.push(back);
             }
-            adj.push(row.into_iter().map(|(_, w)| w).collect());
+            offsets.push(neighbors.len() as u32);
         }
         let g = Graph {
-            adj,
+            offsets,
+            neighbors,
+            ports,
             ids: self.ids,
         };
         g.validate()?;
@@ -509,6 +588,32 @@ mod tests {
     }
 
     #[test]
+    fn reverse_port_mirrors_every_edge() {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.connect(0, 2, 1, 1).unwrap();
+        b.connect(0, 1, 2, 1).unwrap();
+        let g = b.build().unwrap();
+        // Edge {0, 1} uses ports (2, 1); edge {0, 2} uses ports (1, 1).
+        assert_eq!(g.reverse_port(0, Port::new(2)), Some(Port::new(1)));
+        assert_eq!(g.reverse_port(1, Port::new(1)), Some(Port::new(2)));
+        assert_eq!(g.reverse_port(0, Port::new(1)), Some(Port::new(1)));
+        assert_eq!(g.reverse_port(2, Port::new(1)), Some(Port::new(1)));
+        // Out-of-range port resolves to None, mirroring `neighbor`.
+        assert_eq!(g.reverse_port(1, Port::new(5)), None);
+    }
+
+    #[test]
+    fn reverse_port_agrees_with_port_to() {
+        let g = path(6);
+        for v in 0..g.n() {
+            for p in 1..=g.degree(v) as u8 {
+                let w = g.neighbor(v, Port::new(p)).unwrap();
+                assert_eq!(g.reverse_port(v, Port::new(p)), g.port_to(w, v));
+            }
+        }
+    }
+
+    #[test]
     fn errors_display_nonempty() {
         let errs: Vec<GraphError> = vec![
             GraphError::NoSuchNode(1),
@@ -520,6 +625,7 @@ mod tests {
             GraphError::AsymmetricEdge { from: 0, to: 1 },
             GraphError::DuplicateId { id: 9 },
             GraphError::SelfLoop { node: 3 },
+            GraphError::MalformedCsr,
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -32,7 +32,9 @@ pub mod oracle;
 pub mod randomness;
 pub mod run;
 
-pub use cost::{Budget, CostSummary, ExecutionRecord};
-pub use oracle::{Execution, NodeView, Oracle, QueryError};
+pub use cost::{Budget, CostAccumulator, CostSummary, ExecutionRecord};
+pub use oracle::{ExecScratch, Execution, NodeView, Oracle, QueryError};
 pub use randomness::{RandomTape, RandomnessMode};
-pub use run::{run_all, run_from, QueryAlgorithm, RunReport, StartSelection};
+pub use run::{
+    run_all, run_from, run_from_with, QueryAlgorithm, RunReport, StartError, StartSelection,
+};

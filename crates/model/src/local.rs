@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn local_adapter_runs_in_query_model() {
         let inst = gen::complete_binary_tree(2, Color::R, Color::B);
-        let report = run_all(&inst, &LocalAdapter(MaxIdRadius1), &RunConfig::default());
+        let report = run_all(&inst, &LocalAdapter(MaxIdRadius1), &RunConfig::default()).unwrap();
         let outs = report.complete_outputs().unwrap();
         // Node ids are index+1; node 0's radius-1 ball = {0,1,2} -> id 3.
         assert_eq!(outs[0], 3);

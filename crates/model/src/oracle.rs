@@ -12,7 +12,7 @@
 
 use crate::cost::{Budget, ExecutionRecord};
 use crate::randomness::{RandomTape, RandomnessMode};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 use vc_graph::{Instance, NodeLabel, Port};
@@ -177,40 +177,170 @@ pub fn follow<O: Oracle + ?Sized>(
     }
 }
 
+/// Reusable, epoch-stamped scratch buffers behind an [`Execution`].
+///
+/// The serial runner allocates one visited set per start node; over a sweep
+/// with `n` starts that is `Θ(n)` allocator round-trips on the hottest path
+/// in the workspace. `ExecScratch` replaces the per-start `HashMap`s with
+/// flat `Vec<u32>` *stamp* arrays: slot `v` is live iff `stamp[v]` equals
+/// the current epoch, so "clearing" the visited set between starts is a
+/// single integer increment and no memory is touched or allocated
+/// (epoch overflow, once per `u32::MAX` starts, triggers a real reset).
+///
+/// One scratch serves any number of sequential executions (see
+/// [`Execution::with_scratch`]); worker threads in `vc-engine` each own one.
+/// Buffers grow to the largest instance seen and are never shrunk.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    /// Current visited-set epoch; `v ∈ V_v` iff `visit_stamp[v] == epoch`.
+    epoch: u32,
+    visit_stamp: Vec<u32>,
+    /// Discovery distance (path-length upper bound), live under `epoch`.
+    visit_dist: Vec<u32>,
+    /// Next unread bit of `r_v`, reset lazily when `v` is first visited.
+    rand_cursor: Vec<u64>,
+    /// Visit order (first element is the root); cleared per start, capacity
+    /// retained.
+    order: Vec<usize>,
+    /// Epoch/stamps/distances/queue for the exact-distance BFS, which walks
+    /// nodes *outside* `V_v` and therefore needs its own stamp generation.
+    bfs_epoch: u32,
+    bfs_stamp: Vec<u32>,
+    bfs_dist: Vec<u32>,
+    bfs_queue: VecDeque<usize>,
+}
+
+impl ExecScratch {
+    /// A fresh scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new epoch for an execution rooted at `root` on an `n`-node
+    /// instance: grows buffers to `n`, clears the order list and stamps the
+    /// root as visited at distance 0.
+    fn begin(&mut self, n: usize, root: usize) {
+        if self.visit_stamp.len() < n {
+            self.visit_stamp.resize(n, 0);
+            self.visit_dist.resize(n, 0);
+            self.rand_cursor.resize(n, 0);
+            self.bfs_stamp.resize(n, 0);
+            self.bfs_dist.resize(n, 0);
+        }
+        self.order.clear();
+        if self.epoch == u32::MAX {
+            self.visit_stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.mark_visited(root, 0);
+    }
+
+    #[inline]
+    fn is_visited(&self, v: usize) -> bool {
+        self.visit_stamp[v] == self.epoch
+    }
+
+    /// Discovery distance of `v`, or `None` when unvisited this epoch.
+    #[inline]
+    fn dist_of(&self, v: usize) -> Option<u32> {
+        self.is_visited(v).then(|| self.visit_dist[v])
+    }
+
+    #[inline]
+    fn mark_visited(&mut self, v: usize, d: u32) {
+        self.visit_stamp[v] = self.epoch;
+        self.visit_dist[v] = d;
+        self.rand_cursor[v] = 0;
+        self.order.push(v);
+    }
+}
+
+/// Either an owned scratch (the convenient [`Execution::new`] path) or one
+/// borrowed from a sweep/worker loop (the allocation-free path).
+#[derive(Debug)]
+enum ScratchSlot<'a> {
+    Owned(Box<ExecScratch>),
+    Borrowed(&'a mut ExecScratch),
+}
+
+impl ScratchSlot<'_> {
+    #[inline]
+    fn get(&self) -> &ExecScratch {
+        match self {
+            ScratchSlot::Owned(s) => s,
+            ScratchSlot::Borrowed(s) => s,
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self) -> &mut ExecScratch {
+        match self {
+            ScratchSlot::Owned(s) => s,
+            ScratchSlot::Borrowed(s) => s,
+        }
+    }
+}
+
 /// An execution of the query model over a concrete [`Instance`].
+///
+/// The *world* (the shared, read-only `&Instance`) is `Sync` and can serve
+/// any number of concurrent executions; all per-execution mutable state —
+/// the visited set, discovery distances, randomness cursors — lives in the
+/// execution's [`ExecScratch`]. This world/cursor split is what lets the
+/// sharded runner in `vc-engine` run one `Execution` per start node across
+/// worker threads without locking.
 #[derive(Debug)]
 pub struct Execution<'a> {
     inst: &'a Instance,
     tape: Option<RandomTape>,
     budget: Budget,
     root: usize,
-    /// Discovery distance (path-length upper bound) per visited node.
-    visit_dist: HashMap<usize, u32>,
-    /// Visit order (first element is the root).
-    order: Vec<usize>,
+    scratch: ScratchSlot<'a>,
     queries: u64,
     distance_upper: u32,
-    rand_cursor: HashMap<usize, u64>,
     random_bits: u64,
 }
 
 impl<'a> Execution<'a> {
-    /// Starts an execution at `root`. Pass `tape: None` for deterministic
-    /// algorithms (any randomness request then fails).
+    /// Starts an execution at `root` with a private, owned scratch. Pass
+    /// `tape: None` for deterministic algorithms (any randomness request
+    /// then fails).
     pub fn new(inst: &'a Instance, root: usize, tape: Option<RandomTape>, budget: Budget) -> Self {
+        Self::build(inst, root, tape, budget, ScratchSlot::Owned(Box::default()))
+    }
+
+    /// Starts an execution at `root` reusing `scratch` from a previous
+    /// execution — the allocation-free path sweeps and engine workers use.
+    /// Reusing a scratch across *sequential* executions is always sound;
+    /// the epoch bump invalidates all previous stamps.
+    pub fn with_scratch(
+        inst: &'a Instance,
+        root: usize,
+        tape: Option<RandomTape>,
+        budget: Budget,
+        scratch: &'a mut ExecScratch,
+    ) -> Self {
+        Self::build(inst, root, tape, budget, ScratchSlot::Borrowed(scratch))
+    }
+
+    fn build(
+        inst: &'a Instance,
+        root: usize,
+        tape: Option<RandomTape>,
+        budget: Budget,
+        mut scratch: ScratchSlot<'a>,
+    ) -> Self {
         assert!(root < inst.n(), "root must be a node of the instance");
-        let mut visit_dist = HashMap::new();
-        visit_dist.insert(root, 0);
+        scratch.get_mut().begin(inst.n(), root);
         Self {
             inst,
             tape,
             budget,
             root,
-            visit_dist,
-            order: vec![root],
+            scratch,
             queries: 0,
             distance_upper: 0,
-            rand_cursor: HashMap::new(),
             random_bits: 0,
         }
     }
@@ -226,19 +356,24 @@ impl<'a> Execution<'a> {
 
     /// Visited nodes in discovery order (the root first).
     pub fn visited(&self) -> &[usize] {
-        &self.order
+        &self.scratch.get().order
     }
 
     /// Finalizes the execution into a cost record.
     ///
     /// When `exact_distance` is set, the true distance cost of
     /// Definition 2.1 is computed with a truncated BFS in the host graph
-    /// (stopping as soon as every visited node has been reached).
-    pub fn record(&self, exact_distance: bool, completed: bool) -> ExecutionRecord {
-        let distance = exact_distance.then(|| self.exact_distance());
+    /// (stopping as soon as every visited node has been reached); the BFS
+    /// runs in the scratch's reusable buffers, hence `&mut self`.
+    pub fn record(&mut self, exact_distance: bool, completed: bool) -> ExecutionRecord {
+        let distance = if exact_distance {
+            Some(self.exact_distance())
+        } else {
+            None
+        };
         ExecutionRecord {
             root: self.root,
-            volume: self.order.len(),
+            volume: self.scratch.get().order.len(),
             distance,
             distance_upper: self.distance_upper,
             queries: self.queries,
@@ -249,28 +384,39 @@ impl<'a> Execution<'a> {
 
     /// `max { dist(root, w) : w ∈ V_v }` via BFS truncated once all visited
     /// nodes are found.
-    fn exact_distance(&self) -> u32 {
-        let mut remaining = self.order.len() - 1; // root found at distance 0
+    fn exact_distance(&mut self) -> u32 {
+        let inst = self.inst;
+        let root = self.root;
+        let sc = self.scratch.get_mut();
+        let mut remaining = sc.order.len() - 1; // root found at distance 0
         if remaining == 0 {
             return 0;
         }
-        let mut dist: HashMap<usize, u32> = HashMap::new();
-        dist.insert(self.root, 0);
-        let mut queue = VecDeque::from([self.root]);
+        if sc.bfs_epoch == u32::MAX {
+            sc.bfs_stamp.iter_mut().for_each(|s| *s = 0);
+            sc.bfs_epoch = 0;
+        }
+        sc.bfs_epoch += 1;
+        let epoch = sc.bfs_epoch;
+        sc.bfs_queue.clear();
+        sc.bfs_stamp[root] = epoch;
+        sc.bfs_dist[root] = 0;
+        sc.bfs_queue.push_back(root);
         let mut max_d = 0;
-        while let Some(v) = queue.pop_front() {
-            let dv = dist[&v];
-            for w in self.inst.graph.neighbors(v) {
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
-                    e.insert(dv + 1);
-                    if self.visit_dist.contains_key(&w) {
+        while let Some(v) = sc.bfs_queue.pop_front() {
+            let dv = sc.bfs_dist[v];
+            for w in inst.graph.neighbors(v) {
+                if sc.bfs_stamp[w] != epoch {
+                    sc.bfs_stamp[w] = epoch;
+                    sc.bfs_dist[w] = dv + 1;
+                    if sc.is_visited(w) {
                         max_d = max_d.max(dv + 1);
                         remaining -= 1;
                         if remaining == 0 {
                             return max_d;
                         }
                     }
-                    queue.push_back(w);
+                    sc.bfs_queue.push_back(w);
                 }
             }
         }
@@ -288,7 +434,12 @@ impl Oracle for Execution<'_> {
     }
 
     fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
-        let Some(&from_dist) = self.visit_dist.get(&from) else {
+        // Out-of-range handles are "never visited", not index panics —
+        // algorithms may probe arbitrary handles.
+        if from >= self.inst.n() {
+            return Err(QueryError::NotVisited { node: from });
+        }
+        let Some(from_dist) = self.scratch.get().dist_of(from) else {
             return Err(QueryError::NotVisited { node: from });
         };
         if let Some(maxq) = self.budget.max_queries {
@@ -299,9 +450,10 @@ impl Oracle for Execution<'_> {
         let Some(target) = self.inst.graph.neighbor(from, port) else {
             return Err(QueryError::InvalidPort { node: from, port });
         };
-        if !self.visit_dist.contains_key(&target) {
+        let sc = self.scratch.get_mut();
+        if !sc.is_visited(target) {
             if let Some(maxv) = self.budget.max_volume {
-                if self.order.len() >= maxv {
+                if sc.order.len() >= maxv {
                     return Err(QueryError::VolumeExhausted);
                 }
             }
@@ -311,8 +463,7 @@ impl Oracle for Execution<'_> {
                     return Err(QueryError::DistanceExhausted);
                 }
             }
-            self.visit_dist.insert(target, d);
-            self.order.push(target);
+            sc.mark_visited(target, d);
             self.distance_upper = self.distance_upper.max(d);
         }
         self.queries += 1;
@@ -320,7 +471,7 @@ impl Oracle for Execution<'_> {
     }
 
     fn rand_bit(&mut self, node: usize) -> Result<bool, QueryError> {
-        if !self.visit_dist.contains_key(&node) {
+        if node >= self.inst.n() || !self.scratch.get().is_visited(node) {
             return Err(QueryError::NotVisited { node });
         }
         let Some(tape) = self.tape else {
@@ -329,8 +480,9 @@ impl Oracle for Execution<'_> {
         if tape.mode() == RandomnessMode::Secret && node != self.root {
             return Err(QueryError::SecretRandomness { node });
         }
-        let cursor = self.rand_cursor.entry(node).or_insert(0);
-        let bit = tape.bit(self.inst.graph.id(node), *cursor);
+        let id = self.inst.graph.id(node);
+        let cursor = &mut self.scratch.get_mut().rand_cursor[node];
+        let bit = tape.bit(id, *cursor);
         *cursor += 1;
         self.random_bits += 1;
         Ok(bit)
@@ -338,7 +490,7 @@ impl Oracle for Execution<'_> {
 
     fn stats(&self) -> OracleStats {
         OracleStats {
-            volume: self.order.len(),
+            volume: self.scratch.get().order.len(),
             distance_upper: self.distance_upper,
             queries: self.queries,
             random_bits: self.random_bits,
@@ -524,6 +676,66 @@ mod tests {
         assert_eq!(
             ex.rand_bit(5).unwrap_err(),
             QueryError::NotVisited { node: 5 }
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_executions() {
+        let inst = tree();
+        let tape = RandomTape::private(5);
+        let mut scratch = ExecScratch::new();
+        for root in 0..inst.n() {
+            // Fresh, owned-scratch execution as the reference.
+            let mut fresh = Execution::new(&inst, root, Some(tape), Budget::unlimited());
+            let mut reused = Execution::with_scratch(
+                &inst,
+                root,
+                Some(tape),
+                Budget::unlimited(),
+                &mut scratch,
+            );
+            for p in 1..=inst.graph.degree(root) as u8 {
+                assert_eq!(fresh.query(root, Port::new(p)), reused.query(root, Port::new(p)));
+            }
+            let bits_fresh: Vec<bool> = (0..16).map(|_| fresh.rand_bit(root).unwrap()).collect();
+            let bits_reused: Vec<bool> = (0..16).map(|_| reused.rand_bit(root).unwrap()).collect();
+            assert_eq!(bits_fresh, bits_reused, "cursors must reset per epoch");
+            assert_eq!(fresh.visited(), reused.visited());
+            assert_eq!(fresh.record(true, true), reused.record(true, true));
+        }
+    }
+
+    #[test]
+    fn stale_stamps_do_not_leak_across_epochs() {
+        let inst = tree();
+        let mut scratch = ExecScratch::new();
+        {
+            let mut ex = Execution::with_scratch(&inst, 0, None, Budget::unlimited(), &mut scratch);
+            ex.query(0, Port::new(1)).unwrap();
+            ex.query(0, Port::new(2)).unwrap();
+            assert_eq!(ex.stats().volume, 3);
+        }
+        // A new epoch on the same scratch starts from a clean visited set:
+        // node 0's neighbors from the previous epoch are unvisited again.
+        let mut ex = Execution::with_scratch(&inst, 7, None, Budget::unlimited(), &mut scratch);
+        assert_eq!(ex.stats().volume, 1);
+        assert_eq!(
+            ex.query(1, Port::new(1)).unwrap_err(),
+            QueryError::NotVisited { node: 1 }
+        );
+    }
+
+    #[test]
+    fn out_of_range_handles_are_not_visited() {
+        let inst = tree();
+        let mut ex = Execution::new(&inst, 0, Some(RandomTape::private(1)), Budget::unlimited());
+        assert_eq!(
+            ex.query(99, Port::new(1)).unwrap_err(),
+            QueryError::NotVisited { node: 99 }
+        );
+        assert_eq!(
+            ex.rand_bit(99).unwrap_err(),
+            QueryError::NotVisited { node: 99 }
         );
     }
 

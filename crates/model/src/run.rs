@@ -3,8 +3,10 @@
 //! Definitions 2.1–2.2).
 
 use crate::cost::{Budget, CostSummary, ExecutionRecord};
-use crate::oracle::{Execution, Oracle, OracleStats, QueryError};
+use crate::oracle::{ExecScratch, Execution, Oracle, OracleStats, QueryError};
 use crate::randomness::RandomTape;
+use std::error::Error;
+use std::fmt;
 use vc_graph::Instance;
 
 /// A query-model algorithm: a strategy mapping oracle interactions to a
@@ -52,14 +54,45 @@ pub enum StartSelection {
     },
 }
 
+/// Errors materializing a start set — a sweep that would silently run zero
+/// executions is a configuration bug, not an empty result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StartError {
+    /// `Sample { count: 0 }`: a sweep with no start nodes measures nothing
+    /// and must be rejected rather than produce an empty report.
+    EmptySample,
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartError::EmptySample => {
+                write!(f, "Sample {{ count: 0 }} would start no executions")
+            }
+        }
+    }
+}
+
+impl Error for StartError {}
+
 impl StartSelection {
     /// Materializes the start set for an `n`-node instance.
-    pub fn starts(&self, n: usize) -> Vec<usize> {
+    ///
+    /// `Sample { count, .. }` with `count >= n` degrades to
+    /// [`StartSelection::All`] — the sample cannot be larger than the node
+    /// set, and an exhaustive start set additionally yields a complete
+    /// labeling for validity checking.
+    ///
+    /// # Errors
+    ///
+    /// [`StartError::EmptySample`] for `Sample { count: 0, .. }`.
+    pub fn starts(&self, n: usize) -> Result<Vec<usize>, StartError> {
         match *self {
-            StartSelection::All => (0..n).collect(),
+            StartSelection::All => Ok((0..n).collect()),
+            StartSelection::Sample { count: 0, .. } => Err(StartError::EmptySample),
             StartSelection::Sample { count, seed } => {
                 if count >= n {
-                    return (0..n).collect();
+                    return Ok((0..n).collect());
                 }
                 // Floyd's algorithm over a splitmix stream.
                 let mut chosen = std::collections::BTreeSet::new();
@@ -76,7 +109,7 @@ impl StartSelection {
                         chosen.insert(j);
                     }
                 }
-                chosen.into_iter().collect()
+                Ok(chosen.into_iter().collect())
             }
         }
     }
@@ -141,7 +174,21 @@ pub fn run_from<A: QueryAlgorithm>(
     root: usize,
     config: &RunConfig,
 ) -> (A::Output, ExecutionRecord) {
-    let mut ex = Execution::new(inst, root, config.tape, config.budget);
+    let mut scratch = ExecScratch::new();
+    run_from_with(inst, algo, root, config, &mut scratch)
+}
+
+/// [`run_from`] reusing epoch-stamped `scratch` from a previous execution —
+/// the allocation-free inner loop of [`run_all`] and of the `vc-engine`
+/// worker threads.
+pub fn run_from_with<A: QueryAlgorithm>(
+    inst: &Instance,
+    algo: &A,
+    root: usize,
+    config: &RunConfig,
+    scratch: &mut ExecScratch,
+) -> (A::Output, ExecutionRecord) {
+    let mut ex = Execution::with_scratch(inst, root, config.tape, config.budget, scratch);
     match algo.run(&mut ex) {
         Ok(out) => {
             let rec = ex.record(config.exact_distance, true);
@@ -157,16 +204,31 @@ pub fn run_from<A: QueryAlgorithm>(
 /// Runs `algo` from every selected start node. All executions share the
 /// same random tape, so each node's string `r_v` looks identical from every
 /// initiation — the coupling the paper's randomized algorithms rely on.
-pub fn run_all<A: QueryAlgorithm>(inst: &Instance, algo: &A, config: &RunConfig) -> RunReport<A::Output> {
-    let starts = config.starts.starts(inst.n());
+///
+/// All executions reuse one epoch-stamped [`ExecScratch`], so the sweep
+/// performs no per-start allocation. This serial runner is the semantic
+/// reference for the sharded runner in `vc-engine` (whose single-thread
+/// output it must equal bit for bit).
+///
+/// # Errors
+///
+/// [`StartError`] when the configured start selection is invalid (e.g. a
+/// zero-count sample).
+pub fn run_all<A: QueryAlgorithm>(
+    inst: &Instance,
+    algo: &A,
+    config: &RunConfig,
+) -> Result<RunReport<A::Output>, StartError> {
+    let starts = config.starts.starts(inst.n())?;
     let mut outputs = vec![None; inst.n()];
     let mut records = Vec::with_capacity(starts.len());
+    let mut scratch = ExecScratch::new();
     for root in starts {
-        let (out, rec) = run_from(inst, algo, root, config);
+        let (out, rec) = run_from_with(inst, algo, root, config, &mut scratch);
         outputs[root] = Some(out);
         records.push(rec);
     }
-    RunReport { outputs, records }
+    Ok(RunReport { outputs, records })
 }
 
 /// Runs an algorithm against an arbitrary (possibly adversarial) oracle.
@@ -217,7 +279,7 @@ mod tests {
     #[test]
     fn run_all_collects_outputs() {
         let inst = gen::complete_binary_tree(3, Color::R, Color::B);
-        let report = run_all(&inst, &WalkLeft, &RunConfig::default());
+        let report = run_all(&inst, &WalkLeft, &RunConfig::default()).unwrap();
         let outs = report.complete_outputs().expect("all nodes ran");
         // Root walks left 3 times; leaves walk 0 times.
         assert_eq!(outs[0], 3);
@@ -236,7 +298,7 @@ mod tests {
             budget: Budget::volume(2),
             ..RunConfig::default()
         };
-        let report = run_all(&inst, &WalkLeft, &config);
+        let report = run_all(&inst, &WalkLeft, &config).unwrap();
         // The root needs volume 5; it gets truncated.
         assert_eq!(report.outputs[0], Some(u32::MAX));
         assert!(report.truncated() > 0);
@@ -246,14 +308,14 @@ mod tests {
     #[test]
     fn sampled_starts_are_distinct_and_bounded() {
         let sel = StartSelection::Sample { count: 10, seed: 3 };
-        let starts = sel.starts(100);
+        let starts = sel.starts(100).unwrap();
         assert_eq!(starts.len(), 10);
         let mut sorted = starts.clone();
         sorted.dedup();
         assert_eq!(sorted.len(), 10);
         assert!(starts.iter().all(|&v| v < 100));
         // Deterministic.
-        assert_eq!(starts, sel.starts(100));
+        assert_eq!(starts, sel.starts(100).unwrap());
     }
 
     #[test]
@@ -262,7 +324,40 @@ mod tests {
             count: 50,
             seed: 1,
         };
-        assert_eq!(sel.starts(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(sel.starts(5).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn oversized_sample_yields_complete_labeling() {
+        // count >= n degrades to All: the checker gets a complete labeling
+        // exactly as if StartSelection::All had been configured.
+        let inst = gen::complete_binary_tree(3, Color::R, Color::B);
+        let config = RunConfig {
+            starts: StartSelection::Sample {
+                count: inst.n() + 10,
+                seed: 9,
+            },
+            ..RunConfig::default()
+        };
+        let report = run_all(&inst, &WalkLeft, &config).unwrap();
+        let outs = report.complete_outputs().expect("complete labeling");
+        let all = run_all(&inst, &WalkLeft, &RunConfig::default()).unwrap();
+        assert_eq!(Some(outs), all.complete_outputs());
+        assert_eq!(report.records.len(), inst.n());
+    }
+
+    #[test]
+    fn zero_count_sample_is_rejected() {
+        let sel = StartSelection::Sample { count: 0, seed: 7 };
+        assert_eq!(sel.starts(10), Err(StartError::EmptySample));
+        let inst = gen::complete_binary_tree(2, Color::R, Color::B);
+        let config = RunConfig {
+            starts: sel,
+            ..RunConfig::default()
+        };
+        let err = run_all(&inst, &WalkLeft, &config).unwrap_err();
+        assert_eq!(err, StartError::EmptySample);
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]
@@ -278,7 +373,7 @@ mod tests {
     fn lemma_2_5_on_real_runs() {
         let inst = gen::random_full_binary_tree(101, 5);
         let delta = inst.graph.max_degree() as u32;
-        let report = run_all(&inst, &WalkLeft, &RunConfig::default());
+        let report = run_all(&inst, &WalkLeft, &RunConfig::default()).unwrap();
         for rec in &report.records {
             assert!(rec.lemma_2_5_holds(delta));
         }

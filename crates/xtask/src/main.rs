@@ -2,13 +2,14 @@
 //!
 //! `cargo run -p xtask -- lint` enforces the repo's static-analysis rules:
 //!
-//! 1. **No panic paths in library code.** Non-test code of `vc-model` and
-//!    `vc-adversary` must not call `.unwrap()` / `.expect(..)` or invoke the
-//!    `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros — model
-//!    and adversary failures are [`QueryError`]/`GraphError` values, never
-//!    aborts. (`assert!`/`debug_assert!` precondition checks are allowed.)
-//! 2. **Documentation is mandatory.** `vc-model`, `vc-graph` and `vc-audit`
-//!    must carry `#![deny(missing_docs)]`.
+//! 1. **No panic paths in library code.** Non-test code of `vc-model`,
+//!    `vc-adversary`, `vc-audit` and `vc-engine` must not call `.unwrap()`
+//!    / `.expect(..)` or invoke the `panic!` / `unreachable!` / `todo!` /
+//!    `unimplemented!` macros — model and adversary failures are
+//!    [`QueryError`]/`GraphError` values, never aborts.
+//!    (`assert!`/`debug_assert!` precondition checks are allowed.)
+//! 2. **Documentation is mandatory.** `vc-model`, `vc-graph`, `vc-audit`
+//!    and `vc-engine` must carry `#![deny(missing_docs)]`.
 //! 3. **Deterministic figure/table paths.** `crates/bench` must not use
 //!    `HashMap`/`HashSet`: iteration order feeds the paper's figures and
 //!    tables, so only ordered collections are permitted.
@@ -16,10 +17,20 @@
 //!    `crates/bench/benches/` must cite the paper artifact it reproduces
 //!    (a Table/Figure/Example/Observation/Proposition anchor) in its
 //!    header comment.
+//! 5. **The execution hot path stays flat.** `crates/model/src/oracle.rs`
+//!    must not use `HashMap`/`HashSet` at all (not even in tests): per-node
+//!    execution state lives in epoch-stamped flat buffers (`ExecScratch`),
+//!    and reintroducing hashed collections there would silently resurrect
+//!    the per-start allocation cost the engine's sweep throughput relies on
+//!    being gone.
 //!
 //! The scanner strips comments and string literals before matching and
 //! skips `#[cfg(test)]` modules by brace counting, so documentation may
 //! discuss `unwrap` freely and tests may use it.
+//!
+//! `cargo run -p xtask -- check-json <path>` validates that a file parses
+//! as JSON (used by CI on the machine-readable `BENCH_engine.json`
+//! baseline; the workspace's vendored no-op serde cannot do this).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -282,10 +293,20 @@ const PANIC_TOKENS: &[&str] = &[
 ];
 
 /// Crates whose non-test code must be panic-free (rule 1).
-const PANIC_FREE_CRATES: &[&str] = &["crates/model", "crates/adversary", "crates/audit"];
+const PANIC_FREE_CRATES: &[&str] = &[
+    "crates/model",
+    "crates/adversary",
+    "crates/audit",
+    "crates/engine",
+];
 
 /// Crates that must carry `#![deny(missing_docs)]` (rule 2).
-const MISSING_DOCS_CRATES: &[&str] = &["crates/model", "crates/graph", "crates/audit"];
+const MISSING_DOCS_CRATES: &[&str] = &[
+    "crates/model",
+    "crates/graph",
+    "crates/audit",
+    "crates/engine",
+];
 
 /// Paper anchors accepted as benchmark provenance (rule 4).
 const PROVENANCE_ANCHORS: &[&str] = &[
@@ -404,13 +425,182 @@ fn lint_bench_provenance(root: &Path, findings: &mut Vec<Finding>) {
     }
 }
 
+fn lint_oracle_hot_path(root: &Path, findings: &mut Vec<Finding>) {
+    let file = root.join("crates/model/src/oracle.rs");
+    let Ok(src) = std::fs::read_to_string(&file) else {
+        findings.push(Finding {
+            file,
+            line: 1,
+            rule: "flat-oracle-state",
+            detail: "crates/model/src/oracle.rs not readable".to_string(),
+        });
+        return;
+    };
+    // Deliberately scans test code too: a HashMap-shaped test fixture is
+    // usually the first step of a HashMap-shaped regression.
+    let code = strip_comments_and_strings(&src);
+    for token in ["HashMap", "HashSet"] {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(token) {
+            let at = from + rel;
+            findings.push(Finding {
+                file: file.clone(),
+                line: line_of(&code, at),
+                rule: "flat-oracle-state",
+                detail: format!(
+                    "`{token}` in the execution hot path; per-node state belongs in \
+                     the epoch-stamped ExecScratch buffers"
+                ),
+            });
+            from = at + token.len();
+        }
+    }
+}
+
 fn run_lint(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
     lint_panic_tokens(root, &mut findings);
     lint_missing_docs_attr(root, &mut findings);
     lint_no_hash_collections(root, &mut findings);
     lint_bench_provenance(root, &mut findings);
+    lint_oracle_hot_path(root, &mut findings);
     findings
+}
+
+/// Minimal recursive-descent JSON validator (the vendored serde is a no-op
+/// stand-in, so CI validates emitted baselines with this instead).
+mod json {
+    /// Checks that `src` is exactly one valid JSON value (with surrounding
+    /// whitespace allowed).
+    pub fn validate(src: &str) -> Result<(), String> {
+        let bytes = src.as_bytes();
+        let mut pos = skip_ws(bytes, 0);
+        pos = value(bytes, pos)?;
+        pos = skip_ws(bytes, pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+            i += 1;
+        }
+        i
+    }
+
+    fn value(b: &[u8], i: usize) -> Result<usize, String> {
+        match b.get(i) {
+            Some(b'{') => object(b, i),
+            Some(b'[') => array(b, i),
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, b"true"),
+            Some(b'f') => literal(b, i, b"false"),
+            Some(b'n') => literal(b, i, b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            Some(c) => Err(format!("unexpected byte {c:#x} at {i}")),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(b: &[u8], mut i: usize) -> Result<usize, String> {
+        i = skip_ws(b, i + 1);
+        if b.get(i) == Some(&b'}') {
+            return Ok(i + 1);
+        }
+        loop {
+            i = string(b, skip_ws(b, i))?;
+            i = skip_ws(b, i);
+            if b.get(i) != Some(&b':') {
+                return Err(format!("expected ':' at byte {i}"));
+            }
+            i = value(b, skip_ws(b, i + 1))?;
+            i = skip_ws(b, i);
+            match b.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => return Ok(i + 1),
+                _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], mut i: usize) -> Result<usize, String> {
+        i = skip_ws(b, i + 1);
+        if b.get(i) == Some(&b']') {
+            return Ok(i + 1);
+        }
+        loop {
+            i = value(b, skip_ws(b, i))?;
+            i = skip_ws(b, i);
+            match b.get(i) {
+                Some(b',') => i += 1,
+                Some(b']') => return Ok(i + 1),
+                _ => return Err(format!("expected ',' or ']' at byte {i}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], i: usize) -> Result<usize, String> {
+        if b.get(i) != Some(&b'"') {
+            return Err(format!("expected string at byte {i}"));
+        }
+        let mut j = i + 1;
+        while j < b.len() {
+            match b[j] {
+                b'"' => return Ok(j + 1),
+                b'\\' => j += 2,
+                _ => j += 1,
+            }
+        }
+        Err(format!("unterminated string starting at byte {i}"))
+    }
+
+    fn number(b: &[u8], mut i: usize) -> Result<usize, String> {
+        let start = i;
+        if b.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        let digits = |b: &[u8], mut i: usize| {
+            let s = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            (i, i > s)
+        };
+        let (next, ok) = digits(b, i);
+        if !ok {
+            return Err(format!("malformed number at byte {start}"));
+        }
+        i = next;
+        if b.get(i) == Some(&b'.') {
+            let (next, ok) = digits(b, i + 1);
+            if !ok {
+                return Err(format!("malformed fraction at byte {start}"));
+            }
+            i = next;
+        }
+        if matches!(b.get(i), Some(b'e') | Some(b'E')) {
+            i += 1;
+            if matches!(b.get(i), Some(b'+') | Some(b'-')) {
+                i += 1;
+            }
+            let (next, ok) = digits(b, i);
+            if !ok {
+                return Err(format!("malformed exponent at byte {start}"));
+            }
+            i = next;
+        }
+        Ok(i)
+    }
+
+    fn literal(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, String> {
+        if b.len() >= i + lit.len() && &b[i..i + lit.len()] == lit {
+            Ok(i + lit.len())
+        } else {
+            Err(format!("malformed literal at byte {i}"))
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -436,8 +626,30 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("check-json") => match args.get(1) {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(src) => match json::validate(&src) {
+                    Ok(()) => {
+                        println!("xtask check-json: {path} is well-formed");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("xtask check-json: {path}: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+                Err(e) => {
+                    eprintln!("xtask check-json: cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            None => {
+                eprintln!("usage: cargo run -p xtask -- check-json <path>");
+                ExitCode::FAILURE
+            }
+        },
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint | check-json <path>>");
             ExitCode::FAILURE
         }
     }
@@ -515,6 +727,55 @@ mod tests {}
         let code = strip_comments_and_strings(src);
         let at = code.find(".unwrap()").unwrap();
         assert_eq!(line_of(&code, at), 2);
+    }
+
+    #[test]
+    fn json_validator_accepts_well_formed_documents() {
+        for src in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e3",
+            r#"{"rows": [{"case": "a/b", "n": 3, "rate": 1.5}], "ok": true}"#,
+            "  [1, 2, 3]  ",
+        ] {
+            assert!(json::validate(src).is_ok(), "should accept: {src}");
+        }
+    }
+
+    #[test]
+    fn json_validator_rejects_malformed_documents() {
+        for src in [
+            "",
+            "{",
+            "[1, 2,]",
+            r#"{"a" 1}"#,
+            "tru",
+            "1.2.3",
+            "{} {}",
+            r#""unterminated"#,
+        ] {
+            assert!(json::validate(src).is_err(), "should reject: {src}");
+        }
+    }
+
+    #[test]
+    fn oracle_hot_path_rule_fires_on_hash_collections() {
+        // Build a fake repo layout with a HashMap in oracle.rs and check the
+        // rule reports it (including inside test modules).
+        let dir = std::env::temp_dir().join(format!("xtask-oracle-rule-{}", std::process::id()));
+        let model_src = dir.join("crates/model/src");
+        std::fs::create_dir_all(&model_src).unwrap();
+        std::fs::write(
+            model_src.join("oracle.rs"),
+            "use std::collections::HashMap;\n#[cfg(test)]\nmod t { use std::collections::HashSet; }\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_oracle_hot_path(&dir, &mut findings);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.rule == "flat-oracle-state"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Emits `BENCH_engine.json`: a machine-readable throughput baseline for the
+//! sharded sweep engine on the Figure 2 (volume landscape) solver/instance
+//! pairs, at 1 thread and at the ambient (`VC_THREADS` /
+//! `available_parallelism`) thread count.
+//!
+//! The combinatorial costs in the file (max volume/distance, truncation) are
+//! exact and must be identical across thread counts — `scripts/ci.sh`
+//! validates the file parses as JSON, and the determinism suite guarantees
+//! the cost fields cannot drift with parallelism. The `*_per_sec` rates are
+//! wall-clock and machine-dependent, recorded for trend-watching only.
+//!
+//! Run with `cargo run --release --example engine_baseline [output-path]`.
+
+use vc_core::problems::hierarchical::DeterministicSolver;
+use vc_core::problems::leaf_coloring::{DistanceSolver, RwToLeaf};
+use vc_engine::{Engine, EngineReport};
+use vc_graph::{gen, Instance};
+use vc_model::run::{QueryAlgorithm, RunConfig};
+use vc_model::RandomTape;
+
+/// One emitted baseline row.
+struct Row {
+    case: &'static str,
+    n: usize,
+    threads: usize,
+    max_volume: usize,
+    max_distance: u32,
+    runs: usize,
+    incomplete: usize,
+    total_queries: u128,
+    starts_per_sec: f64,
+    queries_per_sec: f64,
+}
+
+fn row<O>(case: &'static str, inst: &Instance, report: &EngineReport<O>) -> Row {
+    Row {
+        case,
+        n: inst.n(),
+        threads: report.threads,
+        max_volume: report.summary.max_volume,
+        max_distance: report.summary.max_distance,
+        runs: report.summary.runs,
+        incomplete: report.summary.incomplete,
+        total_queries: report.total_queries,
+        starts_per_sec: report.starts_per_sec(),
+        queries_per_sec: report.queries_per_sec(),
+    }
+}
+
+fn sweep<A>(
+    rows: &mut Vec<Row>,
+    case: &'static str,
+    inst: &Instance,
+    algo: &A,
+    config: &RunConfig,
+) where
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
+{
+    for engine in [Engine::with_threads(1), Engine::from_env()] {
+        let report = engine
+            .run_all(inst, algo, config)
+            .expect("baseline sweeps start from every node");
+        rows.push(row(case, inst, &report));
+    }
+}
+
+/// Minimal JSON emitter — the workspace deliberately builds offline with a
+/// no-op serde stand-in, so the baseline file is written by hand. Only the
+/// types used above need encoding.
+fn to_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"vc-engine-baseline/v1\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"case\": \"{}\", \"n\": {}, \"threads\": {}, \"max_volume\": {}, \
+             \"max_distance\": {}, \"runs\": {}, \"incomplete\": {}, \"total_queries\": {}, \
+             \"starts_per_sec\": {:.1}, \"queries_per_sec\": {:.1}}}{}\n",
+            r.case,
+            r.n,
+            r.threads,
+            r.max_volume,
+            r.max_distance,
+            r.runs,
+            r.incomplete,
+            r.total_queries,
+            r.starts_per_sec,
+            r.queries_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut rows = Vec::new();
+
+    // Figure 2's volume landscape, smallest three rungs: Θ(1) leaf coloring
+    // (deterministic and randomized) and Θ(n^{1/k}) Hierarchical-THC.
+    let lc = gen::random_full_binary_tree(1201, 5);
+    sweep(&mut rows, "leaf-coloring/det", &lc, &DistanceSolver, &RunConfig::default());
+    let rand_config = RunConfig {
+        tape: Some(RandomTape::private(11)),
+        ..RunConfig::default()
+    };
+    sweep(&mut rows, "leaf-coloring/rw", &lc, &RwToLeaf::default(), &rand_config);
+    for k in [2u32, 3] {
+        let inst = gen::hierarchical_for_size(k, 1200, 7);
+        let case: &'static str = match k {
+            2 => "hierarchical-thc/k2",
+            _ => "hierarchical-thc/k3",
+        };
+        sweep(&mut rows, case, &inst, &DeterministicSolver { k }, &RunConfig::default());
+    }
+
+    let json = to_json(&rows);
+    std::fs::write(&path, &json).expect("baseline file is writable");
+    println!("wrote {} rows to {path}", rows.len());
+    println!("{json}");
+}

@@ -53,7 +53,7 @@ fn main() {
     let inst = gen::hierarchical_for_size(k, 3000, 5);
     let problem = HierarchicalThc::new(k);
 
-    let det = run_all(&inst, &DeterministicSolver { k }, &RunConfig::default());
+    let det = run_all(&inst, &DeterministicSolver { k }, &RunConfig::default()).unwrap();
     let det_out = det.complete_outputs().unwrap();
     check_solution(&problem, &inst, &det_out).expect("deterministic output valid");
 
@@ -64,7 +64,7 @@ fn main() {
             tape: Some(RandomTape::private(9)),
             ..RunConfig::default()
         },
-    );
+    ).unwrap();
     let rnd_out = rnd.complete_outputs().unwrap();
     check_solution(&problem, &inst, &rnd_out).expect("way-point output valid");
 

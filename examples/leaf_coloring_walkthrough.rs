@@ -66,7 +66,7 @@ fn main() {
     println!("Input (red internals, hidden leaf color blue):\n");
     render(&inst, 0, None, String::new(), true);
 
-    let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+    let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
     let outputs = report.complete_outputs().unwrap();
     check_solution(&LeafColoring, &inst, &outputs).expect("valid");
     println!("\nOutput of the deterministic distance solver (Prop. 3.9):\n");
@@ -86,7 +86,7 @@ fn main() {
             tape: Some(RandomTape::private(1)),
             ..RunConfig::default()
         },
-    );
+    ).unwrap();
     let outputs = report.complete_outputs().unwrap();
     check_solution(&LeafColoring, &inst, &outputs).expect("valid");
     let s = report.summary();

@@ -19,7 +19,7 @@ fn main() {
 
     // Deterministic solver (Proposition 3.9): sees *far* — O(log n)
     // distance — but pays Θ(n) volume at the root.
-    let det = run_all(&inst, &DistanceSolver, &RunConfig::default());
+    let det = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
     let det_outputs = det.complete_outputs().expect("every node ran");
     check_solution(&LeafColoring, &inst, &det_outputs).expect("valid labeling");
     let ds = det.summary();
@@ -37,7 +37,7 @@ fn main() {
             tape: Some(RandomTape::private(42)),
             ..RunConfig::default()
         },
-    );
+    ).unwrap();
     let rnd_outputs = rnd.complete_outputs().expect("every node ran");
     check_solution(&LeafColoring, &inst, &rnd_outputs).expect("valid labeling");
     let rs = rnd.summary();

@@ -33,7 +33,7 @@ fn main() {
     );
 
     // Query model.
-    let report = run_all(&inst, &GadgetQuery, &RunConfig::default());
+    let report = run_all(&inst, &GadgetQuery, &RunConfig::default()).unwrap();
     let outputs = report.complete_outputs().unwrap();
     for (i, &u) in meta.u_leaves.iter().enumerate() {
         assert_eq!(outputs[u], Some(bits[i]));

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Tier-1 verification plus the static-analysis pass, in order, fail-fast:
-#   build -> test -> clippy -> xtask lint
+#   build -> test -> engine determinism under forced threading -> clippy
+#   -> xtask lint -> baseline well-formedness
 # Run from anywhere; works fully offline (deps are vendored, see README).
 set -eu
 
@@ -12,6 +13,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The plain test run above already exercises the engine at 1/2/8 workers;
+# re-running the suite with VC_THREADS=2 additionally covers the env
+# override that production sweeps use.
+echo "==> VC_THREADS=2 cargo test -q -p vc-bench --test engine_determinism"
+VC_THREADS=2 cargo test -q -p vc-bench --test engine_determinism
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -20,5 +27,8 @@ cargo clippy --all-targets --features proptest -p vc-bench -- -D warnings
 
 echo "==> cargo run -p xtask -- lint"
 cargo run -p xtask -- lint
+
+echo "==> cargo run -p xtask -- check-json BENCH_engine.json"
+cargo run -p xtask -- check-json BENCH_engine.json
 
 echo "CI OK"

@@ -57,7 +57,7 @@ fn bit_transfer_round_lower_bound_shape() {
     let report = run_congest::<BitTransferWithBandwidth<35>>(&inst, 35, 100_000).unwrap();
     assert!(report.rounds >= 64, "rounds {}", report.rounds);
     // And the query model stays logarithmic on the same instance.
-    let q = run_all(&inst, &GadgetQuery, &RunConfig::default());
+    let q = run_all(&inst, &GadgetQuery, &RunConfig::default()).unwrap();
     assert!(q.summary().max_volume <= 2 * 6 + 3);
 }
 
@@ -81,7 +81,7 @@ proptest! {
     #[test]
     fn prop_cole_vishkin(n in 3usize..200, seed in 0u64..500) {
         let inst = gen::directed_cycle(n, seed);
-        let report = run_all(&inst, &ColeVishkin, &RunConfig::default());
+        let report = run_all(&inst, &ColeVishkin, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         prop_assert!(check_solution(&CycleColoring, &inst, &outputs).is_ok());
     }

@@ -23,7 +23,7 @@ fn lemma_2_5_holds_for_every_solver_and_family() {
         (
             "leaf/det",
             &tree,
-            run_all(&tree, &leaf_coloring::DistanceSolver, &RunConfig::default()).records,
+            run_all(&tree, &leaf_coloring::DistanceSolver, &RunConfig::default()).unwrap().records,
         ),
         (
             "leaf/rw",
@@ -35,13 +35,13 @@ fn lemma_2_5_holds_for_every_solver_and_family() {
                     tape,
                     ..RunConfig::default()
                 },
-            )
+            ).unwrap()
             .records,
         ),
         (
             "bt/det",
             &bt,
-            run_all(&bt, &balanced_tree::DistanceSolver, &RunConfig::default()).records,
+            run_all(&bt, &balanced_tree::DistanceSolver, &RunConfig::default()).unwrap().records,
         ),
         (
             "hthc/det",
@@ -50,7 +50,7 @@ fn lemma_2_5_holds_for_every_solver_and_family() {
                 &hier,
                 &hierarchical::DeterministicSolver { k: 2 },
                 &RunConfig::default(),
-            )
+            ).unwrap()
             .records,
         ),
     ];
@@ -78,7 +78,7 @@ fn exact_distance_never_exceeds_upper_bound() {
             tape: Some(RandomTape::private(4)),
             ..RunConfig::default()
         },
-    );
+    ).unwrap();
     for rec in &report.records {
         let d = rec.distance.expect("exact distance requested");
         assert!(d <= rec.distance_upper);
@@ -100,7 +100,7 @@ fn budgets_cut_executions_not_the_harness() {
                 budget,
                 ..RunConfig::default()
             },
-        );
+        ).unwrap();
         // Every node still produced an output (the fallback), and the
         // records reflect the truncation.
         assert!(report.complete_outputs().is_some());
@@ -126,8 +126,8 @@ fn private_randomness_is_shared_between_executions() {
         tape: Some(RandomTape::private(21)),
         ..RunConfig::default()
     };
-    let a = run_all(&inst, &leaf_coloring::RwToLeaf::default(), &config);
-    let b = run_all(&inst, &leaf_coloring::RwToLeaf::default(), &config);
+    let a = run_all(&inst, &leaf_coloring::RwToLeaf::default(), &config).unwrap();
+    let b = run_all(&inst, &leaf_coloring::RwToLeaf::default(), &config).unwrap();
     assert_eq!(
         a.complete_outputs().unwrap(),
         b.complete_outputs().unwrap(),
@@ -142,8 +142,8 @@ fn different_tapes_differ_somewhere() {
         tape: Some(RandomTape::private(seed)),
         ..RunConfig::default()
     };
-    let a = run_all(&inst, &leaf_coloring::RwToLeaf::default(), &mk(1));
-    let b = run_all(&inst, &leaf_coloring::RwToLeaf::default(), &mk(2));
+    let a = run_all(&inst, &leaf_coloring::RwToLeaf::default(), &mk(1)).unwrap();
+    let b = run_all(&inst, &leaf_coloring::RwToLeaf::default(), &mk(2)).unwrap();
     // With 150 nodes, two tapes almost surely route some walk differently;
     // both stay valid regardless.
     let oa = a.complete_outputs().unwrap();
@@ -166,7 +166,7 @@ proptest! {
     #[test]
     fn prop_sampling_consistent(count in 1usize..50, seed in 0u64..100) {
         let inst = gen::complete_binary_tree(6, Color::R, Color::B);
-        let full = run_all(&inst, &leaf_coloring::DistanceSolver, &RunConfig::default());
+        let full = run_all(&inst, &leaf_coloring::DistanceSolver, &RunConfig::default()).unwrap();
         let sampled = run_all(
             &inst,
             &leaf_coloring::DistanceSolver,
@@ -174,7 +174,7 @@ proptest! {
                 starts: StartSelection::Sample { count, seed },
                 ..RunConfig::default()
             },
-        );
+        ).unwrap();
         let full_outputs = full.complete_outputs().unwrap();
         for rec in &sampled.records {
             prop_assert_eq!(sampled.outputs[rec.root], Some(full_outputs[rec.root]));
@@ -186,7 +186,7 @@ proptest! {
     #[test]
     fn prop_volume_bounded_by_n(seed in 0u64..100) {
         let inst = gen::pseudo_tree(80, 4, seed);
-        let report = run_all(&inst, &leaf_coloring::DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &leaf_coloring::DistanceSolver, &RunConfig::default()).unwrap();
         for rec in &report.records {
             prop_assert!(rec.volume <= inst.n());
             prop_assert!(rec.queries as usize >= rec.volume - 1);

@@ -18,7 +18,7 @@ use vc_model::run::{run_all, RunConfig};
 fn compatible_instances_go_all_balanced() {
     for depth in 1..=6u32 {
         let (inst, meta) = gen::balanced_tree_compatible(depth);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(check_solution(&BalancedTree, &inst, &outputs).is_ok());
         assert!(outputs.iter().all(|o| o.flag == BtFlag::Balanced));
@@ -30,7 +30,7 @@ fn compatible_instances_go_all_balanced() {
 fn unbalanced_instances_report_u_at_the_root() {
     for depth in 2..=5u32 {
         let (inst, meta) = gen::unbalanced_tree(depth);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(
             check_solution(&BalancedTree, &inst, &outputs).is_ok(),
@@ -43,7 +43,7 @@ fn unbalanced_instances_report_u_at_the_root() {
 #[test]
 fn distance_stays_logarithmic_volume_linear() {
     let (inst, meta) = gen::balanced_tree_compatible(9); // n = 1023
-    let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+    let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
     let s = report.summary();
     assert!(s.max_distance <= 9 + 3);
     let root_rec = report.records.iter().find(|r| r.root == meta.root).unwrap();
@@ -67,7 +67,7 @@ proptest! {
         for (i, &vi) in meta.penultimate.iter().enumerate() {
             prop_assert_eq!(is_compatible(&inst, vi), !(x[i] && y[i]));
         }
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         prop_assert!(check_solution(&BalancedTree, &inst, &outputs).is_ok());
         let disjoint = !x.iter().zip(&y).any(|(&a, &b)| a && b);
@@ -102,7 +102,7 @@ proptest! {
             .any(|u| !is_compatible(&inst, u));
         prop_assert!(any_incompatible);
         // And the solver still produces a checker-valid labeling.
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         prop_assert!(check_solution(&BalancedTree, &inst, &outputs).is_ok());
     }

@@ -32,14 +32,14 @@ fn both_solvers_valid_across_k_and_shapes() {
                 seed: u64::from(k) * 10 + len as u64,
             });
             let problem = HierarchicalThc::new(k);
-            let det = run_all(&inst, &DeterministicSolver { k }, &RunConfig::default());
+            let det = run_all(&inst, &DeterministicSolver { k }, &RunConfig::default()).unwrap();
             let out = det.complete_outputs().unwrap();
             assert!(
                 check_solution(&problem, &inst, &out).is_ok(),
                 "det k={k} len={len}: {:?}",
                 check_solution(&problem, &inst, &out)
             );
-            let rnd = run_all(&inst, &RandomizedSolver::new(k), &rand_config(77));
+            let rnd = run_all(&inst, &RandomizedSolver::new(k), &rand_config(77)).unwrap();
             let out = rnd.complete_outputs().unwrap();
             assert!(
                 check_solution(&problem, &inst, &out).is_ok(),
@@ -58,7 +58,7 @@ fn cycle_backbones_are_handled() {
             seed: 3,
         });
         let problem = HierarchicalThc::new(k);
-        let det = run_all(&inst, &DeterministicSolver { k }, &RunConfig::default());
+        let det = run_all(&inst, &DeterministicSolver { k }, &RunConfig::default()).unwrap();
         assert!(
             check_solution(&problem, &inst, &det.complete_outputs().unwrap()).is_ok(),
             "k={k}"
@@ -122,7 +122,7 @@ proptest! {
     fn prop_waypoints_whp_valid(n in 200usize..1200, seed in 0u64..1000) {
         let inst = gen::hierarchical_for_size(2, n, seed);
         let problem = HierarchicalThc::new(2);
-        let report = run_all(&inst, &RandomizedSolver::new(2), &rand_config(seed));
+        let report = run_all(&inst, &RandomizedSolver::new(2), &rand_config(seed)).unwrap();
         let outputs = report.complete_outputs().unwrap();
         prop_assert_eq!(count_violations(&problem, &inst, &outputs), 0);
     }

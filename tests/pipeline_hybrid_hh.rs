@@ -30,12 +30,12 @@ fn hybrid_all_solvers_valid() {
         for seed in 0..2u64 {
             let inst = gen::hybrid_for_size(k, 700, seed);
             let problem = hybrid::HybridThc::new(k);
-            let det = run_all(&inst, &hybrid::DistanceSolver, &RunConfig::default());
+            let det = run_all(&inst, &hybrid::DistanceSolver, &RunConfig::default()).unwrap();
             assert!(
                 check_solution(&problem, &inst, &det.complete_outputs().unwrap()).is_ok(),
                 "distance k={k} seed={seed}"
             );
-            let rnd = run_all(&inst, &hybrid::RandomizedSolver::new(k), &rand_config(seed));
+            let rnd = run_all(&inst, &hybrid::RandomizedSolver::new(k), &rand_config(seed)).unwrap();
             assert!(
                 check_solution(&problem, &inst, &rnd.complete_outputs().unwrap()).is_ok(),
                 "randomized k={k} seed={seed}"
@@ -44,7 +44,7 @@ fn hybrid_all_solvers_valid() {
                 &inst,
                 &hybrid::DeterministicVolumeSolver { k },
                 &RunConfig::default(),
-            );
+            ).unwrap();
             assert!(
                 check_solution(&problem, &inst, &dv.complete_outputs().unwrap()).is_ok(),
                 "det-volume k={k} seed={seed}"
@@ -60,14 +60,14 @@ fn heavy_component_family_separates_det_from_rand_volume() {
     let problem = hybrid::HybridThc::new(k);
 
     // Both solvers must stay valid on the heavy family.
-    let det = run_all(&inst, &hybrid::DistanceSolver, &RunConfig::default());
+    let det = run_all(&inst, &hybrid::DistanceSolver, &RunConfig::default()).unwrap();
     let det_out = det.complete_outputs().unwrap();
     assert!(
         check_solution(&problem, &inst, &det_out).is_ok(),
         "{:?}",
         check_solution(&problem, &inst, &det_out)
     );
-    let rnd = run_all(&inst, &hybrid::RandomizedSolver::new(k), &rand_config(9));
+    let rnd = run_all(&inst, &hybrid::RandomizedSolver::new(k), &rand_config(9)).unwrap();
     let rnd_out = rnd.complete_outputs().unwrap();
     assert!(
         check_solution(&problem, &inst, &rnd_out).is_ok(),
@@ -89,17 +89,17 @@ fn hh_dispatches_and_validates() {
         let inst = gen::hh(k, l, 600, 4);
         let problem = hh::HhThc::new(k, l);
         for outputs in [
-            run_all(&inst, &hh::DistanceSolver { k, l }, &RunConfig::default())
+            run_all(&inst, &hh::DistanceSolver { k, l }, &RunConfig::default()).unwrap()
                 .complete_outputs()
                 .unwrap(),
-            run_all(&inst, &hh::RandomizedSolver { k, l }, &rand_config(4))
+            run_all(&inst, &hh::RandomizedSolver { k, l }, &rand_config(4)).unwrap()
                 .complete_outputs()
                 .unwrap(),
             run_all(
                 &inst,
                 &hh::DeterministicVolumeSolver { k, l },
                 &RunConfig::default(),
-            )
+            ).unwrap()
             .complete_outputs()
             .unwrap(),
         ] {
@@ -114,7 +114,7 @@ fn hh_dispatches_and_validates() {
 #[test]
 fn hh_outputs_respect_sides() {
     let inst = gen::hh(2, 3, 400, 8);
-    let report = run_all(&inst, &hh::DistanceSolver { k: 2, l: 3 }, &RunConfig::default());
+    let report = run_all(&inst, &hh::DistanceSolver { k: 2, l: 3 }, &RunConfig::default()).unwrap();
     let outputs = report.complete_outputs().unwrap();
     for (v, out) in outputs.iter().enumerate() {
         match inst.labels[v].bit {
@@ -144,7 +144,7 @@ proptest! {
     fn prop_hybrid_license(seed in 0u64..500) {
         let inst = gen::hybrid_for_size(2, 500, seed);
         let problem = hybrid::HybridThc::new(2);
-        let report = run_all(&inst, &hybrid::RandomizedSolver::new(2), &rand_config(seed));
+        let report = run_all(&inst, &hybrid::RandomizedSolver::new(2), &rand_config(seed)).unwrap();
         let outputs = report.complete_outputs().unwrap();
         prop_assert_eq!(count_violations(&problem, &inst, &outputs), 0);
         for v in 0..inst.n() {
@@ -162,7 +162,7 @@ proptest! {
     #[test]
     fn prop_single_runs_agree(start_sel in 0usize..10_000, seed in 0u64..50) {
         let inst = gen::hybrid_for_size(2, 300, seed);
-        let report = run_all(&inst, &hybrid::DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &hybrid::DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         let v = start_sel % inst.n();
         let cfg = RunConfig { starts: StartSelection::All, ..RunConfig::default() };

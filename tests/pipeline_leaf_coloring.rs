@@ -30,13 +30,13 @@ fn both_solvers_valid_on_all_families() {
             ("pseudo", gen::pseudo_tree(300, 6, seed)),
         ];
         for (name, inst) in families {
-            let det = run_all(&inst, &DistanceSolver, &RunConfig::default());
+            let det = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
             let det_out = det.complete_outputs().unwrap();
             assert!(
                 check_solution(&LeafColoring, &inst, &det_out).is_ok(),
                 "{name}/{seed} deterministic"
             );
-            let rnd = run_all(&inst, &RwToLeaf::default(), &rand_config(seed));
+            let rnd = run_all(&inst, &RwToLeaf::default(), &rand_config(seed)).unwrap();
             let rnd_out = rnd.complete_outputs().unwrap();
             assert!(
                 check_solution(&LeafColoring, &inst, &rnd_out).is_ok(),
@@ -83,7 +83,7 @@ fn unique_solution_on_hidden_leaf_instances() {
     // Prop. 3.12: the only valid output is the leaf color everywhere.
     for chi0 in [Color::R, Color::B] {
         let inst = gen::complete_binary_tree(5, Color::R, chi0);
-        let report = run_all(&inst, &DistanceSolver, &RunConfig::default());
+        let report = run_all(&inst, &DistanceSolver, &RunConfig::default()).unwrap();
         let outputs = report.complete_outputs().unwrap();
         assert!(outputs.iter().all(|&c| c == chi0));
         // Any deviation at an internal node is caught.
@@ -104,11 +104,11 @@ proptest! {
     #[test]
     fn prop_solvers_always_valid(n in 20usize..200, cyc in 3usize..9, seed in 0u64..5000) {
         let tree = gen::random_full_binary_tree(n, seed);
-        let det = run_all(&tree, &DistanceSolver, &RunConfig::default());
+        let det = run_all(&tree, &DistanceSolver, &RunConfig::default()).unwrap();
         prop_assert_eq!(count_violations(&LeafColoring, &tree, &det.complete_outputs().unwrap()), 0);
 
         let pseudo = gen::pseudo_tree(n, cyc, seed);
-        let rnd = run_all(&pseudo, &RwToLeaf::default(), &rand_config(seed));
+        let rnd = run_all(&pseudo, &RwToLeaf::default(), &rand_config(seed)).unwrap();
         prop_assert_eq!(count_violations(&LeafColoring, &pseudo, &rnd.complete_outputs().unwrap()), 0);
     }
 
@@ -117,7 +117,7 @@ proptest! {
     #[test]
     fn prop_rw_volume_sublinear(seed in 0u64..100) {
         let inst = gen::complete_binary_tree(10, Color::R, Color::B);
-        let report = run_all(&inst, &RwToLeaf::default(), &rand_config(seed));
+        let report = run_all(&inst, &RwToLeaf::default(), &rand_config(seed)).unwrap();
         prop_assert!(report.summary().max_volume < inst.n() / 8);
         prop_assert_eq!(report.truncated(), 0);
     }
