@@ -675,14 +675,16 @@ where
             let Ok(rc) = world.rc_of(seed) else {
                 return DuelOutcome::Exhausted;
             };
-            trace.push(format!("node {seed} exempt: descend to {rc} (level {})", level - 1));
+            trace.push(format!(
+                "node {seed} exempt: descend to {rc} (level {})",
+                level - 1
+            ));
             duel_component(algo, world, level - 1, rc, Some(seed), outputs, trace)
         }
         color => {
             // The algorithm committed to a color in a monochrome world.
-            let world_color = ThcColor::from_color(
-                world.nodes[seed].label.color.unwrap_or(Color::R),
-            );
+            let world_color =
+                ThcColor::from_color(world.nodes[seed].label.color.unwrap_or(Color::R));
             if color != world_color {
                 trace.push(format!(
                     "node {seed} output {color} although its whole component is {world_color}"
@@ -879,10 +881,7 @@ mod tests {
             ThcColor::D
         }
 
-        fn run(
-            &self,
-            oracle: &mut dyn vc_model::Oracle,
-        ) -> Result<ThcColor, QueryError> {
+        fn run(&self, oracle: &mut dyn vc_model::Oracle) -> Result<ThcColor, QueryError> {
             Ok(ThcColor::from_color(
                 oracle.root().label.color.unwrap_or(Color::R),
             ))

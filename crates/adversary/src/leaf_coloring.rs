@@ -139,9 +139,7 @@ impl LeafColoringAdversary {
                 if Some(i) == parent_port {
                     // A fresh root above v: its port 1 points down to v and
                     // is its left child; no parent of its own.
-                    labels.push(
-                        NodeLabel::empty().with_left_child(1).with_color(forced),
-                    );
+                    labels.push(NodeLabel::empty().with_left_child(1).with_color(forced));
                     b.connect(v, i as u8 + 1, fresh, 1)?;
                 } else {
                     // A fresh leaf below v, carrying the forcing color.
@@ -179,8 +177,7 @@ impl Oracle for LeafColoringAdversary {
                     return Err(QueryError::AdversaryRefused);
                 }
                 let w = self.nodes.len();
-                let is_parent_query =
-                    self.nodes[from].label.parent == Some(port);
+                let is_parent_query = self.nodes[from].label.parent == Some(port);
                 let node = if is_parent_query {
                     // Reveal a parent: fresh internal node whose LC is `from`.
                     AdvNode {

@@ -231,7 +231,12 @@ impl<O: Oracle> AuditedOracle<O> {
                     format!(
                         "node {} changed across revisits: was id {} deg {} label {:?}, now id {} \
                          deg {} label {:?}",
-                        view.node, prev.id, prev.degree, prev.label, view.id, view.degree,
+                        view.node,
+                        prev.id,
+                        prev.degree,
+                        prev.label,
+                        view.id,
+                        view.degree,
                         view.label
                     ),
                 );

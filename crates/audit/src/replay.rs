@@ -71,7 +71,11 @@ pub fn replay_trace(inst: &Instance, trace: &ProbeTrace) -> Vec<Violation> {
                         format!(
                             "root view diverges from the finalized instance: answered id {} \
                              deg {} label {:?}, finalized id {} deg {} label {:?}",
-                            view.id, view.degree, view.label, actual.id, actual.degree,
+                            view.id,
+                            view.degree,
+                            view.label,
+                            actual.id,
+                            actual.degree,
                             actual.label
                         ),
                     );
@@ -121,8 +125,13 @@ pub fn replay_trace(inst: &Instance, trace: &ProbeTrace) -> Vec<Violation> {
                             format!(
                                 "view of node {} diverges: answered id {} deg {} label {:?}, \
                                  finalized id {} deg {} label {:?}",
-                                view.node, view.id, view.degree, view.label, actual.id,
-                                actual.degree, actual.label
+                                view.node,
+                                view.id,
+                                view.degree,
+                                view.label,
+                                actual.id,
+                                actual.degree,
+                                actual.label
                             ),
                         );
                     }

@@ -79,9 +79,8 @@ fn concrete_execution_replays_against_its_own_instance() {
     // binary tree, so the replay closes trivially — a sanity anchor for the
     // replay harness itself.
     let inst = gen::complete_binary_tree(6, Color::R, Color::B);
-    let mut audited =
-        AuditedOracle::new(Execution::new(&inst, 0, None, Budget::unlimited()))
-            .expect_deterministic();
+    let mut audited = AuditedOracle::new(Execution::new(&inst, 0, None, Budget::unlimited()))
+        .expect_deterministic();
     let out = DistanceSolver.run(&mut audited);
     assert!(out.is_ok());
     let (_, report) = audited.finish();

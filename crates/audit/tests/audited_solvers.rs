@@ -105,12 +105,7 @@ fn hh_solvers_are_contract_clean() {
     let (k, l) = (2, 2);
     let inst = gen::hh(k, l, 600, 4);
     assert_clean("hh", &inst, &hh::DistanceSolver { k, l }, None);
-    assert_clean(
-        "hh",
-        &inst,
-        &hh::DeterministicVolumeSolver { k, l },
-        None,
-    );
+    assert_clean("hh", &inst, &hh::DeterministicVolumeSolver { k, l }, None);
     assert_clean(
         "hh",
         &inst,

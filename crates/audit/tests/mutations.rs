@@ -189,7 +189,10 @@ fn secret_tape_peek_is_caught() {
     let _ = audited.rand_bit(a.node).unwrap();
     let (_, report) = audited.finish();
     assert_caught(&report.violations, Invariant::SecretTapeLeak);
-    assert!(report.violations.iter().all(|v| v.invariant == Invariant::SecretTapeLeak));
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| v.invariant == Invariant::SecretTapeLeak));
 }
 
 #[test]
@@ -216,7 +219,9 @@ fn honest_path_walk_is_clean() {
     let mut audited = AuditedOracle::new(Honest(PathWorld::new(6))).expect_deterministic();
     let mut cur = audited.root();
     for _ in 0..4 {
-        cur = audited.query(cur.node, Port::new(if cur.node == 0 { 1 } else { 2 })).unwrap();
+        cur = audited
+            .query(cur.node, Port::new(if cur.node == 0 { 1 } else { 2 }))
+            .unwrap();
     }
     assert!(audited.query(cur.node, Port::new(9)).is_err());
     let (_, report) = audited.finish();

@@ -65,12 +65,7 @@ fn main() {
     let inst = gen::random_full_binary_tree(1200, 5);
 
     print_heading("RWtoLeaf under the three randomness models (n = 1200)");
-    print_header(&[
-        "model",
-        "max volume",
-        "truncated runs",
-        "violations",
-    ]);
+    print_header(&["model", "max volume", "truncated runs", "violations"]);
     for (name, tape) in [
         ("private", RandomTape::private(9)),
         ("public", RandomTape::public(9)),
@@ -83,7 +78,8 @@ fn main() {
                 tape: Some(tape),
                 ..RunConfig::default()
             },
-        ).unwrap();
+        )
+        .unwrap();
         let outputs = report.complete_outputs().unwrap();
         let violations = count_violations(&problem, &inst, &outputs);
         print_row(&[
@@ -110,7 +106,8 @@ fn main() {
                 tape: Some(RandomTape::secret(depth.into())),
                 ..RunConfig::default()
             },
-        ).unwrap();
+        )
+        .unwrap();
         let outputs = report.complete_outputs().unwrap();
         // Under the promise, every node must report the leaf color B.
         let leaves_start = (1usize << depth) - 1;
@@ -126,7 +123,10 @@ fn main() {
             report.summary().max_volume.to_string(),
             all_b.to_string(),
         ]);
-        assert!(correct && all_b, "promise walker must solve the promise version");
+        assert!(
+            correct && all_b,
+            "promise walker must solve the promise version"
+        );
         assert!(report.summary().max_volume <= 3 * (depth as usize + 2) + 4);
     }
     println!("\nSecret randomness suffices for the promise problem (volume");

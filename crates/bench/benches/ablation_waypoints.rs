@@ -26,9 +26,7 @@ fn skewed_instance(len: usize) -> Instance {
     let mut prev: Option<usize> = None;
     for i in 0..len {
         let v = b.add_node_with_id((2 * i + 1) as u64);
-        labels.push(
-            NodeLabel::empty().with_color(if i % 3 == 0 { Color::R } else { Color::B }),
-        );
+        labels.push(NodeLabel::empty().with_color(if i % 3 == 0 { Color::R } else { Color::B }));
         let c = b.add_node_with_id((2 * i + 2) as u64);
         labels.push(NodeLabel::empty().with_color(Color::B));
         let (pv, pc) = b.connect_auto(v, c).unwrap();
@@ -70,7 +68,8 @@ fn main() {
                     tape: Some(RandomTape::private(1000 + seed)),
                     ..RunConfig::default()
                 },
-            ).unwrap();
+            )
+            .unwrap();
             let outputs = report.complete_outputs().unwrap();
             if count_violations(&problem, &inst, &outputs) > 0 {
                 failures += 1;

@@ -140,7 +140,8 @@ fn bench_end_to_end(c: &mut Criterion) {
                         exact_distance: false,
                         ..RunConfig::default()
                     },
-                ).unwrap();
+                )
+                .unwrap();
                 let outputs = report.complete_outputs().unwrap();
                 check_solution(&leaf_coloring::LeafColoring, &inst, &outputs).unwrap();
             },

@@ -50,7 +50,8 @@ fn main() {
                 starts: StartSelection::All,
                 ..RunConfig::default()
             },
-        ).unwrap();
+        )
+        .unwrap();
         let outs = report.complete_outputs().unwrap();
         for (i, &u) in meta.u_leaves.iter().enumerate() {
             assert_eq!(outs[u], Some(bits[i]));
@@ -82,7 +83,11 @@ fn main() {
     let narrow = run_congest::<BitTransferWithBandwidth<35>>(&inst, 35, 100_000).unwrap();
     let medium = run_congest::<BitTransferWithBandwidth<140>>(&inst, 140, 100_000).unwrap();
     let wide = run_congest::<BitTransferWithBandwidth<560>>(&inst, 560, 100_000).unwrap();
-    for (b, r) in [(35, narrow.rounds), (140, medium.rounds), (560, wide.rounds)] {
+    for (b, r) in [
+        (35, narrow.rounds),
+        (140, medium.rounds),
+        (560, wide.rounds),
+    ] {
         print_row(&[b.to_string(), r.to_string()]);
     }
     assert!(narrow.rounds > medium.rounds && medium.rounds > wide.rounds);

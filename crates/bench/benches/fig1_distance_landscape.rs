@@ -62,12 +62,7 @@ fn main() {
     ));
 
     // Class B: Cole–Vishkin 3-coloring of cycles.
-    let pts = sweep_distance(
-        gen::directed_cycle,
-        &classic::ColeVishkin,
-        &sizes,
-        None,
-    );
+    let pts = sweep_distance(gen::directed_cycle, &classic::ColeVishkin, &sizes, None);
     let f = fit(&distance_series(&pts));
     rows.push((
         "Cycle 3-coloring (class B)".into(),
@@ -82,7 +77,11 @@ fn main() {
     let pts = sweep_distance(
         |n, s| {
             let depth = (usize::BITS - n.leading_zeros() - 1).max(2);
-            gen::complete_binary_tree(depth, Color::R, if s % 2 == 0 { Color::B } else { Color::R })
+            gen::complete_binary_tree(
+                depth,
+                Color::R,
+                if s % 2 == 0 { Color::B } else { Color::R },
+            )
         },
         &leaf_coloring::DistanceSolver,
         &sizes,
@@ -127,7 +126,12 @@ fn main() {
     }
 
     print_heading("Distance landscape (deterministic = randomized for these problems)");
-    print_header(&["Problem", "Paper class", "Fitted class", "Series (n, max DIST)"]);
+    print_header(&[
+        "Problem",
+        "Paper class",
+        "Fitted class",
+        "Series (n, max DIST)",
+    ]);
     for (name, paper, fitted, series) in &rows {
         print_row(&[name.clone(), paper.clone(), fitted.clone(), series.clone()]);
     }

@@ -35,7 +35,10 @@ where
         .enumerate()
         .map(|(i, &n)| {
             let inst = make(n, i as u64 + 1);
-            let cfg = sweep_config(inst.n(), tape_seed.map(|s| RandomTape::private(s + i as u64)));
+            let cfg = sweep_config(
+                inst.n(),
+                tape_seed.map(|s| RandomTape::private(s + i as u64)),
+            );
             measure_costs_with_roots(&inst, algo, &cfg, &[0])
         })
         .collect()
@@ -43,7 +46,15 @@ where
 
 fn complete_tree(n: usize, s: u64) -> Instance {
     let depth = (usize::BITS - n.leading_zeros() - 1).max(2);
-    gen::complete_binary_tree(depth, Color::R, if s.is_multiple_of(2) { Color::B } else { Color::R })
+    gen::complete_binary_tree(
+        depth,
+        Color::R,
+        if s.is_multiple_of(2) {
+            Color::B
+        } else {
+            Color::R
+        },
+    )
 }
 
 fn main() {
@@ -68,12 +79,7 @@ fn main() {
     ));
 
     // Class B: volume = distance for Cole–Vishkin (§1.2, Even et al.).
-    let det = sweep_volume(
-        gen::directed_cycle,
-        &classic::ColeVishkin,
-        &sizes,
-        None,
-    );
+    let det = sweep_volume(gen::directed_cycle, &classic::ColeVishkin, &sizes, None);
     rows.push((
         "Cycle 3-coloring (class B)".into(),
         "Θ(log* n) / Θ(log* n)".into(),

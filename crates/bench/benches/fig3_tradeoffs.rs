@@ -111,7 +111,12 @@ fn main() {
     }
 
     print_heading("Lines of Figure 3 (left endpoint = R-VOL, right endpoint = R-DIST)");
-    print_header(&["Problem", "R-VOL (left end)", "R-DIST (right end)", "R-VOL log-log slope"]);
+    print_header(&[
+        "Problem",
+        "R-VOL (left end)",
+        "R-DIST (right end)",
+        "R-VOL log-log slope",
+    ]);
     for (name, vol, dist, slope) in &lines {
         print_row(&[name.clone(), vol.clone(), dist.clone(), slope.clone()]);
     }
@@ -122,7 +127,11 @@ fn main() {
         let ((k1, a1), (k2, a2)) = (w[0], w[1]);
         println!(
             "  k={k1}: α≈{a1:.2}  >  k={k2}: α≈{a2:.2}   {}",
-            if a1 > a2 { "✓" } else { "✗ (hierarchy violated!)" }
+            if a1 > a2 {
+                "✓"
+            } else {
+                "✗ (hierarchy violated!)"
+            }
         );
         assert!(a1 > a2, "hierarchy must be strict");
     }

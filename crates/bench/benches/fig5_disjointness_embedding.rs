@@ -39,7 +39,14 @@ fn main() {
 
     // Communication-cost sweep.
     print_heading("Two-party cost of deciding g on disjoint inputs");
-    print_header(&["N", "n (graph)", "bits exchanged", "bits / 2N", "queries", "volume"]);
+    print_header(&[
+        "N",
+        "n (graph)",
+        "bits exchanged",
+        "bits / 2N",
+        "queries",
+        "volume",
+    ]);
     let mut series = Vec::new();
     for exp in 3..=12u32 {
         let n_pairs = 1usize << exp;

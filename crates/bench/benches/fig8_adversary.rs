@@ -26,7 +26,8 @@ fn main() {
     let mut lc_series = Vec::new();
     for exp in 5..=11u32 {
         let n = 1usize << exp;
-        let report = defeat(&DistanceSolver, n, None).expect("adversary world is structurally valid");
+        let report =
+            defeat(&DistanceSolver, n, None).expect("adversary world is structurally valid");
         assert!(report.defeated(), "the adversary must win at n={n}");
         lc_series.push((report.n as f64, report.volume as f64));
         print_row(&[
@@ -55,7 +56,8 @@ fn main() {
     for k in [2u32, 3] {
         for exp in 5..=9u32 {
             let n = 1usize << exp;
-            let report = duel(&DeterministicSolver { k }, k, n, 4_000_000).expect("adversary world is structurally valid");
+            let report = duel(&DeterministicSolver { k }, k, n, 4_000_000)
+                .expect("adversary world is structurally valid");
             let cert = report.certificate_holds(k);
             assert!(cert, "certificate must verify at k={k} n={n}");
             assert!(
@@ -85,7 +87,8 @@ fn main() {
     println!("builds — the Ω̃(n) deterministic-volume dilemma of Prop. 5.20.)");
 
     print_heading("Duel trace sample (k = 2, n = 64)");
-    let report = duel(&DeterministicSolver { k: 2 }, 2, 64, 1_000_000).expect("adversary world is structurally valid");
+    let report = duel(&DeterministicSolver { k: 2 }, 2, 64, 1_000_000)
+        .expect("adversary world is structurally valid");
     for line in report.trace.iter().take(12) {
         println!("  {line}");
     }

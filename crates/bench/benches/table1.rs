@@ -132,8 +132,18 @@ where
             assert_eq!(v, 0, "{name}: distance solver must be valid at n={n}");
         }
         dist_pts.push(dm);
-        rvol_pts.push(measure_costs_with_roots(&inst, rand_solver, &rnd_cfg, &roots));
-        dvol_pts.push(measure_costs_with_roots(&inst, detvol_solver, &det_cfg, &roots));
+        rvol_pts.push(measure_costs_with_roots(
+            &inst,
+            rand_solver,
+            &rnd_cfg,
+            &roots,
+        ));
+        dvol_pts.push(measure_costs_with_roots(
+            &inst,
+            detvol_solver,
+            &det_cfg,
+            &roots,
+        ));
     }
     eprintln!(
         "  {name}: D-DIST pts {:?}",

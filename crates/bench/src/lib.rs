@@ -16,6 +16,7 @@ use vc_graph::Instance;
 use vc_model::run::{run_from, QueryAlgorithm, RunConfig};
 use vc_model::{Budget, RandomTape, StartSelection};
 use vc_stats::fit::{fit_complexity, FitResult};
+use vc_trace::{CaseTrace, SweepMetrics};
 
 /// One measured point of a sweep.
 #[derive(Clone, Debug)]
@@ -158,8 +159,7 @@ where
     let starts_per_sec = engine_report.starts_per_sec();
     let queries_per_sec = engine_report.queries_per_sec();
     let mut records = engine_report.report.records;
-    let covered: std::collections::BTreeSet<usize> =
-        records.iter().map(|r| r.root).collect();
+    let covered: std::collections::BTreeSet<usize> = records.iter().map(|r| r.root).collect();
     for &root in extra_roots {
         if !covered.contains(&root) {
             let (_, rec) = run_from(inst, algo, root, config);
@@ -177,6 +177,37 @@ where
         violations: None,
         starts_per_sec,
         queries_per_sec,
+    }
+}
+
+/// Runs a traced engine sweep and packages it as a named [`CaseTrace`]
+/// for a `vc-trace-report/v1` document (see `examples/trace_report.rs`).
+///
+/// The deterministic half of the metrics (`metrics.query`) is identical
+/// for every engine thread count; throughput and `metrics.sched` are
+/// wall-clock observations that vary between runs.
+pub fn trace_case<A>(
+    engine: Engine,
+    case: &str,
+    inst: &Instance,
+    algo: &A,
+    config: &RunConfig,
+) -> CaseTrace
+where
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
+{
+    let (report, metrics) = engine
+        .run_all_traced::<A, SweepMetrics>(inst, algo, config)
+        .expect("sweep configs always select at least one start");
+    CaseTrace {
+        case: case.to_string(),
+        n: inst.n(),
+        threads: report.threads,
+        elapsed_nanos: u64::try_from(report.elapsed.as_nanos()).unwrap_or(u64::MAX),
+        starts_per_sec: report.starts_per_sec(),
+        queries_per_sec: report.queries_per_sec(),
+        metrics,
     }
 }
 
@@ -300,10 +331,12 @@ mod tests {
     #[test]
     fn dense_grid_and_exponent() {
         assert_eq!(size_grid_dense(3, 5), vec![8, 12, 16, 24, 32]);
-        let series: Vec<(f64, f64)> = (3..10).map(|e| {
-            let n = f64::from(1 << e);
-            (n, n.sqrt())
-        }).collect();
+        let series: Vec<(f64, f64)> = (3..10)
+            .map(|e| {
+                let n = f64::from(1 << e);
+                (n, n.sqrt())
+            })
+            .collect();
         assert!((loglog_exponent(&series) - 0.5).abs() < 1e-9);
     }
 

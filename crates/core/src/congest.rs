@@ -12,10 +12,10 @@
 use crate::output::BtOutput;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use vc_graph::{NodeLabel, Port};
 use vc_model::congest::{BitSize, CongestNode, LocalInfo};
 use vc_model::oracle::{follow, NodeView, Oracle, QueryError};
 use vc_model::run::QueryAlgorithm;
-use vc_graph::{NodeLabel, Port};
 
 /// Number of phase rounds reserved for port-by-port exchanges (an upper
 /// bound on the degree in all of our constructions).
@@ -542,9 +542,9 @@ mod tests {
     use super::*;
     use crate::lcl::check_solution;
     use crate::problems::balanced_tree::BalancedTree;
+    use vc_graph::gen;
     use vc_model::congest::run_congest;
     use vc_model::run::{run_all, RunConfig};
-    use vc_graph::gen;
 
     #[test]
     fn bt_flood_matches_checker_on_compatible_instance() {
@@ -619,11 +619,14 @@ mod tests {
 
     #[test]
     fn message_sizes_are_accounted() {
-        assert!(BtMsg::Hello {
-            id: 0,
-            label: NodeLabel::empty()
-        }
-        .bits() <= 160);
+        assert!(
+            BtMsg::Hello {
+                id: 0,
+                label: NodeLabel::empty()
+            }
+            .bits()
+                <= 160
+        );
         assert_eq!(Packets(vec![1, 2]).bits(), 2 + 66);
     }
 }

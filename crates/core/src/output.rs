@@ -171,10 +171,7 @@ mod tests {
     fn hybrid_classification() {
         assert!(HybridOutput::Pair(BtOutput::unbalanced(None)).is_solved_pair());
         assert!(!HybridOutput::Sym(ThcColor::R).is_solved_pair());
-        assert_eq!(
-            HybridOutput::Sym(ThcColor::D).sym(),
-            Some(ThcColor::D)
-        );
+        assert_eq!(HybridOutput::Sym(ThcColor::D).sym(), Some(ThcColor::D));
         assert_eq!(HybridOutput::Pair(BtOutput::balanced(None)).sym(), None);
     }
 }

@@ -516,11 +516,7 @@ mod tests {
         // checks touching lateral neighbors and grandchildren.
         assert!(s.max_distance <= 7 + 3, "max distance {}", s.max_distance);
         // The root had to scan its whole subtree: volume Θ(n).
-        let root_rec = report
-            .records
-            .iter()
-            .find(|r| r.root == meta.root)
-            .unwrap();
+        let root_rec = report.records.iter().find(|r| r.root == meta.root).unwrap();
         assert!(root_rec.volume > inst.n() / 2);
         assert!(check_solution(&BalancedTree, &inst, &report.complete_outputs().unwrap()).is_ok());
     }

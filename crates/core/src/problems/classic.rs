@@ -88,13 +88,10 @@ impl Lcl for CycleColoring {
                 rule: "cv:palette",
             });
         }
-        let succ = inst
-            .graph
-            .neighbor(v, Port::new(1))
-            .ok_or(Violation {
-                node: v,
-                rule: "cv:not-a-cycle",
-            })?;
+        let succ = inst.graph.neighbor(v, Port::new(1)).ok_or(Violation {
+            node: v,
+            rule: "cv:not-a-cycle",
+        })?;
         if outputs[v] == outputs[succ] {
             return Err(Violation {
                 node: v,
@@ -139,10 +136,7 @@ impl ColeVishkin {
         // CV iterations: color[i] <- step(color[i], color[i+1]).
         let mut colors: Vec<u64> = window.to_vec();
         for _ in 0..CV_ITERS {
-            colors = colors
-                .windows(2)
-                .map(|w| cv_step(w[0], w[1]))
-                .collect();
+            colors = colors.windows(2).map(|w| cv_step(w[0], w[1])).collect();
         }
         // Greedy removal of colors 3, 4, 5: a node of the removed class
         // picks the smallest color unused by both neighbors.
@@ -180,15 +174,15 @@ impl QueryAlgorithm for ColeVishkin {
         let mut ids = vec![root.id];
         let mut cur: NodeView = root;
         for _ in 0..REDUCE_ROUNDS {
-            let prev = follow(oracle, &cur, Some(Port::new(2)))?
-                .ok_or(QueryError::AdversaryRefused)?;
+            let prev =
+                follow(oracle, &cur, Some(Port::new(2)))?.ok_or(QueryError::AdversaryRefused)?;
             ids.insert(0, prev.id);
             cur = prev;
         }
         cur = root;
         for _ in 0..fwd_len {
-            let next = follow(oracle, &cur, Some(Port::new(1)))?
-                .ok_or(QueryError::AdversaryRefused)?;
+            let next =
+                follow(oracle, &cur, Some(Port::new(1)))?.ok_or(QueryError::AdversaryRefused)?;
             ids.push(next.id);
             cur = next;
         }
@@ -248,12 +242,14 @@ mod tests {
             &gen::directed_cycle(16, 1),
             &ColeVishkin,
             &RunConfig::default(),
-        ).unwrap();
+        )
+        .unwrap();
         let large = run_all(
             &gen::directed_cycle(4096, 1),
             &ColeVishkin,
             &RunConfig::default(),
-        ).unwrap();
+        )
+        .unwrap();
         assert_eq!(
             small.summary().max_volume,
             large.summary().max_volume,

@@ -10,10 +10,13 @@
 
 use crate::lcl::{Lcl, Violation};
 use crate::output::{HybridOutput, ThcColor};
-use crate::problems::hierarchical::{check_thc_node, DeterministicSolver as HierDet,
-    RandomizedSolver as HierRand};
-use crate::problems::hybrid::{check_hybrid_node, DeterministicVolumeSolver as HybDetVol,
-    DistanceSolver as HybDist, RandomizedSolver as HybRand};
+use crate::problems::hierarchical::{
+    check_thc_node, DeterministicSolver as HierDet, RandomizedSolver as HierRand,
+};
+use crate::problems::hybrid::{
+    check_hybrid_node, DeterministicVolumeSolver as HybDetVol, DistanceSolver as HybDist,
+    RandomizedSolver as HybRand,
+};
 use vc_graph::{structure, Instance};
 use vc_model::oracle::{Oracle, QueryError};
 use vc_model::run::QueryAlgorithm;
@@ -171,7 +174,8 @@ mod tests {
         for seed in 0..3 {
             let inst = gen::hh(2, 2, 500, seed);
             let problem = HhThc::new(2, 2);
-            let report = run_all(&inst, &DistanceSolver { k: 2, l: 2 }, &RunConfig::default()).unwrap();
+            let report =
+                run_all(&inst, &DistanceSolver { k: 2, l: 2 }, &RunConfig::default()).unwrap();
             let outputs = report.complete_outputs().unwrap();
             let check = check_solution(&problem, &inst, &outputs);
             assert!(check.is_ok(), "seed {seed}: {check:?}");
@@ -202,7 +206,8 @@ mod tests {
             &inst,
             &DeterministicVolumeSolver { k: 2, l: 2 },
             &RunConfig::default(),
-        ).unwrap();
+        )
+        .unwrap();
         let outputs = report.complete_outputs().unwrap();
         let check = check_solution(&problem, &inst, &outputs);
         assert!(check.is_ok(), "{check:?}");

@@ -120,8 +120,7 @@ pub fn check_thc_node(
         let Some(lc) = lc else {
             return Ok(());
         };
-        let a = get_out(lc) == Some(out)
-            && matches!(out, ThcColor::R | ThcColor::B | ThcColor::D);
+        let a = get_out(lc) == Some(out) && matches!(out, ThcColor::R | ThcColor::B | ThcColor::D);
         let b = out == ThcColor::X
             && rc
                 .and_then(&get_out)
@@ -515,7 +514,8 @@ mod tests {
                     seed,
                 });
                 let problem = HierarchicalThc::new(k);
-                let report = run_all(&inst, &DeterministicSolver { k }, &RunConfig::default()).unwrap();
+                let report =
+                    run_all(&inst, &DeterministicSolver { k }, &RunConfig::default()).unwrap();
                 let outputs = report.complete_outputs().unwrap();
                 assert!(
                     check_solution(&problem, &inst, &outputs).is_ok(),
@@ -599,10 +599,11 @@ mod tests {
         let mut prev: Option<usize> = None;
         for i in 0..len {
             let v = b.add_node_with_id((2 * i + 1) as u64);
-            labels.push(
-                vc_graph::NodeLabel::empty()
-                    .with_color(if i % 3 == 0 { Color::R } else { Color::B }),
-            );
+            labels.push(vc_graph::NodeLabel::empty().with_color(if i % 3 == 0 {
+                Color::R
+            } else {
+                Color::B
+            }));
             let c = b.add_node_with_id((2 * i + 2) as u64);
             labels.push(vc_graph::NodeLabel::empty().with_color(Color::B));
             let (pv, pc) = b.connect_auto(v, c).unwrap();
@@ -655,7 +656,8 @@ mod tests {
                 exact_distance: false,
                 ..RunConfig::default()
             },
-        ).unwrap();
+        )
+        .unwrap();
         let rnd = run_all(
             &inst,
             &RandomizedSolver::new(2),
@@ -665,7 +667,8 @@ mod tests {
                 exact_distance: false,
                 ..RunConfig::default()
             },
-        ).unwrap();
+        )
+        .unwrap();
         assert!(rnd.summary().max_volume <= det.summary().max_volume);
     }
 

@@ -632,7 +632,8 @@ mod tests {
             &inst,
             &DeterministicVolumeSolver { k: 2 },
             &RunConfig::default(),
-        ).unwrap();
+        )
+        .unwrap();
         let outputs = report.complete_outputs().unwrap();
         let check = check_solution(&problem, &inst, &outputs);
         assert!(check.is_ok(), "{check:?}");
@@ -650,7 +651,8 @@ mod tests {
                 exact_distance: false,
                 ..RunConfig::default()
             },
-        ).unwrap();
+        )
+        .unwrap();
         let s = report.summary();
         assert!(
             s.max_volume < inst.n() / 3,
@@ -733,9 +735,8 @@ mod tests {
         for &u in &comp {
             outputs[u] = HybridOutput::Sym(ThcColor::D);
         }
-        outputs[lvl2_leaf] = HybridOutput::Sym(ThcColor::from_color(
-            inst.labels[lvl2_leaf].color.unwrap(),
-        ));
+        outputs[lvl2_leaf] =
+            HybridOutput::Sym(ThcColor::from_color(inst.labels[lvl2_leaf].color.unwrap()));
         let check = check_solution(&problem, &inst, &outputs);
         assert!(check.is_ok(), "{check:?}");
     }

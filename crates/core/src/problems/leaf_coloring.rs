@@ -300,7 +300,8 @@ mod tests {
     fn rw_to_leaf_valid_on_cycles() {
         for seed in 0..5 {
             let inst = gen::pseudo_tree(150, 9, seed);
-            let report = run_all(&inst, &RwToLeaf::default(), &config_with_tape(100 + seed)).unwrap();
+            let report =
+                run_all(&inst, &RwToLeaf::default(), &config_with_tape(100 + seed)).unwrap();
             let outputs = report.complete_outputs().unwrap();
             assert!(
                 check_solution(&LeafColoring, &inst, &outputs).is_ok(),

@@ -22,9 +22,15 @@
 //!   the same [`CostSummary`] bits as a serial fold regardless of how chunks
 //!   were distributed over threads.
 //!
-//! With one worker the engine delegates to `vc_model::run::run_all`
-//! directly, making the serial runner the semantic anchor the determinism
-//! tests compare against.
+//! With one worker the untraced engine delegates to
+//! `vc_model::run::run_all` directly, making the serial runner the semantic
+//! anchor the determinism tests compare against.
+//!
+//! [`Engine::run_all_traced`] additionally aggregates a
+//! [`vc_trace::MergeTracer`] (one fresh tracer per chunk, absorbed in chunk
+//! order), extending the same any-thread-count determinism guarantee to the
+//! tracer's mergeable state; see DESIGN.md §10 for the event model and why
+//! tracing cannot perturb the sweep.
 //!
 //! The worker count defaults to `std::thread::available_parallelism` and can
 //! be overridden with the `VC_THREADS` environment variable.
@@ -33,11 +39,13 @@
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use vc_graph::Instance;
 use vc_model::cost::{CostAccumulator, CostSummary, ExecutionRecord};
 use vc_model::oracle::ExecScratch;
-use vc_model::run::{run_from_with, QueryAlgorithm, RunConfig, RunReport, StartError};
+use vc_model::run::{run_from_traced, QueryAlgorithm, RunConfig, RunReport, StartError};
+use vc_trace::time::Stopwatch;
+use vc_trace::{MergeTracer, NoopTracer};
 
 /// Start nodes per work chunk. Fixed (instead of derived from the worker
 /// count) so the partition of the start set — and therefore the merge order
@@ -104,22 +112,73 @@ impl Engine {
         A: QueryAlgorithm + Sync,
         A::Output: Send,
     {
-        let t0 = Instant::now();
+        let sw = Stopwatch::start();
         let starts = config.starts.starts(inst.n())?;
         let num_chunks = starts.len().div_ceil(CHUNK);
         let workers = self.threads.min(num_chunks.max(1));
         let (report, acc) = if workers <= 1 {
             run_serial(inst, algo, config)?
         } else {
-            run_sharded(inst, algo, config, &starts, num_chunks, workers)
+            let (report, acc, NoopTracer) =
+                run_sharded::<A, NoopTracer>(inst, algo, config, &starts, num_chunks, workers);
+            (report, acc)
         };
         Ok(EngineReport {
             summary: acc.finish(),
             total_queries: acc.total_queries(),
             report,
             threads: workers,
-            elapsed: t0.elapsed(),
+            elapsed: sw.elapsed(),
         })
+    }
+
+    /// [`Engine::run_all`] with a [`MergeTracer`] aggregated across the
+    /// sweep, returning the merged tracer next to the report.
+    ///
+    /// Each chunk folds its events into a fresh `T::default()`; the chunk
+    /// partials are absorbed in chunk index order, so — like the cost
+    /// summary — the merged tracer is bit-identical for every thread
+    /// count. To keep the chunk-level event counts (`chunk_claimed`,
+    /// `chunk_merged`) thread-count-invariant too, the traced sweep always
+    /// takes the chunked path, even with a single worker; the serial
+    /// delegate is reserved for the untraced [`Engine::run_all`].
+    ///
+    /// Per-chunk wall times (`chunk_timed`) are measured only when
+    /// `T::TIMED` is set, and are inherently schedule-dependent: mergeable
+    /// tracers must quarantine them away from their deterministic state
+    /// (see `SweepMetrics`' query/sched split in `vc-trace`).
+    ///
+    /// # Errors
+    ///
+    /// [`StartError`] when the configured start selection is invalid, same
+    /// as the serial runner.
+    pub fn run_all_traced<A, T>(
+        &self,
+        inst: &Instance,
+        algo: &A,
+        config: &RunConfig,
+    ) -> Result<(EngineReport<A::Output>, T), StartError>
+    where
+        A: QueryAlgorithm + Sync,
+        A::Output: Send,
+        T: MergeTracer,
+    {
+        let sw = Stopwatch::start();
+        let starts = config.starts.starts(inst.n())?;
+        let num_chunks = starts.len().div_ceil(CHUNK);
+        let workers = self.threads.min(num_chunks.max(1));
+        let (report, acc, tracer) =
+            run_sharded::<A, T>(inst, algo, config, &starts, num_chunks, workers.max(1));
+        Ok((
+            EngineReport {
+                summary: acc.finish(),
+                total_queries: acc.total_queries(),
+                report,
+                threads: workers,
+                elapsed: sw.elapsed(),
+            },
+            tracer,
+        ))
     }
 }
 
@@ -146,59 +205,82 @@ fn run_serial<A: QueryAlgorithm>(
 }
 
 /// The work a single chunk produces: `(root, output, record)` per start, in
-/// chunk-local start order, plus the chunk's cost partial.
-type ChunkResult<O> = (Vec<(usize, O, ExecutionRecord)>, CostAccumulator);
+/// chunk-local start order, plus the chunk's cost partial and its tracer
+/// partial (a [`NoopTracer`] on the untraced path).
+type ChunkResult<O, T> = (Vec<(usize, O, ExecutionRecord)>, CostAccumulator, T);
 
 /// What one worker thread hands back at join: every chunk it claimed,
 /// tagged with the chunk's index for order-independent reassembly.
-type WorkerResult<O> = std::thread::Result<Vec<(usize, ChunkResult<O>)>>;
+type WorkerResult<O, T> = std::thread::Result<Vec<(usize, ChunkResult<O, T>)>>;
 
-fn run_sharded<A>(
+fn run_sharded<A, T>(
     inst: &Instance,
     algo: &A,
     config: &RunConfig,
     starts: &[usize],
     num_chunks: usize,
     workers: usize,
-) -> (RunReport<A::Output>, CostAccumulator)
+) -> (RunReport<A::Output>, CostAccumulator, T)
 where
     A: QueryAlgorithm + Sync,
     A::Output: Send,
+    T: MergeTracer,
 {
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<ChunkResult<A::Output>>> = Vec::with_capacity(num_chunks);
+    let mut slots: Vec<Option<ChunkResult<A::Output, T>>> = Vec::with_capacity(num_chunks);
     slots.resize_with(num_chunks, || None);
 
-    let joined: Vec<WorkerResult<A::Output>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    s.spawn(move || {
-                        let mut scratch = ExecScratch::new();
-                        let mut produced = Vec::new();
-                        loop {
-                            let c = next.fetch_add(1, Ordering::Relaxed);
-                            if c >= num_chunks {
-                                break;
-                            }
-                            let lo = c * CHUNK;
-                            let hi = starts.len().min(lo + CHUNK);
-                            let mut outs = Vec::with_capacity(hi - lo);
-                            let mut acc = CostAccumulator::default();
-                            for &root in &starts[lo..hi] {
-                                let (out, rec) =
-                                    run_from_with(inst, algo, root, config, &mut scratch);
-                                acc.add(&rec);
-                                outs.push((root, out, rec));
-                            }
-                            produced.push((c, (outs, acc)));
+    let joined: Vec<WorkerResult<A::Output, T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut scratch = ExecScratch::new();
+                    let mut produced = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            break;
                         }
-                        produced
-                    })
+                        let lo = c * CHUNK;
+                        let hi = starts.len().min(lo + CHUNK);
+                        let mut outs = Vec::with_capacity(hi - lo);
+                        let mut acc = CostAccumulator::default();
+                        // Each chunk folds its events into a fresh
+                        // tracer, so absorbing the partials in chunk
+                        // order is schedule-independent. `T::TIMED`
+                        // is a const: the untraced NoopTracer
+                        // instantiation performs no clock reads.
+                        let mut tracer = T::default();
+                        tracer.chunk_claimed(c, hi - lo);
+                        let sw = if T::TIMED {
+                            Some(Stopwatch::start())
+                        } else {
+                            None
+                        };
+                        for &root in &starts[lo..hi] {
+                            let (out, rec) = run_from_traced(
+                                inst,
+                                algo,
+                                root,
+                                config,
+                                &mut scratch,
+                                &mut tracer,
+                            );
+                            acc.add(&rec);
+                            outs.push((root, out, rec));
+                        }
+                        if let Some(sw) = sw {
+                            tracer.chunk_timed(c, sw.elapsed_nanos());
+                        }
+                        produced.push((c, (outs, acc, tracer)));
+                    }
+                    produced
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join()).collect()
-        });
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
 
     for res in joined {
         match res {
@@ -216,12 +298,15 @@ where
     let mut outputs = vec![None; inst.n()];
     let mut records = Vec::with_capacity(starts.len());
     let mut total = CostAccumulator::default();
+    let mut merged_tracer = T::default();
     assert!(
         slots.iter().all(Option::is_some),
         "every chunk index below num_chunks is claimed by some worker"
     );
-    for (outs, acc) in slots.into_iter().flatten() {
+    for (c, (outs, acc, tracer)) in slots.into_iter().flatten().enumerate() {
         total.merge(&acc);
+        merged_tracer.absorb(tracer);
+        merged_tracer.chunk_merged(c);
         for (root, out, rec) in outs {
             outputs[root] = Some(out);
             records.push(rec);
@@ -231,7 +316,7 @@ where
         records.len() == starts.len(),
         "merged records must cover every start"
     );
-    (RunReport { outputs, records }, total)
+    (RunReport { outputs, records }, total, merged_tracer)
 }
 
 /// The result of a sharded sweep: the serial-identical [`RunReport`] plus
@@ -315,7 +400,9 @@ mod tests {
         let inst = gen::random_full_binary_tree(301, 5);
         let config = RunConfig::default();
         let serial = vc_model::run::run_all(&inst, &WalkLeft, &config).unwrap();
-        let engine = Engine::with_threads(1).run_all(&inst, &WalkLeft, &config).unwrap();
+        let engine = Engine::with_threads(1)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
         assert_eq!(engine.threads, 1);
         assert_equal_reports(&engine, &serial);
     }
@@ -361,7 +448,9 @@ mod tests {
             ..RunConfig::default()
         };
         let serial = vc_model::run::run_all(&inst, &WalkLeft, &config).unwrap();
-        let engine = Engine::with_threads(8).run_all(&inst, &WalkLeft, &config).unwrap();
+        let engine = Engine::with_threads(8)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
         assert_equal_reports(&engine, &serial);
     }
 
@@ -372,7 +461,56 @@ mod tests {
             starts: StartSelection::Sample { count: 0, seed: 0 },
             ..RunConfig::default()
         };
-        let err = Engine::with_threads(4).run_all(&inst, &WalkLeft, &config).unwrap_err();
+        let err = Engine::with_threads(4)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap_err();
+        assert_eq!(err, StartError::EmptySample);
+    }
+
+    #[test]
+    fn traced_sweep_matches_untraced_and_is_thread_invariant() {
+        use vc_trace::SweepMetrics;
+        let inst = gen::random_full_binary_tree(777, 9);
+        let config = RunConfig::default();
+        let untraced = Engine::with_threads(1)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        let (r1, m1) = Engine::with_threads(1)
+            .run_all_traced::<_, SweepMetrics>(&inst, &WalkLeft, &config)
+            .unwrap();
+        assert_equal_reports(&untraced, &r1.report);
+        for threads in [2, 8] {
+            let (r, m) = Engine::with_threads(threads)
+                .run_all_traced::<_, SweepMetrics>(&inst, &WalkLeft, &config)
+                .unwrap();
+            assert_equal_reports(&untraced, &r.report);
+            assert_eq!(
+                m.query, m1.query,
+                "deterministic metrics must not depend on the thread count"
+            );
+        }
+        // The metrics cross-check the cost summary.
+        assert_eq!(m1.query.executions, untraced.summary.runs as u64);
+        assert_eq!(m1.query.volume.max(), untraced.summary.max_volume as u64);
+        assert_eq!(m1.query.queries_per_start.sum(), untraced.total_queries);
+        // Even at one worker the traced sweep takes the chunked path, so
+        // chunk counts are thread-count-invariant too.
+        let chunks = inst.n().div_ceil(CHUNK) as u64;
+        assert_eq!(m1.query.chunks_claimed, chunks);
+        assert_eq!(m1.query.chunks_merged, chunks);
+    }
+
+    #[test]
+    fn traced_start_errors_propagate() {
+        use vc_trace::SweepMetrics;
+        let inst = gen::complete_binary_tree(2, Color::R, Color::B);
+        let config = RunConfig {
+            starts: StartSelection::Sample { count: 0, seed: 0 },
+            ..RunConfig::default()
+        };
+        let err = Engine::with_threads(2)
+            .run_all_traced::<_, SweepMetrics>(&inst, &WalkLeft, &config)
+            .unwrap_err();
         assert_eq!(err, StartError::EmptySample);
     }
 

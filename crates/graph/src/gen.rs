@@ -438,7 +438,8 @@ pub fn hierarchical_with_cycle(params: HierarchicalParams) -> Instance {
     }
     if params.k > 1 {
         for &v in &backbone {
-            let sub_root = build_hier_component(&mut t, params.k - 1, params.backbone_len, &mut rng);
+            let sub_root =
+                build_hier_component(&mut t, params.k - 1, params.backbone_len, &mut rng);
             let (pv, pr) = t.b.connect_auto(v, sub_root).unwrap();
             t.labels[v].right_child = Some(pv);
             t.labels[sub_root].parent = Some(pr);
@@ -740,10 +741,7 @@ mod tests {
         assert_eq!(inst.n(), 15);
         assert!(inst.graph.validate().is_ok());
         let st = structure::statuses(&inst);
-        assert_eq!(
-            st.iter().filter(|s| **s == NodeStatus::Internal).count(),
-            7
-        );
+        assert_eq!(st.iter().filter(|s| **s == NodeStatus::Internal).count(), 7);
         assert_eq!(st.iter().filter(|s| **s == NodeStatus::Leaf).count(), 8);
         assert_eq!(inst.graph.id(0), 1);
         // Leaf colors.
@@ -808,8 +806,7 @@ mod tests {
             false
         }
         let mut mark = vec![Mark::White; inst.n()];
-        let found_cycle = (0..inst.n())
-            .any(|v| mark[v] == Mark::White && dfs(&inst, v, &mut mark));
+        let found_cycle = (0..inst.n()).any(|v| mark[v] == Mark::White && dfs(&inst, v, &mut mark));
         assert!(found_cycle, "pseudo_tree must contain a G_T cycle");
     }
 
@@ -914,16 +911,8 @@ mod tests {
         assert!(inst.graph.validate().is_ok());
         // 3 backbone nodes at level 2, each with a 7-node BT at level 1.
         assert_eq!(inst.n(), 3 + 3 * 7);
-        let lvl2 = inst
-            .labels
-            .iter()
-            .filter(|l| l.level == Some(2))
-            .count();
-        let lvl1 = inst
-            .labels
-            .iter()
-            .filter(|l| l.level == Some(1))
-            .count();
+        let lvl2 = inst.labels.iter().filter(|l| l.level == Some(2)).count();
+        let lvl1 = inst.labels.iter().filter(|l| l.level == Some(1)).count();
         assert_eq!(lvl2, 3);
         assert_eq!(lvl1, 21);
         // Every level-2 node's RC is a level-1 node with a parent pointer

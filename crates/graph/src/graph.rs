@@ -56,7 +56,10 @@ impl fmt::Display for GraphError {
                 write!(f, "port {port} of node {node} is already in use")
             }
             GraphError::PortsNotContiguous { node } => {
-                write!(f, "ports of node {node} do not form a contiguous range 1..=deg")
+                write!(
+                    f,
+                    "ports of node {node} do not form a contiguous range 1..=deg"
+                )
             }
             GraphError::AsymmetricEdge { from, to } => {
                 write!(f, "edge {from}->{to} has no reverse counterpart")

@@ -84,8 +84,12 @@ pub trait CongestNode: Sized {
 
     /// One synchronous round: consume the inbox (messages tagged with their
     /// arrival port), emit messages tagged with departure ports.
-    fn round(&mut self, info: &LocalInfo, round: usize, inbox: &[(Port, Self::Msg)])
-        -> Vec<(Port, Self::Msg)>;
+    fn round(
+        &mut self,
+        info: &LocalInfo,
+        round: usize,
+        inbox: &[(Port, Self::Msg)],
+    ) -> Vec<(Port, Self::Msg)>;
 
     /// The node's output, once decided. The simulation stops when every node
     /// has decided.
@@ -147,7 +151,10 @@ impl fmt::Display for CongestError {
                 write!(f, "simulation did not terminate within {limit} rounds")
             }
             CongestError::AsymmetricEdge { node, neighbor } => {
-                write!(f, "edge {node} -> {neighbor} has no reverse port at the receiver")
+                write!(
+                    f,
+                    "edge {node} -> {neighbor} has no reverse port at the receiver"
+                )
             }
         }
     }
@@ -228,7 +235,10 @@ pub fn run_congest<N: CongestNode>(
                     return Err(CongestError::InvalidPort { node: v, port });
                 };
                 let Some(arrival) = inst.graph.port_to(w, v) else {
-                    return Err(CongestError::AsymmetricEdge { node: v, neighbor: w });
+                    return Err(CongestError::AsymmetricEdge {
+                        node: v,
+                        neighbor: w,
+                    });
                 };
                 report.total_messages += 1;
                 report.total_bits += bits as u64;

@@ -36,5 +36,6 @@ pub use cost::{Budget, CostAccumulator, CostSummary, ExecutionRecord};
 pub use oracle::{ExecScratch, Execution, NodeView, Oracle, QueryError};
 pub use randomness::{RandomTape, RandomnessMode};
 pub use run::{
-    run_all, run_from, run_from_with, QueryAlgorithm, RunReport, StartError, StartSelection,
+    run_all, run_all_traced, run_from, run_from_traced, run_from_with, QueryAlgorithm, RunReport,
+    StartError, StartSelection,
 };

@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 use vc_graph::{Instance, NodeLabel, Port};
+use vc_trace::{NoopTracer, Tracer};
 
 /// What a query reveals about a node: its handle, unique identifier, degree
 /// and entire input label (§2.2).
@@ -290,24 +291,39 @@ impl ScratchSlot<'_> {
 /// execution's [`ExecScratch`]. This world/cursor split is what lets the
 /// sharded runner in `vc-engine` run one `Execution` per start node across
 /// worker threads without locking.
+///
+/// The `T` parameter is the execution's [`Tracer`]. It defaults to the
+/// zero-sized [`NoopTracer`], whose empty hooks monomorphize away — the
+/// untraced [`Execution::new`] / [`Execution::with_scratch`] constructors
+/// compile to the exact pre-tracing hot path. A long-lived tracer is lent
+/// to an execution as `T = &mut SomeTracer` via
+/// [`Execution::with_scratch_traced`].
 #[derive(Debug)]
-pub struct Execution<'a> {
+pub struct Execution<'a, T: Tracer = NoopTracer> {
     inst: &'a Instance,
     tape: Option<RandomTape>,
     budget: Budget,
     root: usize,
     scratch: ScratchSlot<'a>,
+    tracer: T,
     queries: u64,
     distance_upper: u32,
     random_bits: u64,
 }
 
-impl<'a> Execution<'a> {
+impl<'a> Execution<'a, NoopTracer> {
     /// Starts an execution at `root` with a private, owned scratch. Pass
     /// `tape: None` for deterministic algorithms (any randomness request
     /// then fails).
     pub fn new(inst: &'a Instance, root: usize, tape: Option<RandomTape>, budget: Budget) -> Self {
-        Self::build(inst, root, tape, budget, ScratchSlot::Owned(Box::default()))
+        Self::build(
+            inst,
+            root,
+            tape,
+            budget,
+            ScratchSlot::Owned(Box::default()),
+            NoopTracer,
+        )
     }
 
     /// Starts an execution at `root` reusing `scratch` from a previous
@@ -321,7 +337,39 @@ impl<'a> Execution<'a> {
         budget: Budget,
         scratch: &'a mut ExecScratch,
     ) -> Self {
-        Self::build(inst, root, tape, budget, ScratchSlot::Borrowed(scratch))
+        Self::build(
+            inst,
+            root,
+            tape,
+            budget,
+            ScratchSlot::Borrowed(scratch),
+            NoopTracer,
+        )
+    }
+}
+
+impl<'a, T: Tracer> Execution<'a, T> {
+    /// [`Execution::with_scratch`] with an explicit tracer receiving the
+    /// execution's typed event stream (pass `&mut tracer` to keep
+    /// ownership with the sweep loop). Tracer hooks observe the execution
+    /// but cannot influence it, so traced and untraced runs produce
+    /// bit-identical outputs and records.
+    pub fn with_scratch_traced(
+        inst: &'a Instance,
+        root: usize,
+        tape: Option<RandomTape>,
+        budget: Budget,
+        scratch: &'a mut ExecScratch,
+        tracer: T,
+    ) -> Self {
+        Self::build(
+            inst,
+            root,
+            tape,
+            budget,
+            ScratchSlot::Borrowed(scratch),
+            tracer,
+        )
     }
 
     fn build(
@@ -330,6 +378,7 @@ impl<'a> Execution<'a> {
         tape: Option<RandomTape>,
         budget: Budget,
         mut scratch: ScratchSlot<'a>,
+        tracer: T,
     ) -> Self {
         assert!(root < inst.n(), "root must be a node of the instance");
         scratch.get_mut().begin(inst.n(), root);
@@ -339,10 +388,17 @@ impl<'a> Execution<'a> {
             budget,
             root,
             scratch,
+            tracer,
             queries: 0,
             distance_upper: 0,
             random_bits: 0,
         }
+    }
+
+    /// Mutable access to the execution's tracer — used by the runner to
+    /// emit the answer-finalized event after [`Execution::record`].
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
     }
 
     fn view_of(&self, v: usize) -> NodeView {
@@ -424,7 +480,7 @@ impl<'a> Execution<'a> {
     }
 }
 
-impl Oracle for Execution<'_> {
+impl<T: Tracer> Oracle for Execution<'_, T> {
     fn n(&self) -> usize {
         self.inst.n()
     }
@@ -434,6 +490,10 @@ impl Oracle for Execution<'_> {
     }
 
     fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
+        // The tracer observes every issued query, answered or refused;
+        // hooks never feed back into the execution, so the traced and
+        // untraced instantiations take identical decision paths.
+        self.tracer.query_issued(from, port.number());
         // Out-of-range handles are "never visited", not index panics —
         // algorithms may probe arbitrary handles.
         if from >= self.inst.n() {
@@ -464,7 +524,11 @@ impl Oracle for Execution<'_> {
                 }
             }
             sc.mark_visited(target, d);
-            self.distance_upper = self.distance_upper.max(d);
+            self.tracer.node_revealed(target, d);
+            if d > self.distance_upper {
+                self.distance_upper = d;
+                self.tracer.frontier_advanced(d);
+            }
         }
         self.queries += 1;
         Ok(self.view_of(target))
@@ -687,15 +751,13 @@ mod tests {
         for root in 0..inst.n() {
             // Fresh, owned-scratch execution as the reference.
             let mut fresh = Execution::new(&inst, root, Some(tape), Budget::unlimited());
-            let mut reused = Execution::with_scratch(
-                &inst,
-                root,
-                Some(tape),
-                Budget::unlimited(),
-                &mut scratch,
-            );
+            let mut reused =
+                Execution::with_scratch(&inst, root, Some(tape), Budget::unlimited(), &mut scratch);
             for p in 1..=inst.graph.degree(root) as u8 {
-                assert_eq!(fresh.query(root, Port::new(p)), reused.query(root, Port::new(p)));
+                assert_eq!(
+                    fresh.query(root, Port::new(p)),
+                    reused.query(root, Port::new(p))
+                );
             }
             let bits_fresh: Vec<bool> = (0..16).map(|_| fresh.rand_bit(root).unwrap()).collect();
             let bits_reused: Vec<bool> = (0..16).map(|_| reused.rand_bit(root).unwrap()).collect();

@@ -137,9 +137,7 @@ mod tests {
     #[test]
     fn bits_are_roughly_balanced() {
         let t = RandomTape::private(3);
-        let ones: usize = (0..10_000u64)
-            .map(|i| usize::from(t.bit(i % 17, i)))
-            .sum();
+        let ones: usize = (0..10_000u64).map(|i| usize::from(t.bit(i % 17, i))).sum();
         assert!((4_500..5_500).contains(&ones), "ones = {ones}");
     }
 

@@ -8,6 +8,7 @@ use crate::randomness::RandomTape;
 use std::error::Error;
 use std::fmt;
 use vc_graph::Instance;
+use vc_trace::{NoopTracer, Tracer};
 
 /// A query-model algorithm: a strategy mapping oracle interactions to a
 /// local output (§2.2, Definition 2.4).
@@ -188,8 +189,29 @@ pub fn run_from_with<A: QueryAlgorithm>(
     config: &RunConfig,
     scratch: &mut ExecScratch,
 ) -> (A::Output, ExecutionRecord) {
-    let mut ex = Execution::with_scratch(inst, root, config.tape, config.budget, scratch);
-    match algo.run(&mut ex) {
+    run_from_traced(inst, algo, root, config, scratch, NoopTracer)
+}
+
+/// [`run_from_with`] with a [`Tracer`] observing the execution's typed
+/// event stream: a `query_issued` per oracle step, `node_revealed` /
+/// `frontier_advanced` as `V_v` grows, and one `answer_finalized` with the
+/// final costs after the record is taken.
+///
+/// `tracer` is taken by value; sweep loops keep a long-lived tracer by
+/// passing `&mut tracer` (every `Tracer` forwards through `&mut`). Tracer
+/// hooks observe but never influence the execution, so outputs and records
+/// are bit-identical to the untraced [`run_from_with`].
+pub fn run_from_traced<A: QueryAlgorithm, T: Tracer>(
+    inst: &Instance,
+    algo: &A,
+    root: usize,
+    config: &RunConfig,
+    scratch: &mut ExecScratch,
+    tracer: T,
+) -> (A::Output, ExecutionRecord) {
+    let mut ex =
+        Execution::with_scratch_traced(inst, root, config.tape, config.budget, scratch, tracer);
+    let (out, rec) = match algo.run(&mut ex) {
         Ok(out) => {
             let rec = ex.record(config.exact_distance, true);
             (out, rec)
@@ -198,7 +220,15 @@ pub fn run_from_with<A: QueryAlgorithm>(
             let rec = ex.record(config.exact_distance, false);
             (algo.fallback(), rec)
         }
-    }
+    };
+    ex.tracer_mut().answer_finalized(
+        rec.root,
+        rec.volume,
+        rec.distance_upper,
+        rec.queries,
+        rec.completed,
+    );
+    (out, rec)
 }
 
 /// Runs `algo` from every selected start node. All executions share the
@@ -225,6 +255,35 @@ pub fn run_all<A: QueryAlgorithm>(
     let mut scratch = ExecScratch::new();
     for root in starts {
         let (out, rec) = run_from_with(inst, algo, root, config, &mut scratch);
+        outputs[root] = Some(out);
+        records.push(rec);
+    }
+    Ok(RunReport { outputs, records })
+}
+
+/// [`run_all`] with a [`Tracer`] lent to every execution of the sweep.
+///
+/// The tracer sees the concatenated event streams of all executions in
+/// start order (each ending in an `answer_finalized`); outputs and records
+/// are bit-identical to the untraced [`run_all`]. This serial traced sweep
+/// is the semantic reference for `vc-engine`'s sharded traced runner.
+///
+/// # Errors
+///
+/// [`StartError`] when the configured start selection is invalid (e.g. a
+/// zero-count sample).
+pub fn run_all_traced<A: QueryAlgorithm, T: Tracer>(
+    inst: &Instance,
+    algo: &A,
+    config: &RunConfig,
+    tracer: &mut T,
+) -> Result<RunReport<A::Output>, StartError> {
+    let starts = config.starts.starts(inst.n())?;
+    let mut outputs = vec![None; inst.n()];
+    let mut records = Vec::with_capacity(starts.len());
+    let mut scratch = ExecScratch::new();
+    for root in starts {
+        let (out, rec) = run_from_traced(inst, algo, root, config, &mut scratch, &mut *tracer);
         outputs[root] = Some(out);
         records.push(rec);
     }
@@ -320,10 +379,7 @@ mod tests {
 
     #[test]
     fn sample_larger_than_n_is_all() {
-        let sel = StartSelection::Sample {
-            count: 50,
-            seed: 1,
-        };
+        let sel = StartSelection::Sample { count: 50, seed: 1 };
         assert_eq!(sel.starts(5).unwrap(), vec![0, 1, 2, 3, 4]);
     }
 

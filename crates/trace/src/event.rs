@@ -1,0 +1,135 @@
+//! The typed event stream of a traced execution.
+//!
+//! Events mirror the observable transitions of the §2.2 query model (a
+//! query leaves the algorithm, a node joins `V_v`, the frontier deepens,
+//! the answer is fixed) plus the scheduling transitions of the sharded
+//! engine (a chunk of start nodes is claimed, timed and merged). They
+//! carry only primitive data so the crate stays below `vc-model` in the
+//! dependency graph.
+
+use std::fmt;
+
+/// One observable transition of a traced execution or sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The algorithm issued `query(from, port)` — counted whether or not
+    /// the world answers it (budget refusals are part of the trace).
+    QueryIssued {
+        /// Query origin (world-internal node handle).
+        from: usize,
+        /// Queried port number (1-based, as in §2.1).
+        port: u8,
+    },
+    /// A query admitted a previously unvisited node into `V_v`.
+    NodeRevealed {
+        /// The newly revealed node handle.
+        node: usize,
+        /// Its discovery depth (path-length distance bound).
+        depth: u32,
+    },
+    /// The execution's maximum discovery depth increased — the exploration
+    /// frontier moved strictly further from the initiating node.
+    FrontierAdvanced {
+        /// The new maximum depth.
+        depth: u32,
+    },
+    /// The execution finished and its output was fixed (possibly the
+    /// fallback output, when `completed` is false).
+    AnswerFinalized {
+        /// The initiating node.
+        root: usize,
+        /// Final `|V_v|` (volume, Definition 2.2).
+        volume: usize,
+        /// Final discovery-depth bound on the distance cost.
+        distance_upper: u32,
+        /// Queries issued over the whole execution.
+        queries: u64,
+        /// Whether the algorithm finished without a budget/oracle error.
+        completed: bool,
+    },
+    /// An engine worker claimed a chunk of start nodes.
+    ChunkClaimed {
+        /// Chunk index in the fixed partition of the start set.
+        chunk: usize,
+        /// Number of start nodes in the chunk.
+        starts: usize,
+    },
+    /// A worker finished a chunk and recorded its wall time. The only
+    /// event whose payload varies between runs.
+    ChunkTimed {
+        /// Chunk index.
+        chunk: usize,
+        /// Wall-clock nanoseconds the chunk's executions took.
+        nanos: u64,
+    },
+    /// The merge loop absorbed a chunk's partial results (always in chunk
+    /// order — the determinism anchor).
+    ChunkMerged {
+        /// Chunk index.
+        chunk: usize,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::QueryIssued { from, port } => write!(f, "query({from}, {port})"),
+            TraceEvent::NodeRevealed { node, depth } => {
+                write!(f, "reveal node {node} at depth {depth}")
+            }
+            TraceEvent::FrontierAdvanced { depth } => write!(f, "frontier -> depth {depth}"),
+            TraceEvent::AnswerFinalized {
+                root,
+                volume,
+                distance_upper,
+                queries,
+                completed,
+            } => write!(
+                f,
+                "finalize root {root}: volume {volume}, depth {distance_upper}, \
+                 {queries} queries, {}",
+                if *completed { "completed" } else { "truncated" }
+            ),
+            TraceEvent::ChunkClaimed { chunk, starts } => {
+                write!(f, "claim chunk {chunk} ({starts} starts)")
+            }
+            TraceEvent::ChunkTimed { chunk, nanos } => {
+                write!(f, "chunk {chunk} took {nanos} ns")
+            }
+            TraceEvent::ChunkMerged { chunk } => write!(f, "merge chunk {chunk}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_display() {
+        let events = [
+            TraceEvent::QueryIssued { from: 3, port: 1 },
+            TraceEvent::NodeRevealed { node: 4, depth: 2 },
+            TraceEvent::FrontierAdvanced { depth: 2 },
+            TraceEvent::AnswerFinalized {
+                root: 3,
+                volume: 5,
+                distance_upper: 2,
+                queries: 7,
+                completed: true,
+            },
+            TraceEvent::ChunkClaimed {
+                chunk: 0,
+                starts: 64,
+            },
+            TraceEvent::ChunkTimed {
+                chunk: 0,
+                nanos: 12,
+            },
+            TraceEvent::ChunkMerged { chunk: 0 },
+        ];
+        for e in events {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! [`SweepMetrics`]: the production tracer — counters, log2 histograms
+//! and chunk timings aggregated over a whole sweep.
+//!
+//! The struct is split along the determinism boundary:
+//!
+//! * [`QueryStats`] holds everything derived from the *query stream* —
+//!   counters and [`Log2Hist`]s of volume / distance / queries-per-start.
+//!   All state is integral, so per-chunk partials absorbed in chunk order
+//!   are bit-identical to a serial fold for **any worker-thread count**
+//!   (the determinism suite asserts this directly).
+//! * [`SchedStats`] holds the *scheduling* observations — wall time per
+//!   chunk and how chunks landed on claims — which legitimately vary
+//!   between runs and are therefore excluded from every determinism
+//!   comparison.
+
+use crate::hist::Log2Hist;
+use crate::tracer::{MergeTracer, Tracer};
+
+/// Deterministic sweep totals: identical for every thread count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Executions finalized (equals the cost summary's `runs`).
+    pub executions: u64,
+    /// Executions truncated by a budget/oracle error.
+    pub truncated: u64,
+    /// Queries issued, including ones the world refused.
+    pub queries_issued: u64,
+    /// Nodes admitted into some `V_v` across all executions.
+    pub nodes_revealed: u64,
+    /// Strict frontier advances (depth records) across all executions.
+    pub frontier_advances: u64,
+    /// Chunks claimed by workers (= the fixed chunk count of the sweep).
+    pub chunks_claimed: u64,
+    /// Chunks absorbed by the merge loop (= `chunks_claimed`).
+    pub chunks_merged: u64,
+    /// Distribution of per-execution volume `|V_v|`.
+    pub volume: Log2Hist,
+    /// Distribution of per-execution discovery-depth (distance bound).
+    pub distance: Log2Hist,
+    /// Distribution of queries issued per execution.
+    pub queries_per_start: Log2Hist,
+}
+
+impl QueryStats {
+    fn absorb(&mut self, other: &QueryStats) {
+        self.executions += other.executions;
+        self.truncated += other.truncated;
+        self.queries_issued += other.queries_issued;
+        self.nodes_revealed += other.nodes_revealed;
+        self.frontier_advances += other.frontier_advances;
+        self.chunks_claimed += other.chunks_claimed;
+        self.chunks_merged += other.chunks_merged;
+        self.volume.merge(&other.volume);
+        self.distance.merge(&other.distance);
+        self.queries_per_start.merge(&other.queries_per_start);
+    }
+}
+
+/// Wall-clock / scheduling observations. **Varies between runs** — never
+/// compare these in a determinism test.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Chunks that reported a wall time.
+    pub chunks_timed: u64,
+    /// Total wall-clock nanoseconds summed over chunks (CPU-seconds-ish:
+    /// overlapping chunks on different workers both count in full).
+    pub chunk_nanos_total: u128,
+    /// Slowest single chunk in nanoseconds.
+    pub chunk_nanos_max: u64,
+}
+
+impl SchedStats {
+    fn absorb(&mut self, other: &SchedStats) {
+        self.chunks_timed += other.chunks_timed;
+        self.chunk_nanos_total += other.chunk_nanos_total;
+        self.chunk_nanos_max = self.chunk_nanos_max.max(other.chunk_nanos_max);
+    }
+}
+
+/// The aggregating tracer used by production sweeps: one per chunk in
+/// the sharded engine, merged in chunk order into the sweep total.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepMetrics {
+    /// Deterministic query-stream totals.
+    pub query: QueryStats,
+    /// Run-varying scheduling observations.
+    pub sched: SchedStats,
+}
+
+impl SweepMetrics {
+    /// A fresh, empty metrics sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tracer for SweepMetrics {
+    #[inline]
+    fn query_issued(&mut self, _from: usize, _port: u8) {
+        self.query.queries_issued += 1;
+    }
+
+    #[inline]
+    fn node_revealed(&mut self, _node: usize, _depth: u32) {
+        self.query.nodes_revealed += 1;
+    }
+
+    #[inline]
+    fn frontier_advanced(&mut self, _depth: u32) {
+        self.query.frontier_advances += 1;
+    }
+
+    #[inline]
+    fn answer_finalized(
+        &mut self,
+        _root: usize,
+        volume: usize,
+        distance_upper: u32,
+        queries: u64,
+        completed: bool,
+    ) {
+        self.query.executions += 1;
+        if !completed {
+            self.query.truncated += 1;
+        }
+        self.query.volume.observe(volume as u64);
+        self.query.distance.observe(u64::from(distance_upper));
+        self.query.queries_per_start.observe(queries);
+    }
+
+    #[inline]
+    fn chunk_claimed(&mut self, _chunk: usize, _starts: usize) {
+        self.query.chunks_claimed += 1;
+    }
+
+    #[inline]
+    fn chunk_timed(&mut self, _chunk: usize, nanos: u64) {
+        self.sched.chunks_timed += 1;
+        self.sched.chunk_nanos_total += u128::from(nanos);
+        self.sched.chunk_nanos_max = self.sched.chunk_nanos_max.max(nanos);
+    }
+
+    #[inline]
+    fn chunk_merged(&mut self, _chunk: usize) {
+        self.query.chunks_merged += 1;
+    }
+}
+
+impl MergeTracer for SweepMetrics {
+    fn absorb(&mut self, other: Self) {
+        self.query.absorb(&other.query);
+        self.sched.absorb(&other.sched);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events(m: &mut SweepMetrics, executions: u64) {
+        for e in 0..executions {
+            m.query_issued(0, 1);
+            m.node_revealed(1, 1);
+            m.frontier_advanced(1);
+            m.answer_finalized(0, 2 + e as usize, 1, 1 + e, e % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn counters_follow_the_event_stream() {
+        let mut m = SweepMetrics::new();
+        sample_events(&mut m, 6);
+        assert_eq!(m.query.executions, 6);
+        assert_eq!(m.query.truncated, 4); // e % 3 != 0 for e in {1,2,4,5}
+        assert_eq!(m.query.queries_issued, 6);
+        assert_eq!(m.query.nodes_revealed, 6);
+        assert_eq!(m.query.frontier_advances, 6);
+        assert_eq!(m.query.volume.count(), 6);
+        assert_eq!(m.query.volume.max(), 7);
+        assert_eq!(m.query.queries_per_start.max(), 6);
+    }
+
+    #[test]
+    fn absorb_is_partition_independent() {
+        let mut serial = SweepMetrics::new();
+        sample_events(&mut serial, 20);
+        serial.chunk_claimed(0, 64);
+        serial.chunk_merged(0);
+
+        let mut a = SweepMetrics::new();
+        sample_events(&mut a, 13);
+        a.chunk_claimed(0, 64);
+        a.chunk_merged(0);
+        let mut b = SweepMetrics::new();
+        // The same tail: events 13..20 of the serial stream.
+        for e in 13..20u64 {
+            b.query_issued(0, 1);
+            b.node_revealed(1, 1);
+            b.frontier_advanced(1);
+            b.answer_finalized(0, 2 + e as usize, 1, 1 + e, e % 3 == 0);
+        }
+        a.absorb(b);
+        assert_eq!(a.query, serial.query);
+    }
+
+    #[test]
+    fn sched_stats_aggregate_timings() {
+        let mut m = SweepMetrics::new();
+        m.chunk_timed(0, 100);
+        m.chunk_timed(1, 300);
+        let mut other = SweepMetrics::new();
+        other.chunk_timed(2, 200);
+        m.absorb(other);
+        assert_eq!(m.sched.chunks_timed, 3);
+        assert_eq!(m.sched.chunk_nanos_total, 600);
+        assert_eq!(m.sched.chunk_nanos_max, 300);
+    }
+}

@@ -1,0 +1,296 @@
+//! The [`Tracer`] hook trait and its stock implementations.
+//!
+//! `vc-model` threads a `Tracer` through every execution and `vc-engine`
+//! through every sweep chunk. All hooks have empty default bodies, so a
+//! tracer implements only what it cares about — and the zero-sized
+//! [`NoopTracer`] implements nothing at all, letting the untraced hot
+//! path monomorphize every hook call away.
+
+use crate::event::TraceEvent;
+
+/// Receiver of the typed execution/sweep events of [`TraceEvent`].
+///
+/// Every hook defaults to a no-op; the compiler inlines empty bodies out
+/// of the monomorphized execution loop, which is what makes tracing free
+/// when disabled. Hooks take primitive arguments (rather than a
+/// pre-built [`TraceEvent`]) so the disabled path never constructs an
+/// event value either.
+pub trait Tracer {
+    /// The algorithm issued `query(from, port)` (answered or refused).
+    #[inline]
+    fn query_issued(&mut self, from: usize, port: u8) {
+        let _ = (from, port);
+    }
+
+    /// A query admitted `node` into `V_v` at discovery depth `depth`.
+    #[inline]
+    fn node_revealed(&mut self, node: usize, depth: u32) {
+        let _ = (node, depth);
+    }
+
+    /// The execution's maximum discovery depth increased to `depth`.
+    #[inline]
+    fn frontier_advanced(&mut self, depth: u32) {
+        let _ = depth;
+    }
+
+    /// The execution rooted at `root` finished with the given final costs.
+    #[inline]
+    fn answer_finalized(
+        &mut self,
+        root: usize,
+        volume: usize,
+        distance_upper: u32,
+        queries: u64,
+        completed: bool,
+    ) {
+        let _ = (root, volume, distance_upper, queries, completed);
+    }
+
+    /// An engine worker claimed chunk `chunk` holding `starts` start nodes.
+    #[inline]
+    fn chunk_claimed(&mut self, chunk: usize, starts: usize) {
+        let _ = (chunk, starts);
+    }
+
+    /// A worker finished chunk `chunk` in `nanos` wall-clock nanoseconds.
+    #[inline]
+    fn chunk_timed(&mut self, chunk: usize, nanos: u64) {
+        let _ = (chunk, nanos);
+    }
+
+    /// The merge loop absorbed chunk `chunk` (invoked in chunk order).
+    #[inline]
+    fn chunk_merged(&mut self, chunk: usize) {
+        let _ = chunk;
+    }
+}
+
+/// Forward hooks through mutable references, so a long-lived tracer can
+/// be lent to each execution of a sweep (`run_from_traced` takes the
+/// tracer by value; passing `&mut metrics` keeps ownership with the
+/// sweep loop).
+impl<T: Tracer + ?Sized> Tracer for &mut T {
+    #[inline]
+    fn query_issued(&mut self, from: usize, port: u8) {
+        (**self).query_issued(from, port);
+    }
+
+    #[inline]
+    fn node_revealed(&mut self, node: usize, depth: u32) {
+        (**self).node_revealed(node, depth);
+    }
+
+    #[inline]
+    fn frontier_advanced(&mut self, depth: u32) {
+        (**self).frontier_advanced(depth);
+    }
+
+    #[inline]
+    fn answer_finalized(
+        &mut self,
+        root: usize,
+        volume: usize,
+        distance_upper: u32,
+        queries: u64,
+        completed: bool,
+    ) {
+        (**self).answer_finalized(root, volume, distance_upper, queries, completed);
+    }
+
+    #[inline]
+    fn chunk_claimed(&mut self, chunk: usize, starts: usize) {
+        (**self).chunk_claimed(chunk, starts);
+    }
+
+    #[inline]
+    fn chunk_timed(&mut self, chunk: usize, nanos: u64) {
+        (**self).chunk_timed(chunk, nanos);
+    }
+
+    #[inline]
+    fn chunk_merged(&mut self, chunk: usize) {
+        (**self).chunk_merged(chunk);
+    }
+}
+
+/// The disabled tracer: a zero-sized type whose hooks are all the empty
+/// defaults. Instantiating the execution loop with `NoopTracer` produces
+/// the same machine code as not tracing at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {}
+
+/// A tracer aggregated per chunk by the sharded engine and merged in
+/// chunk order.
+///
+/// Implementations must make `absorb` order-compatible with serial
+/// accumulation: folding events chunk by chunk and absorbing the chunk
+/// partials in chunk index order must equal folding the whole sweep into
+/// one tracer. Purely integral state (counters, histograms, integer
+/// sums) satisfies this for free.
+pub trait MergeTracer: Tracer + Default + Send {
+    /// Whether the engine should wall-clock each chunk and call
+    /// [`Tracer::chunk_timed`]. `false` for [`NoopTracer`] so the
+    /// untraced sharded path performs no clock reads at all.
+    const TIMED: bool = true;
+
+    /// Folds another tracer's state (a later chunk's partial) into this
+    /// one.
+    fn absorb(&mut self, other: Self);
+}
+
+impl MergeTracer for NoopTracer {
+    const TIMED: bool = false;
+
+    #[inline]
+    fn absorb(&mut self, _other: Self) {}
+}
+
+/// A tracer that records the full typed event log — the "per-problem
+/// query trace" view used by `examples/trace_report.rs` and the audit
+/// transparency tests.
+///
+/// Recording every event of a large sweep would allocate without bound,
+/// so a capacity can be set: once `cap` events are stored, later events
+/// are counted in [`RecordingTracer::dropped`] instead of stored.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecordingTracer {
+    /// The recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Maximum number of events to store (`None` = unbounded).
+    pub cap: Option<usize>,
+    /// Events dropped after the capacity was reached.
+    pub dropped: u64,
+}
+
+impl RecordingTracer {
+    /// An unbounded recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recorder that stores at most `cap` events.
+    pub fn with_capacity_limit(cap: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            cap: Some(cap),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.cap.is_some_and(|c| self.events.len() >= c) {
+            self.dropped += 1;
+        } else {
+            self.events.push(event);
+        }
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn query_issued(&mut self, from: usize, port: u8) {
+        self.push(TraceEvent::QueryIssued { from, port });
+    }
+
+    fn node_revealed(&mut self, node: usize, depth: u32) {
+        self.push(TraceEvent::NodeRevealed { node, depth });
+    }
+
+    fn frontier_advanced(&mut self, depth: u32) {
+        self.push(TraceEvent::FrontierAdvanced { depth });
+    }
+
+    fn answer_finalized(
+        &mut self,
+        root: usize,
+        volume: usize,
+        distance_upper: u32,
+        queries: u64,
+        completed: bool,
+    ) {
+        self.push(TraceEvent::AnswerFinalized {
+            root,
+            volume,
+            distance_upper,
+            queries,
+            completed,
+        });
+    }
+
+    fn chunk_claimed(&mut self, chunk: usize, starts: usize) {
+        self.push(TraceEvent::ChunkClaimed { chunk, starts });
+    }
+
+    fn chunk_timed(&mut self, chunk: usize, nanos: u64) {
+        self.push(TraceEvent::ChunkTimed { chunk, nanos });
+    }
+
+    fn chunk_merged(&mut self, chunk: usize) {
+        self.push(TraceEvent::ChunkMerged { chunk });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoopTracer>(), 0);
+    }
+
+    #[test]
+    fn recording_tracer_stores_events_in_order() {
+        let mut t = RecordingTracer::new();
+        t.query_issued(0, 1);
+        t.node_revealed(1, 1);
+        t.frontier_advanced(1);
+        t.answer_finalized(0, 2, 1, 1, true);
+        assert_eq!(
+            t.events,
+            vec![
+                TraceEvent::QueryIssued { from: 0, port: 1 },
+                TraceEvent::NodeRevealed { node: 1, depth: 1 },
+                TraceEvent::FrontierAdvanced { depth: 1 },
+                TraceEvent::AnswerFinalized {
+                    root: 0,
+                    volume: 2,
+                    distance_upper: 1,
+                    queries: 1,
+                    completed: true,
+                },
+            ]
+        );
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn recording_tracer_caps_and_counts_drops() {
+        let mut t = RecordingTracer::with_capacity_limit(2);
+        for i in 0..5 {
+            t.query_issued(i, 1);
+        }
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.dropped, 3);
+    }
+
+    #[test]
+    fn mut_reference_forwards_all_hooks() {
+        // Drive through a generic bound so the `&mut T` forwarding impl
+        // (the one sweep loops rely on) is the impl actually exercised.
+        fn drive<T: Tracer>(mut t: T) {
+            t.query_issued(1, 2);
+            t.node_revealed(2, 1);
+            t.frontier_advanced(1);
+            t.answer_finalized(1, 2, 1, 1, false);
+            t.chunk_claimed(0, 64);
+            t.chunk_timed(0, 99);
+            t.chunk_merged(0);
+        }
+        let mut inner = RecordingTracer::new();
+        drive(&mut inner);
+        assert_eq!(inner.events.len(), 7);
+    }
+}

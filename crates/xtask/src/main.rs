@@ -3,13 +3,13 @@
 //! `cargo run -p xtask -- lint` enforces the repo's static-analysis rules:
 //!
 //! 1. **No panic paths in library code.** Non-test code of `vc-model`,
-//!    `vc-adversary`, `vc-audit` and `vc-engine` must not call `.unwrap()`
-//!    / `.expect(..)` or invoke the `panic!` / `unreachable!` / `todo!` /
-//!    `unimplemented!` macros — model and adversary failures are
+//!    `vc-adversary`, `vc-audit`, `vc-engine` and `vc-trace` must not call
+//!    `.unwrap()` / `.expect(..)` or invoke the `panic!` / `unreachable!` /
+//!    `todo!` / `unimplemented!` macros — model and adversary failures are
 //!    [`QueryError`]/`GraphError` values, never aborts.
 //!    (`assert!`/`debug_assert!` precondition checks are allowed.)
-//! 2. **Documentation is mandatory.** `vc-model`, `vc-graph`, `vc-audit`
-//!    and `vc-engine` must carry `#![deny(missing_docs)]`.
+//! 2. **Documentation is mandatory.** `vc-model`, `vc-graph`, `vc-audit`,
+//!    `vc-engine` and `vc-trace` must carry `#![deny(missing_docs)]`.
 //! 3. **Deterministic figure/table paths.** `crates/bench` must not use
 //!    `HashMap`/`HashSet`: iteration order feeds the paper's figures and
 //!    tables, so only ordered collections are permitted.
@@ -23,6 +23,11 @@
 //!    and reintroducing hashed collections there would silently resurrect
 //!    the per-start allocation cost the engine's sweep throughput relies on
 //!    being gone.
+//! 6. **No hidden clocks.** `Instant::now` may appear only in
+//!    `crates/trace/src/time.rs` (the `Stopwatch` module). Clock reads are
+//!    syscalls; scattering them is how hot paths silently grow
+//!    per-iteration overhead — all timing goes through
+//!    `vc_trace::time::Stopwatch` so every read stays greppable.
 //!
 //! The scanner strips comments and string literals before matching and
 //! skips `#[cfg(test)]` modules by brace counting, so documentation may
@@ -30,7 +35,18 @@
 //!
 //! `cargo run -p xtask -- check-json <path>` validates that a file parses
 //! as JSON (used by CI on the machine-readable `BENCH_engine.json`
-//! baseline; the workspace's vendored no-op serde cannot do this).
+//! baseline and the `vc-trace-report/v1` document; the workspace's vendored
+//! no-op serde cannot do this).
+//!
+//! `cargo run -p xtask -- compare-bench <baseline> <fresh> [--tol-pct N]`
+//! diffs a freshly generated `BENCH_engine.json` against the committed
+//! baseline: rows are keyed `(case, threads)`; the combinatorial count
+//! fields (`n`, `max_volume`, `max_distance`, `runs`, `incomplete`,
+//! `total_queries`) must match **exactly** (any drift is a determinism or
+//! semantics regression and fails the command), while the wall-clock
+//! throughput fields (`starts_per_sec`, `queries_per_sec`) are advisory —
+//! regressions beyond the tolerance (default 25%) are printed but do not
+//! fail, since CI machines vary.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -298,6 +314,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "crates/adversary",
     "crates/audit",
     "crates/engine",
+    "crates/trace",
 ];
 
 /// Crates that must carry `#![deny(missing_docs)]` (rule 2).
@@ -306,16 +323,14 @@ const MISSING_DOCS_CRATES: &[&str] = &[
     "crates/graph",
     "crates/audit",
     "crates/engine",
+    "crates/trace",
 ];
 
+/// The only file allowed to read the wall clock directly (rule 6).
+const CLOCK_ALLOWLIST: &[&str] = &["crates/trace/src/time.rs"];
+
 /// Paper anchors accepted as benchmark provenance (rule 4).
-const PROVENANCE_ANCHORS: &[&str] = &[
-    "Table",
-    "Figure",
-    "Example",
-    "Observation",
-    "Proposition",
-];
+const PROVENANCE_ANCHORS: &[&str] = &["Table", "Figure", "Example", "Observation", "Proposition"];
 
 fn lint_panic_tokens(root: &Path, findings: &mut Vec<Finding>) {
     for krate in PANIC_FREE_CRATES {
@@ -457,6 +472,37 @@ fn lint_oracle_hot_path(root: &Path, findings: &mut Vec<Finding>) {
     }
 }
 
+fn lint_no_hidden_clocks(root: &Path, findings: &mut Vec<Finding>) {
+    for dir in ["crates", "examples", "tests"] {
+        for file in rs_files(&root.join(dir)) {
+            let allowed = CLOCK_ALLOWLIST.iter().any(|a| file.ends_with(a));
+            if allowed {
+                continue;
+            }
+            let Ok(src) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            // Test code is scanned too: timing assertions belong on
+            // Stopwatch as well, so its monotonicity guarantees hold
+            // everywhere.
+            let code = strip_comments_and_strings(&src);
+            let mut from = 0;
+            while let Some(rel) = code[from..].find("Instant::now") {
+                let at = from + rel;
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: line_of(&code, at),
+                    rule: "no-hidden-clocks",
+                    detail: "`Instant::now` outside crates/trace/src/time.rs; \
+                             use vc_trace::time::Stopwatch"
+                        .to_string(),
+                });
+                from = at + "Instant::now".len();
+            }
+        }
+    }
+}
+
 fn run_lint(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
     lint_panic_tokens(root, &mut findings);
@@ -464,23 +510,82 @@ fn run_lint(root: &Path) -> Vec<Finding> {
     lint_no_hash_collections(root, &mut findings);
     lint_bench_provenance(root, &mut findings);
     lint_oracle_hot_path(root, &mut findings);
+    lint_no_hidden_clocks(root, &mut findings);
     findings
 }
 
-/// Minimal recursive-descent JSON validator (the vendored serde is a no-op
-/// stand-in, so CI validates emitted baselines with this instead).
+/// Minimal recursive-descent JSON parser (the vendored serde is a no-op
+/// stand-in, so CI validates and diffs emitted baselines with this
+/// instead). `validate` checks well-formedness; `parse` additionally
+/// builds a [`json::Value`] tree for `compare-bench`.
 mod json {
+    /// A parsed JSON value. Object keys keep document order; numbers are
+    /// `f64`, which is exact for every integer the baselines emit.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number.
+        Num(f64),
+        /// A string (escapes decoded).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in document order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Member lookup on objects; `None` elsewhere.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if any.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The string value, if any.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The array elements, if any.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
     /// Checks that `src` is exactly one valid JSON value (with surrounding
     /// whitespace allowed).
     pub fn validate(src: &str) -> Result<(), String> {
+        parse(src).map(|_| ())
+    }
+
+    /// Parses `src` into a [`Value`]; rejects trailing data.
+    pub fn parse(src: &str) -> Result<Value, String> {
         let bytes = src.as_bytes();
-        let mut pos = skip_ws(bytes, 0);
-        pos = value(bytes, pos)?;
+        let (v, mut pos) = value(bytes, skip_ws(bytes, 0))?;
         pos = skip_ws(bytes, pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
         }
-        Ok(())
+        Ok(v)
     }
 
     fn skip_ws(b: &[u8], mut i: usize) -> usize {
@@ -490,73 +595,128 @@ mod json {
         i
     }
 
-    fn value(b: &[u8], i: usize) -> Result<usize, String> {
+    fn value(b: &[u8], i: usize) -> Result<(Value, usize), String> {
         match b.get(i) {
             Some(b'{') => object(b, i),
             Some(b'[') => array(b, i),
-            Some(b'"') => string(b, i),
-            Some(b't') => literal(b, i, b"true"),
-            Some(b'f') => literal(b, i, b"false"),
-            Some(b'n') => literal(b, i, b"null"),
+            Some(b'"') => {
+                let (s, next) = string(b, i)?;
+                Ok((Value::Str(s), next))
+            }
+            Some(b't') => literal(b, i, b"true").map(|n| (Value::Bool(true), n)),
+            Some(b'f') => literal(b, i, b"false").map(|n| (Value::Bool(false), n)),
+            Some(b'n') => literal(b, i, b"null").map(|n| (Value::Null, n)),
             Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
             Some(c) => Err(format!("unexpected byte {c:#x} at {i}")),
             None => Err("unexpected end of input".to_string()),
         }
     }
 
-    fn object(b: &[u8], mut i: usize) -> Result<usize, String> {
+    fn object(b: &[u8], mut i: usize) -> Result<(Value, usize), String> {
+        let mut members = Vec::new();
         i = skip_ws(b, i + 1);
         if b.get(i) == Some(&b'}') {
-            return Ok(i + 1);
+            return Ok((Value::Obj(members), i + 1));
         }
         loop {
-            i = string(b, skip_ws(b, i))?;
-            i = skip_ws(b, i);
+            let (key, next) = string(b, skip_ws(b, i))?;
+            i = skip_ws(b, next);
             if b.get(i) != Some(&b':') {
                 return Err(format!("expected ':' at byte {i}"));
             }
-            i = value(b, skip_ws(b, i + 1))?;
-            i = skip_ws(b, i);
+            let (v, next) = value(b, skip_ws(b, i + 1))?;
+            members.push((key, v));
+            i = skip_ws(b, next);
             match b.get(i) {
                 Some(b',') => i += 1,
-                Some(b'}') => return Ok(i + 1),
+                Some(b'}') => return Ok((Value::Obj(members), i + 1)),
                 _ => return Err(format!("expected ',' or '}}' at byte {i}")),
             }
         }
     }
 
-    fn array(b: &[u8], mut i: usize) -> Result<usize, String> {
+    fn array(b: &[u8], mut i: usize) -> Result<(Value, usize), String> {
+        let mut items = Vec::new();
         i = skip_ws(b, i + 1);
         if b.get(i) == Some(&b']') {
-            return Ok(i + 1);
+            return Ok((Value::Arr(items), i + 1));
         }
         loop {
-            i = value(b, skip_ws(b, i))?;
-            i = skip_ws(b, i);
+            let (v, next) = value(b, skip_ws(b, i))?;
+            items.push(v);
+            i = skip_ws(b, next);
             match b.get(i) {
                 Some(b',') => i += 1,
-                Some(b']') => return Ok(i + 1),
+                Some(b']') => return Ok((Value::Arr(items), i + 1)),
                 _ => return Err(format!("expected ',' or ']' at byte {i}")),
             }
         }
     }
 
-    fn string(b: &[u8], i: usize) -> Result<usize, String> {
+    fn string(b: &[u8], i: usize) -> Result<(String, usize), String> {
         if b.get(i) != Some(&b'"') {
             return Err(format!("expected string at byte {i}"));
         }
+        let mut out = String::new();
         let mut j = i + 1;
         while j < b.len() {
             match b[j] {
-                b'"' => return Ok(j + 1),
-                b'\\' => j += 2,
-                _ => j += 1,
+                b'"' => return Ok((out, j + 1)),
+                b'\\' => {
+                    let esc = b
+                        .get(j + 1)
+                        .ok_or_else(|| format!("dangling escape at byte {j}"))?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = b
+                                .get(j + 2..j + 6)
+                                .ok_or_else(|| format!("truncated \\u escape at byte {j}"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| format!("non-ASCII \\u escape at byte {j}"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("malformed \\u escape at byte {j}"))?;
+                            // Surrogates (emitted in pairs by strict
+                            // encoders) are replaced; the baselines never
+                            // contain non-ASCII anyway.
+                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                            j += 6;
+                            continue;
+                        }
+                        _ => return Err(format!("unknown escape at byte {j}")),
+                    }
+                    j += 2;
+                }
+                c => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let len = match c {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = b
+                        .get(j..j + len)
+                        .ok_or_else(|| format!("truncated UTF-8 at byte {j}"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk)
+                            .map_err(|_| format!("invalid UTF-8 at byte {j}"))?,
+                    );
+                    j += len;
+                }
             }
         }
         Err(format!("unterminated string starting at byte {i}"))
     }
 
-    fn number(b: &[u8], mut i: usize) -> Result<usize, String> {
+    fn number(b: &[u8], mut i: usize) -> Result<(Value, usize), String> {
         let start = i;
         if b.get(i) == Some(&b'-') {
             i += 1;
@@ -591,7 +751,11 @@ mod json {
             }
             i = next;
         }
-        Ok(i)
+        let text = std::str::from_utf8(&b[start..i]).expect("numbers are ASCII");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("unrepresentable number at byte {start}"))?;
+        Ok((Value::Num(n), i))
     }
 
     fn literal(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, String> {
@@ -600,6 +764,179 @@ mod json {
         } else {
             Err(format!("malformed literal at byte {i}"))
         }
+    }
+}
+
+/// The expected schema of both files fed to `compare-bench`.
+const BENCH_SCHEMA: &str = "vc-engine-baseline/v1";
+
+/// Row fields that are combinatorial and must match exactly between the
+/// committed baseline and a fresh run — any drift means the engine's
+/// determinism or a solver's semantics regressed.
+const COUNT_FIELDS: &[&str] = &[
+    "n",
+    "max_volume",
+    "max_distance",
+    "runs",
+    "incomplete",
+    "total_queries",
+];
+
+/// Row fields that are wall-clock throughput: machine-dependent, checked
+/// only advisorily against the tolerance.
+const RATE_FIELDS: &[&str] = &["starts_per_sec", "queries_per_sec"];
+
+/// The outcome of one baseline comparison: hard failures (exact-field
+/// drift, missing rows, schema mismatch) and advisory throughput notes.
+#[derive(Debug, Default)]
+struct BenchDiff {
+    failures: Vec<String>,
+    advisories: Vec<String>,
+}
+
+/// Diffs two parsed `vc-engine-baseline/v1` documents. Every baseline row
+/// must reappear in `fresh` under the same `(case, threads)` key with
+/// identical count fields; throughput regressions beyond `tol_pct` percent
+/// are recorded as advisories only.
+fn compare_bench(baseline: &json::Value, fresh: &json::Value, tol_pct: f64) -> BenchDiff {
+    let mut diff = BenchDiff::default();
+    for (name, doc) in [("baseline", baseline), ("fresh", fresh)] {
+        match doc.get("schema").and_then(json::Value::as_str) {
+            Some(BENCH_SCHEMA) => {}
+            other => diff.failures.push(format!(
+                "{name}: schema is {other:?}, expected {BENCH_SCHEMA:?}"
+            )),
+        }
+    }
+    let rows = |doc: &json::Value| -> Vec<json::Value> {
+        doc.get("rows")
+            .and_then(json::Value::as_arr)
+            .map(<[json::Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let key = |row: &json::Value| -> Option<(String, u64)> {
+        let case = row.get("case")?.as_str()?.to_string();
+        let threads = row.get("threads")?.as_f64()?;
+        Some((case, threads as u64))
+    };
+    let fresh_rows = rows(fresh);
+    for brow in rows(baseline) {
+        let Some((case, threads)) = key(&brow) else {
+            diff.failures
+                .push("baseline: row without case/threads key".to_string());
+            continue;
+        };
+        let label = format!("{case}@{threads}t");
+        let Some(frow) = fresh_rows
+            .iter()
+            .find(|r| key(r).as_ref() == Some(&(case.clone(), threads)))
+        else {
+            diff.failures
+                .push(format!("{label}: row missing from the fresh run"));
+            continue;
+        };
+        for field in COUNT_FIELDS {
+            let b = brow.get(field).and_then(json::Value::as_f64);
+            let f = frow.get(field).and_then(json::Value::as_f64);
+            if b != f {
+                diff.failures.push(format!(
+                    "{label}: count field `{field}` drifted: baseline {b:?}, fresh {f:?}"
+                ));
+            }
+        }
+        for field in RATE_FIELDS {
+            let (Some(b), Some(f)) = (
+                brow.get(field).and_then(json::Value::as_f64),
+                frow.get(field).and_then(json::Value::as_f64),
+            ) else {
+                diff.failures
+                    .push(format!("{label}: rate field `{field}` missing"));
+                continue;
+            };
+            if b > 0.0 && f < b * (1.0 - tol_pct / 100.0) {
+                let drop = (1.0 - f / b) * 100.0;
+                diff.advisories.push(format!(
+                    "{label}: `{field}` regressed {drop:.1}% ({b:.1} -> {f:.1}), \
+                     beyond the {tol_pct:.0}% tolerance"
+                ));
+            }
+        }
+    }
+    diff
+}
+
+/// Parses `compare-bench` CLI arguments: two paths plus an optional
+/// `--tol-pct N`.
+fn parse_compare_args(args: &[String]) -> Result<(String, String, f64), String> {
+    let mut paths = Vec::new();
+    let mut tol_pct = 25.0;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tol-pct" {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--tol-pct needs a value".to_string())?;
+            tol_pct = v
+                .parse::<f64>()
+                .map_err(|_| format!("--tol-pct: not a number: {v}"))?;
+            if !(0.0..=100.0).contains(&tol_pct) {
+                return Err(format!("--tol-pct must be within 0..=100, got {tol_pct}"));
+            }
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    match <[String; 2]>::try_from(paths) {
+        Ok([baseline, fresh]) => Ok((baseline, fresh, tol_pct)),
+        Err(_) => Err("expected exactly two paths: <baseline> <fresh>".to_string()),
+    }
+}
+
+fn run_compare_bench(args: &[String]) -> ExitCode {
+    let (baseline_path, fresh_path, tol_pct) = match parse_compare_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!(
+                "usage: cargo run -p xtask -- compare-bench <baseline> <fresh> [--tol-pct N]"
+            );
+            eprintln!("xtask compare-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let load = |path: &str| -> Result<json::Value, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        json::parse(&src).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, fresh) = match (load(&baseline_path), load(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for r in [b, f] {
+                if let Err(e) = r {
+                    eprintln!("xtask compare-bench: {e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let diff = compare_bench(&baseline, &fresh, tol_pct);
+    for a in &diff.advisories {
+        println!("xtask compare-bench: advisory: {a}");
+    }
+    if diff.failures.is_empty() {
+        println!(
+            "xtask compare-bench: {fresh_path} matches {baseline_path} \
+             (count fields exact, {} throughput advisories at {tol_pct:.0}% tolerance)",
+            diff.advisories.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &diff.failures {
+            eprintln!("xtask compare-bench: FAIL: {f}");
+        }
+        eprintln!("xtask compare-bench: {} failure(s)", diff.failures.len());
+        ExitCode::FAILURE
     }
 }
 
@@ -626,6 +963,7 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("compare-bench") => run_compare_bench(&args[1..]),
         Some("check-json") => match args.get(1) {
             Some(path) => match std::fs::read_to_string(path) {
                 Ok(src) => match json::validate(&src) {
@@ -649,7 +987,10 @@ fn main() -> ExitCode {
             }
         },
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint | check-json <path>>");
+            eprintln!(
+                "usage: cargo run -p xtask -- \
+                 <lint | check-json <path> | compare-bench <baseline> <fresh> [--tol-pct N]>"
+            );
             ExitCode::FAILURE
         }
     }
@@ -776,6 +1117,104 @@ mod tests {}
         assert_eq!(findings.len(), 2);
         assert!(findings.iter().all(|f| f.rule == "flat-oracle-state"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn no_hidden_clocks_rule_fires_outside_the_allowlist() {
+        let dir = std::env::temp_dir().join(format!("xtask-clock-rule-{}", std::process::id()));
+        let engine_src = dir.join("crates/engine/src");
+        let trace_src = dir.join("crates/trace/src");
+        std::fs::create_dir_all(&engine_src).unwrap();
+        std::fs::create_dir_all(&trace_src).unwrap();
+        std::fs::write(
+            engine_src.join("lib.rs"),
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            trace_src.join("time.rs"),
+            "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_no_hidden_clocks(&dir, &mut findings);
+        assert_eq!(findings.len(), 1, "only the non-allowlisted read fires");
+        assert_eq!(findings[0].rule, "no-hidden-clocks");
+        assert!(findings[0].file.ends_with("crates/engine/src/lib.rs"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A minimal well-formed `vc-engine-baseline/v1` document with one row.
+    fn bench_doc(case: &str, threads: u64, total_queries: u64, starts_per_sec: f64) -> json::Value {
+        let src = format!(
+            r#"{{"schema": "vc-engine-baseline/v1", "rows": [
+                {{"case": "{case}", "threads": {threads}, "n": 100,
+                  "max_volume": 7, "max_distance": 3, "runs": 100,
+                  "incomplete": 0, "total_queries": {total_queries},
+                  "starts_per_sec": {starts_per_sec}, "queries_per_sec": 1000.0}}]}}"#
+        );
+        json::parse(&src).unwrap()
+    }
+
+    #[test]
+    fn compare_bench_accepts_identical_documents() {
+        let doc = bench_doc("case/a", 1, 400, 500.0);
+        let diff = compare_bench(&doc, &doc, 25.0);
+        assert!(diff.failures.is_empty());
+        assert!(diff.advisories.is_empty());
+    }
+
+    #[test]
+    fn compare_bench_fails_on_count_field_drift() {
+        let baseline = bench_doc("case/a", 1, 400, 500.0);
+        let fresh = bench_doc("case/a", 1, 401, 500.0);
+        let diff = compare_bench(&baseline, &fresh, 25.0);
+        assert_eq!(diff.failures.len(), 1);
+        assert!(diff.failures[0].contains("total_queries"));
+    }
+
+    #[test]
+    fn compare_bench_fails_on_missing_row_and_schema() {
+        let baseline = bench_doc("case/a", 2, 400, 500.0);
+        let fresh = bench_doc("case/a", 1, 400, 500.0);
+        let diff = compare_bench(&baseline, &fresh, 25.0);
+        assert!(diff.failures.iter().any(|f| f.contains("missing")));
+
+        let bad = json::parse(r#"{"schema": "other/v2", "rows": []}"#).unwrap();
+        let diff = compare_bench(&bad, &fresh, 25.0);
+        assert!(diff.failures.iter().any(|f| f.contains("schema")));
+    }
+
+    #[test]
+    fn compare_bench_throughput_is_advisory_only() {
+        let baseline = bench_doc("case/a", 1, 400, 1000.0);
+        // A 50% throughput drop is beyond the 25% tolerance but must not
+        // fail the comparison — machines differ; counts do not.
+        let fresh = bench_doc("case/a", 1, 400, 500.0);
+        let diff = compare_bench(&baseline, &fresh, 25.0);
+        assert!(diff.failures.is_empty());
+        assert_eq!(diff.advisories.len(), 1);
+        assert!(diff.advisories[0].contains("starts_per_sec"));
+        // Within tolerance: silent.
+        let fresh = bench_doc("case/a", 1, 400, 900.0);
+        let diff = compare_bench(&baseline, &fresh, 25.0);
+        assert!(diff.advisories.is_empty());
+    }
+
+    #[test]
+    fn compare_args_parse_paths_and_tolerance() {
+        let args: Vec<String> = ["a.json", "b.json", "--tol-pct", "10"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let (b, f, tol) = parse_compare_args(&args).unwrap();
+        assert_eq!((b.as_str(), f.as_str(), tol), ("a.json", "b.json", 10.0));
+        assert!(parse_compare_args(&args[..1]).is_err());
+        let bad: Vec<String> = ["a", "b", "--tol-pct", "x"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert!(parse_compare_args(&bad).is_err());
     }
 
     #[test]

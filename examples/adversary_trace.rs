@@ -53,7 +53,8 @@ fn main() {
     );
 
     println!("\n=== Proposition 5.20: the leveled duel ===\n");
-    let report = duel(&HthcSolver { k: 2 }, 2, 128, 500_000).expect("adversary world is structurally valid");
+    let report =
+        duel(&HthcSolver { k: 2 }, 2, 128, 500_000).expect("adversary world is structurally valid");
     println!("against RecursiveHTHC (k = 2), reported n = 128:");
     for line in &report.trace {
         println!("  {line}");
@@ -63,9 +64,9 @@ fn main() {
         report.nodes_created, report.total_queries
     );
     match &report.outcome {
-        DuelOutcome::PaletteViolation { node, out } => println!(
-            "  outcome: node {node} output {out} at the top level — palette violation"
-        ),
+        DuelOutcome::PaletteViolation { node, out } => {
+            println!("  outcome: node {node} output {out} at the top level — palette violation")
+        }
         other => println!("  outcome: {other:?}"),
     }
     println!(

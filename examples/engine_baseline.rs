@@ -1,13 +1,14 @@
 //! Emits `BENCH_engine.json`: a machine-readable throughput baseline for the
 //! sharded sweep engine on the Figure 2 (volume landscape) solver/instance
-//! pairs, at 1 thread and at the ambient (`VC_THREADS` /
-//! `available_parallelism`) thread count.
+//! pairs, at 1, 2 and 8 worker threads.
 //!
 //! The combinatorial costs in the file (max volume/distance, truncation) are
-//! exact and must be identical across thread counts — `scripts/ci.sh`
-//! validates the file parses as JSON, and the determinism suite guarantees
-//! the cost fields cannot drift with parallelism. The `*_per_sec` rates are
-//! wall-clock and machine-dependent, recorded for trend-watching only.
+//! exact and must be identical across thread counts — this binary asserts
+//! that equality row by row before writing, and `scripts/ci.sh` diffs a
+//! freshly generated file against the committed baseline with `cargo run -p
+//! xtask -- compare-bench` (count fields exact, throughput fields within a
+//! tolerance). The `*_per_sec` rates are wall-clock and machine-dependent,
+//! recorded for trend-watching only.
 //!
 //! Run with `cargo run --release --example engine_baseline [output-path]`.
 
@@ -47,21 +48,44 @@ fn row<O>(case: &'static str, inst: &Instance, report: &EngineReport<O>) -> Row 
     }
 }
 
-fn sweep<A>(
-    rows: &mut Vec<Row>,
-    case: &'static str,
-    inst: &Instance,
-    algo: &A,
-    config: &RunConfig,
-) where
+/// Worker counts every case is swept at. The serial row anchors the count
+/// fields; the multi-thread rows must reproduce them exactly.
+const THREAD_GRID: [usize; 3] = [1, 2, 8];
+
+fn sweep<A>(rows: &mut Vec<Row>, case: &'static str, inst: &Instance, algo: &A, config: &RunConfig)
+where
     A: QueryAlgorithm + Sync,
     A::Output: Send,
 {
-    for engine in [Engine::with_threads(1), Engine::from_env()] {
-        let report = engine
+    let first = rows.len();
+    for threads in THREAD_GRID {
+        let report = Engine::with_threads(threads)
             .run_all(inst, algo, config)
             .expect("baseline sweeps start from every node");
         rows.push(row(case, inst, &report));
+    }
+    // The count fields are combinatorial, so the multi-thread rows must
+    // match the serial row bit for bit; a mismatch is an engine
+    // determinism bug and must never reach the committed baseline.
+    let serial = &rows[first];
+    for r in &rows[first + 1..] {
+        assert_eq!(
+            r.max_volume, serial.max_volume,
+            "{case}: max_volume drifted"
+        );
+        assert_eq!(
+            r.max_distance, serial.max_distance,
+            "{case}: max_distance drifted"
+        );
+        assert_eq!(r.runs, serial.runs, "{case}: runs drifted");
+        assert_eq!(
+            r.incomplete, serial.incomplete,
+            "{case}: incomplete drifted"
+        );
+        assert_eq!(
+            r.total_queries, serial.total_queries,
+            "{case}: total_queries drifted"
+        );
     }
 }
 
@@ -101,19 +125,37 @@ fn main() {
     // Figure 2's volume landscape, smallest three rungs: Θ(1) leaf coloring
     // (deterministic and randomized) and Θ(n^{1/k}) Hierarchical-THC.
     let lc = gen::random_full_binary_tree(1201, 5);
-    sweep(&mut rows, "leaf-coloring/det", &lc, &DistanceSolver, &RunConfig::default());
+    sweep(
+        &mut rows,
+        "leaf-coloring/det",
+        &lc,
+        &DistanceSolver,
+        &RunConfig::default(),
+    );
     let rand_config = RunConfig {
         tape: Some(RandomTape::private(11)),
         ..RunConfig::default()
     };
-    sweep(&mut rows, "leaf-coloring/rw", &lc, &RwToLeaf::default(), &rand_config);
+    sweep(
+        &mut rows,
+        "leaf-coloring/rw",
+        &lc,
+        &RwToLeaf::default(),
+        &rand_config,
+    );
     for k in [2u32, 3] {
         let inst = gen::hierarchical_for_size(k, 1200, 7);
         let case: &'static str = match k {
             2 => "hierarchical-thc/k2",
             _ => "hierarchical-thc/k3",
         };
-        sweep(&mut rows, case, &inst, &DeterministicSolver { k }, &RunConfig::default());
+        sweep(
+            &mut rows,
+            case,
+            &inst,
+            &DeterministicSolver { k },
+            &RunConfig::default(),
+        );
     }
 
     let json = to_json(&rows);

@@ -64,7 +64,8 @@ fn main() {
             tape: Some(RandomTape::private(9)),
             ..RunConfig::default()
         },
-    ).unwrap();
+    )
+    .unwrap();
     let rnd_out = rnd.complete_outputs().unwrap();
     check_solution(&problem, &inst, &rnd_out).expect("way-point output valid");
 

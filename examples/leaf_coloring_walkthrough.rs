@@ -86,7 +86,8 @@ fn main() {
             tape: Some(RandomTape::private(1)),
             ..RunConfig::default()
         },
-    ).unwrap();
+    )
+    .unwrap();
     let outputs = report.complete_outputs().unwrap();
     check_solution(&LeafColoring, &inst, &outputs).expect("valid");
     let s = report.summary();

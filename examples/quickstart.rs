@@ -37,7 +37,8 @@ fn main() {
             tape: Some(RandomTape::private(42)),
             ..RunConfig::default()
         },
-    ).unwrap();
+    )
+    .unwrap();
     let rnd_outputs = rnd.complete_outputs().expect("every node ran");
     check_solution(&LeafColoring, &inst, &rnd_outputs).expect("valid labeling");
     let rs = rnd.summary();

@@ -1,34 +1,71 @@
 #!/usr/bin/env sh
-# Tier-1 verification plus the static-analysis pass, in order, fail-fast:
-#   build -> test -> engine determinism under forced threading -> clippy
-#   -> xtask lint -> baseline well-formedness
+# Tier-1 verification plus the static-analysis and regression passes, in
+# order, fail-fast:
+#   fmt -> build -> test -> determinism suites under forced threading
+#   -> clippy -> xtask lint -> baseline well-formedness -> bench
+#   regression gate -> trace report well-formedness
 # Run from anywhere; works fully offline (deps are vendored, see README).
+# Each step prints its wall time so CI logs show where the minutes go.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+# step <label> <cmd...>: run a command, fail-fast, print elapsed seconds.
+step() {
+    _label=$1
+    shift
+    echo "==> $_label"
+    _t0=$(date +%s)
+    "$@"
+    _t1=$(date +%s)
+    echo "    ($_label: $((_t1 - _t0))s)"
+}
 
-echo "==> cargo test -q"
-cargo test -q
+step "cargo fmt --check" cargo fmt --check
+
+step "cargo build --release" cargo build --release
+
+step "cargo test -q" cargo test -q
 
 # The plain test run above already exercises the engine at 1/2/8 workers;
-# re-running the suite with VC_THREADS=2 additionally covers the env
-# override that production sweeps use.
-echo "==> VC_THREADS=2 cargo test -q -p vc-bench --test engine_determinism"
-VC_THREADS=2 cargo test -q -p vc-bench --test engine_determinism
+# re-running the determinism-sensitive suites with VC_THREADS=2
+# additionally covers the env override that production sweeps use.
+step "VC_THREADS=2 determinism suites" \
+    env VC_THREADS=2 cargo test -q -p vc-bench \
+    --test engine_determinism \
+    --test lower_bounds \
+    --test pipeline_hybrid_hh \
+    --test trace_determinism
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+step "cargo clippy --all-targets -- -D warnings" \
+    cargo clippy --all-targets -- -D warnings
 
-echo "==> cargo clippy --all-targets --features proptest -p vc-bench -- -D warnings"
-cargo clippy --all-targets --features proptest -p vc-bench -- -D warnings
+step "cargo clippy --features proptest -p vc-bench" \
+    cargo clippy --all-targets --features proptest -p vc-bench -- -D warnings
 
-echo "==> cargo run -p xtask -- lint"
-cargo run -p xtask -- lint
+step "xtask lint" cargo run -p xtask -- lint
 
-echo "==> cargo run -p xtask -- check-json BENCH_engine.json"
-cargo run -p xtask -- check-json BENCH_engine.json
+step "xtask check-json BENCH_engine.json" \
+    cargo run -p xtask -- check-json BENCH_engine.json
+
+# Bench regression gate: regenerate the engine baseline on this machine and
+# diff it against the committed one. Count fields (n, runs, incomplete,
+# total_queries, max_volume, max_distance) must match exactly — drift means
+# a semantic regression. Throughput fields are advisory within 25%.
+FRESH_BASELINE=target/BENCH_engine.fresh.json
+step "regenerate engine baseline" \
+    cargo run --release --example engine_baseline "$FRESH_BASELINE"
+
+step "xtask compare-bench" \
+    cargo run -p xtask -- compare-bench BENCH_engine.json "$FRESH_BASELINE" --tol-pct 25
+
+# Trace report: generate the vc-trace-report/v1 document with tracing
+# enabled and check it is well-formed JSON.
+TRACE_REPORT=target/TRACE_report.json
+step "generate trace report" \
+    cargo run --release --example trace_report "$TRACE_REPORT"
+
+step "xtask check-json trace report" \
+    cargo run -p xtask -- check-json "$TRACE_REPORT"
 
 echo "CI OK"

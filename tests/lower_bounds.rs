@@ -37,7 +37,8 @@ fn hidden_leaf_budget_transition() {
 fn leaf_coloring_adversary_defeats_and_scales() {
     let mut last_n = 0;
     for n in [64usize, 256, 1024] {
-        let report = defeat(&DistanceSolver, n, None).expect("adversary world is structurally valid");
+        let report =
+            defeat(&DistanceSolver, n, None).expect("adversary world is structurally valid");
         assert!(report.defeated());
         assert!(report.instance.graph.validate().is_ok());
         assert!(report.n > last_n, "completed instances grow with budget");
@@ -57,7 +58,8 @@ fn leaf_coloring_adversary_defeats_and_scales() {
 #[test]
 fn hthc_duel_corners_recursive_hthc() {
     for k in [2u32, 3] {
-        let report = duel(&HthcSolver { k }, k, 200, 2_000_000).expect("adversary world is structurally valid");
+        let report = duel(&HthcSolver { k }, k, 200, 2_000_000)
+            .expect("adversary world is structurally valid");
         assert!(report.certificate_holds(k), "k={k}");
         assert!(
             matches!(

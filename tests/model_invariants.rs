@@ -7,9 +7,9 @@ use proptest::prelude::*;
 use vc_core::problems::{balanced_tree, hierarchical, leaf_coloring};
 use vc_graph::{gen, Color};
 use vc_model::run::{run_all, RunConfig};
-use vc_model::{Budget, RandomTape};
 #[cfg(feature = "proptest")]
 use vc_model::StartSelection;
+use vc_model::{Budget, RandomTape};
 
 /// Lemma 2.5: `DIST ≤ VOL ≤ Δ^DIST + 1` for every recorded execution.
 #[test]
@@ -23,7 +23,9 @@ fn lemma_2_5_holds_for_every_solver_and_family() {
         (
             "leaf/det",
             &tree,
-            run_all(&tree, &leaf_coloring::DistanceSolver, &RunConfig::default()).unwrap().records,
+            run_all(&tree, &leaf_coloring::DistanceSolver, &RunConfig::default())
+                .unwrap()
+                .records,
         ),
         (
             "leaf/rw",
@@ -35,13 +37,16 @@ fn lemma_2_5_holds_for_every_solver_and_family() {
                     tape,
                     ..RunConfig::default()
                 },
-            ).unwrap()
+            )
+            .unwrap()
             .records,
         ),
         (
             "bt/det",
             &bt,
-            run_all(&bt, &balanced_tree::DistanceSolver, &RunConfig::default()).unwrap().records,
+            run_all(&bt, &balanced_tree::DistanceSolver, &RunConfig::default())
+                .unwrap()
+                .records,
         ),
         (
             "hthc/det",
@@ -50,7 +55,8 @@ fn lemma_2_5_holds_for_every_solver_and_family() {
                 &hier,
                 &hierarchical::DeterministicSolver { k: 2 },
                 &RunConfig::default(),
-            ).unwrap()
+            )
+            .unwrap()
             .records,
         ),
     ];
@@ -78,7 +84,8 @@ fn exact_distance_never_exceeds_upper_bound() {
             tape: Some(RandomTape::private(4)),
             ..RunConfig::default()
         },
-    ).unwrap();
+    )
+    .unwrap();
     for rec in &report.records {
         let d = rec.distance.expect("exact distance requested");
         assert!(d <= rec.distance_upper);
@@ -88,11 +95,7 @@ fn exact_distance_never_exceeds_upper_bound() {
 #[test]
 fn budgets_cut_executions_not_the_harness() {
     let inst = gen::complete_binary_tree(8, Color::R, Color::B);
-    for budget in [
-        Budget::volume(3),
-        Budget::distance(2),
-        Budget::queries(5),
-    ] {
+    for budget in [Budget::volume(3), Budget::distance(2), Budget::queries(5)] {
         let report = run_all(
             &inst,
             &leaf_coloring::DistanceSolver,
@@ -100,7 +103,8 @@ fn budgets_cut_executions_not_the_harness() {
                 budget,
                 ..RunConfig::default()
             },
-        ).unwrap();
+        )
+        .unwrap();
         // Every node still produced an output (the fallback), and the
         // records reflect the truncation.
         assert!(report.complete_outputs().is_some());
@@ -149,8 +153,9 @@ fn different_tapes_differ_somewhere() {
     let oa = a.complete_outputs().unwrap();
     let ob = b.complete_outputs().unwrap();
     assert!(
-        oa != ob || a.records.iter().map(|r| r.volume).sum::<usize>()
-            != b.records.iter().map(|r| r.volume).sum::<usize>(),
+        oa != ob
+            || a.records.iter().map(|r| r.volume).sum::<usize>()
+                != b.records.iter().map(|r| r.volume).sum::<usize>(),
         "independent tapes should not be fully identical"
     );
 }

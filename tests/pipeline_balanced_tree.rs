@@ -6,9 +6,9 @@
 use proptest::prelude::*;
 use vc_core::lcl::check_solution;
 use vc_core::output::BtFlag;
-use vc_core::problems::balanced_tree::{BalancedTree, DistanceSolver};
 #[cfg(feature = "proptest")]
 use vc_core::problems::balanced_tree::is_compatible;
+use vc_core::problems::balanced_tree::{BalancedTree, DistanceSolver};
 use vc_graph::gen;
 #[cfg(feature = "proptest")]
 use vc_graph::structure;

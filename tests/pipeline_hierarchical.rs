@@ -8,9 +8,7 @@ use vc_bench::{distance_series, loglog_exponent, measure, sweep_config, volume_s
 use vc_core::lcl::check_solution;
 #[cfg(feature = "proptest")]
 use vc_core::lcl::count_violations;
-use vc_core::problems::hierarchical::{
-    DeterministicSolver, HierarchicalThc, RandomizedSolver,
-};
+use vc_core::problems::hierarchical::{DeterministicSolver, HierarchicalThc, RandomizedSolver};
 use vc_graph::gen;
 use vc_model::run::{run_all, RunConfig};
 use vc_model::RandomTape;

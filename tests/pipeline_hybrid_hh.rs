@@ -10,9 +10,9 @@ use vc_core::lcl::count_violations;
 use vc_core::output::HybridOutput;
 use vc_core::problems::{hh, hybrid};
 use vc_graph::gen;
-use vc_model::run::{run_all, RunConfig};
 #[cfg(feature = "proptest")]
 use vc_model::run::run_from;
+use vc_model::run::{run_all, RunConfig};
 use vc_model::RandomTape;
 #[cfg(feature = "proptest")]
 use vc_model::StartSelection;
@@ -35,7 +35,8 @@ fn hybrid_all_solvers_valid() {
                 check_solution(&problem, &inst, &det.complete_outputs().unwrap()).is_ok(),
                 "distance k={k} seed={seed}"
             );
-            let rnd = run_all(&inst, &hybrid::RandomizedSolver::new(k), &rand_config(seed)).unwrap();
+            let rnd =
+                run_all(&inst, &hybrid::RandomizedSolver::new(k), &rand_config(seed)).unwrap();
             assert!(
                 check_solution(&problem, &inst, &rnd.complete_outputs().unwrap()).is_ok(),
                 "randomized k={k} seed={seed}"
@@ -44,7 +45,8 @@ fn hybrid_all_solvers_valid() {
                 &inst,
                 &hybrid::DeterministicVolumeSolver { k },
                 &RunConfig::default(),
-            ).unwrap();
+            )
+            .unwrap();
             assert!(
                 check_solution(&problem, &inst, &dv.complete_outputs().unwrap()).is_ok(),
                 "det-volume k={k} seed={seed}"
@@ -89,17 +91,20 @@ fn hh_dispatches_and_validates() {
         let inst = gen::hh(k, l, 600, 4);
         let problem = hh::HhThc::new(k, l);
         for outputs in [
-            run_all(&inst, &hh::DistanceSolver { k, l }, &RunConfig::default()).unwrap()
+            run_all(&inst, &hh::DistanceSolver { k, l }, &RunConfig::default())
+                .unwrap()
                 .complete_outputs()
                 .unwrap(),
-            run_all(&inst, &hh::RandomizedSolver { k, l }, &rand_config(4)).unwrap()
+            run_all(&inst, &hh::RandomizedSolver { k, l }, &rand_config(4))
+                .unwrap()
                 .complete_outputs()
                 .unwrap(),
             run_all(
                 &inst,
                 &hh::DeterministicVolumeSolver { k, l },
                 &RunConfig::default(),
-            ).unwrap()
+            )
+            .unwrap()
             .complete_outputs()
             .unwrap(),
         ] {
@@ -114,14 +119,16 @@ fn hh_dispatches_and_validates() {
 #[test]
 fn hh_outputs_respect_sides() {
     let inst = gen::hh(2, 3, 400, 8);
-    let report = run_all(&inst, &hh::DistanceSolver { k: 2, l: 3 }, &RunConfig::default()).unwrap();
+    let report = run_all(
+        &inst,
+        &hh::DistanceSolver { k: 2, l: 3 },
+        &RunConfig::default(),
+    )
+    .unwrap();
     let outputs = report.complete_outputs().unwrap();
     for (v, out) in outputs.iter().enumerate() {
         match inst.labels[v].bit {
-            Some(false) => assert!(
-                out.sym().is_some(),
-                "hierarchical side outputs symbols"
-            ),
+            Some(false) => assert!(out.sym().is_some(), "hierarchical side outputs symbols"),
             Some(true) => {
                 if inst.labels[v].level == Some(1) {
                     assert!(matches!(out, HybridOutput::Pair(_)));

@@ -57,7 +57,8 @@ fn measured_classes_match_table_1() {
         let cfg = sweep_config(inst.n(), None);
         // The tree root is the extremal start; include it explicitly when
         // the sweep samples.
-        let m = vc_bench::measure_with_roots(Some(&LeafColoring), &inst, &DistanceSolver, &cfg, &[0]);
+        let m =
+            vc_bench::measure_with_roots(Some(&LeafColoring), &inst, &DistanceSolver, &cfg, &[0]);
         dist_pts.push(m.clone());
         dvol_pts.push(m);
         let rcfg = sweep_config(inst.n(), Some(RandomTape::private(depth.into())));
@@ -75,7 +76,10 @@ fn measured_classes_match_table_1() {
     }
     assert_eq!(fit(&distance_series(&dist_pts)).class, ComplexityClass::Log);
     assert_eq!(fit(&volume_series(&rvol_pts)).class, ComplexityClass::Log);
-    assert_eq!(fit(&volume_series(&dvol_pts)).class, ComplexityClass::Linear);
+    assert_eq!(
+        fit(&volume_series(&dvol_pts)).class,
+        ComplexityClass::Linear
+    );
 }
 
 #[test]
