@@ -187,7 +187,7 @@ where
 /// for every engine thread count; throughput and `metrics.sched` are
 /// wall-clock observations that vary between runs.
 pub fn trace_case<A>(
-    engine: Engine,
+    engine: &Engine,
     case: &str,
     inst: &Instance,
     algo: &A,

@@ -1,0 +1,579 @@
+//! Checkpoint / resume for recorded sweeps (`vc-engine-checkpoint/v1`).
+//!
+//! Long sweeps die: machines reboot, CI jobs hit wall-clock limits,
+//! operators hit Ctrl-C. [`Engine::run_recorded_with_checkpoint`] makes a
+//! sweep resumable by persisting, after every run, the per-chunk
+//! [`ExecutionRecord`]s completed so far. A resumed run loads the file,
+//! marks the checkpointed chunks done, executes only the remainder and
+//! rewrites the file — and because chunk contents, chunk order and the
+//! record encoding are all deterministic, the resumed file and report are
+//! **byte-identical** to what one unbroken run would have produced.
+//!
+//! The file is JSON, written by hand and read back with the dependency-free
+//! parser in `xtask::json` (the vendored serde is a no-op stand-in; see
+//! DESIGN.md §3). Every counter in a record fits `f64` exactly
+//! (`xtask::json::Value::as_u64` enforces this on read), so the
+//! integer round-trip is lossless.
+//!
+//! A checkpoint is only valid for the exact sweep that produced it: the
+//! file carries a [fingerprint](SweepCheckpoint::fingerprint) folding the
+//! instance size, start set, algorithm name, budget, randomness tape and
+//! chunk size. A mismatch is a loud [`EngineError::BadCheckpoint`], never a
+//! silent mixing of two different sweeps' records.
+//!
+//! Checkpoints store *costs*, not *outputs*: `A::Output` is generic and has
+//! no serial form offline. Sweeps that need the labeling itself (e.g. the
+//! validity checks in `tests/`) must run unbroken; the checkpoint path is
+//! for the cost-summary sweeps behind `BENCH_*.json` baselines, where the
+//! records are the product.
+
+use crate::{run_sharded, Engine, CHUNK};
+use std::path::Path;
+use vc_graph::Instance;
+use vc_model::cost::{CostAccumulator, CostSummary, ExecutionRecord};
+use vc_model::randomness::RandomnessMode;
+use vc_model::run::{QueryAlgorithm, RunConfig, StartError};
+use vc_trace::time::Stopwatch;
+use vc_trace::NoopTracer;
+use xtask::json;
+
+/// Schema identifier written into every checkpoint file.
+pub const CHECKPOINT_SCHEMA: &str = "vc-engine-checkpoint/v1";
+
+/// Failures of the checkpointed sweep path. Always loud: the engine never
+/// silently discards or mixes checkpoint state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The configured start selection is invalid (same as the serial
+    /// runner's error).
+    Start(StartError),
+    /// Reading or writing the checkpoint file failed.
+    Io(String),
+    /// The checkpoint file is malformed or belongs to a different sweep.
+    BadCheckpoint(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Start(e) => write!(f, "invalid start selection: {e}"),
+            EngineError::Io(msg) => write!(f, "checkpoint I/O failed: {msg}"),
+            EngineError::BadCheckpoint(msg) => write!(f, "unusable checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StartError> for EngineError {
+    fn from(e: StartError) -> Self {
+        EngineError::Start(e)
+    }
+}
+
+/// The persistent state of a checkpointed sweep: one slot per chunk,
+/// `Some` once that chunk's records are complete.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCheckpoint {
+    /// Fingerprint of the sweep configuration this checkpoint belongs to
+    /// (see [`sweep_fingerprint`]).
+    pub fingerprint: u64,
+    /// Total chunks in the sweep's fixed partition.
+    pub num_chunks: usize,
+    /// Per-chunk completed records, in chunk order.
+    pub chunks: Vec<Option<Vec<ExecutionRecord>>>,
+}
+
+impl SweepCheckpoint {
+    /// An empty checkpoint for a sweep with the given shape.
+    pub fn fresh(fingerprint: u64, num_chunks: usize) -> Self {
+        Self {
+            fingerprint,
+            num_chunks,
+            chunks: vec![None; num_chunks],
+        }
+    }
+
+    /// Number of chunks whose records are present.
+    pub fn completed_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether every chunk is present.
+    pub fn is_complete(&self) -> bool {
+        self.completed_chunks() == self.num_chunks
+    }
+
+    /// Serializes the checkpoint as a `vc-engine-checkpoint/v1` JSON
+    /// document. The encoding is a pure function of the checkpoint state —
+    /// the byte-identity of resumed runs rests on this.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"{}\",\n  \"fingerprint\": \"{:016x}\",\n  \"num_chunks\": {},\n  \"chunks\": [\n",
+            json::escape(CHECKPOINT_SCHEMA),
+            self.fingerprint,
+            self.num_chunks
+        );
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            out.push_str("    ");
+            match chunk {
+                None => out.push_str("null"),
+                Some(recs) => {
+                    out.push('[');
+                    for (j, r) in recs.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(
+                            out,
+                            "{{\"root\": {}, \"volume\": {}, \"distance\": ",
+                            r.root, r.volume
+                        );
+                        match r.distance {
+                            Some(d) => {
+                                let _ = write!(out, "{d}");
+                            }
+                            None => out.push_str("null"),
+                        }
+                        let _ = write!(
+                            out,
+                            ", \"distance_upper\": {}, \"queries\": {}, \"random_bits\": {}, \"completed\": {}}}",
+                            r.distance_upper, r.queries, r.random_bits, r.completed
+                        );
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str(if i + 1 < self.chunks.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a `vc-engine-checkpoint/v1` document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformation (bad JSON,
+    /// wrong schema, missing or out-of-range fields).
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let doc = json::parse(src)?;
+        let schema = doc
+            .get("schema")
+            .and_then(json::Value::as_str)
+            .ok_or("missing schema")?;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(format!(
+                "schema is {schema:?}, expected {CHECKPOINT_SCHEMA:?}"
+            ));
+        }
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(json::Value::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or("missing or malformed fingerprint")?;
+        let num_chunks = doc
+            .get("num_chunks")
+            .and_then(json::Value::as_u64)
+            .ok_or("missing num_chunks")? as usize;
+        let chunk_vals = doc
+            .get("chunks")
+            .and_then(json::Value::as_arr)
+            .ok_or("missing chunks array")?;
+        if chunk_vals.len() != num_chunks {
+            return Err(format!(
+                "chunks array has {} entries, num_chunks says {num_chunks}",
+                chunk_vals.len()
+            ));
+        }
+        let mut chunks = Vec::with_capacity(num_chunks);
+        for (c, v) in chunk_vals.iter().enumerate() {
+            match v {
+                json::Value::Null => chunks.push(None),
+                json::Value::Arr(items) => {
+                    let mut recs = Vec::with_capacity(items.len());
+                    for item in items {
+                        recs.push(record_from_json(item).map_err(|e| format!("chunk {c}: {e}"))?);
+                    }
+                    chunks.push(Some(recs));
+                }
+                _ => return Err(format!("chunk {c} is neither null nor an array")),
+            }
+        }
+        Ok(Self {
+            fingerprint,
+            num_chunks,
+            chunks,
+        })
+    }
+}
+
+fn record_from_json(v: &json::Value) -> Result<ExecutionRecord, String> {
+    let u64_field = |key: &str| {
+        v.get(key)
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+    };
+    let distance = match v.get("distance") {
+        Some(json::Value::Null) | None => None,
+        Some(d) => Some(
+            d.as_u64()
+                .and_then(|d| u32::try_from(d).ok())
+                .ok_or("out-of-range distance")?,
+        ),
+    };
+    let completed = match v.get("completed") {
+        Some(json::Value::Bool(b)) => *b,
+        _ => return Err("missing or non-boolean field \"completed\"".to_string()),
+    };
+    Ok(ExecutionRecord {
+        root: u64_field("root")? as usize,
+        volume: u64_field("volume")? as usize,
+        distance,
+        distance_upper: u32::try_from(u64_field("distance_upper")?)
+            .map_err(|_| "out-of-range distance_upper")?,
+        queries: u64_field("queries")?,
+        random_bits: u64_field("random_bits")?,
+        completed,
+    })
+}
+
+/// The result of a checkpointed sweep: records and costs for every chunk
+/// completed so far, across this run *and* all previous runs against the
+/// same checkpoint file.
+#[derive(Clone, Debug)]
+pub struct CheckpointReport {
+    /// Records of all completed chunks, in start order (gaps where chunks
+    /// are still pending).
+    pub records: Vec<ExecutionRecord>,
+    /// Cost summary over [`CheckpointReport::records`].
+    pub summary: CostSummary,
+    /// Total queries over [`CheckpointReport::records`].
+    pub total_queries: u128,
+    /// Chunks completed so far.
+    pub completed_chunks: usize,
+    /// Total chunks in the sweep.
+    pub num_chunks: usize,
+}
+
+impl CheckpointReport {
+    /// Whether every chunk of the sweep has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed_chunks == self.num_chunks
+    }
+}
+
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One splitmix64 scramble step (same finalizer as `vc-model`'s tape).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fold(acc: u64, word: u64) -> u64 {
+    mix(acc.wrapping_add(SPLITMIX_GAMMA) ^ word)
+}
+
+/// Fingerprints the sweep configuration a checkpoint belongs to: instance
+/// size, start set, algorithm name ([`QueryAlgorithm::name`]), budget,
+/// exact-distance flag, randomness tape and chunk size. Anything that can
+/// change a chunk's records must be folded in here.
+pub fn sweep_fingerprint<A: QueryAlgorithm>(
+    inst: &Instance,
+    algo: &A,
+    config: &RunConfig,
+    starts: &[usize],
+) -> u64 {
+    let mut h = fold(0x7663_6b70_7431, inst.n() as u64); // "vckpt1"
+    h = fold(h, starts.len() as u64);
+    for &s in starts {
+        h = fold(h, s as u64);
+    }
+    for b in algo.name().bytes() {
+        h = fold(h, u64::from(b));
+    }
+    let opt = |v: Option<u64>| v.map_or(0, |x| x.wrapping_add(1));
+    h = fold(h, opt(config.budget.max_volume.map(|v| v as u64)));
+    h = fold(h, opt(config.budget.max_distance.map(u64::from)));
+    h = fold(h, opt(config.budget.max_queries));
+    h = fold(h, u64::from(config.exact_distance));
+    match config.tape {
+        None => h = fold(h, 0),
+        Some(tape) => {
+            h = fold(h, 1);
+            h = fold(h, tape.seed());
+            h = fold(
+                h,
+                match tape.mode() {
+                    RandomnessMode::Private => 1,
+                    RandomnessMode::Public => 2,
+                    RandomnessMode::Secret => 3,
+                },
+            );
+        }
+    }
+    fold(h, CHUNK as u64)
+}
+
+impl Engine {
+    /// Runs a recorded sweep against a checkpoint file at `path`:
+    /// previously checkpointed chunks are skipped, freshly completed
+    /// chunks are added, and the updated checkpoint is written back. The
+    /// returned report covers *all* completed chunks (previous runs
+    /// included), so once [`CheckpointReport::is_complete`] the records
+    /// and summary are byte-identical to an unbroken [`Engine::run_all`] —
+    /// no matter how many kills and resumes happened in between, and for
+    /// any thread count.
+    ///
+    /// Combine with [`Engine::with_chunk_quota`] for a deterministic
+    /// "kill" in tests, or with [`Engine::with_deadline`] /
+    /// [`CancelFlag`](crate::CancelFlag) for real time-boxed runs.
+    /// Outputs are not checkpointed (see the module docs) — this entry
+    /// point returns records and costs only.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Start`] for an invalid start selection,
+    /// [`EngineError::Io`] when the file cannot be read or written, and
+    /// [`EngineError::BadCheckpoint`] when the file is malformed or was
+    /// produced by a different sweep configuration.
+    pub fn run_recorded_with_checkpoint<A>(
+        &self,
+        inst: &Instance,
+        algo: &A,
+        config: &RunConfig,
+        path: &Path,
+    ) -> Result<CheckpointReport, EngineError>
+    where
+        A: QueryAlgorithm + Sync,
+        A::Output: Send,
+    {
+        let sw = Stopwatch::start();
+        let starts = config.starts.starts(inst.n())?;
+        let num_chunks = starts.len().div_ceil(CHUNK);
+        let fingerprint = sweep_fingerprint(inst, algo, config, &starts);
+        let mut ckpt = match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let ckpt = SweepCheckpoint::from_json(&text).map_err(EngineError::BadCheckpoint)?;
+                if ckpt.fingerprint != fingerprint {
+                    return Err(EngineError::BadCheckpoint(format!(
+                        "fingerprint {:016x} belongs to a different sweep (expected {:016x})",
+                        ckpt.fingerprint, fingerprint
+                    )));
+                }
+                if ckpt.num_chunks != num_chunks {
+                    return Err(EngineError::BadCheckpoint(format!(
+                        "checkpoint has {} chunks, sweep has {num_chunks}",
+                        ckpt.num_chunks
+                    )));
+                }
+                ckpt
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                SweepCheckpoint::fresh(fingerprint, num_chunks)
+            }
+            Err(e) => return Err(EngineError::Io(e.to_string())),
+        };
+
+        let done: Vec<bool> = ckpt.chunks.iter().map(Option::is_some).collect();
+        let run = run_sharded::<A, NoopTracer>(
+            inst,
+            algo,
+            config,
+            &starts,
+            self.limits(&sw, starts.len()),
+            Some(&done),
+        );
+        for (c, recs) in run.chunk_records.into_iter().enumerate() {
+            if let Some(recs) = recs {
+                ckpt.chunks[c] = Some(recs);
+            }
+        }
+        std::fs::write(path, ckpt.to_json()).map_err(|e| EngineError::Io(e.to_string()))?;
+
+        let mut acc = CostAccumulator::default();
+        let mut records = Vec::with_capacity(starts.len());
+        for chunk in ckpt.chunks.iter().flatten() {
+            for rec in chunk {
+                acc.add(rec);
+                records.push(rec.clone());
+            }
+        }
+        Ok(CheckpointReport {
+            summary: acc.finish(),
+            total_queries: acc.total_queries(),
+            records,
+            completed_chunks: ckpt.completed_chunks(),
+            num_chunks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_model::oracle::{follow, Oracle, QueryError};
+
+    struct WalkLeft;
+
+    impl QueryAlgorithm for WalkLeft {
+        type Output = u32;
+
+        fn name(&self) -> &'static str {
+            "walk-left"
+        }
+
+        fn fallback(&self) -> u32 {
+            u32::MAX
+        }
+
+        fn run(&self, oracle: &mut dyn Oracle) -> Result<u32, QueryError> {
+            let mut cur = oracle.root();
+            let mut steps = 0;
+            while let Some(next) = follow(oracle, &cur, cur.label.left_child)? {
+                cur = next;
+                steps += 1;
+            }
+            Ok(steps)
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("vc-engine-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_json() {
+        let rec = ExecutionRecord {
+            root: 7,
+            volume: 12,
+            distance: Some(3),
+            distance_upper: 4,
+            queries: 19,
+            random_bits: 2,
+            completed: true,
+        };
+        let rec2 = ExecutionRecord {
+            distance: None,
+            completed: false,
+            ..rec.clone()
+        };
+        let mut ckpt = SweepCheckpoint::fresh(0xdead_beef_0123_4567, 3);
+        ckpt.chunks[0] = Some(vec![rec, rec2]);
+        ckpt.chunks[2] = Some(vec![]);
+        let parsed = SweepCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(parsed, ckpt);
+        assert_eq!(parsed.completed_chunks(), 2);
+        assert!(!parsed.is_complete());
+    }
+
+    #[test]
+    fn malformed_checkpoints_are_rejected_loudly() {
+        assert!(SweepCheckpoint::from_json("{}").is_err());
+        assert!(SweepCheckpoint::from_json("{\"schema\": \"nope/v1\"}").is_err());
+        let mut ok = SweepCheckpoint::fresh(1, 1).to_json();
+        assert!(SweepCheckpoint::from_json(&ok).is_ok());
+        ok.truncate(ok.len() - 3);
+        assert!(SweepCheckpoint::from_json(&ok).is_err());
+    }
+
+    #[test]
+    fn fingerprint_separates_sweep_configurations() {
+        let inst = vc_graph::gen::random_full_binary_tree(150, 3);
+        let starts: Vec<usize> = (0..inst.n()).collect();
+        let base = RunConfig::default();
+        let f = |cfg: &RunConfig| sweep_fingerprint(&inst, &WalkLeft, cfg, &starts);
+        let baseline = f(&base);
+        assert_eq!(baseline, f(&base.clone()));
+        let budgeted = RunConfig {
+            budget: vc_model::Budget::volume(5),
+            ..base
+        };
+        assert_ne!(baseline, f(&budgeted));
+        let taped = RunConfig {
+            tape: Some(vc_model::randomness::RandomTape::private(9)),
+            ..base
+        };
+        assert_ne!(baseline, f(&taped));
+        let fewer: Vec<usize> = (0..inst.n() / 2).collect();
+        assert_ne!(baseline, sweep_fingerprint(&inst, &WalkLeft, &base, &fewer));
+    }
+
+    #[test]
+    fn kill_and_resume_equals_unbroken_run() {
+        let inst = vc_graph::gen::random_full_binary_tree(333, 5); // 6 chunks
+        let config = RunConfig::default();
+
+        // The unbroken reference: one run straight through.
+        let unbroken_path = temp_path("unbroken.json");
+        let _ = std::fs::remove_file(&unbroken_path);
+        let unbroken = Engine::with_threads(2)
+            .run_recorded_with_checkpoint(&inst, &WalkLeft, &config, &unbroken_path)
+            .unwrap();
+        assert!(unbroken.is_complete());
+        let serial = vc_model::run::run_all(&inst, &WalkLeft, &config).unwrap();
+        assert_eq!(unbroken.records, serial.records);
+        assert_eq!(unbroken.summary, serial.summary());
+
+        // "Kill" after 2 chunks (quota = deterministic kill proxy), then
+        // resume with different thread counts.
+        let resumed_path = temp_path("resumed.json");
+        let _ = std::fs::remove_file(&resumed_path);
+        let partial = Engine::with_threads(8)
+            .with_chunk_quota(2)
+            .run_recorded_with_checkpoint(&inst, &WalkLeft, &config, &resumed_path)
+            .unwrap();
+        assert!(!partial.is_complete());
+        assert_eq!(partial.completed_chunks, 2);
+        assert_eq!(partial.records, serial.records[..2 * CHUNK]);
+        let resumed = Engine::with_threads(3)
+            .run_recorded_with_checkpoint(&inst, &WalkLeft, &config, &resumed_path)
+            .unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.records, unbroken.records);
+        assert_eq!(resumed.summary, unbroken.summary);
+        assert_eq!(resumed.total_queries, unbroken.total_queries);
+
+        // The files themselves are byte-identical.
+        let a = std::fs::read(&unbroken_path).unwrap();
+        let b = std::fs::read(&resumed_path).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn foreign_checkpoints_are_refused() {
+        let inst = vc_graph::gen::random_full_binary_tree(150, 3);
+        let config = RunConfig::default();
+        let path = temp_path("foreign.json");
+        let _ = std::fs::remove_file(&path);
+        Engine::with_threads(1)
+            .run_recorded_with_checkpoint(&inst, &WalkLeft, &config, &path)
+            .unwrap();
+        // Same file, different budget: the fingerprint must refuse it.
+        let other = RunConfig {
+            budget: vc_model::Budget::volume(2),
+            ..config
+        };
+        let err = Engine::with_threads(1)
+            .run_recorded_with_checkpoint(&inst, &WalkLeft, &other, &path)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BadCheckpoint(_)), "{err}");
+        // And a corrupt file is an error, not a fresh start.
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = Engine::with_threads(1)
+            .run_recorded_with_checkpoint(&inst, &WalkLeft, &config, &path)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BadCheckpoint(_)), "{err}");
+    }
+}

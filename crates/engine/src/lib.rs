@@ -1,6 +1,7 @@
 //! # vc-engine
 //!
-//! A sharded, deterministic sweep runner for the query-model experiments.
+//! A sharded, deterministic, fault-hardened sweep runner for the
+//! query-model experiments.
 //!
 //! The experiments of the paper sweep an algorithm over every (or a sampled
 //! set of) start node(s) of an instance (`run_all` in `vc-model`). The
@@ -22,23 +23,52 @@
 //!   the same [`CostSummary`] bits as a serial fold regardless of how chunks
 //!   were distributed over threads.
 //!
-//! With one worker the untraced engine delegates to
-//! `vc_model::run::run_all` directly, making the serial runner the semantic
-//! anchor the determinism tests compare against.
+//! ## Robustness (DESIGN.md §11)
+//!
+//! Sweeps degrade gracefully instead of dying:
+//!
+//! * **Panic isolation.** Every chunk runs under `catch_unwind`. A
+//!   panicking chunk is retried once from a fresh scratch; a chunk that
+//!   panics on every attempt lands in [`EngineReport::aborted_chunks`] and
+//!   its starts simply carry no outputs/records. Panics are deterministic
+//!   (same algorithm, same chunk, same inputs), so the aborted set — and
+//!   therefore the merged summary over the surviving chunks — is identical
+//!   for every thread count.
+//! * **Cooperative deadline / cancel.** [`Engine::with_deadline`] (or the
+//!   `VC_DEADLINE_MS` environment variable) and [`CancelFlag`] stop workers
+//!   at chunk-claim boundaries. Chunk claims are monotonic, so the executed
+//!   chunks always form a prefix of the chunk sequence and the partial
+//!   summary is a valid chunk-order merge; *which* prefix is
+//!   schedule-dependent, which is why deadline runs are flagged
+//!   [`EngineReport::degraded`].
+//! * **Deterministic kill proxy.** [`Engine::with_chunk_quota`] stops
+//!   claims after a fixed number of chunks — because claims are sequential,
+//!   a quota-`k` run executes exactly chunks `0..k` for any thread count.
+//!   The checkpoint tests use this as a reproducible "kill".
+//! * **Checkpoint / resume.** [`Engine::run_recorded_with_checkpoint`]
+//!   persists per-chunk [`ExecutionRecord`]s to a
+//!   `vc-engine-checkpoint/v1` JSON file and resumes exactly where a
+//!   previous (killed) run stopped; the resumed result is byte-identical
+//!   to an unbroken run (see the `checkpoint` module).
 //!
 //! [`Engine::run_all_traced`] additionally aggregates a
 //! [`vc_trace::MergeTracer`] (one fresh tracer per chunk, absorbed in chunk
 //! order), extending the same any-thread-count determinism guarantee to the
 //! tracer's mergeable state; see DESIGN.md §10 for the event model and why
-//! tracing cannot perturb the sweep.
+//! tracing cannot perturb the sweep. Every sweep — even at one worker —
+//! takes the chunked path, so panic isolation and chunk-level event counts
+//! are uniform across thread counts.
 //!
 //! The worker count defaults to `std::thread::available_parallelism` and can
 //! be overridden with the `VC_THREADS` environment variable.
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub mod checkpoint;
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use vc_graph::Instance;
 use vc_model::cost::{CostAccumulator, CostSummary, ExecutionRecord};
@@ -46,6 +76,8 @@ use vc_model::oracle::ExecScratch;
 use vc_model::run::{run_from_traced, QueryAlgorithm, RunConfig, RunReport, StartError};
 use vc_trace::time::Stopwatch;
 use vc_trace::{MergeTracer, NoopTracer};
+
+pub use checkpoint::{CheckpointReport, EngineError, SweepCheckpoint, CHECKPOINT_SCHEMA};
 
 /// Start nodes per work chunk. Fixed (instead of derived from the worker
 /// count) so the partition of the start set — and therefore the merge order
@@ -56,16 +88,56 @@ pub const CHUNK: usize = 64;
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "VC_THREADS";
 
-/// A sharded sweep runner with a fixed worker-thread count.
-#[derive(Clone, Copy, Debug)]
+/// Environment variable setting a cooperative sweep deadline in
+/// milliseconds (checked at chunk-claim boundaries; see
+/// [`Engine::with_deadline`]).
+pub const DEADLINE_ENV: &str = "VC_DEADLINE_MS";
+
+/// Attempts per chunk: the first run plus one retry from a fresh scratch.
+/// Bounded so a deterministically-panicking chunk cannot spin forever.
+pub const MAX_CHUNK_ATTEMPTS: u32 = 2;
+
+/// A shared cooperative cancellation flag, checked by workers at
+/// chunk-claim boundaries.
+///
+/// Cloning shares the flag. Once [`CancelFlag::cancel`] is called, workers
+/// stop claiming new chunks; already-claimed chunks finish, so the merged
+/// report is always a valid chunk-order merge of completed chunks.
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, uncancelled flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A sharded sweep runner with a fixed worker-thread count and optional
+/// degradation limits (deadline, chunk quota, cancel flag).
+#[derive(Clone, Debug)]
 pub struct Engine {
     threads: usize,
+    deadline: Option<Duration>,
+    quota: Option<usize>,
+    cancel: Option<CancelFlag>,
 }
 
 impl Engine {
-    /// An engine with the ambient worker count: the `VC_THREADS` environment
-    /// variable when set to a positive integer, otherwise
-    /// `std::thread::available_parallelism`, otherwise 1.
+    /// An engine with the ambient configuration: worker count from the
+    /// `VC_THREADS` environment variable when set to a positive integer
+    /// (otherwise `std::thread::available_parallelism`, otherwise 1), and a
+    /// cooperative deadline from `VC_DEADLINE_MS` when set.
     pub fn from_env() -> Self {
         let ambient = std::env::var(THREADS_ENV)
             .ok()
@@ -75,14 +147,52 @@ impl Engine {
             Some(t) => t,
             None => std::thread::available_parallelism().map_or(1, |n| n.get()),
         };
-        Self::with_threads(threads)
+        let deadline = std::env::var(DEADLINE_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .map(Duration::from_millis);
+        let mut engine = Self::with_threads(threads);
+        engine.deadline = deadline;
+        engine
     }
 
-    /// An engine with exactly `threads` workers (clamped to at least 1).
+    /// An engine with exactly `threads` workers (clamped to at least 1) and
+    /// no limits.
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            deadline: None,
+            quota: None,
+            cancel: None,
         }
+    }
+
+    /// Sets a cooperative deadline: once the sweep has run for `deadline`,
+    /// workers stop claiming chunks. Already-claimed chunks finish, so the
+    /// partial report remains a valid chunk-order merge; the skipped suffix
+    /// lands in [`EngineReport::skipped_chunks`] and the report is marked
+    /// [`EngineReport::degraded`]. Which chunks complete before a wall-clock
+    /// deadline is inherently schedule-dependent — deadline runs trade
+    /// reproducibility for bounded latency.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Stops the sweep after the first `quota` chunks. Chunk claims are
+    /// handed out sequentially, so a quota-`k` run executes exactly chunks
+    /// `0..k` **for any thread count** — a deterministic stand-in for a
+    /// mid-sweep kill, used by the checkpoint/resume tests and CI.
+    pub fn with_chunk_quota(mut self, quota: usize) -> Self {
+        self.quota = Some(quota);
+        self
+    }
+
+    /// Attaches a cooperative cancellation flag checked at chunk-claim
+    /// boundaries (e.g. from a signal handler or another thread).
+    pub fn with_cancel_flag(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
+        self
     }
 
     /// The configured worker count.
@@ -96,7 +206,10 @@ impl Engine {
     /// Outputs, records and the cost summary are bit-for-bit identical to
     /// `vc_model::run::run_all` for every thread count; only
     /// [`EngineReport::elapsed`] (and the throughput rates derived from it)
-    /// varies between runs.
+    /// varies between runs. Panicking chunks are retried and, failing that,
+    /// abandoned (see [`EngineReport::aborted_chunks`]); deadline/quota/
+    /// cancel limits skip trailing chunks (see
+    /// [`EngineReport::skipped_chunks`]).
     ///
     /// # Errors
     ///
@@ -114,22 +227,15 @@ impl Engine {
     {
         let sw = Stopwatch::start();
         let starts = config.starts.starts(inst.n())?;
-        let num_chunks = starts.len().div_ceil(CHUNK);
-        let workers = self.threads.min(num_chunks.max(1));
-        let (report, acc) = if workers <= 1 {
-            run_serial(inst, algo, config)?
-        } else {
-            let (report, acc, NoopTracer) =
-                run_sharded::<A, NoopTracer>(inst, algo, config, &starts, num_chunks, workers);
-            (report, acc)
-        };
-        Ok(EngineReport {
-            summary: acc.finish(),
-            total_queries: acc.total_queries(),
-            report,
-            threads: workers,
-            elapsed: sw.elapsed(),
-        })
+        let run = run_sharded::<A, NoopTracer>(
+            inst,
+            algo,
+            config,
+            &starts,
+            self.limits(&sw, starts.len()),
+            None,
+        );
+        Ok(self.finish_report(run, sw).0)
     }
 
     /// [`Engine::run_all`] with a [`MergeTracer`] aggregated across the
@@ -138,10 +244,7 @@ impl Engine {
     /// Each chunk folds its events into a fresh `T::default()`; the chunk
     /// partials are absorbed in chunk index order, so — like the cost
     /// summary — the merged tracer is bit-identical for every thread
-    /// count. To keep the chunk-level event counts (`chunk_claimed`,
-    /// `chunk_merged`) thread-count-invariant too, the traced sweep always
-    /// takes the chunked path, even with a single worker; the serial
-    /// delegate is reserved for the untraced [`Engine::run_all`].
+    /// count.
     ///
     /// Per-chunk wall times (`chunk_timed`) are measured only when
     /// `T::TIMED` is set, and are inherently schedule-dependent: mergeable
@@ -165,20 +268,46 @@ impl Engine {
     {
         let sw = Stopwatch::start();
         let starts = config.starts.starts(inst.n())?;
-        let num_chunks = starts.len().div_ceil(CHUNK);
-        let workers = self.threads.min(num_chunks.max(1));
-        let (report, acc, tracer) =
-            run_sharded::<A, T>(inst, algo, config, &starts, num_chunks, workers.max(1));
-        Ok((
+        let run = run_sharded::<A, T>(
+            inst,
+            algo,
+            config,
+            &starts,
+            self.limits(&sw, starts.len()),
+            None,
+        );
+        Ok(self.finish_report(run, sw))
+    }
+
+    /// The per-sweep limit set shared by all entry points.
+    fn limits<'a>(&'a self, sw: &'a Stopwatch, num_starts: usize) -> SweepLimits<'a> {
+        let num_chunks = num_starts.div_ceil(CHUNK);
+        SweepLimits {
+            sw,
+            deadline: self.deadline,
+            num_chunks,
+            claim_limit: self.quota.map_or(num_chunks, |q| q.min(num_chunks)),
+            cancel: self.cancel.as_ref(),
+            workers: self.threads.min(num_chunks.max(1)),
+        }
+    }
+
+    /// Wraps a sharded outcome into an [`EngineReport`].
+    fn finish_report<O, T>(&self, run: ShardedRun<O, T>, sw: Stopwatch) -> (EngineReport<O>, T) {
+        let degraded = !run.aborted.is_empty() || !run.skipped.is_empty();
+        (
             EngineReport {
-                summary: acc.finish(),
-                total_queries: acc.total_queries(),
-                report,
-                threads: workers,
+                summary: run.acc.finish(),
+                total_queries: run.acc.total_queries(),
+                report: run.report,
+                threads: run.workers,
                 elapsed: sw.elapsed(),
+                aborted_chunks: run.aborted,
+                skipped_chunks: run.skipped,
+                degraded,
             },
-            tracer,
-        ))
+            run.tracer,
+        )
     }
 }
 
@@ -188,20 +317,26 @@ impl Default for Engine {
     }
 }
 
-/// One worker: the exact serial loop of `vc_model::run::run_all`, plus the
-/// streaming cost fold. Keeping this the literal delegate makes "engine at
-/// one thread equals the serial runner" true by construction.
-fn run_serial<A: QueryAlgorithm>(
-    inst: &Instance,
-    algo: &A,
-    config: &RunConfig,
-) -> Result<(RunReport<A::Output>, CostAccumulator), StartError> {
-    let report = vc_model::run::run_all(inst, algo, config)?;
-    let mut acc = CostAccumulator::default();
-    for rec in &report.records {
-        acc.add(rec);
+/// The per-sweep limit set: deadline clock, chunk-claim bound and cancel
+/// flag, all checked at chunk-claim boundaries.
+struct SweepLimits<'a> {
+    sw: &'a Stopwatch,
+    deadline: Option<Duration>,
+    /// Total chunks in the fixed partition of the start set.
+    num_chunks: usize,
+    /// First chunk index workers must not claim (quota-clamped).
+    claim_limit: usize,
+    cancel: Option<&'a CancelFlag>,
+    /// Worker threads after clamping to the chunk count.
+    workers: usize,
+}
+
+impl SweepLimits<'_> {
+    /// Whether workers should stop claiming new chunks.
+    fn should_stop(&self) -> bool {
+        self.cancel.is_some_and(CancelFlag::is_cancelled)
+            || self.deadline.is_some_and(|d| self.sw.elapsed() >= d)
     }
-    Ok((report, acc))
 }
 
 /// The work a single chunk produces: `(root, output, record)` per start, in
@@ -210,70 +345,154 @@ fn run_serial<A: QueryAlgorithm>(
 type ChunkResult<O, T> = (Vec<(usize, O, ExecutionRecord)>, CostAccumulator, T);
 
 /// What one worker thread hands back at join: every chunk it claimed,
-/// tagged with the chunk's index for order-independent reassembly.
-type WorkerResult<O, T> = std::thread::Result<Vec<(usize, ChunkResult<O, T>)>>;
+/// tagged with the chunk's index; `None` marks a chunk abandoned after
+/// exhausting its panic retries.
+type WorkerChunks<O, T> = Vec<(usize, Option<ChunkResult<O, T>>)>;
+
+/// A merged sharded sweep, before packaging into an [`EngineReport`].
+struct ShardedRun<O, T> {
+    report: RunReport<O>,
+    acc: CostAccumulator,
+    tracer: T,
+    /// Chunks abandoned after exhausting panic retries, ascending.
+    aborted: Vec<usize>,
+    /// Chunks never executed (deadline/quota/cancel), ascending.
+    skipped: Vec<usize>,
+    /// Per-chunk records for checkpointing: `Some` exactly for the chunks
+    /// executed by *this* run (pre-checkpointed chunks stay `None`).
+    chunk_records: Vec<Option<Vec<ExecutionRecord>>>,
+    workers: usize,
+}
+
+/// Runs one chunk attempt. Split out of the worker loop so the
+/// `catch_unwind` boundary (the only one in the workspace — see the
+/// `centralized-panic-isolation` lint) wraps exactly one chunk's
+/// executions.
+fn run_chunk_attempt<A, T>(
+    inst: &Instance,
+    algo: &A,
+    config: &RunConfig,
+    starts: &[usize],
+    chunk: usize,
+    attempt: u32,
+    scratch: &mut ExecScratch,
+) -> std::thread::Result<ChunkResult<A::Output, T>>
+where
+    A: QueryAlgorithm + Sync,
+    T: MergeTracer,
+{
+    // `AssertUnwindSafe` is sound here: on panic the scratch (the only
+    // state witnessed across the boundary) is discarded and rebuilt, and
+    // the chunk's partial results never leave the closure.
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let lo = chunk * CHUNK;
+        let hi = starts.len().min(lo + CHUNK);
+        let mut outs = Vec::with_capacity(hi - lo);
+        let mut acc = CostAccumulator::default();
+        // Each chunk folds its events into a fresh tracer, so absorbing
+        // the partials in chunk order is schedule-independent. `T::TIMED`
+        // is a const: the untraced NoopTracer instantiation performs no
+        // clock reads.
+        let mut tracer = T::default();
+        tracer.chunk_claimed(chunk, hi - lo);
+        if attempt > 0 {
+            tracer.chunk_retried(chunk, attempt);
+        }
+        let sw = if T::TIMED {
+            Some(Stopwatch::start())
+        } else {
+            None
+        };
+        for &root in &starts[lo..hi] {
+            let (out, rec) = run_from_traced(inst, algo, root, config, scratch, &mut tracer);
+            acc.add(&rec);
+            outs.push((root, out, rec));
+        }
+        if let Some(sw) = sw {
+            tracer.chunk_timed(chunk, sw.elapsed_nanos());
+        }
+        (outs, acc, tracer)
+    }))
+}
 
 fn run_sharded<A, T>(
     inst: &Instance,
     algo: &A,
     config: &RunConfig,
     starts: &[usize],
-    num_chunks: usize,
-    workers: usize,
-) -> (RunReport<A::Output>, CostAccumulator, T)
+    limits: SweepLimits<'_>,
+    done: Option<&[bool]>,
+) -> ShardedRun<A::Output, T>
 where
     A: QueryAlgorithm + Sync,
     A::Output: Send,
     T: MergeTracer,
 {
+    let num_chunks = limits.num_chunks;
+    let workers = limits.workers;
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<ChunkResult<A::Output, T>>> = Vec::with_capacity(num_chunks);
-    slots.resize_with(num_chunks, || None);
 
-    let joined: Vec<WorkerResult<A::Output, T>> = std::thread::scope(|s| {
+    /// Per-chunk outcome after the join: never claimed, executed, or
+    /// abandoned after retries.
+    enum Slot<O, T> {
+        Unclaimed,
+        Done(ChunkResult<O, T>),
+        Aborted,
+    }
+    let mut slots: Vec<Slot<A::Output, T>> = Vec::with_capacity(num_chunks);
+    slots.resize_with(num_chunks, || Slot::Unclaimed);
+
+    let joined: Vec<std::thread::Result<WorkerChunks<A::Output, T>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
+                let limits = &limits;
                 s.spawn(move || {
                     let mut scratch = ExecScratch::new();
-                    let mut produced = Vec::new();
+                    let mut produced: WorkerChunks<A::Output, T> = Vec::new();
                     loop {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= num_chunks {
+                        // The claim boundary: the cooperative stop
+                        // point for deadlines and cancellation. Every
+                        // *claimed* chunk runs to completion, so the
+                        // merged report is always a chunk-order merge
+                        // of fully-executed chunks.
+                        if limits.should_stop() {
                             break;
                         }
-                        let lo = c * CHUNK;
-                        let hi = starts.len().min(lo + CHUNK);
-                        let mut outs = Vec::with_capacity(hi - lo);
-                        let mut acc = CostAccumulator::default();
-                        // Each chunk folds its events into a fresh
-                        // tracer, so absorbing the partials in chunk
-                        // order is schedule-independent. `T::TIMED`
-                        // is a const: the untraced NoopTracer
-                        // instantiation performs no clock reads.
-                        let mut tracer = T::default();
-                        tracer.chunk_claimed(c, hi - lo);
-                        let sw = if T::TIMED {
-                            Some(Stopwatch::start())
-                        } else {
-                            None
-                        };
-                        for &root in &starts[lo..hi] {
-                            let (out, rec) = run_from_traced(
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= limits.claim_limit {
+                            break;
+                        }
+                        if done.is_some_and(|d| d[c]) {
+                            continue; // already checkpointed
+                        }
+                        let mut outcome = None;
+                        for attempt in 0..MAX_CHUNK_ATTEMPTS {
+                            match run_chunk_attempt::<A, T>(
                                 inst,
                                 algo,
-                                root,
                                 config,
+                                starts,
+                                c,
+                                attempt,
                                 &mut scratch,
-                                &mut tracer,
-                            );
-                            acc.add(&rec);
-                            outs.push((root, out, rec));
+                            ) {
+                                Ok(result) => {
+                                    outcome = Some(result);
+                                    break;
+                                }
+                                Err(_payload) => {
+                                    // A panicking attempt may leave the
+                                    // scratch mid-epoch; rebuild it so
+                                    // the retry (and later chunks) start
+                                    // clean. The payload was already
+                                    // reported by the panic hook —
+                                    // loud, never silent.
+                                    scratch = ExecScratch::new();
+                                }
+                            }
                         }
-                        if let Some(sw) = sw {
-                            tracer.chunk_timed(c, sw.elapsed_nanos());
-                        }
-                        produced.push((c, (outs, acc, tracer)));
+                        produced.push((c, outcome));
                     }
                     produced
                 })
@@ -286,45 +505,76 @@ where
         match res {
             Ok(produced) => {
                 for (c, chunk) in produced {
-                    slots[c] = Some(chunk);
+                    slots[c] = match chunk {
+                        Some(result) => Slot::Done(result),
+                        None => Slot::Aborted,
+                    };
                 }
             }
+            // Workers only run chunk bodies inside `catch_unwind`; a join
+            // error means the harness itself failed, which must stay fatal.
             Err(payload) => std::panic::resume_unwind(payload),
         }
     }
 
     // Merge in chunk order: chunks partition `starts` contiguously, so this
-    // reproduces the serial runner's start-order records exactly.
+    // reproduces the serial runner's start-order records exactly (modulo
+    // the gaps left by aborted/skipped/checkpointed chunks).
     let mut outputs = vec![None; inst.n()];
     let mut records = Vec::with_capacity(starts.len());
     let mut total = CostAccumulator::default();
     let mut merged_tracer = T::default();
-    assert!(
-        slots.iter().all(Option::is_some),
-        "every chunk index below num_chunks is claimed by some worker"
-    );
-    for (c, (outs, acc, tracer)) in slots.into_iter().flatten().enumerate() {
-        total.merge(&acc);
-        merged_tracer.absorb(tracer);
-        merged_tracer.chunk_merged(c);
-        for (root, out, rec) in outs {
-            outputs[root] = Some(out);
-            records.push(rec);
+    let mut aborted = Vec::new();
+    let mut skipped = Vec::new();
+    let mut chunk_records: Vec<Option<Vec<ExecutionRecord>>> = Vec::with_capacity(num_chunks);
+    for (c, slot) in slots.into_iter().enumerate() {
+        let pre_done = done.is_some_and(|d| d[c]);
+        match slot {
+            Slot::Done((outs, acc, tracer)) => {
+                total.merge(&acc);
+                merged_tracer.absorb(tracer);
+                merged_tracer.chunk_merged(c);
+                chunk_records.push(Some(outs.iter().map(|(_, _, rec)| rec.clone()).collect()));
+                for (root, out, rec) in outs {
+                    outputs[root] = Some(out);
+                    records.push(rec);
+                }
+            }
+            Slot::Aborted => {
+                // The chunk's attempt tracers died with their attempts;
+                // account for the claim and the abort on the merged tracer,
+                // still in chunk order.
+                let lo = c * CHUNK;
+                let hi = starts.len().min(lo + CHUNK);
+                merged_tracer.chunk_claimed(c, hi - lo);
+                merged_tracer.chunk_aborted(c);
+                aborted.push(c);
+                chunk_records.push(None);
+            }
+            Slot::Unclaimed if pre_done => chunk_records.push(None),
+            Slot::Unclaimed => {
+                skipped.push(c);
+                chunk_records.push(None);
+            }
         }
     }
-    assert!(
-        records.len() == starts.len(),
-        "merged records must cover every start"
-    );
-    (RunReport { outputs, records }, total, merged_tracer)
+    ShardedRun {
+        report: RunReport { outputs, records },
+        acc: total,
+        tracer: merged_tracer,
+        aborted,
+        skipped,
+        chunk_records,
+        workers,
+    }
 }
 
 /// The result of a sharded sweep: the serial-identical [`RunReport`] plus
-/// aggregate costs and wall-clock throughput.
+/// aggregate costs, wall-clock throughput and the degradation ledgers.
 #[derive(Clone, Debug)]
 pub struct EngineReport<O> {
     /// Per-node outputs and per-execution records, bit-identical to the
-    /// serial runner's report.
+    /// serial runner's report (for the executed chunks).
     pub report: RunReport<O>,
     /// Aggregated costs (merged from per-chunk integral partials; identical
     /// to `report.summary()` for every thread count).
@@ -336,6 +586,17 @@ pub struct EngineReport<O> {
     pub elapsed: Duration,
     /// Total queries across all executions.
     pub total_queries: u128,
+    /// Chunks abandoned after exhausting their panic retries (ascending).
+    /// Deterministic and thread-count-invariant: panics are a function of
+    /// the chunk's inputs, not of scheduling.
+    pub aborted_chunks: Vec<usize>,
+    /// Chunks never executed because a deadline, chunk quota or cancel
+    /// flag stopped the sweep first (ascending). Always a suffix of the
+    /// chunk sequence.
+    pub skipped_chunks: Vec<usize>,
+    /// Whether any chunk was aborted or skipped. A degraded report's
+    /// summary covers only the executed chunks — partial but valid.
+    pub degraded: bool,
 }
 
 impl<O> EngineReport<O> {
@@ -366,12 +627,17 @@ mod tests {
     use vc_model::oracle::{follow, Oracle, QueryError};
     use vc_model::run::StartSelection;
     use vc_model::Budget;
+    use vc_trace::SweepMetrics;
 
     /// Toy algorithm: walk left children until none remains.
     struct WalkLeft;
 
     impl QueryAlgorithm for WalkLeft {
         type Output = u32;
+
+        fn name(&self) -> &'static str {
+            "walk-left"
+        }
 
         fn fallback(&self) -> u32 {
             u32::MAX
@@ -388,11 +654,37 @@ mod tests {
         }
     }
 
+    /// [`WalkLeft`] that panics when started from a root inside a poisoned
+    /// chunk — deterministically, on every attempt.
+    struct PanicOnChunk {
+        chunk: usize,
+    }
+
+    impl QueryAlgorithm for PanicOnChunk {
+        type Output = u32;
+
+        fn fallback(&self) -> u32 {
+            u32::MAX
+        }
+
+        fn run(&self, oracle: &mut dyn Oracle) -> Result<u32, QueryError> {
+            let root = oracle.root().node;
+            assert!(
+                root / CHUNK != self.chunk,
+                "injected panic in chunk {}",
+                self.chunk
+            );
+            WalkLeft.run(oracle)
+        }
+    }
+
     fn assert_equal_reports(a: &EngineReport<u32>, b: &RunReport<u32>) {
         assert_eq!(a.report.outputs, b.outputs);
         assert_eq!(a.report.records, b.records);
         assert_eq!(a.summary, b.summary());
         assert_eq!(a.report.truncated(), b.truncated());
+        assert!(!a.degraded);
+        assert!(a.aborted_chunks.is_empty() && a.skipped_chunks.is_empty());
     }
 
     #[test]
@@ -469,7 +761,6 @@ mod tests {
 
     #[test]
     fn traced_sweep_matches_untraced_and_is_thread_invariant() {
-        use vc_trace::SweepMetrics;
         let inst = gen::random_full_binary_tree(777, 9);
         let config = RunConfig::default();
         let untraced = Engine::with_threads(1)
@@ -493,16 +784,16 @@ mod tests {
         assert_eq!(m1.query.executions, untraced.summary.runs as u64);
         assert_eq!(m1.query.volume.max(), untraced.summary.max_volume as u64);
         assert_eq!(m1.query.queries_per_start.sum(), untraced.total_queries);
-        // Even at one worker the traced sweep takes the chunked path, so
-        // chunk counts are thread-count-invariant too.
+        // Chunk counts are thread-count-invariant too.
         let chunks = inst.n().div_ceil(CHUNK) as u64;
         assert_eq!(m1.query.chunks_claimed, chunks);
         assert_eq!(m1.query.chunks_merged, chunks);
+        assert_eq!(m1.query.chunks_retried, 0);
+        assert_eq!(m1.query.chunks_aborted, 0);
     }
 
     #[test]
     fn traced_start_errors_propagate() {
-        use vc_trace::SweepMetrics;
         let inst = gen::complete_binary_tree(2, Color::R, Color::B);
         let config = RunConfig {
             starts: StartSelection::Sample { count: 0, seed: 0 },
@@ -526,5 +817,165 @@ mod tests {
         assert_eq!(engine.threads, 1);
         assert!(engine.starts_per_sec() >= 0.0);
         assert!(engine.queries_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn panicking_chunk_is_aborted_and_the_rest_survives() {
+        let inst = gen::random_full_binary_tree(333, 5); // 6 chunks
+        let config = RunConfig::default();
+        let algo = PanicOnChunk { chunk: 2 };
+        let clean = Engine::with_threads(2)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        let mut per_thread = Vec::new();
+        for threads in [1, 2, 8] {
+            let report = Engine::with_threads(threads)
+                .run_all(&inst, &algo, &config)
+                .unwrap();
+            assert_eq!(report.aborted_chunks, vec![2]);
+            assert!(report.skipped_chunks.is_empty());
+            assert!(report.degraded);
+            // Surviving starts are bit-identical to the clean run.
+            let lo = 2 * CHUNK;
+            let hi = inst.n().min(lo + CHUNK);
+            for v in 0..inst.n() {
+                if (lo..hi).contains(&v) {
+                    assert_eq!(report.report.outputs[v], None);
+                } else {
+                    assert_eq!(report.report.outputs[v], clean.report.outputs[v]);
+                }
+            }
+            assert_eq!(report.summary.runs, inst.n() - (hi - lo));
+            per_thread.push((report.summary.clone(), report.report.records.clone()));
+        }
+        // The degraded summary itself is thread-count-invariant.
+        assert!(per_thread.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn aborted_chunks_are_counted_by_the_tracer() {
+        let inst = gen::random_full_binary_tree(333, 5);
+        let config = RunConfig::default();
+        let algo = PanicOnChunk { chunk: 1 };
+        let mut metrics = Vec::new();
+        for threads in [1, 4] {
+            let (report, m) = Engine::with_threads(threads)
+                .run_all_traced::<_, SweepMetrics>(&inst, &algo, &config)
+                .unwrap();
+            assert_eq!(report.aborted_chunks, vec![1]);
+            // Both attempts panicked; the merged tracer still accounts for
+            // the claim and the abort exactly once, in chunk order.
+            let chunks = inst.n().div_ceil(CHUNK) as u64;
+            assert_eq!(m.query.chunks_claimed, chunks);
+            assert_eq!(m.query.chunks_merged, chunks - 1);
+            assert_eq!(m.query.chunks_aborted, 1);
+            metrics.push(m.query.clone());
+        }
+        assert_eq!(metrics[0], metrics[1]);
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_recovers() {
+        use std::sync::atomic::AtomicBool;
+
+        /// Panics on the first visit to chunk 0, then behaves — the retry
+        /// must produce a complete, clean report.
+        struct FlakyOnce {
+            tripped: AtomicBool,
+        }
+
+        impl QueryAlgorithm for FlakyOnce {
+            type Output = u32;
+
+            fn fallback(&self) -> u32 {
+                u32::MAX
+            }
+
+            fn run(&self, oracle: &mut dyn Oracle) -> Result<u32, QueryError> {
+                let root = oracle.root().node;
+                if root / CHUNK == 0 && !self.tripped.swap(true, Ordering::Relaxed) {
+                    panic!("transient injected panic");
+                }
+                WalkLeft.run(oracle)
+            }
+        }
+
+        let inst = gen::random_full_binary_tree(150, 3);
+        let config = RunConfig::default();
+        let clean = Engine::with_threads(1)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        let algo = FlakyOnce {
+            tripped: AtomicBool::new(false),
+        };
+        let (report, m) = Engine::with_threads(1)
+            .run_all_traced::<_, SweepMetrics>(&inst, &algo, &config)
+            .unwrap();
+        assert!(!report.degraded);
+        assert_eq!(report.report.outputs, clean.report.outputs);
+        assert_eq!(report.report.records, clean.report.records);
+        assert_eq!(report.summary, clean.summary);
+        assert_eq!(m.query.chunks_retried, 1);
+        assert_eq!(m.query.chunks_aborted, 0);
+    }
+
+    #[test]
+    fn chunk_quota_executes_exactly_the_prefix() {
+        let inst = gen::random_full_binary_tree(333, 5); // 6 chunks
+        let config = RunConfig::default();
+        let clean = Engine::with_threads(2)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        for threads in [1, 2, 8] {
+            let report = Engine::with_threads(threads)
+                .with_chunk_quota(3)
+                .run_all(&inst, &WalkLeft, &config)
+                .unwrap();
+            assert!(report.degraded);
+            assert!(report.aborted_chunks.is_empty());
+            assert_eq!(report.skipped_chunks, vec![3, 4, 5]);
+            assert_eq!(report.report.records, clean.report.records[..3 * CHUNK]);
+            assert_eq!(report.summary.runs, 3 * CHUNK);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_yields_an_empty_degraded_report() {
+        let inst = gen::random_full_binary_tree(200, 5);
+        let config = RunConfig::default();
+        let report = Engine::with_threads(2)
+            .with_deadline(Duration::ZERO)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.skipped_chunks.len(), inst.n().div_ceil(CHUNK));
+        assert_eq!(report.summary.runs, 0);
+        assert!(report.report.records.is_empty());
+        assert!(report.report.outputs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn pre_cancelled_flag_stops_before_any_chunk() {
+        let inst = gen::random_full_binary_tree(200, 5);
+        let flag = CancelFlag::new();
+        flag.cancel();
+        assert!(flag.is_cancelled());
+        let report = Engine::with_threads(4)
+            .with_cancel_flag(flag)
+            .run_all(&inst, &WalkLeft, &RunConfig::default())
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.summary.runs, 0);
+        assert_eq!(report.skipped_chunks.len(), inst.n().div_ceil(CHUNK));
+    }
+
+    #[test]
+    fn deadline_env_is_parsed() {
+        // `from_env` must parse the ambient deadline without panicking on
+        // garbage; the variable itself is process-global, so only exercise
+        // the parse helper indirectly through a scoped engine build.
+        let engine = Engine::with_threads(2).with_deadline(Duration::from_millis(5));
+        assert_eq!(engine.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(Engine::with_threads(2).deadline, None);
     }
 }

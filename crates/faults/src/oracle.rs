@@ -1,0 +1,280 @@
+//! [`FaultyOracle`]: the oracle wrapper that actually injects a
+//! [`FaultPlan`]'s faults.
+//!
+//! The wrapper sits between an algorithm and any inner [`Oracle`] — a bare
+//! `Execution`, an `AuditedOracle`, anything — and composes with tracing,
+//! because tracers observe the *inner* execution, which the wrapper only
+//! ever forwards to or withholds from.
+//!
+//! Fault semantics (DESIGN.md §11):
+//!
+//! * **Refusal** — the query never reaches the inner oracle; the caller
+//!   gets [`QueryError::FaultInjected`]. Keyed by `(start node, query
+//!   index)`, so an execution's refusal pattern is a pure function of the
+//!   plan and its own query sequence.
+//! * **Crash** — keyed per node: a crashed node answers no query issued
+//!   *from* it and serves no random bits. The crashed node can still be
+//!   *discovered* (its neighbors answer queries pointing at it) — it is
+//!   the node's outgoing behavior that dies, mirroring a crashed machine
+//!   whose link state is still visible to neighbors.
+//! * **Corruption** — keyed per node: a "liar" node's *label* is
+//!   deterministically rewritten in every answer that reveals it. Ids,
+//!   degrees and the graph structure stay truthful, and a liar lies
+//!   identically on every revisit, so the §2.2 immutability contract
+//!   still holds and the lie is only detectable against ground truth
+//!   (which is exactly what `vc-audit`'s instance replay does). The
+//!   start node itself never lies: [`Oracle::root`] is infallible, so a
+//!   lying root could not be made consistent with its root view.
+//! * **Squeeze** — once the inner oracle has answered `squeeze_queries`
+//!   queries, every further query is refused: a deterministic mid-run
+//!   budget collapse.
+//!
+//! Injected faults are counted ([`FaultyOracle::injected`]) and surface to
+//! the algorithm as [`QueryError::FaultInjected`] — loud, never a silently
+//! wrong `Ok`. (Corrupted answers are `Ok` by design: they model
+//! *Byzantine* wrongness, which no wrapper can flag without defeating its
+//! purpose; the count still records them.)
+
+use crate::plan::{rule, FaultPlan};
+use vc_graph::{NodeLabel, Port};
+use vc_model::oracle::{NodeView, Oracle, OracleStats, QueryError};
+
+/// An [`Oracle`] wrapper injecting the faults of a [`FaultPlan`].
+///
+/// Construct per execution with [`FaultyOracle::new`]; the wrapper reads
+/// the inner oracle's root once to key per-start decisions.
+#[derive(Debug)]
+pub struct FaultyOracle<O> {
+    inner: O,
+    plan: FaultPlan,
+    /// The start node's world handle, keying per-execution decisions.
+    start: u64,
+    /// Query attempts observed by this wrapper (including refused ones).
+    attempts: u64,
+    /// Faults injected so far (refusals + crash refusals + squeezes +
+    /// corrupted answers).
+    injected: u64,
+}
+
+impl<O: Oracle> FaultyOracle<O> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: O, plan: FaultPlan) -> Self {
+        let start = inner.root().node as u64;
+        Self {
+            inner,
+            plan,
+            start,
+            attempts: 0,
+            injected: 0,
+        }
+    }
+
+    /// Faults injected so far: refused/crashed/squeezed queries plus
+    /// corrupted answers.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The wrapped oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// Whether the plan crashes `node` (stable per node).
+    fn is_crashed(&self, node: usize) -> bool {
+        self.plan
+            .fires(rule::CRASH, node as u64, 0, self.plan.crash_one_in)
+    }
+
+    /// Whether the plan makes `node` a liar (stable per node; never the
+    /// start node — see the module docs).
+    fn is_liar(&self, node: usize) -> bool {
+        node as u64 != self.start
+            && self
+                .plan
+                .fires(rule::CORRUPT, node as u64, 0, self.plan.corrupt_one_in)
+    }
+
+    /// Deterministically rewrites a liar's label: flips the color when
+    /// present, otherwise swaps the child pointers, otherwise flips the
+    /// problem bit / level / aux payload. Structure (id, degree, ports'
+    /// existence) stays truthful.
+    fn corrupt(label: &mut NodeLabel) {
+        if let Some(c) = label.color {
+            label.color = Some(c.flip());
+        } else if label.left_child != label.right_child {
+            std::mem::swap(&mut label.left_child, &mut label.right_child);
+        } else if let Some(b) = label.bit {
+            label.bit = Some(!b);
+        } else if let Some(l) = label.level {
+            label.level = Some(l ^ 1);
+        } else {
+            label.aux = Some(label.aux.unwrap_or(0) ^ 1);
+        }
+    }
+}
+
+impl<O: Oracle> Oracle for FaultyOracle<O> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn root(&self) -> NodeView {
+        // Always truthful; see the module docs on why the start node
+        // cannot lie.
+        self.inner.root()
+    }
+
+    fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
+        let qidx = self.attempts;
+        self.attempts += 1;
+        if let Some(limit) = self.plan.squeeze_queries {
+            if self.inner.stats().queries >= limit {
+                self.injected += 1;
+                return Err(QueryError::FaultInjected);
+            }
+        }
+        if self.is_crashed(from) {
+            self.injected += 1;
+            return Err(QueryError::FaultInjected);
+        }
+        if self
+            .plan
+            .fires(rule::REFUSE, self.start, qidx, self.plan.refuse_one_in)
+        {
+            self.injected += 1;
+            return Err(QueryError::FaultInjected);
+        }
+        let mut view = self.inner.query(from, port)?;
+        if self.is_liar(view.node) {
+            Self::corrupt(&mut view.label);
+            self.injected += 1;
+        }
+        Ok(view)
+    }
+
+    fn rand_bit(&mut self, node: usize) -> Result<bool, QueryError> {
+        if self.is_crashed(node) {
+            self.injected += 1;
+            return Err(QueryError::FaultInjected);
+        }
+        self.inner.rand_bit(node)
+    }
+
+    fn stats(&self) -> OracleStats {
+        // The inner stats: refused queries never reached the world, so
+        // they cost nothing under Definition 2.2 — the fault model starves
+        // algorithms of *answers*, not of budget.
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_graph::{gen, Color};
+    use vc_model::oracle::{ExecScratch, Execution};
+    use vc_model::Budget;
+
+    fn world(scratch: &mut ExecScratch) -> Execution<'_> {
+        // Leak the instance: test-only convenience for a 'static borrow.
+        let inst = Box::leak(Box::new(gen::complete_binary_tree(5, Color::R, Color::B)));
+        Execution::with_scratch(inst, 0, None, Budget::unlimited(), scratch)
+    }
+
+    #[test]
+    fn transparent_plan_forwards_everything() {
+        let mut scratch = ExecScratch::new();
+        let ex = world(&mut scratch);
+        let mut faulty = FaultyOracle::new(ex, FaultPlan::none(9));
+        let root = faulty.root();
+        let left = root.label.left_child.unwrap();
+        let child = faulty.query(root.node, left).unwrap();
+        assert_ne!(child.node, root.node);
+        assert_eq!(faulty.injected(), 0);
+        assert_eq!(faulty.stats().queries, 1);
+        assert_eq!(faulty.n(), 63);
+    }
+
+    #[test]
+    fn always_refuse_is_loud_and_costless() {
+        let mut scratch = ExecScratch::new();
+        let ex = world(&mut scratch);
+        let mut faulty = FaultyOracle::new(ex, FaultPlan::none(9).with_refusals(1));
+        let root = faulty.root();
+        let left = root.label.left_child.unwrap();
+        assert_eq!(
+            faulty.query(root.node, left),
+            Err(QueryError::FaultInjected)
+        );
+        assert_eq!(faulty.injected(), 1);
+        assert_eq!(faulty.stats().queries, 0, "refusals never reach the world");
+    }
+
+    #[test]
+    fn crashed_origin_refuses_queries_and_bits() {
+        let mut scratch = ExecScratch::new();
+        let ex = world(&mut scratch);
+        // crash_one_in = 1 crashes every node, including the start.
+        let mut faulty = FaultyOracle::new(ex, FaultPlan::none(3).with_crashes(1));
+        let root = faulty.root();
+        let left = root.label.left_child.unwrap();
+        assert_eq!(
+            faulty.query(root.node, left),
+            Err(QueryError::FaultInjected)
+        );
+        assert_eq!(faulty.rand_bit(root.node), Err(QueryError::FaultInjected));
+        assert_eq!(faulty.injected(), 2);
+    }
+
+    #[test]
+    fn squeeze_fires_after_the_limit() {
+        let mut scratch = ExecScratch::new();
+        let ex = world(&mut scratch);
+        let mut faulty = FaultyOracle::new(ex, FaultPlan::none(0).with_query_squeeze(1));
+        let root = faulty.root();
+        let left = root.label.left_child.unwrap();
+        let child = faulty.query(root.node, left).unwrap();
+        assert_eq!(faulty.injected(), 0);
+        let next = child.label.left_child.unwrap();
+        assert_eq!(
+            faulty.query(child.node, next),
+            Err(QueryError::FaultInjected)
+        );
+        assert_eq!(faulty.injected(), 1);
+        assert_eq!(faulty.stats().queries, 1);
+    }
+
+    #[test]
+    fn liars_lie_stably_and_keep_structure() {
+        let mut scratch = ExecScratch::new();
+        let ex = world(&mut scratch);
+        // corrupt_one_in = 1: every node except the start lies.
+        let mut faulty = FaultyOracle::new(ex, FaultPlan::none(5).with_corruption(1));
+        let root = faulty.root();
+        let left = root.label.left_child.unwrap();
+        let first = faulty.query(root.node, left).unwrap();
+        let again = faulty.query(root.node, left).unwrap();
+        assert_eq!(first, again, "a liar lies identically on revisit");
+        assert_eq!(faulty.injected(), 2, "each corrupted answer is counted");
+        // Internal nodes are truthfully R; the lie flips the child to B
+        // while its id stays truthful.
+        assert_eq!(first.label.color, Some(Color::B));
+        assert_eq!(root.label.color, Some(Color::R), "the start never lies");
+    }
+
+    #[test]
+    fn corruption_falls_through_label_kinds() {
+        let mut bare = NodeLabel::default();
+        FaultyOracle::<Execution<'_>>::corrupt(&mut bare);
+        assert_eq!(bare.aux, Some(1));
+        let mut kids = NodeLabel {
+            left_child: Some(Port::new(1)),
+            right_child: Some(Port::new(2)),
+            ..NodeLabel::default()
+        };
+        FaultyOracle::<Execution<'_>>::corrupt(&mut kids);
+        assert_eq!(kids.left_child, Some(Port::new(2)));
+        assert_eq!(kids.right_child, Some(Port::new(1)));
+    }
+}

@@ -1,0 +1,226 @@
+//! [`FaultPlan`]: the seeded, declarative description of which faults a
+//! sweep injects.
+//!
+//! A plan is four optional fault classes plus a seed. Every individual
+//! fault decision is a pure function of `(seed, fault class, stable key)`
+//! — no global state, no clocks, no real randomness — so two runs with the
+//! same plan inject *exactly* the same faults, query by query, for any
+//! thread count. That determinism is what makes faulty sweeps replayable
+//! and their degradation contracts testable (DESIGN.md §11).
+
+use crate::splitmix::mix_words;
+
+/// Environment variable holding a [`FaultPlan::from_spec`] string.
+pub const FAULTS_ENV: &str = "VC_FAULTS";
+
+/// Domain-separation constants: one per fault class, folded into every
+/// decision hash so e.g. refusal and crash decisions with the same key
+/// stay independent.
+pub(crate) mod rule {
+    /// Per-query refusals.
+    pub const REFUSE: u64 = 0x52_45_46;
+    /// Per-node label corruption ("liars").
+    pub const CORRUPT: u64 = 0x4c_49_45;
+    /// Per-node crashes.
+    pub const CRASH: u64 = 0x43_52_41;
+}
+
+/// A seeded, deterministic fault plan. Construct with [`FaultPlan::none`]
+/// and the `with_*` builders, parse one from a spec string
+/// ([`FaultPlan::from_spec`]), or read the ambient `VC_FAULTS` variable
+/// ([`FaultPlan::from_env`]).
+///
+/// Each `*_one_in(k)` class fires on roughly one key in `k`: `k = 1`
+/// always fires, and an absent class never fires. All classes compose;
+/// an all-`None` plan is fully transparent (the wrapped oracle behaves
+/// bit-identically to the bare one — enforced by
+/// `tests/fault_transparency.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every fault decision.
+    pub seed: u64,
+    /// Refuse ~1 in `k` queries (keyed per start node and query index).
+    pub refuse_one_in: Option<u64>,
+    /// Corrupt the label answers of ~1 in `k` nodes ("liars"; stable per
+    /// node, so a liar lies identically on every revisit).
+    pub corrupt_one_in: Option<u64>,
+    /// Crash ~1 in `k` nodes: a crashed node answers no query issued from
+    /// it (and serves no random bits).
+    pub crash_one_in: Option<u64>,
+    /// Refuse every query after the execution has already issued this
+    /// many — a deterministic mid-run budget squeeze.
+    pub squeeze_queries: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The all-pass plan: wraps transparently, injects nothing.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            refuse_one_in: None,
+            corrupt_one_in: None,
+            crash_one_in: None,
+            squeeze_queries: None,
+        }
+    }
+
+    /// Enables per-query refusals, ~1 in `k`.
+    pub fn with_refusals(mut self, one_in: u64) -> Self {
+        self.refuse_one_in = Some(one_in);
+        self
+    }
+
+    /// Enables per-node label corruption, ~1 node in `k`.
+    pub fn with_corruption(mut self, one_in: u64) -> Self {
+        self.corrupt_one_in = Some(one_in);
+        self
+    }
+
+    /// Enables per-node crashes, ~1 node in `k`.
+    pub fn with_crashes(mut self, one_in: u64) -> Self {
+        self.crash_one_in = Some(one_in);
+        self
+    }
+
+    /// Refuses every query after the first `limit` per execution.
+    pub fn with_query_squeeze(mut self, limit: u64) -> Self {
+        self.squeeze_queries = Some(limit);
+        self
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_transparent(&self) -> bool {
+        self.refuse_one_in.is_none()
+            && self.corrupt_one_in.is_none()
+            && self.crash_one_in.is_none()
+            && self.squeeze_queries.is_none()
+    }
+
+    /// Parses a plan from a comma-separated `key=value` spec, e.g.
+    /// `seed=7,refuse=64,crash=128,squeeze=500`. Keys: `seed` (default 0),
+    /// `refuse`, `corrupt`, `crash` (each "one in k"), `squeeze` (query
+    /// limit). A value of `0` disables its class; unknown keys and
+    /// malformed numbers are errors, not silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed entry.
+    pub fn from_spec(spec: &str) -> Result<Self, SpecError> {
+        let mut plan = Self::none(0);
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| SpecError(format!("`{part}` is not a key=value pair")))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| SpecError(format!("`{part}` has a malformed value")))?;
+            let gate = if value == 0 { None } else { Some(value) };
+            match key.trim() {
+                "seed" => plan.seed = value,
+                "refuse" => plan.refuse_one_in = gate,
+                "corrupt" => plan.corrupt_one_in = gate,
+                "crash" => plan.crash_one_in = gate,
+                "squeeze" => plan.squeeze_queries = gate,
+                other => return Err(SpecError(format!("unknown fault class `{other}`"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads the `VC_FAULTS` environment variable: `None` when unset or
+    /// blank, the parsed plan (or parse error — ambient typos must be
+    /// loud) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] as for [`FaultPlan::from_spec`].
+    pub fn from_env() -> Result<Option<Self>, SpecError> {
+        match std::env::var(FAULTS_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => Self::from_spec(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// One fault decision: does `class` (one of the [`rule`] constants)
+    /// fire for `(a, b)` under this plan's seed and the class's `one_in`
+    /// gate? Pure and stateless — the heart of replayability.
+    pub(crate) fn fires(&self, class: u64, a: u64, b: u64, one_in: Option<u64>) -> bool {
+        match one_in {
+            None | Some(0) => false,
+            Some(k) => mix_words(&[self.seed, class, a, b]).is_multiple_of(k),
+        }
+    }
+}
+
+/// A malformed [`FaultPlan::from_spec`] string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad {FAULTS_ENV} spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trip_and_defaults() {
+        let plan = FaultPlan::from_spec("seed=7, refuse=64, crash=128, squeeze=500").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan::none(7)
+                .with_refusals(64)
+                .with_crashes(128)
+                .with_query_squeeze(500)
+        );
+        assert!(FaultPlan::from_spec("").unwrap().is_transparent());
+        assert!(FaultPlan::from_spec("refuse=0").unwrap().is_transparent());
+        assert!(!FaultPlan::from_spec("corrupt=9").unwrap().is_transparent());
+    }
+
+    #[test]
+    fn malformed_specs_are_loud() {
+        assert!(FaultPlan::from_spec("refuse").is_err());
+        assert!(FaultPlan::from_spec("refuse=lots").is_err());
+        assert!(FaultPlan::from_spec("explode=3").is_err());
+        let msg = FaultPlan::from_spec("explode=3").unwrap_err().to_string();
+        assert!(msg.contains("explode"), "{msg}");
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_class_separated() {
+        let plan = FaultPlan::none(42);
+        let a = plan.fires(rule::REFUSE, 3, 17, Some(2));
+        assert_eq!(a, plan.fires(rule::REFUSE, 3, 17, Some(2)));
+        assert!(plan.fires(rule::CRASH, 3, 17, Some(1)));
+        assert!(!plan.fires(rule::CRASH, 3, 17, None));
+        // Different classes with the same key must be able to disagree:
+        // check that over many keys the two decision streams differ.
+        let disagreements = (0..256)
+            .filter(|&i| {
+                plan.fires(rule::REFUSE, i, 0, Some(2)) != plan.fires(rule::CRASH, i, 0, Some(2))
+            })
+            .count();
+        assert!(disagreements > 32, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    fn fire_rate_tracks_one_in_k() {
+        let plan = FaultPlan::none(1);
+        let hits = (0..10_000)
+            .filter(|&i| plan.fires(rule::CORRUPT, i, 0, Some(16)))
+            .count();
+        // ~625 expected; allow generous slack.
+        assert!((300..1000).contains(&hits), "{hits} hits");
+    }
+}

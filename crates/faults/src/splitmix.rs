@@ -1,0 +1,35 @@
+//! The splitmix64 scramble used for fault decisions — the same finalizer
+//! as `vc-model`'s random tape, re-stated here so fault decisions and
+//! algorithm randomness stay structurally identical yet domain-separated
+//! (plans fold a per-class rule constant into every hash).
+
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One splitmix64 finalizer step.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a word sequence by folding each word through the finalizer.
+pub(crate) fn mix_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0x6661_756c_7473_2e31; // "faults.1"
+    for &w in words {
+        h = mix(h.wrapping_add(GAMMA) ^ w);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixing_is_deterministic_and_sensitive() {
+        assert_eq!(mix_words(&[1, 2, 3]), mix_words(&[1, 2, 3]));
+        assert_ne!(mix_words(&[1, 2, 3]), mix_words(&[1, 2, 4]));
+        assert_ne!(mix_words(&[1, 2, 3]), mix_words(&[3, 2, 1]));
+        assert_ne!(mix_words(&[0]), mix_words(&[0, 0]));
+    }
+}

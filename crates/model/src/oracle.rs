@@ -67,6 +67,11 @@ pub enum QueryError {
     /// The adversarial world refused to answer (used by `vc-adversary` when
     /// an algorithm exceeds the budget the adversary was built for).
     AdversaryRefused,
+    /// A deterministic fault plan (the `vc-faults` crate) suppressed the
+    /// answer: a refused query, a crashed origin node, or an injected
+    /// budget squeeze. Always loud — a faulted answer is an error, never a
+    /// silently-wrong view.
+    FaultInjected,
 }
 
 impl fmt::Display for QueryError {
@@ -85,6 +90,7 @@ impl fmt::Display for QueryError {
                 write!(f, "random string of node {node} is secret")
             }
             QueryError::AdversaryRefused => write!(f, "adversary refused to answer"),
+            QueryError::FaultInjected => write!(f, "fault plan suppressed the answer"),
         }
     }
 }
@@ -158,6 +164,32 @@ pub trait Oracle {
         Self: Sized,
     {
         follow(self, from, port)
+    }
+}
+
+/// Forwarding impl so wrapper layers (fault injection, auditing) can hand a
+/// `&mut O` where an owned oracle is expected: every method delegates to the
+/// referent. This is what lets `vc-faults` wrap a `&mut dyn Oracle` borrowed
+/// from the runner without taking ownership of the world.
+impl<O: Oracle + ?Sized> Oracle for &mut O {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn root(&self) -> NodeView {
+        (**self).root()
+    }
+
+    fn query(&mut self, from: usize, port: Port) -> Result<NodeView, QueryError> {
+        (**self).query(from, port)
+    }
+
+    fn rand_bit(&mut self, node: usize) -> Result<bool, QueryError> {
+        (**self).rand_bit(node)
+    }
+
+    fn stats(&self) -> OracleStats {
+        (**self).stats()
     }
 }
 
@@ -814,6 +846,7 @@ mod tests {
             QueryError::QueriesExhausted,
             QueryError::SecretRandomness { node: 0 },
             QueryError::AdversaryRefused,
+            QueryError::FaultInjected,
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -39,6 +39,24 @@ pub trait QueryAlgorithm {
     fn run(&self, oracle: &mut dyn Oracle) -> Result<Self::Output, QueryError>;
 }
 
+/// Shared references forward, so wrappers that take an algorithm by value
+/// (e.g. `vc-faults`' `FaultedAlgorithm`) can also borrow one.
+impl<A: QueryAlgorithm + ?Sized> QueryAlgorithm for &A {
+    type Output = A::Output;
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn fallback(&self) -> Self::Output {
+        (**self).fallback()
+    }
+
+    fn run(&self, oracle: &mut dyn Oracle) -> Result<Self::Output, QueryError> {
+        (**self).run(oracle)
+    }
+}
+
 /// Which nodes to initiate executions from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StartSelection {

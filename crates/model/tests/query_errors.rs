@@ -122,6 +122,7 @@ fn errors_render_distinct_messages() {
         QueryError::QueriesExhausted,
         QueryError::SecretRandomness { node: 3 },
         QueryError::AdversaryRefused,
+        QueryError::FaultInjected,
     ];
     let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
     for (i, a) in rendered.iter().enumerate() {

@@ -68,6 +68,20 @@ pub enum TraceEvent {
         /// Chunk index.
         chunk: usize,
     },
+    /// A chunk's executions panicked and the engine is re-running the
+    /// chunk from a fresh scratch (bounded retry; see `vc-engine`).
+    ChunkRetried {
+        /// Chunk index.
+        chunk: usize,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A chunk panicked on every permitted attempt and was abandoned; its
+    /// start nodes carry no outputs or records in the merged report.
+    ChunkAborted {
+        /// Chunk index.
+        chunk: usize,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -97,6 +111,10 @@ impl fmt::Display for TraceEvent {
                 write!(f, "chunk {chunk} took {nanos} ns")
             }
             TraceEvent::ChunkMerged { chunk } => write!(f, "merge chunk {chunk}"),
+            TraceEvent::ChunkRetried { chunk, attempt } => {
+                write!(f, "retry chunk {chunk} (attempt {attempt})")
+            }
+            TraceEvent::ChunkAborted { chunk } => write!(f, "abort chunk {chunk}"),
         }
     }
 }
@@ -127,6 +145,11 @@ mod tests {
                 nanos: 12,
             },
             TraceEvent::ChunkMerged { chunk: 0 },
+            TraceEvent::ChunkRetried {
+                chunk: 0,
+                attempt: 1,
+            },
+            TraceEvent::ChunkAborted { chunk: 0 },
         ];
         for e in events {
             assert!(!e.to_string().is_empty());

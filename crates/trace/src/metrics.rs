@@ -31,8 +31,14 @@ pub struct QueryStats {
     pub frontier_advances: u64,
     /// Chunks claimed by workers (= the fixed chunk count of the sweep).
     pub chunks_claimed: u64,
-    /// Chunks absorbed by the merge loop (= `chunks_claimed`).
+    /// Chunks absorbed by the merge loop (= `chunks_claimed` minus any
+    /// aborted chunks).
     pub chunks_merged: u64,
+    /// Chunk retries after a panic. Deterministic: a panicking chunk
+    /// panics identically on every run, so retries are thread-invariant.
+    pub chunks_retried: u64,
+    /// Chunks abandoned after exhausting their retries.
+    pub chunks_aborted: u64,
     /// Distribution of per-execution volume `|V_v|`.
     pub volume: Log2Hist,
     /// Distribution of per-execution discovery-depth (distance bound).
@@ -50,6 +56,8 @@ impl QueryStats {
         self.frontier_advances += other.frontier_advances;
         self.chunks_claimed += other.chunks_claimed;
         self.chunks_merged += other.chunks_merged;
+        self.chunks_retried += other.chunks_retried;
+        self.chunks_aborted += other.chunks_aborted;
         self.volume.merge(&other.volume);
         self.distance.merge(&other.distance);
         self.queries_per_start.merge(&other.queries_per_start);
@@ -143,6 +151,16 @@ impl Tracer for SweepMetrics {
     #[inline]
     fn chunk_merged(&mut self, _chunk: usize) {
         self.query.chunks_merged += 1;
+    }
+
+    #[inline]
+    fn chunk_retried(&mut self, _chunk: usize, _attempt: u32) {
+        self.query.chunks_retried += 1;
+    }
+
+    #[inline]
+    fn chunk_aborted(&mut self, _chunk: usize) {
+        self.query.chunks_aborted += 1;
     }
 }
 

@@ -95,14 +95,17 @@ impl TraceReport {
                 out,
                 "\"executions\": {}, \"truncated\": {}, \"queries_issued\": {}, \
                  \"nodes_revealed\": {}, \"frontier_advances\": {}, \
-                 \"chunks_claimed\": {}, \"chunks_merged\": {}, ",
+                 \"chunks_claimed\": {}, \"chunks_merged\": {}, \
+                 \"chunks_retried\": {}, \"chunks_aborted\": {}, ",
                 q.executions,
                 q.truncated,
                 q.queries_issued,
                 q.nodes_revealed,
                 q.frontier_advances,
                 q.chunks_claimed,
-                q.chunks_merged
+                q.chunks_merged,
+                q.chunks_retried,
+                q.chunks_aborted
             );
             push_hist(&mut out, "volume", &q.volume);
             out.push_str(", ");

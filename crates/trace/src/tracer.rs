@@ -64,6 +64,21 @@ pub trait Tracer {
     fn chunk_merged(&mut self, chunk: usize) {
         let _ = chunk;
     }
+
+    /// Chunk `chunk` panicked and is being re-run (`attempt` = 1 for the
+    /// first retry). Retries are deterministic: a chunk that panics once
+    /// panics on every run, so this hook fires thread-count-invariantly.
+    #[inline]
+    fn chunk_retried(&mut self, chunk: usize, attempt: u32) {
+        let _ = (chunk, attempt);
+    }
+
+    /// Chunk `chunk` exhausted its retries and was abandoned; its starts
+    /// carry no outputs/records in the merged report.
+    #[inline]
+    fn chunk_aborted(&mut self, chunk: usize) {
+        let _ = chunk;
+    }
 }
 
 /// Forward hooks through mutable references, so a long-lived tracer can
@@ -111,6 +126,16 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
     #[inline]
     fn chunk_merged(&mut self, chunk: usize) {
         (**self).chunk_merged(chunk);
+    }
+
+    #[inline]
+    fn chunk_retried(&mut self, chunk: usize, attempt: u32) {
+        (**self).chunk_retried(chunk, attempt);
+    }
+
+    #[inline]
+    fn chunk_aborted(&mut self, chunk: usize) {
+        (**self).chunk_aborted(chunk);
     }
 }
 
@@ -230,6 +255,14 @@ impl Tracer for RecordingTracer {
     fn chunk_merged(&mut self, chunk: usize) {
         self.push(TraceEvent::ChunkMerged { chunk });
     }
+
+    fn chunk_retried(&mut self, chunk: usize, attempt: u32) {
+        self.push(TraceEvent::ChunkRetried { chunk, attempt });
+    }
+
+    fn chunk_aborted(&mut self, chunk: usize) {
+        self.push(TraceEvent::ChunkAborted { chunk });
+    }
 }
 
 #[cfg(test)]
@@ -288,9 +321,11 @@ mod tests {
             t.chunk_claimed(0, 64);
             t.chunk_timed(0, 99);
             t.chunk_merged(0);
+            t.chunk_retried(1, 1);
+            t.chunk_aborted(1);
         }
         let mut inner = RecordingTracer::new();
         drive(&mut inner);
-        assert_eq!(inner.events.len(), 7);
+        assert_eq!(inner.events.len(), 9);
     }
 }

@@ -1,0 +1,322 @@
+//! Minimal recursive-descent JSON parser (the vendored serde is a no-op
+//! stand-in, so CI validates and diffs emitted baselines with this
+//! instead). [`validate`] checks well-formedness; [`parse`] additionally
+//! builds a [`Value`] tree for `compare-bench`; [`escape`] encodes a Rust
+//! string for embedding in hand-emitted documents.
+//!
+//! Besides the `xtask` binary, `vc-engine` uses this module to read and
+//! write sweep checkpoint files (`vc-engine-checkpoint/v1`), which is why
+//! it lives in the `xtask` *library* crate.
+
+/// A parsed JSON value. Object keys keep document order; numbers are
+/// `f64`, which is exact for every integer the baselines emit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if any.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an exact `u64`, if it is a non-negative
+    /// integer representable without rounding (every counter the
+    /// checkpoint/baseline schemas emit qualifies).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if (0.0..=9_007_199_254_740_992.0).contains(&n) && n.fract() == 0.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Encodes `s` as the *contents* of a JSON string (no surrounding
+/// quotes): the writer-side dual of the escape decoding in [`parse`].
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Checks that `src` is exactly one valid JSON value (with surrounding
+/// whitespace allowed).
+///
+/// # Errors
+///
+/// A human-readable description of the first malformation.
+pub fn validate(src: &str) -> Result<(), String> {
+    parse(src).map(|_| ())
+}
+
+/// Parses `src` into a [`Value`]; rejects trailing data.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformation.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let (v, mut pos) = value(bytes, skip_ws(bytes, 0))?;
+    pos = skip_ws(bytes, pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+fn value(b: &[u8], i: usize) -> Result<(Value, usize), String> {
+    match b.get(i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => {
+            let (s, next) = string(b, i)?;
+            Ok((Value::Str(s), next))
+        }
+        Some(b't') => literal(b, i, b"true").map(|n| (Value::Bool(true), n)),
+        Some(b'f') => literal(b, i, b"false").map(|n| (Value::Bool(false), n)),
+        Some(b'n') => literal(b, i, b"null").map(|n| (Value::Null, n)),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {i}")),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn object(b: &[u8], mut i: usize) -> Result<(Value, usize), String> {
+    let mut members = Vec::new();
+    i = skip_ws(b, i + 1);
+    if b.get(i) == Some(&b'}') {
+        return Ok((Value::Obj(members), i + 1));
+    }
+    loop {
+        let (key, next) = string(b, skip_ws(b, i))?;
+        i = skip_ws(b, next);
+        if b.get(i) != Some(&b':') {
+            return Err(format!("expected ':' at byte {i}"));
+        }
+        let (v, next) = value(b, skip_ws(b, i + 1))?;
+        members.push((key, v));
+        i = skip_ws(b, next);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok((Value::Obj(members), i + 1)),
+            _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut i: usize) -> Result<(Value, usize), String> {
+    let mut items = Vec::new();
+    i = skip_ws(b, i + 1);
+    if b.get(i) == Some(&b']') {
+        return Ok((Value::Arr(items), i + 1));
+    }
+    loop {
+        let (v, next) = value(b, skip_ws(b, i))?;
+        items.push(v);
+        i = skip_ws(b, next);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b']') => return Ok((Value::Arr(items), i + 1)),
+            _ => return Err(format!("expected ',' or ']' at byte {i}")),
+        }
+    }
+}
+
+fn string(b: &[u8], i: usize) -> Result<(String, usize), String> {
+    if b.get(i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    let mut out = String::new();
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'"' => return Ok((out, j + 1)),
+            b'\\' => {
+                let esc = b
+                    .get(j + 1)
+                    .ok_or_else(|| format!("dangling escape at byte {j}"))?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(j + 2..j + 6)
+                            .ok_or_else(|| format!("truncated \\u escape at byte {j}"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| format!("non-ASCII \\u escape at byte {j}"))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("malformed \\u escape at byte {j}"))?;
+                        // Surrogates (emitted in pairs by strict
+                        // encoders) are replaced; the baselines never
+                        // contain non-ASCII anyway.
+                        out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                        j += 6;
+                        continue;
+                    }
+                    _ => return Err(format!("unknown escape at byte {j}")),
+                }
+                j += 2;
+            }
+            c => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let len = match c {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let chunk = b
+                    .get(j..j + len)
+                    .ok_or_else(|| format!("truncated UTF-8 at byte {j}"))?;
+                out.push_str(
+                    std::str::from_utf8(chunk).map_err(|_| format!("invalid UTF-8 at byte {j}"))?,
+                );
+                j += len;
+            }
+        }
+    }
+    Err(format!("unterminated string starting at byte {i}"))
+}
+
+fn number(b: &[u8], mut i: usize) -> Result<(Value, usize), String> {
+    let start = i;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    let digits = |b: &[u8], mut i: usize| {
+        let s = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        (i, i > s)
+    };
+    let (next, ok) = digits(b, i);
+    if !ok {
+        return Err(format!("malformed number at byte {start}"));
+    }
+    i = next;
+    if b.get(i) == Some(&b'.') {
+        let (next, ok) = digits(b, i + 1);
+        if !ok {
+            return Err(format!("malformed fraction at byte {start}"));
+        }
+        i = next;
+    }
+    if matches!(b.get(i), Some(b'e') | Some(b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+') | Some(b'-')) {
+            i += 1;
+        }
+        let (next, ok) = digits(b, i);
+        if !ok {
+            return Err(format!("malformed exponent at byte {start}"));
+        }
+        i = next;
+    }
+    let text = std::str::from_utf8(&b[start..i]).map_err(|_| "numbers are ASCII".to_string())?;
+    let n: f64 = text
+        .parse()
+        .map_err(|_| format!("unrepresentable number at byte {start}"))?;
+    Ok((Value::Num(n), i))
+}
+
+fn literal(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= i + lit.len() && &b[i..i + lit.len()] == lit {
+        Ok(i + lit.len())
+    } else {
+        Err(format!("malformed literal at byte {i}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_u64_accepts_exact_integers_only() {
+        assert_eq!(Value::Num(42.0).as_u64(), Some(42));
+        assert_eq!(Value::Num(0.0).as_u64(), Some(0));
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
+        assert_eq!(Value::Num(1.5).as_u64(), None);
+        assert_eq!(Value::Str("42".to_string()).as_u64(), None);
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        for s in [
+            "plain",
+            "with \"quotes\"",
+            "line\nbreak\ttab",
+            "back\\slash",
+        ] {
+            let doc = format!("\"{}\"", escape(s));
+            assert_eq!(parse(&doc), Ok(Value::Str(s.to_string())), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Library surface of the `xtask` automation crate.
+//!
+//! Most of `xtask` lives in the binary (`cargo run -p xtask -- …`, see
+//! `src/main.rs`); this library exposes the pieces other workspace crates
+//! reuse — currently the dependency-free [`json`] module, which
+//! `vc-engine` uses to serialize and parse sweep checkpoint files so the
+//! workspace needs no real JSON dependency offline.
+
+pub mod json;

@@ -28,6 +28,11 @@
 //!    syscalls; scattering them is how hot paths silently grow
 //!    per-iteration overhead — all timing goes through
 //!    `vc_trace::time::Stopwatch` so every read stays greppable.
+//! 7. **Panic isolation stays centralized.** `catch_unwind` may appear
+//!    only under `crates/engine/src`: the engine's per-chunk isolation is
+//!    the single place panics are converted into data (retries and the
+//!    `aborted_chunks` ledger). A stray `catch_unwind` elsewhere would
+//!    swallow solver bugs before the engine can account for them.
 //!
 //! The scanner strips comments and string literals before matching and
 //! skips `#[cfg(test)]` modules by brace counting, so documentation may
@@ -51,6 +56,8 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use xtask::json;
 
 /// One lint finding, rendered `file:line: [rule] detail`.
 struct Finding {
@@ -315,6 +322,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "crates/audit",
     "crates/engine",
     "crates/trace",
+    "crates/faults",
 ];
 
 /// Crates that must carry `#![deny(missing_docs)]` (rule 2).
@@ -324,10 +332,14 @@ const MISSING_DOCS_CRATES: &[&str] = &[
     "crates/audit",
     "crates/engine",
     "crates/trace",
+    "crates/faults",
 ];
 
 /// The only file allowed to read the wall clock directly (rule 6).
 const CLOCK_ALLOWLIST: &[&str] = &["crates/trace/src/time.rs"];
+
+/// The only directory allowed to call `catch_unwind` (rule 7).
+const CATCH_UNWIND_ALLOWLIST: &[&str] = &["crates/engine/src"];
 
 /// Paper anchors accepted as benchmark provenance (rule 4).
 const PROVENANCE_ANCHORS: &[&str] = &["Table", "Figure", "Example", "Observation", "Proposition"];
@@ -503,6 +515,42 @@ fn lint_no_hidden_clocks(root: &Path, findings: &mut Vec<Finding>) {
     }
 }
 
+fn lint_centralized_catch_unwind(root: &Path, findings: &mut Vec<Finding>) {
+    for dir in ["crates", "examples", "tests"] {
+        for file in rs_files(&root.join(dir)) {
+            let allowed = CATCH_UNWIND_ALLOWLIST.iter().any(|a| {
+                file.parent()
+                    .is_some_and(|p| p.ends_with(a) || p.ancestors().any(|anc| anc.ends_with(a)))
+            });
+            // The linter itself names the token (rule identifiers, this
+            // very function); scanning it would always self-trigger.
+            let is_linter = file.ancestors().any(|anc| anc.ends_with("crates/xtask"));
+            if allowed || is_linter {
+                continue;
+            }
+            let Ok(src) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            // Test code is scanned too: a test that swallows panics hides
+            // exactly the failures the engine ledger is meant to surface.
+            let code = strip_comments_and_strings(&src);
+            let mut from = 0;
+            while let Some(rel) = code[from..].find("catch_unwind") {
+                let at = from + rel;
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: line_of(&code, at),
+                    rule: "centralized-panic-isolation",
+                    detail: "`catch_unwind` outside crates/engine/src; panic isolation \
+                             belongs to the engine's chunk runner"
+                        .to_string(),
+                });
+                from = at + "catch_unwind".len();
+            }
+        }
+    }
+}
+
 fn run_lint(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
     lint_panic_tokens(root, &mut findings);
@@ -511,260 +559,8 @@ fn run_lint(root: &Path) -> Vec<Finding> {
     lint_bench_provenance(root, &mut findings);
     lint_oracle_hot_path(root, &mut findings);
     lint_no_hidden_clocks(root, &mut findings);
+    lint_centralized_catch_unwind(root, &mut findings);
     findings
-}
-
-/// Minimal recursive-descent JSON parser (the vendored serde is a no-op
-/// stand-in, so CI validates and diffs emitted baselines with this
-/// instead). `validate` checks well-formedness; `parse` additionally
-/// builds a [`json::Value`] tree for `compare-bench`.
-mod json {
-    /// A parsed JSON value. Object keys keep document order; numbers are
-    /// `f64`, which is exact for every integer the baselines emit.
-    #[derive(Clone, Debug, PartialEq)]
-    pub enum Value {
-        /// `null`.
-        Null,
-        /// `true` / `false`.
-        Bool(bool),
-        /// Any number.
-        Num(f64),
-        /// A string (escapes decoded).
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, in document order.
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        /// Member lookup on objects; `None` elsewhere.
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        /// The numeric value, if any.
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-
-        /// The string value, if any.
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        /// The array elements, if any.
-        pub fn as_arr(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(items) => Some(items),
-                _ => None,
-            }
-        }
-    }
-
-    /// Checks that `src` is exactly one valid JSON value (with surrounding
-    /// whitespace allowed).
-    pub fn validate(src: &str) -> Result<(), String> {
-        parse(src).map(|_| ())
-    }
-
-    /// Parses `src` into a [`Value`]; rejects trailing data.
-    pub fn parse(src: &str) -> Result<Value, String> {
-        let bytes = src.as_bytes();
-        let (v, mut pos) = value(bytes, skip_ws(bytes, 0))?;
-        pos = skip_ws(bytes, pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(b: &[u8], mut i: usize) -> usize {
-        while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
-            i += 1;
-        }
-        i
-    }
-
-    fn value(b: &[u8], i: usize) -> Result<(Value, usize), String> {
-        match b.get(i) {
-            Some(b'{') => object(b, i),
-            Some(b'[') => array(b, i),
-            Some(b'"') => {
-                let (s, next) = string(b, i)?;
-                Ok((Value::Str(s), next))
-            }
-            Some(b't') => literal(b, i, b"true").map(|n| (Value::Bool(true), n)),
-            Some(b'f') => literal(b, i, b"false").map(|n| (Value::Bool(false), n)),
-            Some(b'n') => literal(b, i, b"null").map(|n| (Value::Null, n)),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
-            Some(c) => Err(format!("unexpected byte {c:#x} at {i}")),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn object(b: &[u8], mut i: usize) -> Result<(Value, usize), String> {
-        let mut members = Vec::new();
-        i = skip_ws(b, i + 1);
-        if b.get(i) == Some(&b'}') {
-            return Ok((Value::Obj(members), i + 1));
-        }
-        loop {
-            let (key, next) = string(b, skip_ws(b, i))?;
-            i = skip_ws(b, next);
-            if b.get(i) != Some(&b':') {
-                return Err(format!("expected ':' at byte {i}"));
-            }
-            let (v, next) = value(b, skip_ws(b, i + 1))?;
-            members.push((key, v));
-            i = skip_ws(b, next);
-            match b.get(i) {
-                Some(b',') => i += 1,
-                Some(b'}') => return Ok((Value::Obj(members), i + 1)),
-                _ => return Err(format!("expected ',' or '}}' at byte {i}")),
-            }
-        }
-    }
-
-    fn array(b: &[u8], mut i: usize) -> Result<(Value, usize), String> {
-        let mut items = Vec::new();
-        i = skip_ws(b, i + 1);
-        if b.get(i) == Some(&b']') {
-            return Ok((Value::Arr(items), i + 1));
-        }
-        loop {
-            let (v, next) = value(b, skip_ws(b, i))?;
-            items.push(v);
-            i = skip_ws(b, next);
-            match b.get(i) {
-                Some(b',') => i += 1,
-                Some(b']') => return Ok((Value::Arr(items), i + 1)),
-                _ => return Err(format!("expected ',' or ']' at byte {i}")),
-            }
-        }
-    }
-
-    fn string(b: &[u8], i: usize) -> Result<(String, usize), String> {
-        if b.get(i) != Some(&b'"') {
-            return Err(format!("expected string at byte {i}"));
-        }
-        let mut out = String::new();
-        let mut j = i + 1;
-        while j < b.len() {
-            match b[j] {
-                b'"' => return Ok((out, j + 1)),
-                b'\\' => {
-                    let esc = b
-                        .get(j + 1)
-                        .ok_or_else(|| format!("dangling escape at byte {j}"))?;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = b
-                                .get(j + 2..j + 6)
-                                .ok_or_else(|| format!("truncated \\u escape at byte {j}"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| format!("non-ASCII \\u escape at byte {j}"))?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("malformed \\u escape at byte {j}"))?;
-                            // Surrogates (emitted in pairs by strict
-                            // encoders) are replaced; the baselines never
-                            // contain non-ASCII anyway.
-                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
-                            j += 6;
-                            continue;
-                        }
-                        _ => return Err(format!("unknown escape at byte {j}")),
-                    }
-                    j += 2;
-                }
-                c => {
-                    // Multi-byte UTF-8 sequences pass through unchanged.
-                    let len = match c {
-                        0x00..=0x7F => 1,
-                        0xC0..=0xDF => 2,
-                        0xE0..=0xEF => 3,
-                        _ => 4,
-                    };
-                    let chunk = b
-                        .get(j..j + len)
-                        .ok_or_else(|| format!("truncated UTF-8 at byte {j}"))?;
-                    out.push_str(
-                        std::str::from_utf8(chunk)
-                            .map_err(|_| format!("invalid UTF-8 at byte {j}"))?,
-                    );
-                    j += len;
-                }
-            }
-        }
-        Err(format!("unterminated string starting at byte {i}"))
-    }
-
-    fn number(b: &[u8], mut i: usize) -> Result<(Value, usize), String> {
-        let start = i;
-        if b.get(i) == Some(&b'-') {
-            i += 1;
-        }
-        let digits = |b: &[u8], mut i: usize| {
-            let s = i;
-            while i < b.len() && b[i].is_ascii_digit() {
-                i += 1;
-            }
-            (i, i > s)
-        };
-        let (next, ok) = digits(b, i);
-        if !ok {
-            return Err(format!("malformed number at byte {start}"));
-        }
-        i = next;
-        if b.get(i) == Some(&b'.') {
-            let (next, ok) = digits(b, i + 1);
-            if !ok {
-                return Err(format!("malformed fraction at byte {start}"));
-            }
-            i = next;
-        }
-        if matches!(b.get(i), Some(b'e') | Some(b'E')) {
-            i += 1;
-            if matches!(b.get(i), Some(b'+') | Some(b'-')) {
-                i += 1;
-            }
-            let (next, ok) = digits(b, i);
-            if !ok {
-                return Err(format!("malformed exponent at byte {start}"));
-            }
-            i = next;
-        }
-        let text = std::str::from_utf8(&b[start..i]).expect("numbers are ASCII");
-        let n: f64 = text
-            .parse()
-            .map_err(|_| format!("unrepresentable number at byte {start}"))?;
-        Ok((Value::Num(n), i))
-    }
-
-    fn literal(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, String> {
-        if b.len() >= i + lit.len() && &b[i..i + lit.len()] == lit {
-            Ok(i + lit.len())
-        } else {
-            Err(format!("malformed literal at byte {i}"))
-        }
-    }
 }
 
 /// The expected schema of both files fed to `compare-bench`.
@@ -1141,6 +937,31 @@ mod tests {}
         assert_eq!(findings.len(), 1, "only the non-allowlisted read fires");
         assert_eq!(findings[0].rule, "no-hidden-clocks");
         assert!(findings[0].file.ends_with("crates/engine/src/lib.rs"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn centralized_catch_unwind_rule_fires_outside_the_engine() {
+        let dir = std::env::temp_dir().join(format!("xtask-unwind-rule-{}", std::process::id()));
+        let faults_src = dir.join("crates/faults/src");
+        let engine_src = dir.join("crates/engine/src");
+        std::fs::create_dir_all(&faults_src).unwrap();
+        std::fs::create_dir_all(&engine_src).unwrap();
+        std::fs::write(
+            faults_src.join("lib.rs"),
+            "fn f() { let _ = std::panic::catch_unwind(|| 1); }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            engine_src.join("lib.rs"),
+            "fn g() { let _ = std::panic::catch_unwind(|| 2); }\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_centralized_catch_unwind(&dir, &mut findings);
+        assert_eq!(findings.len(), 1, "only the non-engine call fires");
+        assert_eq!(findings[0].rule, "centralized-panic-isolation");
+        assert!(findings[0].file.ends_with("crates/faults/src/lib.rs"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -15,6 +15,7 @@
 use vc_core::problems::hierarchical::DeterministicSolver;
 use vc_core::problems::leaf_coloring::{DistanceSolver, RwToLeaf};
 use vc_engine::{Engine, EngineReport};
+use vc_faults::{FaultPlan, FaultedAlgorithm};
 use vc_graph::{gen, Instance};
 use vc_model::run::{QueryAlgorithm, RunConfig};
 use vc_model::RandomTape;
@@ -155,6 +156,33 @@ fn main() {
             &inst,
             &DeterministicSolver { k },
             &RunConfig::default(),
+        );
+    }
+
+    // The zero-fault-plan row: the same deterministic leaf-coloring sweep
+    // wrapped in an all-pass `vc-faults` plan. Every count field must match
+    // the bare `leaf-coloring/det` rows exactly — the fault layer's
+    // overhead contract is *zero* model-level behavior, and CI's
+    // compare-bench keeps it pinned through the committed baseline.
+    let first = rows.len();
+    sweep(
+        &mut rows,
+        "leaf-coloring/det+faultplan-none",
+        &lc,
+        &FaultedAlgorithm::new(DistanceSolver, FaultPlan::none(0)),
+        &RunConfig::default(),
+    );
+    for (bare, wrapped) in rows[..THREAD_GRID.len()].iter().zip(&rows[first..]) {
+        assert_eq!(wrapped.max_volume, bare.max_volume, "fault wrap overhead");
+        assert_eq!(
+            wrapped.max_distance, bare.max_distance,
+            "fault wrap overhead"
+        );
+        assert_eq!(wrapped.runs, bare.runs, "fault wrap overhead");
+        assert_eq!(wrapped.incomplete, bare.incomplete, "fault wrap overhead");
+        assert_eq!(
+            wrapped.total_queries, bare.total_queries,
+            "fault wrap overhead"
         );
     }
 

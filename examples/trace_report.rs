@@ -32,7 +32,7 @@ fn main() {
     // observability angle respectively.
     let lc = gen::random_full_binary_tree(1201, 5);
     cases.push(trace_case(
-        engine,
+        &engine,
         "leaf-coloring/det",
         &lc,
         &DistanceSolver,
@@ -43,7 +43,7 @@ fn main() {
         ..RunConfig::default()
     };
     cases.push(trace_case(
-        engine,
+        &engine,
         "leaf-coloring/rw",
         &lc,
         &RwToLeaf::default(),
@@ -56,7 +56,7 @@ fn main() {
             _ => "hierarchical-thc/k3",
         };
         cases.push(trace_case(
-            engine,
+            &engine,
             case,
             &inst,
             &DeterministicSolver { k },

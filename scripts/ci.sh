@@ -2,8 +2,9 @@
 # Tier-1 verification plus the static-analysis and regression passes, in
 # order, fail-fast:
 #   fmt -> build -> test -> determinism suites under forced threading
-#   -> clippy -> xtask lint -> baseline well-formedness -> bench
-#   regression gate -> trace report well-formedness
+#   -> fault suite under forced threading -> clippy -> xtask lint
+#   -> baseline well-formedness -> bench regression gate -> trace report
+#   well-formedness
 # Run from anywhere; works fully offline (deps are vendored, see README).
 # Each step prints its wall time so CI logs show where the minutes go.
 set -eu
@@ -36,6 +37,29 @@ step "VC_THREADS=2 determinism suites" \
     --test lower_bounds \
     --test pipeline_hybrid_hh \
     --test trace_determinism
+
+# Fault suite (DESIGN.md §11), under the same forced two-worker engine:
+# an injected chunk panic must leave a recovered sweep whose merged counts
+# are identical to the clean run of the surviving chunks; a checkpoint
+# killed mid-sweep and resumed must be byte-identical to an unbroken run;
+# and every Table-1 solver must honor the degradation contract under
+# refusal/crash/corruption/squeeze plans.
+step "VC_THREADS=2 fault suite (engine robustness)" \
+    env VC_THREADS=2 cargo test -q -p vc-engine -p vc-faults
+
+step "VC_THREADS=2 fault suite (injection contracts)" \
+    env VC_THREADS=2 cargo test -q -p vc-bench \
+    --test fault_transparency \
+    --test fault_degradation
+
+step "VC_THREADS=2 fault suite (audited faulty replay)" \
+    env VC_THREADS=2 cargo test -q -p vc-audit --test faulty_replay
+
+# End-to-end demonstration: a faulted sweep degrades loudly, then a
+# checkpointed sweep killed after two chunks resumes to a byte-identical
+# result (asserted inside the example).
+step "VC_THREADS=2 fault sweep example" \
+    env VC_THREADS=2 cargo run --release --example fault_sweep
 
 step "cargo clippy --all-targets -- -D warnings" \
     cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,64 @@
+//! Zero-fault transparency: an all-pass [`FaultPlan`] must be invisible.
+//! A sweep wrapped in `FaultedAlgorithm` with `FaultPlan::none(..)`
+//! produces records, summaries and outputs bit-identical to the unwrapped
+//! baseline — at 1, 2 and 8 engine workers, traced and untraced alike.
+//! This pins the fault layer's overhead contract: wrapping costs zero
+//! model-level behavior, so fault sweeps and clean sweeps are directly
+//! comparable.
+
+use vc_core::problems::hierarchical::DeterministicSolver;
+use vc_engine::Engine;
+use vc_faults::{FaultPlan, FaultedAlgorithm};
+use vc_graph::gen;
+use vc_model::run::RunConfig;
+use vc_trace::SweepMetrics;
+
+const THREAD_GRID: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn all_pass_plan_is_bit_identical_to_unwrapped_baseline() {
+    let inst = gen::hierarchical_for_size(2, 900, 5);
+    let algo = DeterministicSolver { k: 2 };
+    let wrapped = FaultedAlgorithm::new(algo, FaultPlan::none(424242));
+    let config = RunConfig::default();
+    let baseline = Engine::with_threads(1)
+        .run_all(&inst, &algo, &config)
+        .unwrap();
+    assert!(!baseline.degraded);
+    for threads in THREAD_GRID {
+        let faulted = Engine::with_threads(threads)
+            .run_all(&inst, &wrapped, &config)
+            .unwrap();
+        assert_eq!(baseline.report.records, faulted.report.records);
+        assert_eq!(baseline.summary, faulted.summary);
+        assert_eq!(baseline.total_queries, faulted.total_queries);
+        assert!(!faulted.degraded);
+        for (bare, faulty) in baseline.report.outputs.iter().zip(&faulted.report.outputs) {
+            let faulty = faulty.as_ref().unwrap();
+            assert_eq!(faulty.injected, 0);
+            assert_eq!(bare.as_ref().unwrap(), &faulty.value);
+        }
+    }
+}
+
+#[test]
+fn all_pass_plan_is_transparent_under_tracing_too() {
+    let inst = gen::hierarchical_for_size(2, 900, 5);
+    let algo = DeterministicSolver { k: 2 };
+    let wrapped = FaultedAlgorithm::new(algo, FaultPlan::none(7));
+    let config = RunConfig::default();
+    let (baseline, bare_metrics) = Engine::with_threads(1)
+        .run_all_traced::<_, SweepMetrics>(&inst, &algo, &config)
+        .unwrap();
+    for threads in THREAD_GRID {
+        let (faulted, metrics) = Engine::with_threads(threads)
+            .run_all_traced::<_, SweepMetrics>(&inst, &wrapped, &config)
+            .unwrap();
+        assert_eq!(baseline.report.records, faulted.report.records);
+        assert_eq!(baseline.summary, faulted.summary);
+        // The deterministic half of the metrics is identical: the wrapper
+        // forwards every query to the same inner execution the tracer
+        // observes.
+        assert_eq!(bare_metrics.query, metrics.query);
+    }
+}
