@@ -104,6 +104,7 @@ where
     A::Output: Send,
 {
     let engine_report = Engine::from_env()
+        .expect("ambient VC_THREADS/VC_DEADLINE_MS must be valid")
         .run_all(inst, algo, config)
         .expect("sweep configs always select at least one start");
     let violations = match (problem, engine_report.report.complete_outputs()) {
@@ -137,6 +138,7 @@ where
     A::Output: Send,
 {
     let engine_report = Engine::from_env()
+        .expect("ambient VC_THREADS/VC_DEADLINE_MS must be valid")
         .run_all(inst, algo, config)
         .expect("sweep configs always select at least one start");
     finish_measurement(inst, algo, config, engine_report, extra_roots)
@@ -197,12 +199,19 @@ where
     A: QueryAlgorithm + Sync,
     A::Output: Send,
 {
+    let starts = config
+        .starts
+        .starts(inst.n())
+        .expect("sweep configs always select at least one start");
+    let identity = vc_engine::sweep_identity(inst, algo, config, &starts);
     let (report, metrics) = engine
         .run_all_traced::<A, SweepMetrics>(inst, algo, config)
         .expect("sweep configs always select at least one start");
     CaseTrace {
         case: case.to_string(),
         n: inst.n(),
+        instance_id: identity.instance_id.to_string(),
+        sweep_id: identity.sweep_id.to_string(),
         threads: report.threads,
         elapsed_nanos: u64::try_from(report.elapsed.as_nanos()).unwrap_or(u64::MAX),
         starts_per_sec: report.starts_per_sec(),

@@ -92,6 +92,12 @@ impl QueryAlgorithm for DistanceSolver {
         "hh-thc/distance"
     }
 
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        h.text(self.name());
+        h.word(u64::from(self.k));
+        h.word(u64::from(self.l));
+    }
+
     fn fallback(&self) -> HybridOutput {
         HybridOutput::Sym(ThcColor::D)
     }
@@ -121,6 +127,12 @@ impl QueryAlgorithm for RandomizedSolver {
         "hh-thc/way-points"
     }
 
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        h.text(self.name());
+        h.word(u64::from(self.k));
+        h.word(u64::from(self.l));
+    }
+
     fn fallback(&self) -> HybridOutput {
         HybridOutput::Sym(ThcColor::D)
     }
@@ -147,6 +159,12 @@ impl QueryAlgorithm for DeterministicVolumeSolver {
 
     fn name(&self) -> &'static str {
         "hh-thc/deterministic"
+    }
+
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        h.text(self.name());
+        h.word(u64::from(self.k));
+        h.word(u64::from(self.l));
     }
 
     fn fallback(&self) -> HybridOutput {

@@ -455,6 +455,11 @@ impl QueryAlgorithm for DeterministicSolver {
         "hierarchical-thc/deterministic"
     }
 
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        h.text(self.name());
+        h.word(u64::from(self.k));
+    }
+
     fn fallback(&self) -> ThcColor {
         ThcColor::D
     }
@@ -469,6 +474,12 @@ impl QueryAlgorithm for RandomizedSolver {
 
     fn name(&self) -> &'static str {
         "hierarchical-thc/way-points"
+    }
+
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        h.text(self.name());
+        h.word(u64::from(self.k));
+        h.word(self.c.to_bits());
     }
 
     fn fallback(&self) -> ThcColor {

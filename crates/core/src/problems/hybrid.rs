@@ -519,6 +519,12 @@ impl QueryAlgorithm for RandomizedSolver {
         "hybrid-thc/way-points"
     }
 
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        h.text(self.name());
+        h.word(u64::from(self.k));
+        h.word(self.c.to_bits());
+    }
+
     fn fallback(&self) -> HybridOutput {
         HybridOutput::Sym(ThcColor::D)
     }
@@ -543,6 +549,11 @@ impl QueryAlgorithm for DeterministicVolumeSolver {
 
     fn name(&self) -> &'static str {
         "hybrid-thc/deterministic"
+    }
+
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        h.text(self.name());
+        h.word(u64::from(self.k));
     }
 
     fn fallback(&self) -> HybridOutput {

@@ -158,6 +158,11 @@ impl QueryAlgorithm for RwToLeaf {
         "leaf-coloring/rw-to-leaf"
     }
 
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        h.text(self.name());
+        h.word(u64::from(self.step_factor));
+    }
+
     fn fallback(&self) -> Color {
         Color::R
     }

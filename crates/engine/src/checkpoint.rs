@@ -1,4 +1,4 @@
-//! Checkpoint / resume for recorded sweeps (`vc-engine-checkpoint/v1`).
+//! Checkpoint / resume for recorded sweeps (`vc-engine-checkpoint/v2`).
 //!
 //! Long sweeps die: machines reboot, CI jobs hit wall-clock limits,
 //! operators hit Ctrl-C. [`Engine::run_recorded_with_checkpoint`] makes a
@@ -16,10 +16,15 @@
 //! integer round-trip is lossless.
 //!
 //! A checkpoint is only valid for the exact sweep that produced it: the
-//! file carries a [fingerprint](SweepCheckpoint::fingerprint) folding the
-//! instance size, start set, algorithm name, budget, randomness tape and
-//! chunk size. A mismatch is a loud [`EngineError::BadCheckpoint`], never a
-//! silent mixing of two different sweeps' records.
+//! file carries the content-addressed [`SweepIdentity`] — an
+//! [`InstanceId`] over the full CSR adjacency and every node label, and a
+//! [`SweepId`] additionally folding the algorithm identity (including any
+//! fault plan), run configuration, start set and chunk size (DESIGN.md
+//! §12). A mismatch is a loud [`EngineError::BadCheckpoint`], never a
+//! silent mixing of two different sweeps' records. `v1` files hashed only
+//! the instance *size*, so two same-size instances or two fault plans
+//! could silently share a checkpoint; they are rejected outright — delete
+//! the file and rerun the sweep (see README "Checkpoint compatibility").
 //!
 //! Checkpoints store *costs*, not *outputs*: `A::Output` is generic and has
 //! no serial form offline. Sweeps that need the labeling itself (e.g. the
@@ -30,15 +35,21 @@
 use crate::{run_sharded, Engine, CHUNK};
 use std::path::Path;
 use vc_graph::Instance;
+use vc_ident::{IdHasher, InstanceId, SweepId};
 use vc_model::cost::{CostAccumulator, CostSummary, ExecutionRecord};
-use vc_model::randomness::RandomnessMode;
 use vc_model::run::{QueryAlgorithm, RunConfig, StartError};
 use vc_trace::time::Stopwatch;
 use vc_trace::NoopTracer;
 use xtask::json;
 
 /// Schema identifier written into every checkpoint file.
-pub const CHECKPOINT_SCHEMA: &str = "vc-engine-checkpoint/v1";
+pub const CHECKPOINT_SCHEMA: &str = "vc-engine-checkpoint/v2";
+
+/// The retired pre-identity schema: its fingerprint folded only the
+/// instance *size*, so it cannot tell two same-size instances (or two
+/// fault plans) apart. Files with this schema are rejected with a
+/// migration message rather than resumed.
+const CHECKPOINT_SCHEMA_V1: &str = "vc-engine-checkpoint/v1";
 
 /// Failures of the checkpointed sweep path. Always loud: the engine never
 /// silently discards or mixes checkpoint state.
@@ -71,13 +82,55 @@ impl From<StartError> for EngineError {
     }
 }
 
+/// The content-addressed identity of one sweep, as computed by
+/// [`sweep_identity`] and persisted in every checkpoint file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepIdentity {
+    /// Identity of the labeled instance (graph content + all labels).
+    pub instance_id: InstanceId,
+    /// Identity of the whole sweep: instance, algorithm (with any fault
+    /// plan), run configuration, start set and chunk size.
+    pub sweep_id: SweepId,
+}
+
+/// Computes the [`SweepIdentity`] a checkpoint belongs to: the
+/// [`InstanceId`] over the full instance content, and a [`SweepId`]
+/// folding that id plus the algorithm identity
+/// ([`QueryAlgorithm::fold_identity`] — the fault plan included, for
+/// wrapped algorithms), the run configuration (budgets, exact-distance,
+/// randomness tape, start selection), the resolved start set and the
+/// engine chunk size. Anything that can change a chunk's records is
+/// folded in here, and nowhere else — this is the single audited identity
+/// computation (DESIGN.md §12).
+pub fn sweep_identity<A: QueryAlgorithm>(
+    inst: &Instance,
+    algo: &A,
+    config: &RunConfig,
+    starts: &[usize],
+) -> SweepIdentity {
+    let instance_id = inst.instance_id();
+    let mut h = IdHasher::new("vc-sweep/v2");
+    h.word(instance_id.raw());
+    algo.fold_identity(&mut h);
+    config.fold_content(&mut h);
+    h.word(starts.len() as u64);
+    for &s in starts {
+        h.word(s as u64);
+    }
+    h.word(CHUNK as u64);
+    SweepIdentity {
+        instance_id,
+        sweep_id: SweepId::from_raw(h.finish()),
+    }
+}
+
 /// The persistent state of a checkpointed sweep: one slot per chunk,
 /// `Some` once that chunk's records are complete.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepCheckpoint {
-    /// Fingerprint of the sweep configuration this checkpoint belongs to
-    /// (see [`sweep_fingerprint`]).
-    pub fingerprint: u64,
+    /// Identity of the sweep this checkpoint belongs to (see
+    /// [`sweep_identity`]).
+    pub identity: SweepIdentity,
     /// Total chunks in the sweep's fixed partition.
     pub num_chunks: usize,
     /// Per-chunk completed records, in chunk order.
@@ -86,9 +139,9 @@ pub struct SweepCheckpoint {
 
 impl SweepCheckpoint {
     /// An empty checkpoint for a sweep with the given shape.
-    pub fn fresh(fingerprint: u64, num_chunks: usize) -> Self {
+    pub fn fresh(identity: SweepIdentity, num_chunks: usize) -> Self {
         Self {
-            fingerprint,
+            identity,
             num_chunks,
             chunks: vec![None; num_chunks],
         }
@@ -104,7 +157,7 @@ impl SweepCheckpoint {
         self.completed_chunks() == self.num_chunks
     }
 
-    /// Serializes the checkpoint as a `vc-engine-checkpoint/v1` JSON
+    /// Serializes the checkpoint as a `vc-engine-checkpoint/v2` JSON
     /// document. The encoding is a pure function of the checkpoint state —
     /// the byte-identity of resumed runs rests on this.
     pub fn to_json(&self) -> String {
@@ -112,9 +165,10 @@ impl SweepCheckpoint {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\n  \"schema\": \"{}\",\n  \"fingerprint\": \"{:016x}\",\n  \"num_chunks\": {},\n  \"chunks\": [\n",
+            "{{\n  \"schema\": \"{}\",\n  \"instance_id\": \"{}\",\n  \"sweep_id\": \"{}\",\n  \"num_chunks\": {},\n  \"chunks\": [\n",
             json::escape(CHECKPOINT_SCHEMA),
-            self.fingerprint,
+            self.identity.instance_id,
+            self.identity.sweep_id,
             self.num_chunks
         );
         for (i, chunk) in self.chunks.iter().enumerate() {
@@ -157,28 +211,42 @@ impl SweepCheckpoint {
         out
     }
 
-    /// Parses a `vc-engine-checkpoint/v1` document.
+    /// Parses a `vc-engine-checkpoint/v2` document.
     ///
     /// # Errors
     ///
     /// A human-readable description of the first malformation (bad JSON,
-    /// wrong schema, missing or out-of-range fields).
+    /// wrong schema, missing or out-of-range fields). Pre-identity `v1`
+    /// files get a dedicated migration message: their fingerprints cannot
+    /// distinguish same-size instances, so they are never resumed.
     pub fn from_json(src: &str) -> Result<Self, String> {
         let doc = json::parse(src)?;
         let schema = doc
             .get("schema")
             .and_then(json::Value::as_str)
             .ok_or("missing schema")?;
+        if schema == CHECKPOINT_SCHEMA_V1 {
+            return Err(format!(
+                "schema is {CHECKPOINT_SCHEMA_V1:?}: pre-identity checkpoints hash only the \
+                 instance size and cannot be safely resumed — delete the file and rerun the \
+                 sweep (README \"Checkpoint compatibility\")"
+            ));
+        }
         if schema != CHECKPOINT_SCHEMA {
             return Err(format!(
                 "schema is {schema:?}, expected {CHECKPOINT_SCHEMA:?}"
             ));
         }
-        let fingerprint = doc
-            .get("fingerprint")
+        let instance_id = doc
+            .get("instance_id")
             .and_then(json::Value::as_str)
-            .and_then(|s| u64::from_str_radix(s, 16).ok())
-            .ok_or("missing or malformed fingerprint")?;
+            .and_then(InstanceId::parse_hex)
+            .ok_or("missing or malformed instance_id")?;
+        let sweep_id = doc
+            .get("sweep_id")
+            .and_then(json::Value::as_str)
+            .and_then(SweepId::parse_hex)
+            .ok_or("missing or malformed sweep_id")?;
         let num_chunks = doc
             .get("num_chunks")
             .and_then(json::Value::as_u64)
@@ -208,7 +276,10 @@ impl SweepCheckpoint {
             }
         }
         Ok(Self {
-            fingerprint,
+            identity: SweepIdentity {
+                instance_id,
+                sweep_id,
+            },
             num_chunks,
             chunks,
         })
@@ -270,60 +341,6 @@ impl CheckpointReport {
     }
 }
 
-const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// One splitmix64 scramble step (same finalizer as `vc-model`'s tape).
-fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-fn fold(acc: u64, word: u64) -> u64 {
-    mix(acc.wrapping_add(SPLITMIX_GAMMA) ^ word)
-}
-
-/// Fingerprints the sweep configuration a checkpoint belongs to: instance
-/// size, start set, algorithm name ([`QueryAlgorithm::name`]), budget,
-/// exact-distance flag, randomness tape and chunk size. Anything that can
-/// change a chunk's records must be folded in here.
-pub fn sweep_fingerprint<A: QueryAlgorithm>(
-    inst: &Instance,
-    algo: &A,
-    config: &RunConfig,
-    starts: &[usize],
-) -> u64 {
-    let mut h = fold(0x7663_6b70_7431, inst.n() as u64); // "vckpt1"
-    h = fold(h, starts.len() as u64);
-    for &s in starts {
-        h = fold(h, s as u64);
-    }
-    for b in algo.name().bytes() {
-        h = fold(h, u64::from(b));
-    }
-    let opt = |v: Option<u64>| v.map_or(0, |x| x.wrapping_add(1));
-    h = fold(h, opt(config.budget.max_volume.map(|v| v as u64)));
-    h = fold(h, opt(config.budget.max_distance.map(u64::from)));
-    h = fold(h, opt(config.budget.max_queries));
-    h = fold(h, u64::from(config.exact_distance));
-    match config.tape {
-        None => h = fold(h, 0),
-        Some(tape) => {
-            h = fold(h, 1);
-            h = fold(h, tape.seed());
-            h = fold(
-                h,
-                match tape.mode() {
-                    RandomnessMode::Private => 1,
-                    RandomnessMode::Public => 2,
-                    RandomnessMode::Secret => 3,
-                },
-            );
-        }
-    }
-    fold(h, CHUNK as u64)
-}
-
 impl Engine {
     /// Runs a recorded sweep against a checkpoint file at `path`:
     /// previously checkpointed chunks are skipped, freshly completed
@@ -360,15 +377,25 @@ impl Engine {
         let sw = Stopwatch::start();
         let starts = config.starts.starts(inst.n())?;
         let num_chunks = starts.len().div_ceil(CHUNK);
-        let fingerprint = sweep_fingerprint(inst, algo, config, &starts);
+        let identity = sweep_identity(inst, algo, config, &starts);
         let mut ckpt = match std::fs::read_to_string(path) {
             Ok(text) => {
                 let ckpt = SweepCheckpoint::from_json(&text).map_err(EngineError::BadCheckpoint)?;
-                if ckpt.fingerprint != fingerprint {
-                    return Err(EngineError::BadCheckpoint(format!(
-                        "fingerprint {:016x} belongs to a different sweep (expected {:016x})",
-                        ckpt.fingerprint, fingerprint
-                    )));
+                if ckpt.identity.sweep_id != identity.sweep_id {
+                    let mut msg = format!(
+                        "fingerprint {} belongs to a different sweep (expected {})",
+                        ckpt.identity.sweep_id, identity.sweep_id
+                    );
+                    if ckpt.identity.instance_id != identity.instance_id {
+                        use std::fmt::Write as _;
+                        let _ = write!(
+                            msg,
+                            "; the instance content differs (checkpoint instance {}, this sweep \
+                             runs instance {})",
+                            ckpt.identity.instance_id, identity.instance_id
+                        );
+                    }
+                    return Err(EngineError::BadCheckpoint(msg));
                 }
                 if ckpt.num_chunks != num_chunks {
                     return Err(EngineError::BadCheckpoint(format!(
@@ -379,7 +406,7 @@ impl Engine {
                 ckpt
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                SweepCheckpoint::fresh(fingerprint, num_chunks)
+                SweepCheckpoint::fresh(identity, num_chunks)
             }
             Err(e) => return Err(EngineError::Io(e.to_string())),
         };
@@ -453,6 +480,13 @@ mod tests {
         dir.join(name)
     }
 
+    fn test_identity(instance: u64, sweep: u64) -> SweepIdentity {
+        SweepIdentity {
+            instance_id: InstanceId::from_raw(instance),
+            sweep_id: SweepId::from_raw(sweep),
+        }
+    }
+
     #[test]
     fn checkpoint_round_trips_through_json() {
         let rec = ExecutionRecord {
@@ -469,7 +503,7 @@ mod tests {
             completed: false,
             ..rec.clone()
         };
-        let mut ckpt = SweepCheckpoint::fresh(0xdead_beef_0123_4567, 3);
+        let mut ckpt = SweepCheckpoint::fresh(test_identity(0xdead_beef_0123_4567, 0x0123), 3);
         ckpt.chunks[0] = Some(vec![rec, rec2]);
         ckpt.chunks[2] = Some(vec![]);
         let parsed = SweepCheckpoint::from_json(&ckpt.to_json()).unwrap();
@@ -482,18 +516,27 @@ mod tests {
     fn malformed_checkpoints_are_rejected_loudly() {
         assert!(SweepCheckpoint::from_json("{}").is_err());
         assert!(SweepCheckpoint::from_json("{\"schema\": \"nope/v1\"}").is_err());
-        let mut ok = SweepCheckpoint::fresh(1, 1).to_json();
+        let mut ok = SweepCheckpoint::fresh(test_identity(1, 2), 1).to_json();
         assert!(SweepCheckpoint::from_json(&ok).is_ok());
         ok.truncate(ok.len() - 3);
         assert!(SweepCheckpoint::from_json(&ok).is_err());
     }
 
     #[test]
-    fn fingerprint_separates_sweep_configurations() {
+    fn v1_checkpoints_get_a_migration_error() {
+        let v1 = "{\"schema\": \"vc-engine-checkpoint/v1\", \"fingerprint\": \"00ff\", \
+                  \"num_chunks\": 0, \"chunks\": []}";
+        let err = SweepCheckpoint::from_json(v1).unwrap_err();
+        assert!(err.contains("pre-identity"), "{err}");
+        assert!(err.contains("delete the file"), "{err}");
+    }
+
+    #[test]
+    fn identity_separates_sweep_configurations() {
         let inst = vc_graph::gen::random_full_binary_tree(150, 3);
         let starts: Vec<usize> = (0..inst.n()).collect();
         let base = RunConfig::default();
-        let f = |cfg: &RunConfig| sweep_fingerprint(&inst, &WalkLeft, cfg, &starts);
+        let f = |cfg: &RunConfig| sweep_identity(&inst, &WalkLeft, cfg, &starts).sweep_id;
         let baseline = f(&base);
         assert_eq!(baseline, f(&base.clone()));
         let budgeted = RunConfig {
@@ -507,7 +550,21 @@ mod tests {
         };
         assert_ne!(baseline, f(&taped));
         let fewer: Vec<usize> = (0..inst.n() / 2).collect();
-        assert_ne!(baseline, sweep_fingerprint(&inst, &WalkLeft, &base, &fewer));
+        assert_ne!(
+            baseline,
+            sweep_identity(&inst, &WalkLeft, &base, &fewer).sweep_id
+        );
+        // The instance id ignores the sweep configuration entirely…
+        assert_eq!(
+            sweep_identity(&inst, &WalkLeft, &base, &starts).instance_id,
+            sweep_identity(&inst, &WalkLeft, &budgeted, &fewer).instance_id
+        );
+        // …but a same-size instance with different content separates both.
+        let other = vc_graph::gen::random_full_binary_tree(150, 4);
+        assert_eq!(other.n(), inst.n());
+        let foreign = sweep_identity(&other, &WalkLeft, &base, &starts);
+        assert_ne!(foreign.instance_id, inst.instance_id());
+        assert_ne!(foreign.sweep_id, baseline);
     }
 
     #[test]

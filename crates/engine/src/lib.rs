@@ -47,9 +47,10 @@
 //!   The checkpoint tests use this as a reproducible "kill".
 //! * **Checkpoint / resume.** [`Engine::run_recorded_with_checkpoint`]
 //!   persists per-chunk [`ExecutionRecord`]s to a
-//!   `vc-engine-checkpoint/v1` JSON file and resumes exactly where a
-//!   previous (killed) run stopped; the resumed result is byte-identical
-//!   to an unbroken run (see the `checkpoint` module).
+//!   `vc-engine-checkpoint/v2` JSON file — keyed by the content-addressed
+//!   [`SweepIdentity`] — and resumes exactly where a previous (killed) run
+//!   stopped; the resumed result is byte-identical to an unbroken run
+//!   (see the `checkpoint` module).
 //!
 //! [`Engine::run_all_traced`] additionally aggregates a
 //! [`vc_trace::MergeTracer`] (one fresh tracer per chunk, absorbed in chunk
@@ -60,7 +61,10 @@
 //! are uniform across thread counts.
 //!
 //! The worker count defaults to `std::thread::available_parallelism` and can
-//! be overridden with the `VC_THREADS` environment variable.
+//! be overridden with the `VC_THREADS` environment variable. Malformed
+//! ambient configuration (`VC_THREADS=0`, `VC_THREADS=abc`,
+//! `VC_DEADLINE_MS=1s`) is a loud [`EnvError`] from [`Engine::from_env`],
+//! never silently ignored.
 
 #![deny(missing_docs)]
 
@@ -77,7 +81,11 @@ use vc_model::run::{run_from_traced, QueryAlgorithm, RunConfig, RunReport, Start
 use vc_trace::time::Stopwatch;
 use vc_trace::{MergeTracer, NoopTracer};
 
-pub use checkpoint::{CheckpointReport, EngineError, SweepCheckpoint, CHECKPOINT_SCHEMA};
+pub use checkpoint::{
+    sweep_identity, CheckpointReport, EngineError, SweepCheckpoint, SweepIdentity,
+    CHECKPOINT_SCHEMA,
+};
+pub use vc_ident::{InstanceId, SweepId};
 
 /// Start nodes per work chunk. Fixed (instead of derived from the worker
 /// count) so the partition of the start set — and therefore the merge order
@@ -123,6 +131,56 @@ impl CancelFlag {
     }
 }
 
+/// A malformed engine environment variable (`VC_THREADS` /
+/// `VC_DEADLINE_MS`). Ambient typos must be loud: a silently ignored
+/// `VC_THREADS=abc` runs the sweep with a different parallelism than the
+/// operator asked for, and a silently ignored deadline runs unbounded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvError {
+    /// The offending environment variable.
+    pub var: &'static str,
+    /// What was wrong with its value.
+    pub message: String,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad {} value: {}", self.var, self.message)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Parses a `VC_THREADS` value: a positive integer worker count.
+fn parse_threads(raw: &str) -> Result<usize, EnvError> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(EnvError {
+            var: THREADS_ENV,
+            message: "0 workers cannot run a sweep; use 1 or more".to_string(),
+        }),
+        Ok(t) => Ok(t),
+        Err(_) => Err(EnvError {
+            var: THREADS_ENV,
+            message: format!("`{}` is not a positive integer", raw.trim()),
+        }),
+    }
+}
+
+/// Parses a `VC_DEADLINE_MS` value: a non-negative integer milliseconds
+/// count (no unit suffixes — `1s` is a typo, not one second).
+fn parse_deadline_ms(raw: &str) -> Result<Duration, EnvError> {
+    raw.trim()
+        .parse::<u64>()
+        .map(Duration::from_millis)
+        .map_err(|_| EnvError {
+            var: DEADLINE_ENV,
+            message: format!(
+                "`{}` is not an integer millisecond count (unit suffixes are not supported)",
+                raw.trim()
+            ),
+        })
+}
+
 /// A sharded sweep runner with a fixed worker-thread count and optional
 /// degradation limits (deadline, chunk quota, cancel flag).
 #[derive(Clone, Debug)]
@@ -137,23 +195,26 @@ impl Engine {
     /// An engine with the ambient configuration: worker count from the
     /// `VC_THREADS` environment variable when set to a positive integer
     /// (otherwise `std::thread::available_parallelism`, otherwise 1), and a
-    /// cooperative deadline from `VC_DEADLINE_MS` when set.
-    pub fn from_env() -> Self {
-        let ambient = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&t| t >= 1);
-        let threads = match ambient {
-            Some(t) => t,
-            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    /// cooperative deadline from `VC_DEADLINE_MS` when set. Unset or blank
+    /// variables mean "use the default"; anything else must parse.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError`] when either variable is set to garbage
+    /// (`VC_THREADS=0`, `VC_THREADS=abc`, `VC_DEADLINE_MS=1s`, …) — a
+    /// startup error, never a silently ignored override.
+    pub fn from_env() -> Result<Self, EnvError> {
+        let threads = match std::env::var(THREADS_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => parse_threads(&raw)?,
+            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
         };
-        let deadline = std::env::var(DEADLINE_ENV)
-            .ok()
-            .and_then(|s| s.trim().parse::<u64>().ok())
-            .map(Duration::from_millis);
+        let deadline = match std::env::var(DEADLINE_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => Some(parse_deadline_ms(&raw)?),
+            _ => None,
+        };
         let mut engine = Self::with_threads(threads);
         engine.deadline = deadline;
-        engine
+        Ok(engine)
     }
 
     /// An engine with exactly `threads` workers (clamped to at least 1) and
@@ -308,12 +369,6 @@ impl Engine {
             },
             run.tracer,
         )
-    }
-}
-
-impl Default for Engine {
-    fn default() -> Self {
-        Self::from_env()
     }
 }
 
@@ -808,7 +863,7 @@ mod tests {
     #[test]
     fn worker_count_is_clamped() {
         assert_eq!(Engine::with_threads(0).threads(), 1);
-        assert!(Engine::from_env().threads() >= 1);
+        assert!(Engine::from_env().unwrap().threads() >= 1);
         // A tiny sweep cannot use more workers than chunks.
         let inst = gen::complete_binary_tree(2, Color::R, Color::B);
         let engine = Engine::with_threads(16)
@@ -971,11 +1026,35 @@ mod tests {
 
     #[test]
     fn deadline_env_is_parsed() {
-        // `from_env` must parse the ambient deadline without panicking on
-        // garbage; the variable itself is process-global, so only exercise
-        // the parse helper indirectly through a scoped engine build.
         let engine = Engine::with_threads(2).with_deadline(Duration::from_millis(5));
         assert_eq!(engine.deadline, Some(Duration::from_millis(5)));
         assert_eq!(Engine::with_threads(2).deadline, None);
+    }
+
+    // The env variables themselves are process-global (mutating them
+    // races parallel tests), so the strict parsing is exercised through
+    // the pure helpers `from_env` delegates to.
+
+    #[test]
+    fn thread_env_values_parse_strictly() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 2 "), Ok(2));
+        let zero = parse_threads("0").unwrap_err();
+        assert_eq!(zero.var, THREADS_ENV);
+        assert!(zero.to_string().contains("0 workers"), "{zero}");
+        let garbage = parse_threads("abc").unwrap_err();
+        assert_eq!(garbage.var, THREADS_ENV);
+        assert!(garbage.to_string().contains("abc"), "{garbage}");
+        assert!(parse_threads("-3").is_err());
+    }
+
+    #[test]
+    fn deadline_env_values_parse_strictly() {
+        assert_eq!(parse_deadline_ms("250"), Ok(Duration::from_millis(250)));
+        assert_eq!(parse_deadline_ms("0"), Ok(Duration::ZERO));
+        let suffixed = parse_deadline_ms("1s").unwrap_err();
+        assert_eq!(suffixed.var, DEADLINE_ENV);
+        assert!(suffixed.to_string().contains("1s"), "{suffixed}");
+        assert!(parse_deadline_ms("fast").is_err());
     }
 }

@@ -56,10 +56,18 @@ impl<A: QueryAlgorithm> QueryAlgorithm for FaultedAlgorithm<A> {
     type Output = Faulted<A::Output>;
 
     fn name(&self) -> &'static str {
-        // The inner name: a faulted sweep answers the same question about
-        // the same algorithm (checkpoint fingerprints still separate the
-        // sweeps through their budgets/starts when plans change those).
+        // The inner name, for display only: a faulted sweep answers a
+        // question about the inner algorithm. Sweep identity does NOT go
+        // through this string — `fold_identity` folds the fault plan, so
+        // checkpoints written under one plan can never resume under
+        // another.
         self.algo.name()
+    }
+
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        h.text("vc-faults/faulted/v1");
+        self.algo.fold_identity(h);
+        self.plan.fold_content(h);
     }
 
     fn fallback(&self) -> Self::Output {

@@ -132,6 +132,33 @@ impl FaultPlan {
         Ok(plan)
     }
 
+    /// The canonical spec string of this plan: the unique
+    /// [`FaultPlan::from_spec`] input (no spaces, fixed key order, absent
+    /// classes omitted) that parses back to exactly this plan. This is
+    /// the plan's identity surface — the engine folds it into `SweepId`
+    /// via [`FaultPlan::fold_content`], so two sweeps under different
+    /// plans can never share a checkpoint.
+    pub fn canonical_spec(&self) -> String {
+        let mut spec = format!("seed={}", self.seed);
+        for (key, value) in [
+            ("refuse", self.refuse_one_in),
+            ("corrupt", self.corrupt_one_in),
+            ("crash", self.crash_one_in),
+            ("squeeze", self.squeeze_queries),
+        ] {
+            if let Some(k) = value {
+                spec.push_str(&format!(",{key}={k}"));
+            }
+        }
+        spec
+    }
+
+    /// Folds the plan's identity — the canonical spec — into `h`
+    /// (DESIGN.md §12).
+    pub fn fold_content(&self, h: &mut vc_ident::IdHasher) {
+        h.text(&self.canonical_spec());
+    }
+
     /// Reads the `VC_FAULTS` environment variable: `None` when unset or
     /// blank, the parsed plan (or parse error — ambient typos must be
     /// loud) otherwise.
@@ -186,6 +213,32 @@ mod tests {
         assert!(FaultPlan::from_spec("").unwrap().is_transparent());
         assert!(FaultPlan::from_spec("refuse=0").unwrap().is_transparent());
         assert!(!FaultPlan::from_spec("corrupt=9").unwrap().is_transparent());
+    }
+
+    #[test]
+    fn canonical_spec_round_trips_and_separates_plans() {
+        let plans = [
+            FaultPlan::none(0),
+            FaultPlan::none(7)
+                .with_refusals(64)
+                .with_crashes(128)
+                .with_query_squeeze(500),
+            FaultPlan::none(7).with_refusals(64),
+            FaultPlan::none(7).with_refusals(65),
+            FaultPlan::none(7).with_corruption(64),
+            FaultPlan::none(8).with_refusals(64),
+        ];
+        for plan in &plans {
+            let spec = plan.canonical_spec();
+            assert_eq!(&FaultPlan::from_spec(&spec).unwrap(), plan, "{spec}");
+        }
+        // Distinct plans must have distinct canonical specs (the spec is
+        // the identity surface).
+        for (i, a) in plans.iter().enumerate() {
+            for b in &plans[i + 1..] {
+                assert_ne!(a.canonical_spec(), b.canonical_spec());
+            }
+        }
     }
 
     #[test]

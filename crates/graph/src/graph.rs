@@ -121,6 +121,32 @@ impl Graph {
         self.ids.len()
     }
 
+    /// Folds the full adjacency content — node count, CSR offsets,
+    /// neighbors, reverse ports and unique identifiers — into `h`.
+    /// Streaming: no allocation regardless of graph size. Part of the
+    /// [`crate::Instance::instance_id`] computation; every array is
+    /// length-prefixed so structurally different graphs cannot collide by
+    /// concatenation.
+    pub fn fold_content(&self, h: &mut vc_ident::IdHasher) {
+        h.word(self.n() as u64);
+        h.word(self.offsets.len() as u64);
+        for &o in &self.offsets {
+            h.word(u64::from(o));
+        }
+        h.word(self.neighbors.len() as u64);
+        for &w in &self.neighbors {
+            h.word(u64::from(w));
+        }
+        h.word(self.ports.len() as u64);
+        for &p in &self.ports {
+            h.word(u64::from(p));
+        }
+        h.word(self.ids.len() as u64);
+        for &id in &self.ids {
+            h.word(id);
+        }
+    }
+
     /// Degree of `v`.
     ///
     /// # Panics

@@ -43,6 +43,21 @@ impl Instance {
         &self.labels[v]
     }
 
+    /// The content-addressed identity of this instance: a streaming fold
+    /// over the full CSR adjacency and every node's label (DESIGN.md §12).
+    /// Two instances share an id exactly when they are the same pair
+    /// `(G, L)` — equal size is never enough, which is what lets
+    /// checkpoint resume and `compare-bench` refuse lookalike instances.
+    pub fn instance_id(&self) -> vc_ident::InstanceId {
+        let mut h = vc_ident::IdHasher::new("vc-instance/v1");
+        self.graph.fold_content(&mut h);
+        h.word(self.labels.len() as u64);
+        for label in &self.labels {
+            label.fold_content(&mut h);
+        }
+        vc_ident::InstanceId::from_raw(h.finish())
+    }
+
     /// Resolves an optional port label at `v` to the node it leads to.
     ///
     /// Returns `None` when the label is `⊥` *or* the port number exceeds

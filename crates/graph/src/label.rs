@@ -182,6 +182,25 @@ impl NodeLabel {
         self.bit = Some(bit);
         self
     }
+
+    /// Folds every field of the label into `h`, each tagged for presence
+    /// (so an unset field never aliases a set one). Part of the
+    /// [`crate::Instance::instance_id`] computation: flipping any single
+    /// field of any single label changes the instance identity.
+    pub fn fold_content(&self, h: &mut vc_ident::IdHasher) {
+        h.opt_word(self.parent.map(|p| u64::from(p.number())));
+        h.opt_word(self.left_child.map(|p| u64::from(p.number())));
+        h.opt_word(self.right_child.map(|p| u64::from(p.number())));
+        h.opt_word(self.left_nbr.map(|p| u64::from(p.number())));
+        h.opt_word(self.right_nbr.map(|p| u64::from(p.number())));
+        h.opt_word(self.color.map(|c| match c {
+            Color::R => 0,
+            Color::B => 1,
+        }));
+        h.opt_word(self.level.map(u64::from));
+        h.opt_word(self.bit.map(u64::from));
+        h.opt_word(self.aux);
+    }
 }
 
 #[cfg(test)]

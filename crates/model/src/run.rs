@@ -22,9 +22,24 @@ pub trait QueryAlgorithm {
     /// The local output type.
     type Output: Clone;
 
-    /// Human-readable name used in experiment reports.
+    /// Human-readable name used in experiment reports. Display only —
+    /// sweep identity comes from [`QueryAlgorithm::fold_identity`], never
+    /// from this string.
     fn name(&self) -> &'static str {
         "query-algorithm"
+    }
+
+    /// Folds everything that determines this algorithm's behavior into a
+    /// content hash (DESIGN.md §12). The default folds [`Self::name`],
+    /// which is only correct for algorithms with no parameters.
+    /// **Parameterized algorithms and wrappers must override**: fold the
+    /// name plus every parameter (wrappers additionally delegate to the
+    /// inner algorithm), or two distinct configurations will collide to
+    /// the same `SweepId` and checkpoint resume will silently merge
+    /// records from different sweeps — the exact bug this method exists
+    /// to prevent.
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        h.text(self.name());
     }
 
     /// Output recorded when an execution is truncated by its budget.
@@ -46,6 +61,10 @@ impl<A: QueryAlgorithm + ?Sized> QueryAlgorithm for &A {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn fold_identity(&self, h: &mut vc_ident::IdHasher) {
+        (**self).fold_identity(h);
     }
 
     fn fallback(&self) -> Self::Output {
@@ -181,6 +200,39 @@ impl Default for RunConfig {
             budget: Budget::unlimited(),
             starts: StartSelection::All,
             exact_distance: true,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Folds every behavior-determining field — tape seed and mode,
+    /// budgets, start selection, exact-distance flag — into `h`
+    /// (DESIGN.md §12). Part of the engine's `SweepId`: any field change
+    /// that could alter a single execution record changes the identity.
+    pub fn fold_content(&self, h: &mut vc_ident::IdHasher) {
+        match self.tape {
+            None => h.word(0),
+            Some(tape) => {
+                h.word(1);
+                h.word(tape.seed());
+                h.word(match tape.mode() {
+                    crate::randomness::RandomnessMode::Private => 1,
+                    crate::randomness::RandomnessMode::Public => 2,
+                    crate::randomness::RandomnessMode::Secret => 3,
+                });
+            }
+        }
+        h.opt_word(self.budget.max_volume.map(|v| v as u64));
+        h.opt_word(self.budget.max_distance.map(u64::from));
+        h.opt_word(self.budget.max_queries);
+        h.flag(self.exact_distance);
+        match self.starts {
+            StartSelection::All => h.word(0),
+            StartSelection::Sample { count, seed } => {
+                h.word(1);
+                h.word(count as u64);
+                h.word(seed);
+            }
         }
     }
 }

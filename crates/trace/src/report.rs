@@ -27,6 +27,13 @@ pub struct CaseTrace {
     pub case: String,
     /// Instance size.
     pub n: usize,
+    /// Content-addressed instance identity (hex `InstanceId` from
+    /// `vc-ident`, carried here as a string to keep this crate
+    /// dependency-free). Pins the case to the exact `(G, L)` it measured.
+    pub instance_id: String,
+    /// Content-addressed sweep identity (hex `SweepId`): instance,
+    /// algorithm, configuration, start set and chunk size.
+    pub sweep_id: String,
     /// Worker threads the engine actually used.
     pub threads: usize,
     /// Wall-clock nanoseconds of the whole sweep.
@@ -87,9 +94,17 @@ impl TraceReport {
             out.push_str("    {");
             let _ = write!(
                 out,
-                "\"case\": \"{}\", \"n\": {}, \"threads\": {}, \"elapsed_nanos\": {}, \
+                "\"case\": \"{}\", \"n\": {}, \"instance_id\": \"{}\", \"sweep_id\": \"{}\", \
+                 \"threads\": {}, \"elapsed_nanos\": {}, \
                  \"starts_per_sec\": {:.1}, \"queries_per_sec\": {:.1}, ",
-                c.case, c.n, c.threads, c.elapsed_nanos, c.starts_per_sec, c.queries_per_sec
+                c.case,
+                c.n,
+                c.instance_id,
+                c.sweep_id,
+                c.threads,
+                c.elapsed_nanos,
+                c.starts_per_sec,
+                c.queries_per_sec
             );
             let _ = write!(
                 out,
@@ -148,6 +163,8 @@ mod tests {
         CaseTrace {
             case: "toy/case".to_string(),
             n: 2,
+            instance_id: "00000000deadbeef".to_string(),
+            sweep_id: "0000000001234567".to_string(),
             threads: 1,
             elapsed_nanos: 5678,
             starts_per_sec: 123.4,
@@ -161,6 +178,8 @@ mod tests {
         let json = TraceReport::new(vec![sample_case()]).to_json();
         assert!(json.contains("\"schema\": \"vc-trace-report/v1\""));
         assert!(json.contains("\"case\": \"toy/case\""));
+        assert!(json.contains("\"instance_id\": \"00000000deadbeef\""));
+        assert!(json.contains("\"sweep_id\": \"0000000001234567\""));
         assert!(json.contains("\"executions\": 2"));
         assert!(json.contains("\"truncated\": 1"));
         assert!(json.contains("\"buckets\": "));

@@ -33,6 +33,14 @@
 //!    the single place panics are converted into data (retries and the
 //!    `aborted_chunks` ledger). A stray `catch_unwind` elsewhere would
 //!    swallow solver bugs before the engine can account for them.
+//! 8. **Identity hashing stays in `vc-ident`.** Ad-hoc fingerprint code —
+//!    a `sweep_fingerprint` helper or inlined splitmix64 mixing constants —
+//!    may not reappear outside `crates/ident` (plus the pre-existing
+//!    randomness/fault-tape splitmix implementations, which generate
+//!    *streams*, not identities). Checkpoint compatibility rests on every
+//!    component folding content through one canonical hasher; a second
+//!    hand-rolled digest would silently fork the identity space and
+//!    resurrect the fingerprint collisions `vc-ident` exists to fix.
 //!
 //! The scanner strips comments and string literals before matching and
 //! skips `#[cfg(test)]` modules by brace counting, so documentation may
@@ -47,8 +55,10 @@
 //! diffs a freshly generated `BENCH_engine.json` against the committed
 //! baseline: rows are keyed `(case, threads)`; the combinatorial count
 //! fields (`n`, `max_volume`, `max_distance`, `runs`, `incomplete`,
-//! `total_queries`) must match **exactly** (any drift is a determinism or
-//! semantics regression and fails the command), while the wall-clock
+//! `total_queries`) and the content-addressed `instance_id` must match
+//! **exactly** (any drift is a determinism or semantics regression — or a
+//! "same case" silently running a different instance — and fails the
+//! command), while the wall-clock
 //! throughput fields (`starts_per_sec`, `queries_per_sec`) are advisory —
 //! regressions beyond the tolerance (default 25%) are printed but do not
 //! fail, since CI machines vary.
@@ -323,6 +333,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "crates/engine",
     "crates/trace",
     "crates/faults",
+    "crates/ident",
 ];
 
 /// Crates that must carry `#![deny(missing_docs)]` (rule 2).
@@ -333,6 +344,7 @@ const MISSING_DOCS_CRATES: &[&str] = &[
     "crates/engine",
     "crates/trace",
     "crates/faults",
+    "crates/ident",
 ];
 
 /// The only file allowed to read the wall clock directly (rule 6).
@@ -340,6 +352,28 @@ const CLOCK_ALLOWLIST: &[&str] = &["crates/trace/src/time.rs"];
 
 /// The only directory allowed to call `catch_unwind` (rule 7).
 const CATCH_UNWIND_ALLOWLIST: &[&str] = &["crates/engine/src"];
+
+/// Places allowed to contain identity/splitmix hashing code (rule 8):
+/// `vc-ident` itself, plus the pre-existing splitmix *stream* generators
+/// (random tape, fault tape, adversary coin flips) that share the mixing
+/// constants but never mint identities.
+const IDENTITY_ALLOWLIST: &[&str] = &[
+    "crates/ident/src",
+    "crates/faults/src/splitmix.rs",
+    "crates/model/src/randomness.rs",
+    "crates/adversary/src/hidden_leaf.rs",
+];
+
+/// Tokens that mark ad-hoc identity hashing (rule 8), matched against
+/// lowercased, underscore-stripped lines so `SweepFingerprint`,
+/// `sweep_fingerprint` and `0x9E37_79B9_7F4A_7C15` all normalize into
+/// their canonical spellings.
+const IDENTITY_TOKENS: &[&str] = &[
+    "sweepfingerprint",
+    "0x9e3779b97f4a7c15",
+    "0xbf58476d1ce4e5b9",
+    "0x94d049bb133111eb",
+];
 
 /// Paper anchors accepted as benchmark provenance (rule 4).
 const PROVENANCE_ANCHORS: &[&str] = &["Table", "Figure", "Example", "Observation", "Proposition"];
@@ -551,6 +585,50 @@ fn lint_centralized_catch_unwind(root: &Path, findings: &mut Vec<Finding>) {
     }
 }
 
+fn lint_content_addressed_identity(root: &Path, findings: &mut Vec<Finding>) {
+    for dir in ["crates", "examples", "tests"] {
+        for file in rs_files(&root.join(dir)) {
+            let allowed = IDENTITY_ALLOWLIST.iter().any(|a| {
+                file.ends_with(a)
+                    || file.parent().is_some_and(|p| {
+                        p.ends_with(a) || p.ancestors().any(|anc| anc.ends_with(a))
+                    })
+            });
+            // The linter itself spells the forbidden tokens out.
+            let is_linter = file.ancestors().any(|anc| anc.ends_with("crates/xtask"));
+            if allowed || is_linter {
+                continue;
+            }
+            let Ok(src) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            // Test code is scanned too: a test-local digest drifts from
+            // `vc-ident` just as silently as a production one.
+            let code = strip_comments_and_strings(&src);
+            for (idx, line) in code.lines().enumerate() {
+                let normalized: String = line
+                    .to_ascii_lowercase()
+                    .chars()
+                    .filter(|&c| c != '_')
+                    .collect();
+                for token in IDENTITY_TOKENS {
+                    if normalized.contains(token) {
+                        findings.push(Finding {
+                            file: file.clone(),
+                            line: idx + 1,
+                            rule: "content-addressed-identity",
+                            detail: format!(
+                                "`{token}` outside crates/ident; fold content through \
+                                 vc_ident::IdHasher instead of hand-rolling a digest"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn run_lint(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
     lint_panic_tokens(root, &mut findings);
@@ -560,6 +638,7 @@ fn run_lint(root: &Path) -> Vec<Finding> {
     lint_oracle_hot_path(root, &mut findings);
     lint_no_hidden_clocks(root, &mut findings);
     lint_centralized_catch_unwind(root, &mut findings);
+    lint_content_addressed_identity(root, &mut findings);
     findings
 }
 
@@ -581,6 +660,12 @@ const COUNT_FIELDS: &[&str] = &[
 /// Row fields that are wall-clock throughput: machine-dependent, checked
 /// only advisorily against the tolerance.
 const RATE_FIELDS: &[&str] = &["starts_per_sec", "queries_per_sec"];
+
+/// Row fields that are content-addressed identities: exact string
+/// equality, and a missing field on either side is a failure — a drifted
+/// `instance_id` means a "same case" row silently started measuring a
+/// different instance.
+const ID_FIELDS: &[&str] = &["instance_id"];
 
 /// The outcome of one baseline comparison: hard failures (exact-field
 /// drift, missing rows, schema mismatch) and advisory throughput notes.
@@ -637,6 +722,16 @@ fn compare_bench(baseline: &json::Value, fresh: &json::Value, tol_pct: f64) -> B
             if b != f {
                 diff.failures.push(format!(
                     "{label}: count field `{field}` drifted: baseline {b:?}, fresh {f:?}"
+                ));
+            }
+        }
+        for field in ID_FIELDS {
+            let b = brow.get(field).and_then(json::Value::as_str);
+            let f = frow.get(field).and_then(json::Value::as_str);
+            if b.is_none() || f.is_none() || b != f {
+                diff.failures.push(format!(
+                    "{label}: identity field `{field}` mismatch: baseline {b:?}, fresh {f:?} \
+                     (the case is no longer measuring the same instance)"
                 ));
             }
         }
@@ -965,11 +1060,72 @@ mod tests {}
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    #[test]
+    fn content_addressed_identity_rule_fires_outside_vc_ident() {
+        let dir = std::env::temp_dir().join(format!("xtask-ident-rule-{}", std::process::id()));
+        let engine_src = dir.join("crates/engine/src");
+        let ident_src = dir.join("crates/ident/src");
+        let model_src = dir.join("crates/model/src");
+        std::fs::create_dir_all(&engine_src).unwrap();
+        std::fs::create_dir_all(&ident_src).unwrap();
+        std::fs::create_dir_all(&model_src).unwrap();
+        // An ad-hoc digest in the engine: the old fingerprint helper plus an
+        // inlined mixing constant, spelled with Rust underscore grouping and
+        // mixed case to exercise the normalization.
+        std::fs::write(
+            engine_src.join("checkpoint.rs"),
+            "fn sweep_fingerprint(x: u64) -> u64 {\n    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)\n}\n",
+        )
+        .unwrap();
+        // The same constants inside vc-ident and the allowlisted randomness
+        // stream generator are fine.
+        std::fs::write(
+            ident_src.join("lib.rs"),
+            "const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;\n",
+        )
+        .unwrap();
+        std::fs::write(
+            model_src.join("randomness.rs"),
+            "const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_content_addressed_identity(&dir, &mut findings);
+        assert_eq!(findings.len(), 2, "helper name + constant, nothing else");
+        assert!(findings
+            .iter()
+            .all(|f| f.rule == "content-addressed-identity"));
+        assert!(findings
+            .iter()
+            .all(|f| f.file.ends_with("crates/engine/src/checkpoint.rs")));
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     /// A minimal well-formed `vc-engine-baseline/v1` document with one row.
     fn bench_doc(case: &str, threads: u64, total_queries: u64, starts_per_sec: f64) -> json::Value {
+        bench_doc_with_id(
+            case,
+            threads,
+            total_queries,
+            starts_per_sec,
+            "00ab12cd34ef5678",
+        )
+    }
+
+    /// Like [`bench_doc`] but with an explicit `instance_id` string.
+    fn bench_doc_with_id(
+        case: &str,
+        threads: u64,
+        total_queries: u64,
+        starts_per_sec: f64,
+        instance_id: &str,
+    ) -> json::Value {
         let src = format!(
             r#"{{"schema": "vc-engine-baseline/v1", "rows": [
-                {{"case": "{case}", "threads": {threads}, "n": 100,
+                {{"case": "{case}", "n": 100, "instance_id": "{instance_id}",
+                  "threads": {threads},
                   "max_volume": 7, "max_distance": 3, "runs": 100,
                   "incomplete": 0, "total_queries": {total_queries},
                   "starts_per_sec": {starts_per_sec}, "queries_per_sec": 1000.0}}]}}"#
@@ -1020,6 +1176,28 @@ mod tests {}
         let fresh = bench_doc("case/a", 1, 400, 900.0);
         let diff = compare_bench(&baseline, &fresh, 25.0);
         assert!(diff.advisories.is_empty());
+    }
+
+    #[test]
+    fn compare_bench_fails_on_instance_id_drift_or_absence() {
+        let baseline = bench_doc_with_id("case/a", 1, 400, 500.0, "00ab12cd34ef5678");
+        let fresh = bench_doc_with_id("case/a", 1, 400, 500.0, "ffffffff00000000");
+        let diff = compare_bench(&baseline, &fresh, 25.0);
+        assert_eq!(diff.failures.len(), 1);
+        assert!(diff.failures[0].contains("instance_id"));
+        assert!(diff.failures[0].contains("same instance"));
+
+        // A row that never recorded its identity is itself a failure: the
+        // pin only protects the baseline if it is actually present.
+        let src = r#"{"schema": "vc-engine-baseline/v1", "rows": [
+            {"case": "case/a", "n": 100, "threads": 1,
+             "max_volume": 7, "max_distance": 3, "runs": 100,
+             "incomplete": 0, "total_queries": 400,
+             "starts_per_sec": 500.0, "queries_per_sec": 1000.0}]}"#;
+        let legacy = json::parse(src).unwrap();
+        let diff = compare_bench(&legacy, &legacy, 25.0);
+        assert_eq!(diff.failures.len(), 1);
+        assert!(diff.failures[0].contains("instance_id"));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use vc_model::RandomTape;
 struct Row {
     case: &'static str,
     n: usize,
+    instance_id: String,
     threads: usize,
     max_volume: usize,
     max_distance: u32,
@@ -38,6 +39,7 @@ fn row<O>(case: &'static str, inst: &Instance, report: &EngineReport<O>) -> Row 
     Row {
         case,
         n: inst.n(),
+        instance_id: inst.instance_id().to_string(),
         threads: report.threads,
         max_volume: report.summary.max_volume,
         max_distance: report.summary.max_distance,
@@ -97,11 +99,13 @@ fn to_json(rows: &[Row]) -> String {
     let mut out = String::from("{\n  \"schema\": \"vc-engine-baseline/v1\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"case\": \"{}\", \"n\": {}, \"threads\": {}, \"max_volume\": {}, \
+            "    {{\"case\": \"{}\", \"n\": {}, \"instance_id\": \"{}\", \"threads\": {}, \
+             \"max_volume\": {}, \
              \"max_distance\": {}, \"runs\": {}, \"incomplete\": {}, \"total_queries\": {}, \
              \"starts_per_sec\": {:.1}, \"queries_per_sec\": {:.1}}}{}\n",
             r.case,
             r.n,
+            r.instance_id,
             r.threads,
             r.max_volume,
             r.max_distance,

@@ -43,7 +43,10 @@ fn main() {
     let inst = gen::hierarchical_for_size(2, 1200, 7);
     let algo = FaultedAlgorithm::new(DeterministicSolver { k: 2 }, plan);
     let config = RunConfig::default();
-    let engine = Engine::from_env();
+    let engine = Engine::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
 
     // One faulted sweep, ambient threads/deadline.
     let report = engine

@@ -24,7 +24,10 @@ fn main() {
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "TRACE_report.json".to_string());
-    let engine = Engine::from_env();
+    let engine = Engine::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let mut cases = Vec::new();
 
     // The same solver/instance pairs as the engine baseline, so the two

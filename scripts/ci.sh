@@ -36,7 +36,9 @@ step "VC_THREADS=2 determinism suites" \
     --test engine_determinism \
     --test lower_bounds \
     --test pipeline_hybrid_hh \
-    --test trace_determinism
+    --test trace_determinism \
+    --test checkpoint_identity \
+    --test ident_canonical
 
 # Fault suite (DESIGN.md §11), under the same forced two-worker engine:
 # an injected chunk panic must leave a recovered sweep whose merged counts
@@ -74,8 +76,10 @@ step "xtask check-json BENCH_engine.json" \
 
 # Bench regression gate: regenerate the engine baseline on this machine and
 # diff it against the committed one. Count fields (n, runs, incomplete,
-# total_queries, max_volume, max_distance) must match exactly — drift means
-# a semantic regression. Throughput fields are advisory within 25%.
+# total_queries, max_volume, max_distance) and the content-addressed
+# instance_id must match exactly — drift means a semantic regression, or a
+# case silently measuring a different instance. Throughput fields are
+# advisory within 25%.
 FRESH_BASELINE=target/BENCH_engine.fresh.json
 step "regenerate engine baseline" \
     cargo run --release --example engine_baseline "$FRESH_BASELINE"

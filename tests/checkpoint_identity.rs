@@ -1,0 +1,147 @@
+//! Integration regression tests for the content-addressed checkpoint
+//! identity: a checkpoint written for one sweep must never resume a
+//! *different* sweep, even when the old size-keyed fingerprint would have
+//! collided.
+//!
+//! The two collision classes pinned here are exactly the ones the
+//! `vc-ident` layer was introduced to close:
+//!
+//! 1. **Same size, different content.** Two instances with identical `n`
+//!    (and hence identical chunk counts) but different edges/labels must
+//!    have distinct `InstanceId`s, and a checkpoint for one must be
+//!    refused — loudly — when resumed against the other.
+//! 2. **Same sweep, different fault plan.** A checkpoint written under an
+//!    active `FaultPlan` must be refused when the plan changes between
+//!    the kill and the resume (e.g. a flipped `VC_FAULTS` spec), because
+//!    the fault tape changes every recorded output.
+
+use vc_core::problems::leaf_coloring::DistanceSolver;
+use vc_engine::Engine;
+use vc_faults::{FaultPlan, FaultedAlgorithm};
+use vc_graph::gen;
+use vc_model::run::RunConfig;
+
+/// A unique temp directory per test so parallel test binaries never share
+/// checkpoint files.
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vc-checkpoint-identity-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    dir
+}
+
+#[test]
+fn resume_refuses_a_different_instance_of_the_same_size() {
+    // Same n_target, different seeds: identical node count (and so
+    // identical num_chunks — the old fingerprint's only content signal),
+    // different tree shape and labels.
+    let a = gen::random_full_binary_tree(333, 5);
+    let b = gen::random_full_binary_tree(333, 6);
+    assert_eq!(a.n(), b.n(), "the collision setup needs equal sizes");
+    assert_ne!(
+        a.instance_id(),
+        b.instance_id(),
+        "equal-size instances with different content must have distinct ids"
+    );
+
+    let config = RunConfig::default();
+    let dir = temp_dir("instance");
+    let path = dir.join("ckpt.json");
+    let _ = std::fs::remove_file(&path);
+
+    // Kill the sweep on A after two chunks; the checkpoint stays on disk.
+    let killed = Engine::with_threads(2)
+        .with_chunk_quota(2)
+        .run_recorded_with_checkpoint(&a, &DistanceSolver, &config, &path)
+        .expect("killed sweep still writes its checkpoint");
+    assert!(
+        !killed.is_complete(),
+        "the quota must actually kill the sweep"
+    );
+
+    // Resuming against B must fail loudly, naming both the sweep mismatch
+    // and the instance-content mismatch.
+    let err = Engine::with_threads(2)
+        .run_recorded_with_checkpoint(&b, &DistanceSolver, &config, &path)
+        .expect_err("a checkpoint for A must not resume against B");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("belongs to a different sweep"),
+        "error must name the sweep mismatch: {msg}"
+    );
+    assert!(
+        msg.contains("instance content differs"),
+        "error must name the instance-content mismatch: {msg}"
+    );
+
+    // The checkpoint is still valid for A: resuming there completes and
+    // matches an unbroken run byte for byte.
+    let unbroken_path = dir.join("unbroken.json");
+    let _ = std::fs::remove_file(&unbroken_path);
+    let unbroken = Engine::with_threads(2)
+        .run_recorded_with_checkpoint(&a, &DistanceSolver, &config, &unbroken_path)
+        .expect("unbroken sweep runs");
+    let resumed = Engine::with_threads(2)
+        .run_recorded_with_checkpoint(&a, &DistanceSolver, &config, &path)
+        .expect("resume against the original instance succeeds");
+    assert!(resumed.is_complete() && unbroken.is_complete());
+    assert_eq!(resumed.summary, unbroken.summary);
+    assert_eq!(resumed.records, unbroken.records);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_refuses_a_changed_fault_plan() {
+    let inst = gen::random_full_binary_tree(333, 5);
+    let config = RunConfig::default();
+    let plan = FaultPlan::from_spec("seed=1,refuse=8").expect("valid spec");
+    let changed = FaultPlan::from_spec("seed=1,refuse=16").expect("valid spec");
+    let algo = FaultedAlgorithm::new(DistanceSolver, plan);
+    let algo_changed = FaultedAlgorithm::new(DistanceSolver, changed);
+
+    let dir = temp_dir("faultplan");
+    let path = dir.join("ckpt.json");
+    let _ = std::fs::remove_file(&path);
+
+    let killed = Engine::with_threads(2)
+        .with_chunk_quota(2)
+        .run_recorded_with_checkpoint(&inst, &algo, &config, &path)
+        .expect("killed faulted sweep still writes its checkpoint");
+    assert!(
+        !killed.is_complete(),
+        "the quota must actually kill the sweep"
+    );
+
+    // The same instance and solver, but the ambient fault plan changed
+    // between kill and resume (the flipped-VC_FAULTS scenario): refuse.
+    let err = Engine::with_threads(2)
+        .run_recorded_with_checkpoint(&inst, &algo_changed, &config, &path)
+        .expect_err("a changed fault plan must not resume the checkpoint");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("belongs to a different sweep"),
+        "error must name the sweep mismatch: {msg}"
+    );
+    assert!(
+        !msg.contains("instance content differs"),
+        "the instance did not change, only the plan: {msg}"
+    );
+
+    // Under the original plan the resume is lossless.
+    let unbroken_path = dir.join("unbroken.json");
+    let _ = std::fs::remove_file(&unbroken_path);
+    let unbroken = Engine::with_threads(2)
+        .run_recorded_with_checkpoint(&inst, &algo, &config, &unbroken_path)
+        .expect("unbroken faulted sweep runs");
+    let resumed = Engine::with_threads(2)
+        .run_recorded_with_checkpoint(&inst, &algo, &config, &path)
+        .expect("resume under the original plan succeeds");
+    assert!(resumed.is_complete() && unbroken.is_complete());
+    assert_eq!(resumed.summary, unbroken.summary);
+    assert_eq!(resumed.records, unbroken.records);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

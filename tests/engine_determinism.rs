@@ -134,7 +134,7 @@ fn sampled_sweeps_are_thread_count_invariant() {
 fn env_override_is_respected_in_ci() {
     // When scripts/ci.sh re-runs this binary with VC_THREADS=2, from_env
     // must pick that up; otherwise it falls back to available parallelism.
-    let engine = Engine::from_env();
+    let engine = Engine::from_env().expect("CI sets only well-formed VC_THREADS values");
     if let Ok(v) = std::env::var("VC_THREADS") {
         if let Ok(t) = v.trim().parse::<usize>() {
             if t >= 1 {
