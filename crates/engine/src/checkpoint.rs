@@ -250,7 +250,9 @@ impl SweepCheckpoint {
         let num_chunks = doc
             .get("num_chunks")
             .and_then(json::Value::as_u64)
-            .ok_or("missing num_chunks")? as usize;
+            .map(usize::try_from)
+            .ok_or("missing num_chunks")?
+            .map_err(|_| "out-of-range num_chunks")?;
         let chunk_vals = doc
             .get("chunks")
             .and_then(json::Value::as_arr)
@@ -305,8 +307,8 @@ fn record_from_json(v: &json::Value) -> Result<ExecutionRecord, String> {
         _ => return Err("missing or non-boolean field \"completed\"".to_string()),
     };
     Ok(ExecutionRecord {
-        root: u64_field("root")? as usize,
-        volume: u64_field("volume")? as usize,
+        root: usize::try_from(u64_field("root")?).map_err(|_| "out-of-range root")?,
+        volume: usize::try_from(u64_field("volume")?).map_err(|_| "out-of-range volume")?,
         distance,
         distance_upper: u32::try_from(u64_field("distance_upper")?)
             .map_err(|_| "out-of-range distance_upper")?,

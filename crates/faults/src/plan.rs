@@ -167,6 +167,7 @@ impl FaultPlan {
     ///
     /// [`SpecError`] as for [`FaultPlan::from_spec`].
     pub fn from_env() -> Result<Option<Self>, SpecError> {
+        // vc-lint: allow(VC011, reason = "VC_FAULTS is the fault plan's own documented entry point, mirroring Engine::from_env; the plan still reaches the engine only through RunConfig")
         match std::env::var(FAULTS_ENV) {
             Ok(spec) if !spec.trim().is_empty() => Self::from_spec(&spec).map(Some),
             _ => Ok(None),

@@ -1,0 +1,513 @@
+//! A token-level lexer for (a useful subset of) Rust surface syntax.
+//!
+//! The linter's rules match *token sequences*, never raw substrings, so a
+//! forbidden name inside a string literal or a comment can never fire a
+//! finding, and every finding carries the exact `line:col` of the token
+//! that triggered it. The lexer understands exactly the constructs that
+//! make substring scanning unsound:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, including `/**`/`/*!` doc forms);
+//! - string literals with escapes, raw strings `r"…"`/`r#"…"#` (any hash
+//!   count), byte strings `b"…"`, raw byte strings `br#"…"#`;
+//! - char literals (with escapes), byte literals `b'…'`, and the
+//!   lifetime-vs-char-literal ambiguity (`'a` in `&'a str` is a lifetime,
+//!   `'a'` is a char);
+//! - raw identifiers `r#match` (lexed as identifiers, not raw strings);
+//! - numeric literals including underscore grouping, `0x`/`0o`/`0b`
+//!   prefixes, float syntax and type suffixes (`0x9E37_79B9`, `1.5e-3`,
+//!   `42u64` are each one token; `0..n` is a number and two dots).
+//!
+//! Everything else is an identifier ([`TokKind::Ident`], keywords
+//! included) or a single-byte punctuation token ([`TokKind::Punct`]).
+//! That is deliberately *not* a full Rust lexer — no token trees, no
+//! float-exponent edge cases beyond the common forms — but it is exact on
+//! the boundary that matters for linting: code vs. comment vs. literal.
+//!
+//! Lines and columns are 1-indexed; columns count bytes, which matches
+//! editors for the ASCII sources this workspace contains.
+
+/// The kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `as`, `struct`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — the tick and its identifier.
+    Lifetime,
+    /// A numeric literal (`42`, `0x9E37_79B9`, `1.5e-3`, `7u64`).
+    Num,
+    /// A string literal `"…"` (escapes handled).
+    Str,
+    /// A raw string literal `r"…"` / `r#"…"#` (any hash count).
+    RawStr,
+    /// A byte-string literal `b"…"`.
+    ByteStr,
+    /// A raw byte-string literal `br"…"` / `br#"…"#`.
+    RawByteStr,
+    /// A char literal `'x'` / `'\n'`.
+    Char,
+    /// A byte literal `b'x'`.
+    Byte,
+    /// A line comment (`//…`, `///…`, `//!…`), newline excluded.
+    LineComment,
+    /// A block comment `/* … */`, nesting handled.
+    BlockComment,
+    /// A single punctuation byte (`.`, `:`, `!`, `{`, …).
+    Punct,
+}
+
+impl TokKind {
+    /// True for the two comment kinds.
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// One lexed token: kind plus byte span plus 1-indexed position.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 1-indexed line of `start`.
+    pub line: u32,
+    /// 1-indexed byte column of `start` within its line.
+    pub col: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated literals or
+/// comments extend to end-of-input, and bytes the lexer does not model
+/// (e.g. non-ASCII outside literals) become single [`TokKind::Punct`]
+/// tokens. Whitespace is skipped and carries no tokens.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    // Advances `line`/`col` over `bytes[from..to]`.
+    let advance = |line: &mut u32, col: &mut u32, from: usize, to: usize| {
+        for &b in &bytes[from..to] {
+            if b == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        let (start_line, start_col) = (line, col);
+        let start = i;
+
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                advance(&mut line, &mut col, i, i + 1);
+                i += 1;
+                continue;
+            }
+            b'/' if next == Some(b'/') => {
+                i += 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                TokKind::LineComment
+            }
+            b'/' if next == Some(b'*') => {
+                i += 2;
+                let mut depth = 1u32;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'r' | b'b' => {
+                // Possible raw/byte literal prefixes; fall back to ident.
+                let (body, byte_prefixed) = if b == b'b' && next == Some(b'r') {
+                    (i + 2, true)
+                } else if b == b'r' {
+                    (i + 1, false)
+                } else {
+                    (i + 1, true) // b"…" / b'…' / plain ident starting with b
+                };
+                if b == b'b' && next == Some(b'"') {
+                    i = scan_string(bytes, i + 2);
+                    TokKind::ByteStr
+                } else if b == b'b' && next == Some(b'\'') {
+                    i = scan_char_body(bytes, i + 2);
+                    TokKind::Byte
+                } else if (b == b'r' || (b == b'b' && next == Some(b'r')))
+                    && raw_string_hashes(bytes, body).is_some()
+                {
+                    // `r"…"`, `r#"…"#`, `br"…"`, `br##"…"##` — but NOT raw
+                    // identifiers (`r#match`): those have no quote after
+                    // the hashes and fall through to the ident arm below.
+                    let hashes = raw_string_hashes(bytes, body).unwrap_or(0);
+                    i = scan_raw_string(bytes, body + hashes + 1, hashes);
+                    if byte_prefixed && b == b'b' {
+                        TokKind::RawByteStr
+                    } else {
+                        TokKind::RawStr
+                    }
+                } else {
+                    i += 1;
+                    // Raw identifier: swallow `#` so `r#match` is one token.
+                    if b == b'r' && next == Some(b'#') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    TokKind::Ident
+                }
+            }
+            b'"' => {
+                i = scan_string(bytes, i + 1);
+                TokKind::Str
+            }
+            b'\'' => {
+                // Lifetime iff an identifier follows and the run is not
+                // closed by another tick (`'a` vs `'a'`).
+                let is_lifetime = next.is_some_and(is_ident_start) && {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_continue(bytes[j]) {
+                        j += 1;
+                    }
+                    bytes.get(j) != Some(&b'\'')
+                };
+                if is_lifetime {
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    TokKind::Lifetime
+                } else {
+                    i = scan_char_body(bytes, i + 1);
+                    TokKind::Char
+                }
+            }
+            b'0'..=b'9' => {
+                i = scan_number(bytes, i);
+                TokKind::Num
+            }
+            _ if is_ident_start(b) => {
+                i += 1;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                TokKind::Ident
+            }
+            _ => {
+                i += 1;
+                TokKind::Punct
+            }
+        };
+
+        advance(&mut line, &mut col, start, i);
+        toks.push(Tok {
+            kind,
+            start,
+            end: i,
+            line: start_line,
+            col: start_col,
+        });
+    }
+    toks
+}
+
+/// If `bytes[at..]` starts a raw-string body (`#…#"` or `"`), returns the
+/// hash count; `None` means this is not a raw string (e.g. a raw ident).
+fn raw_string_hashes(bytes: &[u8], at: usize) -> Option<usize> {
+    let mut hashes = 0;
+    let mut j = at;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// Scans a (byte-)string body starting just after the opening quote;
+/// returns the offset one past the closing quote (or EOF).
+fn scan_string(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i.min(bytes.len())
+}
+
+/// Scans a raw (byte-)string body starting just after the opening quote;
+/// the literal closes at `"` followed by `hashes` hash signs.
+fn scan_raw_string(bytes: &[u8], mut i: usize, hashes: usize) -> usize {
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let closes = (0..hashes).all(|h| bytes.get(i + 1 + h) == Some(&b'#'));
+            if closes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scans a char/byte-literal body starting just after the opening tick;
+/// returns the offset one past the closing tick (or EOF).
+fn scan_char_body(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i.min(bytes.len())
+}
+
+/// Scans a numeric literal starting at a digit; handles `0x`/`0o`/`0b`
+/// prefixes, underscore grouping, simple float forms (`1.5`, `1e9`,
+/// `1.5e-3`) and type suffixes (`7u64`). `0..n` stops before the dots.
+fn scan_number(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    let radix_prefixed = bytes[i] == b'0'
+        && matches!(
+            bytes.get(i + 1),
+            Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+        );
+    if radix_prefixed {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part: a dot followed by a digit (not `..`, not `.method()`).
+    if bytes.get(i) == Some(&b'.')
+        && bytes
+            .get(i + 1)
+            .copied()
+            .is_some_and(|d| d.is_ascii_digit())
+    {
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent: e/E, optional sign, at least one digit.
+    if matches!(bytes.get(i), Some(b'e') | Some(b'E')) {
+        let mut j = i + 1;
+        if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+            j += 1;
+        }
+        if bytes.get(j).copied().is_some_and(|d| d.is_ascii_digit()) {
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`).
+    while i < bytes.len() && is_ident_continue(bytes[i]) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, src[t.start..t.end].to_string()))
+            .collect()
+    }
+
+    fn code_idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| src[t.start..t.end].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r#"
+// a comment mentioning .unwrap()
+/* block with panic! inside */
+let s = "contains .unwrap() too";
+let real = x.unwrap();
+"#;
+        let idents = code_idents(src);
+        assert_eq!(idents.iter().filter(|i| *i == "unwrap").count(), 1);
+        assert!(!idents.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hash_delimiters() {
+        let src = r##"let s = r#"panic!("inside")"#; let t = y.unwrap();"##;
+        let toks = texts(src);
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokKind::RawStr && s.contains("panic!")));
+        let idents = code_idents(src);
+        assert!(!idents.contains(&"panic".to_string()));
+        assert!(idents.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_close_on_the_full_fence() {
+        let src = r###"let s = r##"one "# inside"##; let u = q.unwrap();"###;
+        let idents = code_idents(src);
+        assert!(idents.contains(&"unwrap".to_string()));
+        assert_eq!(
+            texts(src)
+                .iter()
+                .filter(|(k, _)| *k == TokKind::RawStr)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner panic! */ still comment */ x.unwrap()";
+        let toks = texts(src);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.contains("inner"));
+        assert!(toks[0].1.contains("still comment"));
+        let idents = code_idents(src);
+        assert_eq!(idents, vec!["x", "unwrap"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_literals() {
+        let src = r#"let a = b"panic!"; let c = b'x'; let d = b'\''; keep.unwrap()"#;
+        let toks = texts(src);
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokKind::ByteStr && s.contains("panic!")));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Byte).count(), 2);
+        assert!(code_idents(src).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_byte_strings() {
+        let src = r##"let a = br#"HashMap"#; let b = br"HashSet";"##;
+        let toks = texts(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokKind::RawByteStr)
+                .count(),
+            2
+        );
+        assert!(!code_idents(src).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x } let c = 'y'; let e = '\\n';";
+        let toks = texts(src);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            3
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers_not_raw_strings() {
+        let src = "let r#match = 1; let s = r#\"text\"#;";
+        let toks = texts(src);
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokKind::Ident && s == "r#match"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::RawStr).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn inner_doc_comments_are_comments() {
+        let src = "//! crate docs mentioning HashMap\n/// item docs with panic!\npub fn f() {}";
+        let comments: Vec<_> = texts(src)
+            .into_iter()
+            .filter(|(k, _)| k.is_comment())
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert!(!code_idents(src).contains(&"HashMap".to_string()));
+        assert!(!code_idents(src).contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn numbers_lex_as_single_tokens() {
+        let src = "let a = 0x9E37_79B9_7F4A_7C15; let b = 1.5e-3; let c = 42u64; for i in 0..n {}";
+        let nums: Vec<_> = texts(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(nums, vec!["0x9E37_79B9_7F4A_7C15", "1.5e-3", "42u64", "0"]);
+    }
+
+    #[test]
+    fn method_calls_on_numbers_keep_the_dot() {
+        let src = "let m = 1.max(2);";
+        let toks = texts(src);
+        assert!(toks.iter().any(|(k, s)| *k == TokKind::Num && s == "1"));
+        assert!(toks.iter().any(|(k, s)| *k == TokKind::Ident && s == "max"));
+    }
+
+    #[test]
+    fn positions_are_one_indexed_lines_and_byte_columns() {
+        let src = "let a = 1;\n    b.unwrap();\n";
+        let toks = lex(src);
+        let unwrap = toks
+            .iter()
+            .find(|t| &src[t.start..t.end] == "unwrap")
+            .expect("unwrap token");
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof_without_panicking() {
+        for src in ["\"open", "r#\"open", "'\\", "/* open /* nested", "b\"open"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Inline suppression pragmas.
+//!
+//! A finding is suppressed by a plain `//` line comment of the form
+//!
+//! ```text
+//! // vc-lint: allow(VC009, reason = "keyed scratch, iteration order never observed")
+//! ```
+//!
+//! - The **reason is mandatory** and must be non-empty: a suppression is
+//!   an argument, not a switch.
+//! - Several codes may be listed: `allow(VC009, VC012, reason = "…")`.
+//! - A pragma applies to findings on **its own line** (trailing-comment
+//!   form) and on the **line directly below** (standalone form).
+//! - Only `//` comments carry pragmas. Doc comments (`///`, `//!`) never
+//!   do, so documentation can quote the syntax freely.
+//! - A pragma that suppresses nothing is itself a finding
+//!   ([`crate::rules::UNUSED_SUPPRESSION`], `VC013`), per listed code; a
+//!   malformed pragma (missing reason, bad code, empty list) is a finding
+//!   too ([`crate::rules::MALFORMED_SUPPRESSION`], `VC014`). Neither of
+//!   those two codes can themselves be suppressed.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// One parsed suppression pragma.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// Relative path of the file containing the pragma.
+    pub file: String,
+    /// 1-indexed line of the pragma comment.
+    pub line: u32,
+    /// 1-indexed column of the pragma comment.
+    pub col: u32,
+    /// The rule codes this pragma suppresses (e.g. `["VC009"]`).
+    pub codes: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A pragma-shaped comment that does not parse.
+#[derive(Clone, Debug)]
+pub struct MalformedPragma {
+    /// Relative path of the file containing the comment.
+    pub file: String,
+    /// 1-indexed line of the comment.
+    pub line: u32,
+    /// 1-indexed column of the comment.
+    pub col: u32,
+    /// What is wrong with it.
+    pub error: String,
+}
+
+/// Scans a file's comment tokens for pragmas. Returns parsed pragmas and
+/// malformed ones separately.
+pub fn collect(file: &SourceFile) -> (Vec<Pragma>, Vec<MalformedPragma>) {
+    let mut pragmas = Vec::new();
+    let mut malformed = Vec::new();
+    for (i, t) in file.toks.iter().enumerate() {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = file.tok_text(i);
+        // Only plain `//` comments: `///` and `//!` are documentation.
+        let Some(body) = text.strip_prefix("//") else {
+            continue;
+        };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let Some(spec) = body.trim_start().strip_prefix("vc-lint:") else {
+            continue;
+        };
+        match parse_spec(spec.trim()) {
+            Ok((codes, reason)) => pragmas.push(Pragma {
+                file: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                codes,
+                reason,
+            }),
+            Err(error) => malformed.push(MalformedPragma {
+                file: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                error,
+            }),
+        }
+    }
+    (pragmas, malformed)
+}
+
+/// Parses `allow(VC00x[, VC00y…], reason = "…")`.
+fn parse_spec(spec: &str) -> Result<(Vec<String>, String), String> {
+    let Some(rest) = spec.strip_prefix("allow") else {
+        return Err(format!(
+            "expected `allow(…)` after `vc-lint:`, found {spec:?}"
+        ));
+    };
+    let rest = rest.trim_start();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|r| r.trim_end().strip_suffix(')'))
+        .ok_or_else(|| "expected a parenthesized `allow(…)` argument list".to_string())?;
+
+    // The reason clause is the last list entry: split it off first so the
+    // quoted string may contain commas.
+    let Some(reason_at) = inner.find("reason") else {
+        return Err(
+            "missing mandatory `reason = \"…\"` — a suppression is an argument, not a switch"
+                .to_string(),
+        );
+    };
+    let (codes_part, reason_part) = inner.split_at(reason_at);
+    let reason_rhs = reason_part
+        .strip_prefix("reason")
+        .unwrap_or(reason_part)
+        .trim_start();
+    let reason_rhs = reason_rhs
+        .strip_prefix('=')
+        .ok_or_else(|| "expected `=` after `reason`".to_string())?
+        .trim();
+    let reason = reason_rhs
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "the reason must be a double-quoted string".to_string())?
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        return Err("the reason must not be empty".to_string());
+    }
+
+    let mut codes = Vec::new();
+    for entry in codes_part.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        if !is_code(entry) {
+            return Err(format!(
+                "{entry:?} is not a rule code (expected `VC` plus three digits, e.g. VC009)"
+            ));
+        }
+        codes.push(entry.to_string());
+    }
+    if codes.is_empty() {
+        return Err("the allow list names no rule codes".to_string());
+    }
+    Ok((codes, reason))
+}
+
+/// True for `VC` followed by exactly three ASCII digits.
+fn is_code(s: &str) -> bool {
+    s.len() == 5 && s.starts_with("VC") && s[2..].bytes().all(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("x.rs".into(), src.into())
+    }
+
+    #[test]
+    fn well_formed_pragmas_parse() {
+        let src = "let a = 1; // vc-lint: allow(VC009, reason = \"keyed, order unobserved\")\n";
+        let (pragmas, malformed) = collect(&file(src));
+        assert!(malformed.is_empty());
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].codes, vec!["VC009"]);
+        assert_eq!(pragmas[0].reason, "keyed, order unobserved");
+        assert_eq!(pragmas[0].line, 1);
+    }
+
+    #[test]
+    fn multiple_codes_and_commas_in_reasons() {
+        let src = "// vc-lint: allow(VC009, VC012, reason = \"a, b, and c\")\n";
+        let (pragmas, malformed) = collect(&file(src));
+        assert!(malformed.is_empty());
+        assert_eq!(pragmas[0].codes, vec!["VC009", "VC012"]);
+        assert_eq!(pragmas[0].reason, "a, b, and c");
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let (pragmas, malformed) = collect(&file("// vc-lint: allow(VC001)\n"));
+        assert!(pragmas.is_empty());
+        assert_eq!(malformed.len(), 1);
+        assert!(malformed[0].error.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_bad_code_and_bad_verb_are_malformed() {
+        for src in [
+            "// vc-lint: allow(VC001, reason = \"\")\n",
+            "// vc-lint: allow(VC1, reason = \"x\")\n",
+            "// vc-lint: allow(reason = \"x\")\n",
+            "// vc-lint: deny(VC001, reason = \"x\")\n",
+            "// vc-lint: allow VC001\n",
+        ] {
+            let (pragmas, malformed) = collect(&file(src));
+            assert!(pragmas.is_empty(), "should not parse: {src}");
+            assert_eq!(malformed.len(), 1, "should be malformed: {src}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_and_unrelated_comments_are_ignored() {
+        let src = "\
+/// vc-lint: allow(VC001, reason = \"docs quoting the syntax\")
+//! vc-lint: allow(VC002, reason = \"inner docs too\")
+// an ordinary comment
+fn f() {}
+";
+        let (pragmas, malformed) = collect(&file(src));
+        assert!(pragmas.is_empty());
+        assert!(malformed.is_empty());
+    }
+}

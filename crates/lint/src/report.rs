@@ -1,0 +1,165 @@
+//! Findings, deterministic ordering, and the two renderings: human
+//! `file:line:col` diagnostics and the `vc-lint-report/v1` JSON document.
+
+use std::fmt;
+
+/// One lint finding with a full span anchor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative, `/`-separated path.
+    pub file: String,
+    /// 1-indexed line of the triggering token.
+    pub line: u32,
+    /// 1-indexed byte column of the triggering token.
+    pub col: u32,
+    /// Stable rule code (`VC001`…).
+    pub code: &'static str,
+    /// Human rule name (`no-panic-paths`, …).
+    pub rule: &'static str,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} [{}] {}",
+            self.file, self.line, self.col, self.code, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings, sorted (file, line, code, col, message).
+    pub findings: Vec<Finding>,
+    /// How many findings were silenced by suppression pragmas.
+    pub suppressed: usize,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+/// The schema identifier of the JSON rendering.
+pub const REPORT_SCHEMA: &str = "vc-lint-report/v1";
+
+impl Report {
+    /// Sorts findings deterministically — file path, then line, then
+    /// rule code (column and message break remaining ties) — so rendered
+    /// output and the JSON document are diffable and independent of
+    /// filesystem iteration order and rule execution order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.code, a.col, &a.message)
+                .cmp(&(&b.file, b.line, b.code, b.col, &b.message))
+        });
+    }
+
+    /// Renders the `vc-lint-report/v1` JSON document (a single object,
+    /// findings in sorted order, parseable by `xtask check-json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 160 * self.findings.len());
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(REPORT_SCHEMA);
+        out.push_str("\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str(&format!("  \"total\": {},\n", self.findings.len()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"col\": {}, ", f.col));
+            out.push_str(&format!("\"code\": {}, ", json_str(f.code)));
+            out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+            out.push_str(&format!("\"message\": {}}}", json_str(&f.message)));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, col: u32, code: &'static str) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            col,
+            code,
+            rule: "r",
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn sort_is_file_then_line_then_code() {
+        let mut r = Report {
+            findings: vec![
+                finding("b.rs", 1, 1, "VC002"),
+                finding("a.rs", 9, 1, "VC001"),
+                finding("a.rs", 2, 5, "VC009"),
+                finding("a.rs", 2, 1, "VC001"),
+            ],
+            ..Report::default()
+        };
+        r.sort();
+        let order: Vec<(String, u32, &str)> = r
+            .findings
+            .iter()
+            .map(|f| (f.file.clone(), f.line, f.code))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".into(), 2, "VC001"),
+                ("a.rs".into(), 2, "VC009"),
+                ("a.rs".into(), 9, "VC001"),
+                ("b.rs".into(), 1, "VC002"),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_renders_an_empty_findings_array() {
+        let r = Report::default();
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": \"vc-lint-report/v1\""));
+        assert!(j.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,7 @@
+#![deny(missing_docs)]
+//! Fixture: a panic path in non-test model code.
+
+/// Unwraps where an error should be returned.
+pub fn f(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

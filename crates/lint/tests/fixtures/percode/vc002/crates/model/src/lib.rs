@@ -1,0 +1,4 @@
+//! Fixture: crate root without the deny(missing_docs) attribute.
+
+/// Documented anyway.
+pub fn f() {}

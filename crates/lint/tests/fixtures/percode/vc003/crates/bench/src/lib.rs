@@ -1,0 +1,2 @@
+//! Fixture: a hashed collection on a figure/table path.
+use std::collections::HashMap;

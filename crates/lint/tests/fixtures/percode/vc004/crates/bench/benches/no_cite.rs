@@ -1,0 +1,2 @@
+//! A benchmark whose header cites no paper artifact.
+fn main() {}

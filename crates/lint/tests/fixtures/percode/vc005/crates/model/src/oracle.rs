@@ -1,0 +1,2 @@
+//! Fixture: a hashed collection in the execution hot path.
+use std::collections::HashMap;

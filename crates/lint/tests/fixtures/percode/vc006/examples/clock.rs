@@ -1,0 +1,4 @@
+//! Fixture: a hidden clock read.
+fn main() {
+    let _t = std::time::Instant::now();
+}

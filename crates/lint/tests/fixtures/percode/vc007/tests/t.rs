@@ -1,0 +1,4 @@
+//! Fixture: panic isolation outside the engine.
+fn main() {
+    let _ = std::panic::catch_unwind(|| 1);
+}

@@ -1,0 +1,3 @@
+//! Fixture: a splitmix mixing constant outside vc-ident.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+fn main() {}

@@ -1,0 +1,3 @@
+#![deny(missing_docs)]
+//! Fixture: a hashed collection in a merge-tainted crate.
+use std::collections::HashMap;

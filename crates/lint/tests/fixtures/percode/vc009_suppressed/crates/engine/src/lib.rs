@@ -1,0 +1,4 @@
+#![deny(missing_docs)]
+//! Fixture: the same hashed collection, suppressed with a reason.
+// vc-lint: allow(VC009, reason = "fixture: keyed scratch whose iteration order is never observed")
+use std::collections::HashMap;

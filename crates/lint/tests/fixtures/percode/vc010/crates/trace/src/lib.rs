@@ -1,0 +1,8 @@
+#![deny(missing_docs)]
+//! Fixture: a float smuggled into a merged-counts struct.
+
+/// A counts struct with a float field.
+pub struct Counts {
+    /// Rounds under reordered merges.
+    pub mean_volume: f64,
+}

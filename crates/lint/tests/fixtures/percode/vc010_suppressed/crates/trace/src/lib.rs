@@ -1,0 +1,8 @@
+#![deny(missing_docs)]
+//! Fixture: the same float field, suppressed with a reason.
+
+/// A rates struct.
+pub struct Rates {
+    /// Wall-clock derived.
+    pub rate: f64, // vc-lint: allow(VC010, reason = "fixture: wall-clock rate, quarantined from merged counts")
+}

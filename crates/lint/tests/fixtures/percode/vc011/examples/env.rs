@@ -1,0 +1,4 @@
+//! Fixture: ambient environment read outside the sanctioned sites.
+fn main() {
+    let _ = std::env::var("HOME");
+}

@@ -1,0 +1,4 @@
+//! Fixture: the same environment read, suppressed with a reason.
+fn main() {
+    let _ = std::env::var("HOME"); // vc-lint: allow(VC011, reason = "fixture: example binary, not part of a sweep")
+}

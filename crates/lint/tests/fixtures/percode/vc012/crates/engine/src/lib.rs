@@ -1,0 +1,7 @@
+#![deny(missing_docs)]
+//! Fixture: a truncating cast on a counter in a merge path.
+
+/// Drops the high 32 bits.
+pub fn squash(x: u64) -> u32 {
+    x as u32
+}

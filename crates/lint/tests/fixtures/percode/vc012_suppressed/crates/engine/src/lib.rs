@@ -1,0 +1,7 @@
+#![deny(missing_docs)]
+//! Fixture: the same cast, suppressed with a range argument.
+
+/// Provably in range.
+pub fn squash(x: u64) -> u32 {
+    (x % 7) as u32 // vc-lint: allow(VC012, reason = "fixture: value is a residue mod 7, always below u32::MAX")
+}

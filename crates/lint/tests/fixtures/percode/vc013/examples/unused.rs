@@ -1,0 +1,3 @@
+//! Fixture: a suppression that silences nothing.
+// vc-lint: allow(VC009, reason = "fixture: nothing below uses a hashed collection")
+fn main() {}

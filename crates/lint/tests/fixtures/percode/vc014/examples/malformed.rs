@@ -1,0 +1,3 @@
+//! Fixture: a pragma with no reason.
+// vc-lint: allow(VC009)
+fn main() {}

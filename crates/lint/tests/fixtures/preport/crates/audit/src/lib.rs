@@ -1,0 +1,5 @@
+//! Parity fixture: vc-audit stand-in, clean.
+#![deny(missing_docs)]
+
+/// A placeholder item.
+pub fn nop() {}

@@ -1,0 +1,6 @@
+// A bench file whose header forgets to cite its paper artifact.
+use std::collections::HashSet;
+
+fn main() {
+    let _ = HashSet::<u8>::new();
+}

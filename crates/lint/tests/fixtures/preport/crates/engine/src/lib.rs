@@ -1,0 +1,11 @@
+//! Engine stand-in: the docs attribute is missing on purpose.
+
+/// Times a chunk with a raw clock read (no-hidden-clocks bait).
+pub fn time_chunk() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// Panic isolation is allowed inside the engine (no finding here).
+pub fn isolate() {
+    let _ = std::panic::catch_unwind(|| ());
+}

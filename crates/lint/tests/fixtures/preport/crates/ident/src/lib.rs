@@ -1,0 +1,5 @@
+//! Ident stand-in: the one place identity constants may live.
+#![deny(missing_docs)]
+
+/// The splitmix64 golden-gamma increment (allowlisted here).
+pub const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;

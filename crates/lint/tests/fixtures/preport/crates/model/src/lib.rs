@@ -1,0 +1,15 @@
+//! Parity fixture: vc-model stand-in.
+#![deny(missing_docs)]
+
+/// Reads the flag, panicking on absence (no-panic-paths bait).
+pub fn read_flag(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let _ = Some(1).unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! Oracle stand-in (flat-oracle-state bait).
+use std::collections::HashMap;
+
+/// Per-node scratch keyed by id — exactly what the rule forbids.
+pub type Scratch = HashMap<usize, u64>;
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    #[test]
+    fn hashed_fixture() {
+        let _ = HashSet::<u32>::new();
+    }
+}

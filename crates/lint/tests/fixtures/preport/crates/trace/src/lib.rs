@@ -1,0 +1,5 @@
+//! Parity fixture: vc-trace stand-in, clean.
+#![deny(missing_docs)]
+
+/// A placeholder item.
+pub fn nop() {}

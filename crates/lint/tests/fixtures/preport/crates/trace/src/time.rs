@@ -1,0 +1,6 @@
+//! Sanctioned clock module: `Instant::now` is allowlisted here.
+
+/// Reads the clock (no finding: this file is the allowlist entry).
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,8 @@
+// Ad-hoc identity hashing outside vc-ident (content-addressed-identity bait).
+fn sweep_fingerprint(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn main() {
+    println!("{}", sweep_fingerprint(7));
+}

@@ -45,6 +45,7 @@ impl Log2Hist {
         if value == 0 {
             0
         } else {
+            // vc-lint: allow(VC012, reason = "leading_zeros of a u64 is at most 64, far below any usize; this is an index computation, not a counter")
             64 - value.leading_zeros() as usize
         }
     }

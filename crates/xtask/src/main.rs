@@ -1,55 +1,23 @@
 //! In-repo automation tasks (the `cargo xtask` pattern), dependency-free.
 //!
-//! `cargo run -p xtask -- lint` enforces the repo's static-analysis rules:
-//!
-//! 1. **No panic paths in library code.** Non-test code of `vc-model`,
-//!    `vc-adversary`, `vc-audit`, `vc-engine` and `vc-trace` must not call
-//!    `.unwrap()` / `.expect(..)` or invoke the `panic!` / `unreachable!` /
-//!    `todo!` / `unimplemented!` macros — model and adversary failures are
-//!    [`QueryError`]/`GraphError` values, never aborts.
-//!    (`assert!`/`debug_assert!` precondition checks are allowed.)
-//! 2. **Documentation is mandatory.** `vc-model`, `vc-graph`, `vc-audit`,
-//!    `vc-engine` and `vc-trace` must carry `#![deny(missing_docs)]`.
-//! 3. **Deterministic figure/table paths.** `crates/bench` must not use
-//!    `HashMap`/`HashSet`: iteration order feeds the paper's figures and
-//!    tables, so only ordered collections are permitted.
-//! 4. **Benchmarks declare provenance.** Every file under
-//!    `crates/bench/benches/` must cite the paper artifact it reproduces
-//!    (a Table/Figure/Example/Observation/Proposition anchor) in its
-//!    header comment.
-//! 5. **The execution hot path stays flat.** `crates/model/src/oracle.rs`
-//!    must not use `HashMap`/`HashSet` at all (not even in tests): per-node
-//!    execution state lives in epoch-stamped flat buffers (`ExecScratch`),
-//!    and reintroducing hashed collections there would silently resurrect
-//!    the per-start allocation cost the engine's sweep throughput relies on
-//!    being gone.
-//! 6. **No hidden clocks.** `Instant::now` may appear only in
-//!    `crates/trace/src/time.rs` (the `Stopwatch` module). Clock reads are
-//!    syscalls; scattering them is how hot paths silently grow
-//!    per-iteration overhead — all timing goes through
-//!    `vc_trace::time::Stopwatch` so every read stays greppable.
-//! 7. **Panic isolation stays centralized.** `catch_unwind` may appear
-//!    only under `crates/engine/src`: the engine's per-chunk isolation is
-//!    the single place panics are converted into data (retries and the
-//!    `aborted_chunks` ledger). A stray `catch_unwind` elsewhere would
-//!    swallow solver bugs before the engine can account for them.
-//! 8. **Identity hashing stays in `vc-ident`.** Ad-hoc fingerprint code —
-//!    a `sweep_fingerprint` helper or inlined splitmix64 mixing constants —
-//!    may not reappear outside `crates/ident` (plus the pre-existing
-//!    randomness/fault-tape splitmix implementations, which generate
-//!    *streams*, not identities). Checkpoint compatibility rests on every
-//!    component folding content through one canonical hasher; a second
-//!    hand-rolled digest would silently fork the identity space and
-//!    resurrect the fingerprint collisions `vc-ident` exists to fix.
-//!
-//! The scanner strips comments and string literals before matching and
-//! skips `#[cfg(test)]` modules by brace counting, so documentation may
-//! discuss `unwrap` freely and tests may use it.
+//! `cargo run -p xtask -- lint [--json]` runs the workspace determinism
+//! linter. The linter itself lives in `crates/lint` (the `vc-lint`
+//! library): a token-level scanner enforcing the repo's architectural
+//! invariants under stable rule codes (`VC001`…`VC014`) with
+//! `file:line:col` spans and inline suppression pragmas
+//! (`// vc-lint: allow(VC00x, reason = "…")`). See DESIGN.md §13 for the
+//! rule catalog and the README for the code table. This binary is the
+//! thin driver: it locates the workspace root, runs [`vc_lint::run`], and
+//! renders either human diagnostics (default) or the machine-readable
+//! `vc-lint-report/v1` JSON document (`--json`, printed to stdout with
+//! findings still on stderr; CI validates it with `check-json` and
+//! uploads it as an artifact).
 //!
 //! `cargo run -p xtask -- check-json <path>` validates that a file parses
 //! as JSON (used by CI on the machine-readable `BENCH_engine.json`
-//! baseline and the `vc-trace-report/v1` document; the workspace's vendored
-//! no-op serde cannot do this).
+//! baseline, the `vc-trace-report/v1` document, and the
+//! `vc-lint-report/v1` lint report; the workspace's vendored no-op serde
+//! cannot do this).
 //!
 //! `cargo run -p xtask -- compare-bench <baseline> <fresh> [--tol-pct N]`
 //! diffs a freshly generated `BENCH_engine.json` against the committed
@@ -63,583 +31,43 @@
 //! regressions beyond the tolerance (default 25%) are printed but do not
 //! fail, since CI machines vary.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::ExitCode;
 
 use xtask::json;
 
-/// One lint finding, rendered `file:line: [rule] detail`.
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    detail: String,
+/// The workspace root: two levels above this crate's manifest,
+/// independent of the invocation directory.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
 }
 
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.detail
-        )
+/// Runs the linter and renders the result. With `json`, the
+/// `vc-lint-report/v1` document goes to stdout (findings still go to
+/// stderr so a redirected stdout stays a clean document).
+fn run_lint(json_out: bool) -> ExitCode {
+    let report = vc_lint::run(workspace_root());
+    for f in &report.findings {
+        eprintln!("{f}");
     }
-}
-
-/// Replaces comments, string literals and char literals with spaces,
-/// preserving every newline so line numbers survive.
-fn strip_comments_and_strings(src: &str) -> String {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-        Char,
+    if json_out {
+        print!("{}", report.to_json());
     }
-    let bytes = src.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < bytes.len() {
-        let b = bytes[i];
-        let next = bytes.get(i + 1).copied();
-        match st {
-            St::Code => match (b, next) {
-                (b'/', Some(b'/')) => {
-                    st = St::LineComment;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                }
-                (b'/', Some(b'*')) => {
-                    st = St::BlockComment(1);
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                }
-                (b'r', Some(b'"')) | (b'r', Some(b'#')) => {
-                    // Raw string: r"..." or r#"..."# (any hash count).
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while bytes.get(j) == Some(&b'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if bytes.get(j) == Some(&b'"') {
-                        st = St::RawStr(hashes);
-                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
-                        i = j + 1;
-                    } else {
-                        out.push(b);
-                        i += 1;
-                    }
-                }
-                (b'"', _) => {
-                    st = St::Str;
-                    out.push(b' ');
-                    i += 1;
-                }
-                (b'\'', _) => {
-                    // Distinguish a char literal from a lifetime: a lifetime
-                    // is `'ident` not followed by a closing quote.
-                    let is_lifetime = next.is_some_and(|c| {
-                        (c.is_ascii_alphabetic() || c == b'_') && bytes.get(i + 2) != Some(&b'\'')
-                    });
-                    if is_lifetime {
-                        out.push(b);
-                        i += 1;
-                    } else {
-                        st = St::Char;
-                        out.push(b' ');
-                        i += 1;
-                    }
-                }
-                _ => {
-                    out.push(b);
-                    i += 1;
-                }
-            },
-            St::LineComment => {
-                if b == b'\n' {
-                    st = St::Code;
-                    out.push(b'\n');
-                } else {
-                    out.push(b' ');
-                }
-                i += 1;
-            }
-            St::BlockComment(depth) => match (b, next) {
-                (b'*', Some(b'/')) => {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                }
-                (b'/', Some(b'*')) => {
-                    st = St::BlockComment(depth + 1);
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                }
-                (b'\n', _) => {
-                    out.push(b'\n');
-                    i += 1;
-                }
-                _ => {
-                    out.push(b' ');
-                    i += 1;
-                }
-            },
-            St::Str => match (b, next) {
-                (b'\\', Some(_)) => {
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                }
-                (b'"', _) => {
-                    st = St::Code;
-                    out.push(b' ');
-                    i += 1;
-                }
-                (b'\n', _) => {
-                    out.push(b'\n');
-                    i += 1;
-                }
-                _ => {
-                    out.push(b' ');
-                    i += 1;
-                }
-            },
-            St::RawStr(hashes) => {
-                if b == b'"' {
-                    let closes = (0..hashes).all(|h| bytes.get(i + 1 + h) == Some(&b'#'));
-                    if closes {
-                        st = St::Code;
-                        out.extend(std::iter::repeat_n(b' ', hashes + 1));
-                        i += 1 + hashes;
-                        continue;
-                    }
-                }
-                out.push(if b == b'\n' { b'\n' } else { b' ' });
-                i += 1;
-            }
-            St::Char => match (b, next) {
-                (b'\\', Some(_)) => {
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                }
-                (b'\'', _) => {
-                    st = St::Code;
-                    out.push(b' ');
-                    i += 1;
-                }
-                _ => {
-                    out.push(b' ');
-                    i += 1;
-                }
-            },
+    if report.findings.is_empty() {
+        if !json_out {
+            println!(
+                "xtask lint: clean ({} files scanned, {} finding(s) suppressed)",
+                report.files_scanned, report.suppressed
+            );
         }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} finding(s)", report.findings.len());
+        ExitCode::FAILURE
     }
-    String::from_utf8(out).expect("stripping preserves UTF-8 by replacing whole bytes with spaces")
-}
-
-/// Blanks out every `#[cfg(test)] mod ... { ... }` block (and any other
-/// item directly following a `#[cfg(test)]` attribute) from already
-/// stripped source, preserving newlines.
-fn remove_cfg_test(stripped: &str) -> String {
-    let mut out = stripped.as_bytes().to_vec();
-    let mut search_from = 0;
-    while let Some(rel) = stripped[search_from..].find("#[cfg(test)]") {
-        let attr_start = search_from + rel;
-        // Find the first `{` after the attribute and blank to its matching
-        // `}` (strings/comments are already gone, so counting is exact).
-        let bytes = stripped.as_bytes();
-        let mut i = attr_start;
-        let mut depth = 0usize;
-        let mut opened = false;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'{' => {
-                    depth += 1;
-                    opened = true;
-                }
-                b'}' => {
-                    depth = depth.saturating_sub(1);
-                    if opened && depth == 0 {
-                        break;
-                    }
-                }
-                // An item-ending semicolon before any brace: attribute on a
-                // braceless item (e.g. `#[cfg(test)] use ...;`).
-                b';' if !opened => break,
-                _ => {}
-            }
-            i += 1;
-        }
-        let end = (i + 1).min(out.len());
-        for b in &mut out[attr_start..end] {
-            if *b != b'\n' {
-                *b = b' ';
-            }
-        }
-        search_from = end;
-    }
-    String::from_utf8(out).expect("blanking preserves UTF-8")
-}
-
-/// 1-indexed line of a byte offset.
-fn line_of(text: &str, offset: usize) -> usize {
-    text[..offset].bytes().filter(|&b| b == b'\n').count() + 1
-}
-
-/// Recursively collects `.rs` files under `dir`, sorted for stable output.
-fn rs_files(dir: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return files;
-    };
-    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            files.extend(rs_files(&path));
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            files.push(path);
-        }
-    }
-    files
-}
-
-/// Tokens whose presence in non-test library code is a lint error.
-const PANIC_TOKENS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
-/// Crates whose non-test code must be panic-free (rule 1).
-const PANIC_FREE_CRATES: &[&str] = &[
-    "crates/model",
-    "crates/adversary",
-    "crates/audit",
-    "crates/engine",
-    "crates/trace",
-    "crates/faults",
-    "crates/ident",
-];
-
-/// Crates that must carry `#![deny(missing_docs)]` (rule 2).
-const MISSING_DOCS_CRATES: &[&str] = &[
-    "crates/model",
-    "crates/graph",
-    "crates/audit",
-    "crates/engine",
-    "crates/trace",
-    "crates/faults",
-    "crates/ident",
-];
-
-/// The only file allowed to read the wall clock directly (rule 6).
-const CLOCK_ALLOWLIST: &[&str] = &["crates/trace/src/time.rs"];
-
-/// The only directory allowed to call `catch_unwind` (rule 7).
-const CATCH_UNWIND_ALLOWLIST: &[&str] = &["crates/engine/src"];
-
-/// Places allowed to contain identity/splitmix hashing code (rule 8):
-/// `vc-ident` itself, plus the pre-existing splitmix *stream* generators
-/// (random tape, fault tape, adversary coin flips) that share the mixing
-/// constants but never mint identities.
-const IDENTITY_ALLOWLIST: &[&str] = &[
-    "crates/ident/src",
-    "crates/faults/src/splitmix.rs",
-    "crates/model/src/randomness.rs",
-    "crates/adversary/src/hidden_leaf.rs",
-];
-
-/// Tokens that mark ad-hoc identity hashing (rule 8), matched against
-/// lowercased, underscore-stripped lines so `SweepFingerprint`,
-/// `sweep_fingerprint` and `0x9E37_79B9_7F4A_7C15` all normalize into
-/// their canonical spellings.
-const IDENTITY_TOKENS: &[&str] = &[
-    "sweepfingerprint",
-    "0x9e3779b97f4a7c15",
-    "0xbf58476d1ce4e5b9",
-    "0x94d049bb133111eb",
-];
-
-/// Paper anchors accepted as benchmark provenance (rule 4).
-const PROVENANCE_ANCHORS: &[&str] = &["Table", "Figure", "Example", "Observation", "Proposition"];
-
-fn lint_panic_tokens(root: &Path, findings: &mut Vec<Finding>) {
-    for krate in PANIC_FREE_CRATES {
-        for file in rs_files(&root.join(krate).join("src")) {
-            let Ok(src) = std::fs::read_to_string(&file) else {
-                continue;
-            };
-            let code = remove_cfg_test(&strip_comments_and_strings(&src));
-            for token in PANIC_TOKENS {
-                let mut from = 0;
-                while let Some(rel) = code[from..].find(token) {
-                    let at = from + rel;
-                    findings.push(Finding {
-                        file: file.clone(),
-                        line: line_of(&code, at),
-                        rule: "no-panic-paths",
-                        detail: format!(
-                            "`{token}` in non-test code; return a QueryError/GraphError instead"
-                        ),
-                    });
-                    from = at + token.len();
-                }
-            }
-        }
-    }
-}
-
-fn lint_missing_docs_attr(root: &Path, findings: &mut Vec<Finding>) {
-    for krate in MISSING_DOCS_CRATES {
-        let lib = root.join(krate).join("src/lib.rs");
-        let Ok(src) = std::fs::read_to_string(&lib) else {
-            findings.push(Finding {
-                file: lib,
-                line: 1,
-                rule: "deny-missing-docs",
-                detail: "crate root not readable".to_string(),
-            });
-            continue;
-        };
-        let code = strip_comments_and_strings(&src);
-        let normalized: String = code.chars().filter(|c| !c.is_whitespace()).collect();
-        if !normalized.contains("#![deny(missing_docs)]") {
-            findings.push(Finding {
-                file: lib,
-                line: 1,
-                rule: "deny-missing-docs",
-                detail: "crate must declare `#![deny(missing_docs)]`".to_string(),
-            });
-        }
-    }
-}
-
-fn lint_no_hash_collections(root: &Path, findings: &mut Vec<Finding>) {
-    let bench = root.join("crates/bench");
-    for dir in ["src", "benches"] {
-        for file in rs_files(&bench.join(dir)) {
-            let Ok(src) = std::fs::read_to_string(&file) else {
-                continue;
-            };
-            let code = remove_cfg_test(&strip_comments_and_strings(&src));
-            for token in ["HashMap", "HashSet"] {
-                let mut from = 0;
-                while let Some(rel) = code[from..].find(token) {
-                    let at = from + rel;
-                    findings.push(Finding {
-                        file: file.clone(),
-                        line: line_of(&code, at),
-                        rule: "ordered-collections-only",
-                        detail: format!(
-                            "`{token}` in a figure/table code path; use BTreeMap/BTreeSet \
-                             so iteration order is deterministic"
-                        ),
-                    });
-                    from = at + token.len();
-                }
-            }
-        }
-    }
-}
-
-fn lint_bench_provenance(root: &Path, findings: &mut Vec<Finding>) {
-    for file in rs_files(&root.join("crates/bench/benches")) {
-        let Ok(src) = std::fs::read_to_string(&file) else {
-            continue;
-        };
-        // The header comment: leading `//!`/`//` lines before any code.
-        let header: String = src
-            .lines()
-            .take_while(|l| {
-                let t = l.trim();
-                t.is_empty() || t.starts_with("//")
-            })
-            .collect::<Vec<_>>()
-            .join("\n");
-        let cited = PROVENANCE_ANCHORS.iter().any(|a| header.contains(a));
-        if !cited {
-            findings.push(Finding {
-                file,
-                line: 1,
-                rule: "bench-provenance",
-                detail: format!(
-                    "benchmark header must cite its paper artifact (one of: {})",
-                    PROVENANCE_ANCHORS.join(", ")
-                ),
-            });
-        }
-    }
-}
-
-fn lint_oracle_hot_path(root: &Path, findings: &mut Vec<Finding>) {
-    let file = root.join("crates/model/src/oracle.rs");
-    let Ok(src) = std::fs::read_to_string(&file) else {
-        findings.push(Finding {
-            file,
-            line: 1,
-            rule: "flat-oracle-state",
-            detail: "crates/model/src/oracle.rs not readable".to_string(),
-        });
-        return;
-    };
-    // Deliberately scans test code too: a HashMap-shaped test fixture is
-    // usually the first step of a HashMap-shaped regression.
-    let code = strip_comments_and_strings(&src);
-    for token in ["HashMap", "HashSet"] {
-        let mut from = 0;
-        while let Some(rel) = code[from..].find(token) {
-            let at = from + rel;
-            findings.push(Finding {
-                file: file.clone(),
-                line: line_of(&code, at),
-                rule: "flat-oracle-state",
-                detail: format!(
-                    "`{token}` in the execution hot path; per-node state belongs in \
-                     the epoch-stamped ExecScratch buffers"
-                ),
-            });
-            from = at + token.len();
-        }
-    }
-}
-
-fn lint_no_hidden_clocks(root: &Path, findings: &mut Vec<Finding>) {
-    for dir in ["crates", "examples", "tests"] {
-        for file in rs_files(&root.join(dir)) {
-            let allowed = CLOCK_ALLOWLIST.iter().any(|a| file.ends_with(a));
-            if allowed {
-                continue;
-            }
-            let Ok(src) = std::fs::read_to_string(&file) else {
-                continue;
-            };
-            // Test code is scanned too: timing assertions belong on
-            // Stopwatch as well, so its monotonicity guarantees hold
-            // everywhere.
-            let code = strip_comments_and_strings(&src);
-            let mut from = 0;
-            while let Some(rel) = code[from..].find("Instant::now") {
-                let at = from + rel;
-                findings.push(Finding {
-                    file: file.clone(),
-                    line: line_of(&code, at),
-                    rule: "no-hidden-clocks",
-                    detail: "`Instant::now` outside crates/trace/src/time.rs; \
-                             use vc_trace::time::Stopwatch"
-                        .to_string(),
-                });
-                from = at + "Instant::now".len();
-            }
-        }
-    }
-}
-
-fn lint_centralized_catch_unwind(root: &Path, findings: &mut Vec<Finding>) {
-    for dir in ["crates", "examples", "tests"] {
-        for file in rs_files(&root.join(dir)) {
-            let allowed = CATCH_UNWIND_ALLOWLIST.iter().any(|a| {
-                file.parent()
-                    .is_some_and(|p| p.ends_with(a) || p.ancestors().any(|anc| anc.ends_with(a)))
-            });
-            // The linter itself names the token (rule identifiers, this
-            // very function); scanning it would always self-trigger.
-            let is_linter = file.ancestors().any(|anc| anc.ends_with("crates/xtask"));
-            if allowed || is_linter {
-                continue;
-            }
-            let Ok(src) = std::fs::read_to_string(&file) else {
-                continue;
-            };
-            // Test code is scanned too: a test that swallows panics hides
-            // exactly the failures the engine ledger is meant to surface.
-            let code = strip_comments_and_strings(&src);
-            let mut from = 0;
-            while let Some(rel) = code[from..].find("catch_unwind") {
-                let at = from + rel;
-                findings.push(Finding {
-                    file: file.clone(),
-                    line: line_of(&code, at),
-                    rule: "centralized-panic-isolation",
-                    detail: "`catch_unwind` outside crates/engine/src; panic isolation \
-                             belongs to the engine's chunk runner"
-                        .to_string(),
-                });
-                from = at + "catch_unwind".len();
-            }
-        }
-    }
-}
-
-fn lint_content_addressed_identity(root: &Path, findings: &mut Vec<Finding>) {
-    for dir in ["crates", "examples", "tests"] {
-        for file in rs_files(&root.join(dir)) {
-            let allowed = IDENTITY_ALLOWLIST.iter().any(|a| {
-                file.ends_with(a)
-                    || file.parent().is_some_and(|p| {
-                        p.ends_with(a) || p.ancestors().any(|anc| anc.ends_with(a))
-                    })
-            });
-            // The linter itself spells the forbidden tokens out.
-            let is_linter = file.ancestors().any(|anc| anc.ends_with("crates/xtask"));
-            if allowed || is_linter {
-                continue;
-            }
-            let Ok(src) = std::fs::read_to_string(&file) else {
-                continue;
-            };
-            // Test code is scanned too: a test-local digest drifts from
-            // `vc-ident` just as silently as a production one.
-            let code = strip_comments_and_strings(&src);
-            for (idx, line) in code.lines().enumerate() {
-                let normalized: String = line
-                    .to_ascii_lowercase()
-                    .chars()
-                    .filter(|&c| c != '_')
-                    .collect();
-                for token in IDENTITY_TOKENS {
-                    if normalized.contains(token) {
-                        findings.push(Finding {
-                            file: file.clone(),
-                            line: idx + 1,
-                            rule: "content-addressed-identity",
-                            detail: format!(
-                                "`{token}` outside crates/ident; fold content through \
-                                 vc_ident::IdHasher instead of hand-rolling a digest"
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    }
-}
-
-fn run_lint(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    lint_panic_tokens(root, &mut findings);
-    lint_missing_docs_attr(root, &mut findings);
-    lint_no_hash_collections(root, &mut findings);
-    lint_bench_provenance(root, &mut findings);
-    lint_oracle_hot_path(root, &mut findings);
-    lint_no_hidden_clocks(root, &mut findings);
-    lint_centralized_catch_unwind(root, &mut findings);
-    lint_content_addressed_identity(root, &mut findings);
-    findings
 }
 
 /// The expected schema of both files fed to `compare-bench`.
@@ -834,26 +262,14 @@ fn run_compare_bench(args: &[String]) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
-            // The workspace root is two levels above this crate's manifest,
-            // independent of the invocation directory.
-            let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-                .parent()
-                .and_then(Path::parent)
-                .expect("crates/xtask sits two levels below the workspace root")
-                .to_path_buf();
-            let findings = run_lint(&root);
-            if findings.is_empty() {
-                println!("xtask lint: clean");
-                ExitCode::SUCCESS
-            } else {
-                for f in &findings {
-                    eprintln!("{f}");
-                }
-                eprintln!("xtask lint: {} finding(s)", findings.len());
+        Some("lint") => match args.get(1).map(String::as_str) {
+            None => run_lint(false),
+            Some("--json") => run_lint(true),
+            Some(other) => {
+                eprintln!("xtask lint: unknown flag {other:?} (supported: --json)");
                 ExitCode::FAILURE
             }
-        }
+        },
         Some("compare-bench") => run_compare_bench(&args[1..]),
         Some("check-json") => match args.get(1) {
             Some(path) => match std::fs::read_to_string(path) {
@@ -880,7 +296,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- \
-                 <lint | check-json <path> | compare-bench <baseline> <fresh> [--tol-pct N]>"
+                 <lint [--json] | check-json <path> | compare-bench <baseline> <fresh> \
+                 [--tol-pct N]>"
             );
             ExitCode::FAILURE
         }
@@ -890,76 +307,6 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn strings_and_comments_are_blanked() {
-        let src = r#"
-// a comment mentioning .unwrap()
-/* block with panic! inside */
-let s = "contains .unwrap() too";
-let c = '"';
-let real = x.unwrap();
-"#;
-        let code = strip_comments_and_strings(src);
-        assert_eq!(code.matches(".unwrap()").count(), 1);
-        assert!(!code.contains("panic!"));
-        // Newlines survive so line numbers stay meaningful.
-        assert_eq!(code.lines().count(), src.lines().count());
-    }
-
-    #[test]
-    fn raw_strings_are_blanked() {
-        let src = r##"let s = r#"panic!("inside")"#; let t = y.unwrap();"##;
-        let code = strip_comments_and_strings(src);
-        assert!(!code.contains("panic!"));
-        assert!(code.contains(".unwrap()"));
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let u = z.unwrap();";
-        let code = strip_comments_and_strings(src);
-        assert!(code.contains(".unwrap()"));
-    }
-
-    #[test]
-    fn cfg_test_modules_are_skipped() {
-        let src = "
-fn good() -> Option<u32> { Some(1) }
-
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn t() {
-        let v = good().unwrap();
-        assert_eq!(v, 1);
-    }
-}
-";
-        let code = remove_cfg_test(&strip_comments_and_strings(src));
-        assert!(!code.contains(".unwrap()"));
-        assert!(code.contains("fn good"));
-    }
-
-    #[test]
-    fn code_outside_cfg_test_is_kept() {
-        let src = "
-fn bad() { let _ = q.unwrap(); }
-
-#[cfg(test)]
-mod tests {}
-";
-        let code = remove_cfg_test(&strip_comments_and_strings(src));
-        assert_eq!(code.matches(".unwrap()").count(), 1);
-    }
-
-    #[test]
-    fn line_numbers_point_at_the_token() {
-        let src = "let a = 1;\nlet b = c.unwrap();\n";
-        let code = strip_comments_and_strings(src);
-        let at = code.find(".unwrap()").unwrap();
-        assert_eq!(line_of(&code, at), 2);
-    }
 
     #[test]
     fn json_validator_accepts_well_formed_documents() {
@@ -992,115 +339,11 @@ mod tests {}
     }
 
     #[test]
-    fn oracle_hot_path_rule_fires_on_hash_collections() {
-        // Build a fake repo layout with a HashMap in oracle.rs and check the
-        // rule reports it (including inside test modules).
-        let dir = std::env::temp_dir().join(format!("xtask-oracle-rule-{}", std::process::id()));
-        let model_src = dir.join("crates/model/src");
-        std::fs::create_dir_all(&model_src).unwrap();
-        std::fs::write(
-            model_src.join("oracle.rs"),
-            "use std::collections::HashMap;\n#[cfg(test)]\nmod t { use std::collections::HashSet; }\n",
-        )
-        .unwrap();
-        let mut findings = Vec::new();
-        lint_oracle_hot_path(&dir, &mut findings);
-        assert_eq!(findings.len(), 2);
-        assert!(findings.iter().all(|f| f.rule == "flat-oracle-state"));
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn no_hidden_clocks_rule_fires_outside_the_allowlist() {
-        let dir = std::env::temp_dir().join(format!("xtask-clock-rule-{}", std::process::id()));
-        let engine_src = dir.join("crates/engine/src");
-        let trace_src = dir.join("crates/trace/src");
-        std::fs::create_dir_all(&engine_src).unwrap();
-        std::fs::create_dir_all(&trace_src).unwrap();
-        std::fs::write(
-            engine_src.join("lib.rs"),
-            "fn f() { let t = std::time::Instant::now(); }\n",
-        )
-        .unwrap();
-        std::fs::write(
-            trace_src.join("time.rs"),
-            "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
-        )
-        .unwrap();
-        let mut findings = Vec::new();
-        lint_no_hidden_clocks(&dir, &mut findings);
-        assert_eq!(findings.len(), 1, "only the non-allowlisted read fires");
-        assert_eq!(findings[0].rule, "no-hidden-clocks");
-        assert!(findings[0].file.ends_with("crates/engine/src/lib.rs"));
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn centralized_catch_unwind_rule_fires_outside_the_engine() {
-        let dir = std::env::temp_dir().join(format!("xtask-unwind-rule-{}", std::process::id()));
-        let faults_src = dir.join("crates/faults/src");
-        let engine_src = dir.join("crates/engine/src");
-        std::fs::create_dir_all(&faults_src).unwrap();
-        std::fs::create_dir_all(&engine_src).unwrap();
-        std::fs::write(
-            faults_src.join("lib.rs"),
-            "fn f() { let _ = std::panic::catch_unwind(|| 1); }\n",
-        )
-        .unwrap();
-        std::fs::write(
-            engine_src.join("lib.rs"),
-            "fn g() { let _ = std::panic::catch_unwind(|| 2); }\n",
-        )
-        .unwrap();
-        let mut findings = Vec::new();
-        lint_centralized_catch_unwind(&dir, &mut findings);
-        assert_eq!(findings.len(), 1, "only the non-engine call fires");
-        assert_eq!(findings[0].rule, "centralized-panic-isolation");
-        assert!(findings[0].file.ends_with("crates/faults/src/lib.rs"));
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn content_addressed_identity_rule_fires_outside_vc_ident() {
-        let dir = std::env::temp_dir().join(format!("xtask-ident-rule-{}", std::process::id()));
-        let engine_src = dir.join("crates/engine/src");
-        let ident_src = dir.join("crates/ident/src");
-        let model_src = dir.join("crates/model/src");
-        std::fs::create_dir_all(&engine_src).unwrap();
-        std::fs::create_dir_all(&ident_src).unwrap();
-        std::fs::create_dir_all(&model_src).unwrap();
-        // An ad-hoc digest in the engine: the old fingerprint helper plus an
-        // inlined mixing constant, spelled with Rust underscore grouping and
-        // mixed case to exercise the normalization.
-        std::fs::write(
-            engine_src.join("checkpoint.rs"),
-            "fn sweep_fingerprint(x: u64) -> u64 {\n    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)\n}\n",
-        )
-        .unwrap();
-        // The same constants inside vc-ident and the allowlisted randomness
-        // stream generator are fine.
-        std::fs::write(
-            ident_src.join("lib.rs"),
-            "const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;\n",
-        )
-        .unwrap();
-        std::fs::write(
-            model_src.join("randomness.rs"),
-            "const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;\n",
-        )
-        .unwrap();
-        let mut findings = Vec::new();
-        lint_content_addressed_identity(&dir, &mut findings);
-        assert_eq!(findings.len(), 2, "helper name + constant, nothing else");
-        assert!(findings
-            .iter()
-            .all(|f| f.rule == "content-addressed-identity"));
-        assert!(findings
-            .iter()
-            .all(|f| f.file.ends_with("crates/engine/src/checkpoint.rs")));
-        assert_eq!(findings[0].line, 1);
-        assert_eq!(findings[1].line, 2);
-        std::fs::remove_dir_all(&dir).unwrap();
+    fn lint_report_json_is_valid_for_check_json() {
+        // The `--json` document must round-trip through the same validator
+        // CI runs on it.
+        let report = vc_lint::run(workspace_root());
+        json::validate(&report.to_json()).expect("lint report must be valid JSON");
     }
 
     /// A minimal well-formed `vc-engine-baseline/v1` document with one row.
@@ -1220,15 +463,12 @@ mod tests {}
     fn repo_is_clean() {
         // The lint must hold on the repository itself — this is the same
         // check `cargo run -p xtask -- lint` performs in CI.
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .parent()
-            .and_then(Path::parent)
-            .unwrap();
-        let findings = run_lint(root);
+        let report = vc_lint::run(workspace_root());
         assert!(
-            findings.is_empty(),
+            report.findings.is_empty(),
             "lint findings:\n{}",
-            findings
+            report
+                .findings
                 .iter()
                 .map(ToString::to_string)
                 .collect::<Vec<_>>()

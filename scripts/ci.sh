@@ -69,7 +69,16 @@ step "cargo clippy --all-targets -- -D warnings" \
 step "cargo clippy --features proptest -p vc-bench" \
     cargo clippy --all-targets --features proptest -p vc-bench -- -D warnings
 
-step "xtask lint" cargo run -p xtask -- lint
+# Lint gate: emit the machine-readable vc-lint-report/v1 document first
+# (so the artifact exists even when the gate fails — the findings also go
+# to stderr), then validate the document itself. Any finding, including
+# an unused or malformed suppression pragma, fails the build.
+LINT_REPORT=target/LINT_report.json
+step "xtask lint --json" \
+    sh -c "cargo run -p xtask -- lint --json > $LINT_REPORT"
+
+step "xtask check-json lint report" \
+    cargo run -p xtask -- check-json "$LINT_REPORT"
 
 step "xtask check-json BENCH_engine.json" \
     cargo run -p xtask -- check-json BENCH_engine.json
