@@ -32,7 +32,7 @@
 //! for the cost-summary sweeps behind `BENCH_*.json` baselines, where the
 //! records are the product.
 
-use crate::{run_sharded, Engine, CHUNK};
+use crate::{plan_chunks, run_sharded, Engine};
 use std::path::Path;
 use vc_graph::Instance;
 use vc_ident::{IdHasher, InstanceId, SweepId};
@@ -99,9 +99,11 @@ pub struct SweepIdentity {
 /// ([`QueryAlgorithm::fold_identity`] — the fault plan included, for
 /// wrapped algorithms), the run configuration (budgets, exact-distance,
 /// randomness tape, start selection), the resolved start set and the
-/// engine chunk size. Anything that can change a chunk's records is
-/// folded in here, and nowhere else — this is the single audited identity
-/// computation (DESIGN.md §12).
+/// planned chunk size ([`plan_chunks`] — a pure function of the start
+/// count, so sweeps small enough for the historical fixed 64-start chunks
+/// keep their pre-planner identities). Anything that can change a chunk's
+/// records is folded in here, and nowhere else — this is the single
+/// audited identity computation (DESIGN.md §12).
 pub fn sweep_identity<A: QueryAlgorithm>(
     inst: &Instance,
     algo: &A,
@@ -117,7 +119,7 @@ pub fn sweep_identity<A: QueryAlgorithm>(
     for &s in starts {
         h.word(s as u64);
     }
-    h.word(CHUNK as u64);
+    h.word(plan_chunks(starts.len()).chunk_size as u64);
     SweepIdentity {
         instance_id,
         sweep_id: SweepId::from_raw(h.finish()),
@@ -378,7 +380,7 @@ impl Engine {
     {
         let sw = Stopwatch::start();
         let starts = config.starts.starts(inst.n())?;
-        let num_chunks = starts.len().div_ceil(CHUNK);
+        let num_chunks = plan_chunks(starts.len()).num_chunks;
         let identity = sweep_identity(inst, algo, config, &starts);
         let mut ckpt = match std::fs::read_to_string(path) {
             Ok(text) => {
@@ -595,7 +597,10 @@ mod tests {
             .unwrap();
         assert!(!partial.is_complete());
         assert_eq!(partial.completed_chunks, 2);
-        assert_eq!(partial.records, serial.records[..2 * CHUNK]);
+        assert_eq!(
+            partial.records,
+            serial.records[..2 * plan_chunks(inst.n()).chunk_size]
+        );
         let resumed = Engine::with_threads(3)
             .run_recorded_with_checkpoint(&inst, &WalkLeft, &config, &resumed_path)
             .unwrap();

@@ -11,10 +11,11 @@
 //! worker threads while keeping the result **bit-for-bit identical to the
 //! serial runner for any thread count**:
 //!
-//! * The start set is cut into fixed-size chunks ([`CHUNK`]) whose
-//!   boundaries depend only on the number of starts, never on the number of
-//!   workers. Workers claim chunks from an atomic counter, so scheduling is
-//!   racy, but each chunk's content and index are not.
+//! * The start set is cut into equal-size chunks by [`plan_chunks`], a pure
+//!   function of the number of starts — never of the number of workers — so
+//!   the partition boundaries are identical for every thread count. Workers
+//!   steal chunks from a shared atomic claim counter, so scheduling is racy,
+//!   but each chunk's content and index are not.
 //! * Outputs and [`ExecutionRecord`]s are placed by chunk index, so the
 //!   merged [`RunReport`] lists records in start order exactly like the
 //!   serial runner.
@@ -87,11 +88,67 @@ pub use checkpoint::{
 };
 pub use vc_ident::{InstanceId, SweepId};
 
-/// Start nodes per work chunk. Fixed (instead of derived from the worker
-/// count) so the partition of the start set — and therefore the merge order
-/// of outputs, records and cost partials — is identical for every thread
+/// Smallest start count per work chunk. Small sweeps (at most
+/// [`TARGET_CHUNKS`] × this many starts) are partitioned into chunks of
+/// exactly this size, matching the fixed `CHUNK = 64` the engine used
+/// before adaptive planning — existing sweep identities and checkpoints
+/// are unchanged.
+pub const MIN_CHUNK_STARTS: usize = 64;
+
+/// Largest start count per work chunk. Caps per-chunk latency so the
+/// claim boundary — the cooperative stop point for deadlines, quotas and
+/// cancellation — is hit often enough even on million-start sweeps.
+pub const MAX_CHUNK_STARTS: usize = 4096;
+
+/// Preferred chunk count for a sweep. Sized at roughly 16× a typical
+/// 8-worker engine so work-stealing keeps every thread busy until the
+/// tail of the sweep without drowning the merge in tiny chunks.
+pub const TARGET_CHUNKS: usize = 128;
+
+/// The size-adaptive partition of a start set into work chunks.
+///
+/// Produced by [`plan_chunks`]; both fields are pure functions of the
+/// start count, so the partition — and therefore the merge order of
+/// outputs, records and cost partials — is identical for every thread
+/// count. The planned `chunk_size` is folded into the content-addressed
+/// [`SweepId`], so a checkpoint taken under one plan can never be resumed
+/// under another.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Start nodes per chunk (the final chunk may be shorter).
+    pub chunk_size: usize,
+    /// Total chunks covering the start set.
+    pub num_chunks: usize,
+}
+
+impl ChunkPlan {
+    /// The half-open start-index range `[lo, hi)` of chunk `chunk` within
+    /// a start set of `num_starts` starts.
+    pub fn bounds(&self, chunk: usize, num_starts: usize) -> (usize, usize) {
+        let lo = chunk * self.chunk_size;
+        (lo, num_starts.min(lo + self.chunk_size))
+    }
+}
+
+/// Plans the chunk partition for a sweep over `num_starts` start nodes.
+///
+/// The chunk size grows with the sweep — `num_starts / TARGET_CHUNKS`,
+/// clamped to `[MIN_CHUNK_STARTS, MAX_CHUNK_STARTS]` — so small sweeps
+/// keep the historical 64-start chunks while a 10⁶-start sweep gets ~245
+/// chunks of 4096 instead of 15625 chunks of 64. The plan depends only on
+/// `num_starts`: thread counts, deadlines and quotas never move a chunk
+/// boundary, which is what keeps merged results byte-identical for every
+/// thread count and lets a checkpoint resume under a different worker
 /// count.
-pub const CHUNK: usize = 64;
+pub fn plan_chunks(num_starts: usize) -> ChunkPlan {
+    let chunk_size = num_starts
+        .div_ceil(TARGET_CHUNKS)
+        .clamp(MIN_CHUNK_STARTS, MAX_CHUNK_STARTS);
+    ChunkPlan {
+        chunk_size,
+        num_chunks: num_starts.div_ceil(chunk_size),
+    }
+}
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "VC_THREADS";
@@ -342,14 +399,16 @@ impl Engine {
 
     /// The per-sweep limit set shared by all entry points.
     fn limits<'a>(&'a self, sw: &'a Stopwatch, num_starts: usize) -> SweepLimits<'a> {
-        let num_chunks = num_starts.div_ceil(CHUNK);
+        let plan = plan_chunks(num_starts);
         SweepLimits {
             sw,
             deadline: self.deadline,
-            num_chunks,
-            claim_limit: self.quota.map_or(num_chunks, |q| q.min(num_chunks)),
+            plan,
+            claim_limit: self
+                .quota
+                .map_or(plan.num_chunks, |q| q.min(plan.num_chunks)),
             cancel: self.cancel.as_ref(),
-            workers: self.threads.min(num_chunks.max(1)),
+            workers: self.threads.min(plan.num_chunks.max(1)),
         }
     }
 
@@ -377,8 +436,8 @@ impl Engine {
 struct SweepLimits<'a> {
     sw: &'a Stopwatch,
     deadline: Option<Duration>,
-    /// Total chunks in the fixed partition of the start set.
-    num_chunks: usize,
+    /// The size-adaptive chunk partition of the start set.
+    plan: ChunkPlan,
     /// First chunk index workers must not claim (quota-clamped).
     claim_limit: usize,
     cancel: Option<&'a CancelFlag>,
@@ -419,15 +478,23 @@ struct ShardedRun<O, T> {
     workers: usize,
 }
 
+/// The sweep-wide immutable inputs every chunk attempt reads: the
+/// instance, the algorithm, the run configuration, the resolved start set
+/// and the chunk plan over it. Shared by reference across all workers.
+struct SweepInputs<'a, A> {
+    inst: &'a Instance,
+    algo: &'a A,
+    config: &'a RunConfig,
+    starts: &'a [usize],
+    plan: ChunkPlan,
+}
+
 /// Runs one chunk attempt. Split out of the worker loop so the
 /// `catch_unwind` boundary (the only one in the workspace — see the
 /// `centralized-panic-isolation` lint) wraps exactly one chunk's
 /// executions.
 fn run_chunk_attempt<A, T>(
-    inst: &Instance,
-    algo: &A,
-    config: &RunConfig,
-    starts: &[usize],
+    sweep: &SweepInputs<'_, A>,
     chunk: usize,
     attempt: u32,
     scratch: &mut ExecScratch,
@@ -436,12 +503,18 @@ where
     A: QueryAlgorithm + Sync,
     T: MergeTracer,
 {
+    let SweepInputs {
+        inst,
+        algo,
+        config,
+        starts,
+        plan,
+    } = *sweep;
     // `AssertUnwindSafe` is sound here: on panic the scratch (the only
     // state witnessed across the boundary) is discarded and rebuilt, and
     // the chunk's partial results never leave the closure.
     std::panic::catch_unwind(AssertUnwindSafe(|| {
-        let lo = chunk * CHUNK;
-        let hi = starts.len().min(lo + CHUNK);
+        let (lo, hi) = plan.bounds(chunk, starts.len());
         let mut outs = Vec::with_capacity(hi - lo);
         let mut acc = CostAccumulator::default();
         // Each chunk folds its events into a fresh tracer, so absorbing
@@ -483,9 +556,17 @@ where
     A::Output: Send,
     T: MergeTracer,
 {
-    let num_chunks = limits.num_chunks;
+    let plan = limits.plan;
+    let num_chunks = plan.num_chunks;
     let workers = limits.workers;
     let next = AtomicUsize::new(0);
+    let sweep = SweepInputs {
+        inst,
+        algo,
+        config,
+        starts,
+        plan,
+    };
 
     /// Per-chunk outcome after the join: never claimed, executed, or
     /// abandoned after retries.
@@ -502,6 +583,7 @@ where
             .map(|_| {
                 let next = &next;
                 let limits = &limits;
+                let sweep = &sweep;
                 s.spawn(move || {
                     let mut scratch = ExecScratch::new();
                     let mut produced: WorkerChunks<A::Output, T> = Vec::new();
@@ -523,15 +605,7 @@ where
                         }
                         let mut outcome = None;
                         for attempt in 0..MAX_CHUNK_ATTEMPTS {
-                            match run_chunk_attempt::<A, T>(
-                                inst,
-                                algo,
-                                config,
-                                starts,
-                                c,
-                                attempt,
-                                &mut scratch,
-                            ) {
+                            match run_chunk_attempt::<A, T>(sweep, c, attempt, &mut scratch) {
                                 Ok(result) => {
                                     outcome = Some(result);
                                     break;
@@ -579,6 +653,9 @@ where
     let mut records = Vec::with_capacity(starts.len());
     let mut total = CostAccumulator::default();
     let mut merged_tracer = T::default();
+    // The plan is announced once, on the merged tracer (the merge loop is
+    // serial), so the event count and its arguments are thread-invariant.
+    merged_tracer.chunk_planned(num_chunks, plan.chunk_size);
     let mut aborted = Vec::new();
     let mut skipped = Vec::new();
     let mut chunk_records: Vec<Option<Vec<ExecutionRecord>>> = Vec::with_capacity(num_chunks);
@@ -599,8 +676,7 @@ where
                 // The chunk's attempt tracers died with their attempts;
                 // account for the claim and the abort on the merged tracer,
                 // still in chunk order.
-                let lo = c * CHUNK;
-                let hi = starts.len().min(lo + CHUNK);
+                let (lo, hi) = plan.bounds(c, starts.len());
                 merged_tracer.chunk_claimed(c, hi - lo);
                 merged_tracer.chunk_aborted(c);
                 aborted.push(c);
@@ -708,6 +784,11 @@ mod tests {
             Ok(steps)
         }
     }
+
+    /// Every test sweep here is small enough (≲ 8192 starts) that the
+    /// planner yields the minimum chunk size, so chunk indices can be
+    /// computed as `root / CHUNK` like the historical fixed partition.
+    const CHUNK: usize = MIN_CHUNK_STARTS;
 
     /// [`WalkLeft`] that panics when started from a root inside a poisoned
     /// chunk — deterministically, on every attempt.
@@ -845,6 +926,12 @@ mod tests {
         assert_eq!(m1.query.chunks_merged, chunks);
         assert_eq!(m1.query.chunks_retried, 0);
         assert_eq!(m1.query.chunks_aborted, 0);
+        // The plan is announced once per sweep and its histogram covers
+        // every start exactly once, regardless of thread count.
+        assert_eq!(m1.query.chunks_planned, 1);
+        assert_eq!(m1.query.planned_chunk_size, CHUNK as u64);
+        assert_eq!(m1.query.chunk_starts.count(), chunks);
+        assert_eq!(m1.query.chunk_starts.sum(), inst.n() as u128);
     }
 
     #[test]
@@ -1046,6 +1133,49 @@ mod tests {
         assert_eq!(garbage.var, THREADS_ENV);
         assert!(garbage.to_string().contains("abc"), "{garbage}");
         assert!(parse_threads("-3").is_err());
+    }
+
+    #[test]
+    fn planner_keeps_small_sweeps_on_the_historical_chunk_size() {
+        // Every sweep of at most TARGET_CHUNKS * MIN_CHUNK_STARTS starts
+        // partitions exactly like the fixed CHUNK = 64 engine did, so old
+        // sweep identities and checkpoints are preserved.
+        for n in [1, 63, 64, 65, 301, 777, 1201, 8192] {
+            let plan = plan_chunks(n);
+            assert_eq!(plan.chunk_size, MIN_CHUNK_STARTS, "n = {n}");
+            assert_eq!(plan.num_chunks, n.div_ceil(MIN_CHUNK_STARTS), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn planner_scales_and_clamps_on_large_sweeps() {
+        // Above the small-sweep regime the chunk size grows toward
+        // TARGET_CHUNKS chunks …
+        let plan = plan_chunks(100_000);
+        assert_eq!(plan.chunk_size, 782);
+        assert_eq!(plan.num_chunks, 128);
+        // … until the per-chunk latency cap kicks in.
+        let plan = plan_chunks(1_000_000);
+        assert_eq!(plan.chunk_size, MAX_CHUNK_STARTS);
+        assert_eq!(plan.num_chunks, 245);
+        // Degenerate inputs stay sane: zero starts need zero chunks.
+        assert_eq!(plan_chunks(0).num_chunks, 0);
+    }
+
+    #[test]
+    fn planner_chunks_cover_the_start_set_exactly() {
+        for n in [1, 64, 65, 8193, 100_000, 1_000_000] {
+            let plan = plan_chunks(n);
+            let mut next = 0;
+            for c in 0..plan.num_chunks {
+                let (lo, hi) = plan.bounds(c, n);
+                assert_eq!(lo, next, "chunk {c} of n = {n} leaves a gap");
+                assert!(hi > lo, "chunk {c} of n = {n} is empty");
+                assert!(hi - lo <= plan.chunk_size);
+                next = hi;
+            }
+            assert_eq!(next, n, "chunks must cover all {n} starts");
+        }
     }
 
     #[test]

@@ -121,6 +121,50 @@ impl Graph {
         self.ids.len()
     }
 
+    /// Node `v`'s neighbor row in port order, as the raw CSR slice.
+    ///
+    /// The slice view performs the offset lookup once, so hot loops (the
+    /// exact-distance BFS in `vc-model`) can iterate a node's neighbors
+    /// without a per-neighbor bounds check through [`Graph::neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn neighbor_row(&self, v: NodeIdx) -> &[u32] {
+        self.row(v)
+    }
+
+    /// The flat CSR arrays `(offsets, neighbors, ports, ids)` backing this
+    /// graph, for the binary instance store's encoder.
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[u32], &[u8], &[u64]) {
+        (&self.offsets, &self.neighbors, &self.ports, &self.ids)
+    }
+
+    /// Reassembles a graph from raw CSR arrays (the instance store's
+    /// decode path), running the full structural validation — bytes from
+    /// disk never become a [`Graph`] unchecked.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural constraint, exactly like
+    /// [`Graph::validate`] on a hand-assembled graph.
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<u32>,
+        neighbors: Vec<u32>,
+        ports: Vec<u8>,
+        ids: Vec<u64>,
+    ) -> Result<Graph, GraphError> {
+        let g = Graph {
+            offsets,
+            neighbors,
+            ports,
+            ids,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
     /// Folds the full adjacency content — node count, CSR offsets,
     /// neighbors, reverse ports and unique identifiers — into `h`.
     /// Streaming: no allocation regardless of graph size. Part of the

@@ -21,6 +21,10 @@
 //!   lower bounds (complete binary trees, pseudo-trees with one cycle,
 //!   balanced-tree instances and disjointness embeddings, hierarchical /
 //!   hybrid / HH instances, cycles, the CONGEST two-tree gadget).
+//! * [`store`] — the versioned binary on-disk instance format
+//!   (`vc-instance/v1`): flat little-endian CSR arrays plus fixed-width
+//!   label records, identity-checked on load, so million-node instances
+//!   are generated once and reloaded across sweeps.
 //!
 //! ## Example
 //!
@@ -41,11 +45,16 @@ pub mod gen;
 mod graph;
 mod instance;
 mod label;
+pub mod store;
 pub mod structure;
 
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use instance::Instance;
 pub use label::{Color, NodeLabel, Port};
+pub use store::{
+    decode_instance, encode_instance, load_instance, save_instance, StoreError, STORE_MAGIC,
+    STORE_VERSION,
+};
 
 /// Convenience alias: internal node index (dense, `0..n`).
 ///

@@ -117,9 +117,14 @@ const ENV_ALLOWED_FILE: &str = "crates/engine/src/lib.rs";
 const ENV_ALLOWED_DIR: &str = "crates/xtask";
 
 /// Merge-path files VC012 scans for truncating casts: the engine (chunk
-/// merge, checkpoint decode) and the mergeable metrics/histograms.
+/// merge, checkpoint decode), the mergeable metrics/histograms, and the
+/// binary instance-store decoder (untrusted on-disk length fields).
 const CAST_SCAN_DIR: &str = "crates/engine/src";
-const CAST_SCAN_FILES: &[&str] = &["crates/trace/src/metrics.rs", "crates/trace/src/hist.rs"];
+const CAST_SCAN_FILES: &[&str] = &[
+    "crates/trace/src/metrics.rs",
+    "crates/trace/src/hist.rs",
+    "crates/graph/src/store.rs",
+];
 
 /// Cast targets that can silently drop counter bits (VC012). `usize` and
 /// `isize` are included: they are 32-bit on some targets, and merged
@@ -1106,6 +1111,23 @@ mod t { fn f(x: u64) -> u8 { x as u8 } }
         assert_eq!(findings.len(), 1, "widening and test casts are fine");
         assert_eq!(findings[0].code, "VC012");
         assert_eq!(findings[0].line, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncating_casts_fire_in_the_binary_store_decoder() {
+        // The on-disk length fields of `vc-instance/v1` are untrusted
+        // input; narrowing them with `as` instead of `try_from` is exactly
+        // the bug class VC012 exists to catch.
+        let decode = "pub fn len(x: u64) -> usize { x as usize }\n";
+        let (ws, dir) = ws(&[
+            ("crates/graph/src/store.rs", decode),
+            ("crates/graph/src/graph.rs", decode),
+        ]);
+        let findings = run_rule(&NoTruncatingCasts, &ws);
+        assert_eq!(findings.len(), 1, "only the store decoder is in scope");
+        assert_eq!(findings[0].file, "crates/graph/src/store.rs");
+        assert_eq!(findings[0].code, "VC012");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,2 @@
+#![deny(missing_docs)]
+//! Fixture: the crate root is fine; the violation is in store.rs.

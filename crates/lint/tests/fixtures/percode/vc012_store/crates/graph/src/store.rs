@@ -1,0 +1,7 @@
+//! Fixture: a truncating cast on an untrusted on-disk length field in the
+//! binary instance-store decoder.
+
+/// Narrows a decoded length without a range check.
+pub fn length(x: u64) -> usize {
+    x as usize
+}

@@ -36,7 +36,57 @@ pub enum ComplexityClass {
     Linear,
 }
 
+/// Coarse Θ-family of a fitted class, matching the three regimes the
+/// paper's Table 1 separates: bounded/near-bounded volume, logarithmic
+/// volume (`Θ(log n)`, up to polylog factors), and near-linear volume
+/// (`Θ(n)` and its `n/log n` / `n^{α≈1}` neighbours).
+///
+/// The empirical classifier reports families rather than raw classes so a
+/// fit that lands on, say, `Θ(n^{0.97})` instead of `Θ(n)` on a noisy
+/// curve still machine-checks as "linear-family" — the distinction Table 1
+/// actually draws.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassFamily {
+    /// `Θ(1)`, `Θ(log* n)`, `Θ(log log n)` — the sub-logarithmic regime.
+    Bounded,
+    /// `Θ(log n)` and `Θ(log² n)` — the logarithmic/polylog regime.
+    Logarithmic,
+    /// Genuinely polynomial but sublinear: `Θ(n^α)` with `α` bounded away
+    /// from both 0 and 1 (e.g. the `Θ(n^{1/k})` hierarchy of Theorem 5.6).
+    Polynomial,
+    /// `Θ(n)`, `Θ(n/log n)` and `Θ(n^α)` with `α ≈ 1` — the near-linear
+    /// regime of the global problems.
+    NearLinear,
+}
+
+impl fmt::Display for ClassFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassFamily::Bounded => write!(f, "bounded"),
+            ClassFamily::Logarithmic => write!(f, "logarithmic"),
+            ClassFamily::Polynomial => write!(f, "polynomial"),
+            ClassFamily::NearLinear => write!(f, "near-linear"),
+        }
+    }
+}
+
 impl ComplexityClass {
+    /// The coarse [`ClassFamily`] this class belongs to.
+    ///
+    /// Polynomial fits with `α ≥ 0.9` count as near-linear (a noisy `Θ(n)`
+    /// curve often fits `n^{0.9..1}` marginally better than `n`).
+    pub fn family(&self) -> ClassFamily {
+        match *self {
+            ComplexityClass::Constant | ComplexityClass::LogStar | ComplexityClass::LogLog => {
+                ClassFamily::Bounded
+            }
+            ComplexityClass::Log | ComplexityClass::LogSquared => ClassFamily::Logarithmic,
+            ComplexityClass::Poly { alpha } if alpha >= 0.9 => ClassFamily::NearLinear,
+            ComplexityClass::Poly { .. } => ClassFamily::Polynomial,
+            ComplexityClass::NOverLog | ComplexityClass::Linear => ClassFamily::NearLinear,
+        }
+    }
+
     /// The growth function `g(n)` of the class.
     pub fn g(&self, n: f64) -> f64 {
         match *self {
@@ -338,6 +388,31 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn needs_two_samples() {
         let _ = fit_complexity(&[(8.0, 1.0)]);
+    }
+
+    #[test]
+    fn families_partition_the_landscape() {
+        use ClassFamily::*;
+        assert_eq!(ComplexityClass::Constant.family(), Bounded);
+        assert_eq!(ComplexityClass::LogStar.family(), Bounded);
+        assert_eq!(ComplexityClass::LogLog.family(), Bounded);
+        assert_eq!(ComplexityClass::Log.family(), Logarithmic);
+        assert_eq!(ComplexityClass::LogSquared.family(), Logarithmic);
+        assert_eq!(ComplexityClass::Poly { alpha: 0.5 }.family(), Polynomial);
+        assert_eq!(ComplexityClass::Poly { alpha: 0.93 }.family(), NearLinear);
+        assert_eq!(ComplexityClass::NOverLog.family(), NearLinear);
+        assert_eq!(ComplexityClass::Linear.family(), NearLinear);
+        assert_eq!(NearLinear.to_string(), "near-linear");
+    }
+
+    #[test]
+    fn fitted_families_are_robust_to_class_ambiguity() {
+        // A linear curve must land in the near-linear family even if the
+        // class-level winner is n/log n or n^{0.96}.
+        let r = fit_complexity(&sweep(|n| 0.8 * n + 40.0));
+        assert_eq!(r.class.family(), ClassFamily::NearLinear, "{r}");
+        let r = fit_complexity(&sweep(|n| 4.0 * n.log2() + 9.0));
+        assert_eq!(r.class.family(), ClassFamily::Logarithmic, "{r}");
     }
 
     #[test]

@@ -14,5 +14,5 @@ pub mod fit;
 pub mod logstar;
 pub mod tail;
 
-pub use fit::{fit_complexity, ComplexityClass, FitResult};
+pub use fit::{fit_complexity, ClassFamily, ComplexityClass, FitResult};
 pub use logstar::{log2f, log_star};

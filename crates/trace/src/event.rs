@@ -47,6 +47,15 @@ pub enum TraceEvent {
         /// Whether the algorithm finished without a budget/oracle error.
         completed: bool,
     },
+    /// The engine planned the sweep's chunk partition (once per sweep,
+    /// before any chunk is merged). The plan is a pure function of the
+    /// start count, so the payload is thread-count-invariant.
+    ChunkPlanned {
+        /// Total chunks covering the start set.
+        chunks: usize,
+        /// Start nodes per chunk (the final chunk may be shorter).
+        chunk_size: usize,
+    },
     /// An engine worker claimed a chunk of start nodes.
     ChunkClaimed {
         /// Chunk index in the fixed partition of the start set.
@@ -104,6 +113,9 @@ impl fmt::Display for TraceEvent {
                  {queries} queries, {}",
                 if *completed { "completed" } else { "truncated" }
             ),
+            TraceEvent::ChunkPlanned { chunks, chunk_size } => {
+                write!(f, "plan {chunks} chunks of {chunk_size} starts")
+            }
             TraceEvent::ChunkClaimed { chunk, starts } => {
                 write!(f, "claim chunk {chunk} ({starts} starts)")
             }
@@ -135,6 +147,10 @@ mod tests {
                 distance_upper: 2,
                 queries: 7,
                 completed: true,
+            },
+            TraceEvent::ChunkPlanned {
+                chunks: 2,
+                chunk_size: 64,
             },
             TraceEvent::ChunkClaimed {
                 chunk: 0,

@@ -29,7 +29,13 @@ pub struct QueryStats {
     pub nodes_revealed: u64,
     /// Strict frontier advances (depth records) across all executions.
     pub frontier_advances: u64,
-    /// Chunks claimed by workers (= the fixed chunk count of the sweep).
+    /// Chunk plans announced (one per sweep; sums across absorbed sweeps).
+    pub chunks_planned: u64,
+    /// Planned starts-per-chunk (the adaptive chunk size; max across
+    /// absorbed sweeps). Derived from the start count alone, so it is
+    /// thread-invariant like every other field here.
+    pub planned_chunk_size: u64,
+    /// Chunks claimed by workers (= the planned chunk count of the sweep).
     pub chunks_claimed: u64,
     /// Chunks absorbed by the merge loop (= `chunks_claimed` minus any
     /// aborted chunks).
@@ -45,6 +51,9 @@ pub struct QueryStats {
     pub distance: Log2Hist,
     /// Distribution of queries issued per execution.
     pub queries_per_start: Log2Hist,
+    /// Distribution of start nodes per claimed chunk (every chunk is the
+    /// planned size except possibly the final remainder).
+    pub chunk_starts: Log2Hist,
 }
 
 impl QueryStats {
@@ -54,6 +63,8 @@ impl QueryStats {
         self.queries_issued += other.queries_issued;
         self.nodes_revealed += other.nodes_revealed;
         self.frontier_advances += other.frontier_advances;
+        self.chunks_planned += other.chunks_planned;
+        self.planned_chunk_size = self.planned_chunk_size.max(other.planned_chunk_size);
         self.chunks_claimed += other.chunks_claimed;
         self.chunks_merged += other.chunks_merged;
         self.chunks_retried += other.chunks_retried;
@@ -61,6 +72,7 @@ impl QueryStats {
         self.volume.merge(&other.volume);
         self.distance.merge(&other.distance);
         self.queries_per_start.merge(&other.queries_per_start);
+        self.chunk_starts.merge(&other.chunk_starts);
     }
 }
 
@@ -137,8 +149,15 @@ impl Tracer for SweepMetrics {
     }
 
     #[inline]
-    fn chunk_claimed(&mut self, _chunk: usize, _starts: usize) {
+    fn chunk_planned(&mut self, _chunks: usize, chunk_size: usize) {
+        self.query.chunks_planned += 1;
+        self.query.planned_chunk_size = self.query.planned_chunk_size.max(chunk_size as u64);
+    }
+
+    #[inline]
+    fn chunk_claimed(&mut self, _chunk: usize, starts: usize) {
         self.query.chunks_claimed += 1;
+        self.query.chunk_starts.observe(starts as u64);
     }
 
     #[inline]
@@ -219,6 +238,28 @@ mod tests {
         }
         a.absorb(b);
         assert_eq!(a.query, serial.query);
+    }
+
+    #[test]
+    fn chunk_plan_observability_is_recorded() {
+        let mut m = SweepMetrics::new();
+        m.chunk_planned(3, 128);
+        m.chunk_claimed(0, 128);
+        m.chunk_claimed(1, 128);
+        m.chunk_claimed(2, 40);
+        assert_eq!(m.query.chunks_planned, 1);
+        assert_eq!(m.query.planned_chunk_size, 128);
+        assert_eq!(m.query.chunks_claimed, 3);
+        assert_eq!(m.query.chunk_starts.count(), 3);
+        assert_eq!(m.query.chunk_starts.max(), 128);
+        assert_eq!(m.query.chunk_starts.sum(), 296);
+        // Absorbing another sweep's metrics sums the plan count but keeps
+        // the largest planned size.
+        let mut other = SweepMetrics::new();
+        other.chunk_planned(10, 64);
+        m.absorb(other);
+        assert_eq!(m.query.chunks_planned, 2);
+        assert_eq!(m.query.planned_chunk_size, 128);
     }
 
     #[test]

@@ -110,6 +110,7 @@ impl TraceReport {
                 out,
                 "\"executions\": {}, \"truncated\": {}, \"queries_issued\": {}, \
                  \"nodes_revealed\": {}, \"frontier_advances\": {}, \
+                 \"chunks_planned\": {}, \"planned_chunk_size\": {}, \
                  \"chunks_claimed\": {}, \"chunks_merged\": {}, \
                  \"chunks_retried\": {}, \"chunks_aborted\": {}, ",
                 q.executions,
@@ -117,6 +118,8 @@ impl TraceReport {
                 q.queries_issued,
                 q.nodes_revealed,
                 q.frontier_advances,
+                q.chunks_planned,
+                q.planned_chunk_size,
                 q.chunks_claimed,
                 q.chunks_merged,
                 q.chunks_retried,
@@ -127,6 +130,8 @@ impl TraceReport {
             push_hist(&mut out, "distance", &q.distance);
             out.push_str(", ");
             push_hist(&mut out, "queries_per_start", &q.queries_per_start);
+            out.push_str(", ");
+            push_hist(&mut out, "chunk_starts", &q.chunk_starts);
             let _ = write!(
                 out,
                 ", \"sched\": {{\"chunks_timed\": {}, \"chunk_nanos_total\": {}, \
@@ -152,6 +157,7 @@ mod tests {
 
     fn sample_case() -> CaseTrace {
         let mut metrics = SweepMetrics::new();
+        metrics.chunk_planned(1, 64);
         metrics.chunk_claimed(0, 2);
         metrics.query_issued(0, 1);
         metrics.node_revealed(1, 1);
@@ -183,6 +189,9 @@ mod tests {
         assert!(json.contains("\"executions\": 2"));
         assert!(json.contains("\"truncated\": 1"));
         assert!(json.contains("\"buckets\": "));
+        assert!(json.contains("\"chunks_planned\": 1"));
+        assert!(json.contains("\"planned_chunk_size\": 64"));
+        assert!(json.contains("\"chunk_starts\": "));
         assert!(json.contains("\"chunk_nanos_max\": 1234"));
     }
 

@@ -47,6 +47,15 @@ pub trait Tracer {
         let _ = (root, volume, distance_upper, queries, completed);
     }
 
+    /// The engine planned the sweep's chunk partition: `chunks` chunks of
+    /// (at most) `chunk_size` starts each. Emitted exactly once per sweep,
+    /// on the merged tracer, and derived only from the start count — so
+    /// like the other chunk events it is thread-count-invariant.
+    #[inline]
+    fn chunk_planned(&mut self, chunks: usize, chunk_size: usize) {
+        let _ = (chunks, chunk_size);
+    }
+
     /// An engine worker claimed chunk `chunk` holding `starts` start nodes.
     #[inline]
     fn chunk_claimed(&mut self, chunk: usize, starts: usize) {
@@ -111,6 +120,11 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
         completed: bool,
     ) {
         (**self).answer_finalized(root, volume, distance_upper, queries, completed);
+    }
+
+    #[inline]
+    fn chunk_planned(&mut self, chunks: usize, chunk_size: usize) {
+        (**self).chunk_planned(chunks, chunk_size);
     }
 
     #[inline]
@@ -244,6 +258,10 @@ impl Tracer for RecordingTracer {
         });
     }
 
+    fn chunk_planned(&mut self, chunks: usize, chunk_size: usize) {
+        self.push(TraceEvent::ChunkPlanned { chunks, chunk_size });
+    }
+
     fn chunk_claimed(&mut self, chunk: usize, starts: usize) {
         self.push(TraceEvent::ChunkClaimed { chunk, starts });
     }
@@ -318,6 +336,7 @@ mod tests {
             t.node_revealed(2, 1);
             t.frontier_advanced(1);
             t.answer_finalized(1, 2, 1, 1, false);
+            t.chunk_planned(2, 64);
             t.chunk_claimed(0, 64);
             t.chunk_timed(0, 99);
             t.chunk_merged(0);
@@ -326,6 +345,6 @@ mod tests {
         }
         let mut inner = RecordingTracer::new();
         drive(&mut inner);
-        assert_eq!(inner.events.len(), 9);
+        assert_eq!(inner.events.len(), 10);
     }
 }

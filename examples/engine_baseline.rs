@@ -163,6 +163,38 @@ fn main() {
         );
     }
 
+    // Large-n rungs (n ≥ 10⁵): the depth-17 complete binary tree of the
+    // Θ-classifier ladder, swept from every node. Exact distance
+    // measurement is disabled — at this size the per-execution truncated
+    // BFS ball is the whole tree — so `max_distance` reads 0 here; the
+    // count fields still pin the adaptive chunk planner (2048-start
+    // chunks, 128 chunks) to thread-invariant totals via the same serial
+    // anchor asserts as the small rows.
+    let big = gen::complete_binary_tree(17, vc_graph::Color::R, vc_graph::Color::B);
+    let big_det = RunConfig {
+        exact_distance: false,
+        ..RunConfig::default()
+    };
+    sweep(
+        &mut rows,
+        "leaf-coloring/det-large",
+        &big,
+        &DistanceSolver,
+        &big_det,
+    );
+    let big_rand = RunConfig {
+        tape: Some(RandomTape::private(11)),
+        exact_distance: false,
+        ..RunConfig::default()
+    };
+    sweep(
+        &mut rows,
+        "leaf-coloring/rw-large",
+        &big,
+        &RwToLeaf::default(),
+        &big_rand,
+    );
+
     // The zero-fault-plan row: the same deterministic leaf-coloring sweep
     // wrapped in an all-pass `vc-faults` plan. Every count field must match
     // the bare `leaf-coloring/det` rows exactly — the fault layer's

@@ -1,0 +1,315 @@
+//! Emits `THETA_report.json` (`vc-theta-report/v1`): the empirical
+//! Θ-classifier for the leaf-coloring volume bounds of Table 1, driven
+//! through the full million-node pipeline — instances are generated once,
+//! written to the `vc-instance/v1` binary store, reloaded with the identity
+//! check, and swept by the size-adaptive work-stealing engine.
+//!
+//! Two curves are measured on the complete binary tree ladder (depths
+//! 11/13/15/17, so `n` up to 262 143):
+//!
+//! * **D-VOL** — the deterministic [`DistanceSolver`]; its worst-case
+//!   volume is the ball to the nearest leaf, `Θ(n)` from the root
+//!   (Proposition 3.12's "seeing far is expensive" direction).
+//! * **R-VOL** — the randomized [`RwToLeaf`] walk on a private tape; its
+//!   worst-case volume is `Θ(log n)` w.h.p. (Lemma 2.12 shape).
+//!
+//! Each curve is fitted with `vc_stats::fit_complexity` and the resulting
+//! class must land in the *family* Table 1 claims (near-linear vs.
+//! logarithmic) — the process exits nonzero otherwise, so CI machine-checks
+//! the classification. The top rung (`n = 262 143 ≥ 10⁵`) additionally
+//! asserts the engine's large-`n` contracts: byte-identical records, cost
+//! summary and query metrics at 1/2/8 worker threads, and a quota-killed
+//! checkpoint that resumes to the exact unbroken record stream on the
+//! *reloaded* instance.
+//!
+//! Run with `cargo run --release --example theta_report [output-path]`;
+//! `scripts/ci.sh` validates the emitted JSON with `xtask check-json`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use vc_core::problems::leaf_coloring::{DistanceSolver, RwToLeaf};
+use vc_engine::{plan_chunks, Engine};
+use vc_graph::{gen, load_instance, save_instance, Color, Instance};
+use vc_model::run::{QueryAlgorithm, RunConfig};
+use vc_model::RandomTape;
+use vc_stats::{fit_complexity, ClassFamily, FitResult};
+use vc_trace::SweepMetrics;
+
+/// Ladder depths; `n = 2^{d+1} - 1`, so the top rung has `n = 262 143`.
+const DEPTHS: [u32; 4] = [11, 13, 15, 17];
+
+/// Worker counts the top rung must reproduce bit for bit.
+const THREAD_GRID: [usize; 3] = [1, 2, 8];
+
+/// One fitted `(case, expected-family)` curve with its samples.
+struct Curve {
+    case: &'static str,
+    solver: &'static str,
+    samples: Vec<(usize, usize)>,
+    fit: FitResult,
+    expected: ClassFamily,
+}
+
+impl Curve {
+    fn family_ok(&self) -> bool {
+        self.fit.class.family() == self.expected
+    }
+}
+
+/// Cross-thread determinism evidence gathered on the top rung.
+struct LargeN {
+    n: usize,
+    instance_id: String,
+    planned_chunk_size: usize,
+    chunks: usize,
+    byte_identical: bool,
+    checkpoint_resume_ok: bool,
+}
+
+/// Max worst-case volume of a sweep at the given thread count. The count
+/// fields of the report are thread-invariant, so any member of
+/// [`THREAD_GRID`] yields the same sample.
+fn max_volume<A>(inst: &Instance, algo: &A, config: &RunConfig, threads: usize) -> usize
+where
+    A: QueryAlgorithm + Sync,
+    A::Output: Send,
+{
+    Engine::with_threads(threads)
+        .run_all(inst, algo, config)
+        .expect("ladder sweeps start from every node")
+        .summary
+        .max_volume
+}
+
+/// Generates the depth-`d` rung, round-trips it through the binary store
+/// and returns the *reloaded* instance — every sweep below runs on bytes
+/// that came back from disk, identity-checked.
+fn rung_through_store(depth: u32, dir: &std::path::Path) -> Instance {
+    let built = gen::complete_binary_tree(depth, Color::R, Color::B);
+    let path = dir.join(format!("ladder_d{depth}.vci"));
+    save_instance(&built, &path).expect("instance store is writable");
+    let loaded = load_instance(&path).expect("freshly written instance loads");
+    assert_eq!(
+        loaded.instance_id(),
+        built.instance_id(),
+        "store round-trip must preserve the instance identity"
+    );
+    loaded
+}
+
+/// Asserts the top rung's 1/2/8-thread sweeps are byte-identical in
+/// records, cost summary, total queries and deterministic query metrics.
+fn assert_thread_identity(inst: &Instance, config: &RunConfig) -> bool {
+    let (serial, serial_metrics) = Engine::with_threads(THREAD_GRID[0])
+        .run_all_traced::<_, SweepMetrics>(inst, &DistanceSolver, config)
+        .expect("serial anchor sweep");
+    for &threads in &THREAD_GRID[1..] {
+        let (report, metrics) = Engine::with_threads(threads)
+            .run_all_traced::<_, SweepMetrics>(inst, &DistanceSolver, config)
+            .expect("threaded sweep");
+        assert_eq!(
+            report.report.records, serial.report.records,
+            "records drifted at {threads} threads"
+        );
+        assert_eq!(
+            report.summary, serial.summary,
+            "summary drifted at {threads} threads"
+        );
+        assert_eq!(
+            report.total_queries, serial.total_queries,
+            "total queries drifted at {threads} threads"
+        );
+        assert_eq!(
+            metrics.query, serial_metrics.query,
+            "query metrics drifted at {threads} threads"
+        );
+    }
+    true
+}
+
+/// Quota-kills a checkpointed sweep after two chunks, resumes it to
+/// completion and asserts the stitched record stream equals an unbroken
+/// sweep's — all on the reloaded instance.
+fn assert_checkpoint_resume(inst: &Instance, config: &RunConfig, dir: &std::path::Path) -> bool {
+    let ckpt = dir.join("ladder_top.ckpt.json");
+    let partial = Engine::with_threads(8)
+        .with_chunk_quota(2)
+        .run_recorded_with_checkpoint(inst, &DistanceSolver, config, &ckpt)
+        .expect("quota-killed checkpoint run");
+    assert!(
+        !partial.is_complete() && partial.completed_chunks == 2,
+        "quota must stop the sweep after exactly two chunks"
+    );
+    let resumed = Engine::with_threads(8)
+        .run_recorded_with_checkpoint(inst, &DistanceSolver, config, &ckpt)
+        .expect("resume run");
+    assert!(resumed.is_complete(), "resume must finish the sweep");
+    let unbroken = Engine::with_threads(8)
+        .run_all(inst, &DistanceSolver, config)
+        .expect("unbroken reference sweep");
+    assert_eq!(
+        resumed.records, unbroken.report.records,
+        "resumed records must match an unbroken sweep byte for byte"
+    );
+    assert_eq!(resumed.summary, unbroken.summary, "summary after resume");
+    let _ = std::fs::remove_file(&ckpt);
+    true
+}
+
+/// Hand-rolled JSON (the workspace builds offline with a no-op serde
+/// stand-in). Validated downstream by `cargo run -p xtask -- check-json`.
+fn to_json(curves: &[Curve], large: &LargeN) -> String {
+    let mut out = String::from(
+        "{\n  \"schema\": \"vc-theta-report/v1\",\n  \"problem\": \"leaf-coloring\",\n  \
+         \"instance_family\": \"complete-binary-tree\",\n",
+    );
+    let _ = write!(out, "  \"depths\": [");
+    for (i, d) in DEPTHS.iter().enumerate() {
+        let _ = write!(out, "{}{d}", if i > 0 { ", " } else { "" });
+    }
+    out.push_str("],\n  \"curves\": [\n");
+    for (i, c) in curves.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"case\": \"{}\", \"solver\": \"{}\", \"measure\": \"max_volume\", \
+             \"samples\": [",
+            c.case, c.solver
+        );
+        for (j, (n, cost)) in c.samples.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"n\": {n}, \"cost\": {cost}}}",
+                if j > 0 { ", " } else { "" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "], \"best_class\": \"{}\", \"class_family\": \"{}\", \"scale\": {:.4}, \
+             \"intercept\": {:.4}, \"nrmse\": {:.4}, \"expected_family\": \"{}\", \
+             \"family_ok\": {}}}{}",
+            c.fit.class,
+            c.fit.class.family(),
+            c.fit.scale,
+            c.fit.intercept,
+            c.fit.score,
+            c.expected,
+            c.family_ok(),
+            if i + 1 < curves.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"large_n\": {{\"n\": {}, \"instance_id\": \"{}\", \"planned_chunk_size\": {}, \
+         \"chunks\": {}, \"thread_grid\": [1, 2, 8], \"byte_identical\": {}, \
+         \"checkpoint_resume_ok\": {}}}\n}}",
+        large.n,
+        large.instance_id,
+        large.planned_chunk_size,
+        large.chunks,
+        large.byte_identical,
+        large.checkpoint_resume_ok
+    );
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("THETA_report.json"), PathBuf::from);
+    let store_dir = std::env::temp_dir().join("vc_theta_store");
+    std::fs::create_dir_all(&store_dir).expect("store directory is creatable");
+
+    // Exact distance measurement is a truncated BFS per execution — at the
+    // top rung the random walk's reach makes that ball the whole tree, so
+    // the ladder disables it; volume (the fitted measure) is unaffected.
+    let det_config = RunConfig {
+        exact_distance: false,
+        ..RunConfig::default()
+    };
+    let rand_config = RunConfig {
+        tape: Some(RandomTape::private(11)),
+        exact_distance: false,
+        ..RunConfig::default()
+    };
+
+    let mut d_vol = Vec::new();
+    let mut r_vol = Vec::new();
+    let mut top: Option<Instance> = None;
+    for depth in DEPTHS {
+        let inst = rung_through_store(depth, &store_dir);
+        let n = inst.n();
+        d_vol.push((n, max_volume(&inst, &DistanceSolver, &det_config, 8)));
+        r_vol.push((n, max_volume(&inst, &RwToLeaf::default(), &rand_config, 8)));
+        println!(
+            "depth {depth:2}: n = {n:6}, d-vol = {:6}, r-vol = {:3}",
+            d_vol.last().unwrap().1,
+            r_vol.last().unwrap().1
+        );
+        top = Some(inst);
+    }
+
+    let fit = |samples: &[(usize, usize)]| {
+        let pts: Vec<(f64, f64)> = samples.iter().map(|&(n, c)| (n as f64, c as f64)).collect();
+        fit_complexity(&pts)
+    };
+    let curves = [
+        Curve {
+            case: "leaf-coloring/d-vol",
+            solver: "DistanceSolver",
+            fit: fit(&d_vol),
+            samples: d_vol,
+            expected: ClassFamily::NearLinear,
+        },
+        Curve {
+            case: "leaf-coloring/r-vol",
+            solver: "RwToLeaf",
+            fit: fit(&r_vol),
+            samples: r_vol,
+            expected: ClassFamily::Logarithmic,
+        },
+    ];
+    for c in &curves {
+        println!("{}: {} [{}]", c.case, c.fit, c.fit.class.family());
+    }
+
+    // Large-n contracts on the top rung (n = 262 143 ≥ 1e5), still on the
+    // instance that came back from the binary store.
+    let inst = top.expect("ladder is non-empty");
+    let plan = plan_chunks(inst.n());
+    let large = LargeN {
+        n: inst.n(),
+        instance_id: inst.instance_id().to_string(),
+        planned_chunk_size: plan.chunk_size,
+        chunks: plan.num_chunks,
+        byte_identical: assert_thread_identity(&inst, &det_config),
+        checkpoint_resume_ok: assert_checkpoint_resume(&inst, &det_config, &store_dir),
+    };
+    println!(
+        "large-n: n = {}, {} chunks of {} starts, 1/2/8-thread byte-identical, \
+         checkpoint resume ok",
+        large.n, large.chunks, large.planned_chunk_size
+    );
+
+    // The machine-checked Table 1 claim: D-VOL is near-linear, R-VOL is
+    // logarithmic. A misclassification is a hard failure, not a warning.
+    for c in &curves {
+        assert!(
+            c.family_ok(),
+            "{} fitted {} ({} family), expected the {} family",
+            c.case,
+            c.fit.class,
+            c.fit.class.family(),
+            c.expected
+        );
+    }
+
+    let json = to_json(&curves, &large);
+    std::fs::write(&out_path, &json).expect("report file is writable");
+    println!("wrote {}", out_path.display());
+
+    for depth in DEPTHS {
+        let _ = std::fs::remove_file(store_dir.join(format!("ladder_d{depth}.vci")));
+    }
+}

@@ -105,4 +105,18 @@ step "generate trace report" \
 step "xtask check-json trace report" \
     cargo run -p xtask -- check-json "$TRACE_REPORT"
 
+# Θ-classifier gate: run the million-node pipeline end to end (generate →
+# binary store round-trip → adaptive-chunk sweeps at n up to 262 143) and
+# fit the measured leaf-coloring volume curves. The example itself asserts
+# the Table-1 families (D-VOL near-linear, R-VOL logarithmic), 1/2/8-thread
+# byte-identity and checkpoint resume at n ≥ 1e5 — a misclassification or
+# determinism drift exits nonzero here. The vc-theta-report/v1 document is
+# then checked for well-formedness and uploaded as a CI artifact.
+THETA_REPORT=target/THETA_report.json
+step "generate theta report (empirical Θ-classifier)" \
+    cargo run --release --example theta_report "$THETA_REPORT"
+
+step "xtask check-json theta report" \
+    cargo run -p xtask -- check-json "$THETA_REPORT"
+
 echo "CI OK"
