@@ -10,9 +10,9 @@
 //! **byte-identical** to what one unbroken run would have produced.
 //!
 //! The file is JSON, written by hand and read back with the dependency-free
-//! parser in `xtask::json` (the vendored serde is a no-op stand-in; see
+//! parser in `vc-json` (the vendored serde is a no-op stand-in; see
 //! DESIGN.md §3). Every counter in a record fits `f64` exactly
-//! (`xtask::json::Value::as_u64` enforces this on read), so the
+//! (`vc_json::Value::as_u64` enforces this on read), so the
 //! integer round-trip is lossless.
 //!
 //! A checkpoint is only valid for the exact sweep that produced it: the
@@ -32,15 +32,16 @@
 //! for the cost-summary sweeps behind `BENCH_*.json` baselines, where the
 //! records are the product.
 
+use crate::partition::{ChunkRange, RangeError};
 use crate::{plan_chunks, run_sharded, Engine};
 use std::path::Path;
 use vc_graph::Instance;
 use vc_ident::{IdHasher, InstanceId, SweepId};
+use vc_json as json;
 use vc_model::cost::{CostAccumulator, CostSummary, ExecutionRecord};
 use vc_model::run::{QueryAlgorithm, RunConfig, StartError};
 use vc_trace::time::Stopwatch;
 use vc_trace::NoopTracer;
-use xtask::json;
 
 /// Schema identifier written into every checkpoint file.
 pub const CHECKPOINT_SCHEMA: &str = "vc-engine-checkpoint/v2";
@@ -58,6 +59,8 @@ pub enum EngineError {
     /// The configured start selection is invalid (same as the serial
     /// runner's error).
     Start(StartError),
+    /// The configured chunk range does not fit the sweep's chunk plan.
+    Partition(RangeError),
     /// Reading or writing the checkpoint file failed.
     Io(String),
     /// The checkpoint file is malformed or belongs to a different sweep.
@@ -68,6 +71,7 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Start(e) => write!(f, "invalid start selection: {e}"),
+            EngineError::Partition(e) => write!(f, "invalid chunk range: {e}"),
             EngineError::Io(msg) => write!(f, "checkpoint I/O failed: {msg}"),
             EngineError::BadCheckpoint(msg) => write!(f, "unusable checkpoint: {msg}"),
         }
@@ -79,6 +83,12 @@ impl std::error::Error for EngineError {}
 impl From<StartError> for EngineError {
     fn from(e: StartError) -> Self {
         EngineError::Start(e)
+    }
+}
+
+impl From<RangeError> for EngineError {
+    fn from(e: RangeError) -> Self {
+        EngineError::Partition(e)
     }
 }
 
@@ -99,11 +109,15 @@ pub struct SweepIdentity {
 /// ([`QueryAlgorithm::fold_identity`] — the fault plan included, for
 /// wrapped algorithms), the run configuration (budgets, exact-distance,
 /// randomness tape, start selection), the resolved start set and the
-/// planned chunk size ([`plan_chunks`] — a pure function of the start
-/// count, so sweeps small enough for the historical fixed 64-start chunks
-/// keep their pre-planner identities). Anything that can change a chunk's
-/// records is folded in here, and nowhere else — this is the single
-/// audited identity computation (DESIGN.md §12).
+/// *full* chunk plan — both the planned chunk size and the total chunk
+/// count of [`plan_chunks`]. The plan is folded whole so that every
+/// partition of a fleet run agrees on one identity: a
+/// [`ChunkRange`](crate::ChunkRange) restriction deliberately does *not*
+/// enter the id, which is what lets disjoint partial checkpoints splice
+/// into a file byte-identical to an unpartitioned run (DESIGN.md §15).
+/// Anything that can change a chunk's records is folded in here, and
+/// nowhere else — this is the single audited identity computation
+/// (DESIGN.md §12).
 pub fn sweep_identity<A: QueryAlgorithm>(
     inst: &Instance,
     algo: &A,
@@ -119,7 +133,8 @@ pub fn sweep_identity<A: QueryAlgorithm>(
     for &s in starts {
         h.word(s as u64);
     }
-    h.word(plan_chunks(starts.len()).chunk_size as u64);
+    let plan = plan_chunks(starts.len());
+    h.words(&[plan.chunk_size as u64, plan.num_chunks as u64]);
     SweepIdentity {
         instance_id,
         sweep_id: SweepId::from_raw(h.finish()),
@@ -135,6 +150,12 @@ pub struct SweepCheckpoint {
     pub identity: SweepIdentity,
     /// Total chunks in the sweep's fixed partition.
     pub num_chunks: usize,
+    /// The chunk range the writing engine was restricted to, if any —
+    /// fleet workers record their slice here so partial files are
+    /// self-describing. `None` for unrestricted runs *and* for spliced
+    /// merges, so the `partition` key is absent from full checkpoints and
+    /// a merged file is byte-identical to a single-process run's.
+    pub partition: Option<ChunkRange>,
     /// Per-chunk completed records, in chunk order.
     pub chunks: Vec<Option<Vec<ExecutionRecord>>>,
 }
@@ -145,6 +166,7 @@ impl SweepCheckpoint {
         Self {
             identity,
             num_chunks,
+            partition: None,
             chunks: vec![None; num_chunks],
         }
     }
@@ -167,10 +189,20 @@ impl SweepCheckpoint {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\n  \"schema\": \"{}\",\n  \"instance_id\": \"{}\",\n  \"sweep_id\": \"{}\",\n  \"num_chunks\": {},\n  \"chunks\": [\n",
+            "{{\n  \"schema\": \"{}\",\n  \"instance_id\": \"{}\",\n  \"sweep_id\": \"{}\",\n",
             json::escape(CHECKPOINT_SCHEMA),
             self.identity.instance_id,
             self.identity.sweep_id,
+        );
+        // The partition key is present exactly for range-restricted
+        // writers; full and spliced checkpoints stay on the historical
+        // byte layout.
+        if let Some(range) = self.partition {
+            let _ = writeln!(out, "  \"partition\": \"{range}\",");
+        }
+        let _ = write!(
+            out,
+            "  \"num_chunks\": {},\n  \"chunks\": [\n",
             self.num_chunks
         );
         for (i, chunk) in self.chunks.iter().enumerate() {
@@ -255,6 +287,18 @@ impl SweepCheckpoint {
             .map(usize::try_from)
             .ok_or("missing num_chunks")?
             .map_err(|_| "out-of-range num_chunks")?;
+        let partition = match doc.get("partition") {
+            None => None,
+            Some(v) => {
+                let spec = v.as_str().ok_or("partition is not a string")?;
+                let range =
+                    ChunkRange::parse(spec).map_err(|e| format!("malformed partition: {e}"))?;
+                range
+                    .check_plan(num_chunks)
+                    .map_err(|e| format!("partition does not fit this checkpoint: {e}"))?;
+                Some(range)
+            }
+        };
         let chunk_vals = doc
             .get("chunks")
             .and_then(json::Value::as_arr)
@@ -285,6 +329,7 @@ impl SweepCheckpoint {
                 sweep_id,
             },
             num_chunks,
+            partition,
             chunks,
         })
     }
@@ -361,12 +406,19 @@ impl Engine {
     /// Outputs are not checkpointed (see the module docs) — this entry
     /// point returns records and costs only.
     ///
+    /// Under [`Engine::with_chunk_range`] this is the fleet-worker entry
+    /// point: only the slice's chunks execute, the written file is
+    /// stamped with the slice ([`SweepCheckpoint::partition`]), and the
+    /// disjoint partials splice back into one full checkpoint with
+    /// [`splice_checkpoints`](crate::splice_checkpoints).
+    ///
     /// # Errors
     ///
     /// [`EngineError::Start`] for an invalid start selection,
-    /// [`EngineError::Io`] when the file cannot be read or written, and
-    /// [`EngineError::BadCheckpoint`] when the file is malformed or was
-    /// produced by a different sweep configuration.
+    /// [`EngineError::Partition`] for a chunk range that does not fit the
+    /// sweep's plan, [`EngineError::Io`] when the file cannot be read or
+    /// written, and [`EngineError::BadCheckpoint`] when the file is
+    /// malformed or was produced by a different sweep configuration.
     pub fn run_recorded_with_checkpoint<A>(
         &self,
         inst: &Instance,
@@ -421,7 +473,7 @@ impl Engine {
             algo,
             config,
             &starts,
-            self.limits(&sw, starts.len()),
+            self.limits(&sw, starts.len())?,
             Some(&done),
         );
         for (c, recs) in run.chunk_records.into_iter().enumerate() {
@@ -429,6 +481,10 @@ impl Engine {
                 ckpt.chunks[c] = Some(recs);
             }
         }
+        // The file records the *writer's* restriction: a fleet worker's
+        // partial is stamped with its slice, while unrestricted runs (and
+        // resumes) keep the historical no-partition layout.
+        ckpt.partition = self.chunk_range();
         std::fs::write(path, ckpt.to_json()).map_err(|e| EngineError::Io(e.to_string()))?;
 
         let mut acc = CostAccumulator::default();

@@ -61,15 +61,32 @@
 //! takes the chunked path, so panic isolation and chunk-level event counts
 //! are uniform across thread counts.
 //!
+//! ## Fleet execution (DESIGN.md §15)
+//!
+//! Because the chunk plan is a pure function of the start count, the sweep
+//! can be sharded across *processes* as well as threads:
+//! [`Engine::with_chunk_range`] (or `VC_CHUNKS=lo..hi/total`) restricts a
+//! run to a disjoint slice of the planned chunks, each worker process
+//! checkpoints its slice, and [`splice_checkpoints`] recombines the
+//! partial files into one checkpoint byte-identical to a single-process
+//! run. The range never enters the [`SweepId`] — all partitions of one
+//! sweep share one identity — and chunks outside the configured range are
+//! reported in [`EngineReport::out_of_range_chunks`], distinct from the
+//! degradation ledgers: a partition worker that finishes its slice is
+//! healthy, not degraded. See `examples/fleet_sweep.rs` for the
+//! coordinator side (spawn, kill, reassign, merge).
+//!
 //! The worker count defaults to `std::thread::available_parallelism` and can
 //! be overridden with the `VC_THREADS` environment variable. Malformed
 //! ambient configuration (`VC_THREADS=0`, `VC_THREADS=abc`,
-//! `VC_DEADLINE_MS=1s`) is a loud [`EnvError`] from [`Engine::from_env`],
-//! never silently ignored.
+//! `VC_DEADLINE_MS=1s`, `VC_CHUNKS=512..0/2048`) is a loud [`EnvError`]
+//! from [`Engine::from_env`], never silently ignored.
 
 #![deny(missing_docs)]
 
 pub mod checkpoint;
+pub mod partition;
+pub mod splice;
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -78,7 +95,7 @@ use std::time::Duration;
 use vc_graph::Instance;
 use vc_model::cost::{CostAccumulator, CostSummary, ExecutionRecord};
 use vc_model::oracle::ExecScratch;
-use vc_model::run::{run_from_traced, QueryAlgorithm, RunConfig, RunReport, StartError};
+use vc_model::run::{run_from_traced, QueryAlgorithm, RunConfig, RunReport};
 use vc_trace::time::Stopwatch;
 use vc_trace::{MergeTracer, NoopTracer};
 
@@ -86,6 +103,8 @@ pub use checkpoint::{
     sweep_identity, CheckpointReport, EngineError, SweepCheckpoint, SweepIdentity,
     CHECKPOINT_SCHEMA,
 };
+pub use partition::{ChunkRange, RangeError, CHUNKS_ENV};
+pub use splice::{splice_checkpoints, SpliceError};
 pub use vc_ident::{InstanceId, SweepId};
 
 /// Smallest start count per work chunk. Small sweeps (at most
@@ -246,20 +265,24 @@ pub struct Engine {
     deadline: Option<Duration>,
     quota: Option<usize>,
     cancel: Option<CancelFlag>,
+    range: Option<ChunkRange>,
 }
 
 impl Engine {
     /// An engine with the ambient configuration: worker count from the
     /// `VC_THREADS` environment variable when set to a positive integer
-    /// (otherwise `std::thread::available_parallelism`, otherwise 1), and a
-    /// cooperative deadline from `VC_DEADLINE_MS` when set. Unset or blank
-    /// variables mean "use the default"; anything else must parse.
+    /// (otherwise `std::thread::available_parallelism`, otherwise 1), a
+    /// cooperative deadline from `VC_DEADLINE_MS` when set, and a chunk
+    /// range from `VC_CHUNKS=lo..hi/total` when set (the fleet-worker
+    /// path; see [`Engine::with_chunk_range`]). Unset or blank variables
+    /// mean "use the default"; anything else must parse.
     ///
     /// # Errors
     ///
-    /// [`EnvError`] when either variable is set to garbage
-    /// (`VC_THREADS=0`, `VC_THREADS=abc`, `VC_DEADLINE_MS=1s`, …) — a
-    /// startup error, never a silently ignored override.
+    /// [`EnvError`] when any variable is set to garbage
+    /// (`VC_THREADS=0`, `VC_THREADS=abc`, `VC_DEADLINE_MS=1s`,
+    /// `VC_CHUNKS=512..0/2048`, …) — a startup error, never a silently
+    /// ignored override.
     pub fn from_env() -> Result<Self, EnvError> {
         let threads = match std::env::var(THREADS_ENV) {
             Ok(raw) if !raw.trim().is_empty() => parse_threads(&raw)?,
@@ -269,8 +292,18 @@ impl Engine {
             Ok(raw) if !raw.trim().is_empty() => Some(parse_deadline_ms(&raw)?),
             _ => None,
         };
+        let range = match std::env::var(CHUNKS_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => {
+                Some(ChunkRange::parse(&raw).map_err(|e| EnvError {
+                    var: CHUNKS_ENV,
+                    message: e.to_string(),
+                })?)
+            }
+            _ => None,
+        };
         let mut engine = Self::with_threads(threads);
         engine.deadline = deadline;
+        engine.range = range;
         Ok(engine)
     }
 
@@ -282,6 +315,7 @@ impl Engine {
             deadline: None,
             quota: None,
             cancel: None,
+            range: None,
         }
     }
 
@@ -313,9 +347,28 @@ impl Engine {
         self
     }
 
+    /// Restricts the sweep to the chunks inside `range` — the worker side
+    /// of fleet execution (DESIGN.md §15). Claims start at `range.lo()`
+    /// and stop at `range.hi()`; chunks outside the slice land in
+    /// [`EngineReport::out_of_range_chunks`] and do **not** mark the
+    /// report degraded. The range's `total` must equal the sweep's planned
+    /// chunk count or the run fails loudly with
+    /// [`RangeError::PlanMismatch`]. A quota
+    /// ([`Engine::with_chunk_quota`]) counts *within* the range: quota `k`
+    /// executes exactly chunks `range.lo()..range.lo() + k`.
+    pub fn with_chunk_range(mut self, range: ChunkRange) -> Self {
+        self.range = Some(range);
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured chunk range, if any.
+    pub fn chunk_range(&self) -> Option<ChunkRange> {
+        self.range
     }
 
     /// Runs `algo` from every selected start node of `inst`, sharding the
@@ -331,14 +384,15 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`StartError`] when the configured start selection is invalid, same
-    /// as the serial runner.
+    /// [`EngineError::Start`] when the configured start selection is
+    /// invalid (same as the serial runner), [`EngineError::Partition`]
+    /// when a configured chunk range does not fit the sweep's plan.
     pub fn run_all<A>(
         &self,
         inst: &Instance,
         algo: &A,
         config: &RunConfig,
-    ) -> Result<EngineReport<A::Output>, StartError>
+    ) -> Result<EngineReport<A::Output>, EngineError>
     where
         A: QueryAlgorithm + Sync,
         A::Output: Send,
@@ -350,7 +404,7 @@ impl Engine {
             algo,
             config,
             &starts,
-            self.limits(&sw, starts.len()),
+            self.limits(&sw, starts.len())?,
             None,
         );
         Ok(self.finish_report(run, sw).0)
@@ -371,14 +425,15 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`StartError`] when the configured start selection is invalid, same
-    /// as the serial runner.
+    /// [`EngineError::Start`] when the configured start selection is
+    /// invalid (same as the serial runner), [`EngineError::Partition`]
+    /// when a configured chunk range does not fit the sweep's plan.
     pub fn run_all_traced<A, T>(
         &self,
         inst: &Instance,
         algo: &A,
         config: &RunConfig,
-    ) -> Result<(EngineReport<A::Output>, T), StartError>
+    ) -> Result<(EngineReport<A::Output>, T), EngineError>
     where
         A: QueryAlgorithm + Sync,
         A::Output: Send,
@@ -391,25 +446,47 @@ impl Engine {
             algo,
             config,
             &starts,
-            self.limits(&sw, starts.len()),
+            self.limits(&sw, starts.len())?,
             None,
         );
         Ok(self.finish_report(run, sw))
     }
 
     /// The per-sweep limit set shared by all entry points.
-    fn limits<'a>(&'a self, sw: &'a Stopwatch, num_starts: usize) -> SweepLimits<'a> {
+    ///
+    /// # Errors
+    ///
+    /// [`RangeError::PlanMismatch`] when a configured chunk range names a
+    /// different total than the sweep's plan — running the slice anyway
+    /// would partition a sweep the coordinator never cut.
+    fn limits<'a>(
+        &'a self,
+        sw: &'a Stopwatch,
+        num_starts: usize,
+    ) -> Result<SweepLimits<'a>, RangeError> {
         let plan = plan_chunks(num_starts);
-        SweepLimits {
+        if let Some(range) = self.range {
+            range.check_plan(plan.num_chunks)?;
+        }
+        // The claim window is the configured range (the full plan when
+        // unrestricted), further clamped by the chunk quota — which counts
+        // within the window so a fleet worker can be "killed" after k of
+        // *its* chunks.
+        let window = self
+            .range
+            .unwrap_or_else(|| ChunkRange::full(plan.num_chunks));
+        Ok(SweepLimits {
             sw,
             deadline: self.deadline,
             plan,
+            claim_base: window.lo(),
             claim_limit: self
                 .quota
-                .map_or(plan.num_chunks, |q| q.min(plan.num_chunks)),
+                .map_or(window.hi(), |q| window.hi().min(window.lo() + q)),
+            range: self.range,
             cancel: self.cancel.as_ref(),
-            workers: self.threads.min(plan.num_chunks.max(1)),
-        }
+            workers: self.threads.min(window.len().max(1)),
+        })
     }
 
     /// Wraps a sharded outcome into an [`EngineReport`].
@@ -424,6 +501,7 @@ impl Engine {
                 elapsed: sw.elapsed(),
                 aborted_chunks: run.aborted,
                 skipped_chunks: run.skipped,
+                out_of_range_chunks: run.out_of_range,
                 degraded,
             },
             run.tracer,
@@ -431,17 +509,23 @@ impl Engine {
     }
 }
 
-/// The per-sweep limit set: deadline clock, chunk-claim bound and cancel
+/// The per-sweep limit set: deadline clock, chunk-claim window and cancel
 /// flag, all checked at chunk-claim boundaries.
 struct SweepLimits<'a> {
     sw: &'a Stopwatch,
     deadline: Option<Duration>,
     /// The size-adaptive chunk partition of the start set.
     plan: ChunkPlan,
-    /// First chunk index workers must not claim (quota-clamped).
+    /// First chunk index workers claim (the range's `lo`, 0 unrestricted).
+    claim_base: usize,
+    /// First chunk index workers must not claim (range- and
+    /// quota-clamped).
     claim_limit: usize,
+    /// The configured chunk range, for merge-time classification of
+    /// unclaimed chunks (outside the range ≠ degraded).
+    range: Option<ChunkRange>,
     cancel: Option<&'a CancelFlag>,
-    /// Worker threads after clamping to the chunk count.
+    /// Worker threads after clamping to the claim-window width.
     workers: usize,
 }
 
@@ -472,6 +556,8 @@ struct ShardedRun<O, T> {
     aborted: Vec<usize>,
     /// Chunks never executed (deadline/quota/cancel), ascending.
     skipped: Vec<usize>,
+    /// Chunks outside the configured chunk range, ascending.
+    out_of_range: Vec<usize>,
     /// Per-chunk records for checkpointing: `Some` exactly for the chunks
     /// executed by *this* run (pre-checkpointed chunks stay `None`).
     chunk_records: Vec<Option<Vec<ExecutionRecord>>>,
@@ -596,7 +682,7 @@ where
                         if limits.should_stop() {
                             break;
                         }
-                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        let c = limits.claim_base + next.fetch_add(1, Ordering::Relaxed);
                         if c >= limits.claim_limit {
                             break;
                         }
@@ -656,8 +742,12 @@ where
     // The plan is announced once, on the merged tracer (the merge loop is
     // serial), so the event count and its arguments are thread-invariant.
     merged_tracer.chunk_planned(num_chunks, plan.chunk_size);
+    if let Some(range) = limits.range {
+        merged_tracer.partition_restricted(range.lo(), range.hi(), range.total());
+    }
     let mut aborted = Vec::new();
     let mut skipped = Vec::new();
+    let mut out_of_range = Vec::new();
     let mut chunk_records: Vec<Option<Vec<ExecutionRecord>>> = Vec::with_capacity(num_chunks);
     for (c, slot) in slots.into_iter().enumerate() {
         let pre_done = done.is_some_and(|d| d[c]);
@@ -683,6 +773,12 @@ where
                 chunk_records.push(None);
             }
             Slot::Unclaimed if pre_done => chunk_records.push(None),
+            // A chunk outside the configured range is another partition's
+            // work, deliberately left alone — not degradation.
+            Slot::Unclaimed if limits.range.is_some_and(|r| !r.contains(c)) => {
+                out_of_range.push(c);
+                chunk_records.push(None);
+            }
             Slot::Unclaimed => {
                 skipped.push(c);
                 chunk_records.push(None);
@@ -695,6 +791,7 @@ where
         tracer: merged_tracer,
         aborted,
         skipped,
+        out_of_range,
         chunk_records,
         workers,
     }
@@ -723,8 +820,13 @@ pub struct EngineReport<O> {
     pub aborted_chunks: Vec<usize>,
     /// Chunks never executed because a deadline, chunk quota or cancel
     /// flag stopped the sweep first (ascending). Always a suffix of the
-    /// chunk sequence.
+    /// claim window.
     pub skipped_chunks: Vec<usize>,
+    /// Chunks outside the configured [`ChunkRange`] (ascending; empty for
+    /// unrestricted runs). These belong to *other* partitions of the same
+    /// sweep and deliberately carry no outputs here, so — unlike aborts
+    /// and skips — they do not mark the report degraded.
+    pub out_of_range_chunks: Vec<usize>,
     /// Whether any chunk was aborted or skipped. A degraded report's
     /// summary covers only the executed chunks — partial but valid.
     pub degraded: bool,
@@ -756,7 +858,7 @@ mod tests {
     use super::*;
     use vc_graph::{gen, Color};
     use vc_model::oracle::{follow, Oracle, QueryError};
-    use vc_model::run::StartSelection;
+    use vc_model::run::{StartError, StartSelection};
     use vc_model::Budget;
     use vc_trace::SweepMetrics;
 
@@ -892,7 +994,7 @@ mod tests {
         let err = Engine::with_threads(4)
             .run_all(&inst, &WalkLeft, &config)
             .unwrap_err();
-        assert_eq!(err, StartError::EmptySample);
+        assert_eq!(err, EngineError::Start(StartError::EmptySample));
     }
 
     #[test]
@@ -944,7 +1046,7 @@ mod tests {
         let err = Engine::with_threads(2)
             .run_all_traced::<_, SweepMetrics>(&inst, &WalkLeft, &config)
             .unwrap_err();
-        assert_eq!(err, StartError::EmptySample);
+        assert_eq!(err, EngineError::Start(StartError::EmptySample));
     }
 
     #[test]
@@ -1079,6 +1181,98 @@ mod tests {
             assert_eq!(report.report.records, clean.report.records[..3 * CHUNK]);
             assert_eq!(report.summary.runs, 3 * CHUNK);
         }
+    }
+
+    #[test]
+    fn chunk_range_executes_exactly_the_slice() {
+        let inst = gen::random_full_binary_tree(333, 5); // 6 chunks
+        let config = RunConfig::default();
+        let clean = Engine::with_threads(2)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        for threads in [1, 2, 8] {
+            let report = Engine::with_threads(threads)
+                .with_chunk_range(ChunkRange::parse("2..4/6").unwrap())
+                .run_all(&inst, &WalkLeft, &config)
+                .unwrap();
+            // A finished partition is healthy: nothing aborted, nothing
+            // skipped, the out-of-range chunks are the other partitions'.
+            assert!(!report.degraded, "thread count {threads}");
+            assert!(report.aborted_chunks.is_empty());
+            assert!(report.skipped_chunks.is_empty());
+            assert_eq!(report.out_of_range_chunks, vec![0, 1, 4, 5]);
+            assert_eq!(
+                report.report.records,
+                clean.report.records[2 * CHUNK..4 * CHUNK]
+            );
+            for v in 0..inst.n() {
+                if (2 * CHUNK..4 * CHUNK).contains(&v) {
+                    assert_eq!(report.report.outputs[v], clean.report.outputs[v]);
+                } else {
+                    assert_eq!(report.report.outputs[v], None);
+                }
+            }
+            assert_eq!(report.summary.runs, 2 * CHUNK);
+        }
+    }
+
+    #[test]
+    fn quota_counts_within_the_chunk_range() {
+        let inst = gen::random_full_binary_tree(333, 5); // 6 chunks
+        let config = RunConfig::default();
+        let clean = Engine::with_threads(2)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        let report = Engine::with_threads(2)
+            .with_chunk_range(ChunkRange::parse("2..5/6").unwrap())
+            .with_chunk_quota(1)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        // One chunk of the slice ran; the rest of the slice was skipped
+        // (degradation), everything outside is merely out of range.
+        assert!(report.degraded);
+        assert_eq!(report.skipped_chunks, vec![3, 4]);
+        assert_eq!(report.out_of_range_chunks, vec![0, 1, 5]);
+        assert_eq!(
+            report.report.records,
+            clean.report.records[2 * CHUNK..3 * CHUNK]
+        );
+    }
+
+    #[test]
+    fn mismatched_chunk_range_is_refused() {
+        let inst = gen::random_full_binary_tree(333, 5); // 6 chunks
+        let err = Engine::with_threads(2)
+            .with_chunk_range(ChunkRange::parse("0..4/8").unwrap())
+            .run_all(&inst, &WalkLeft, &RunConfig::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Partition(partition::RangeError::PlanMismatch {
+                total: 8,
+                num_chunks: 6
+            })
+        );
+    }
+
+    #[test]
+    fn range_partitions_merge_to_the_serial_sweep() {
+        let inst = gen::random_full_binary_tree(777, 9); // 13 chunks
+        let config = RunConfig::default();
+        let clean = Engine::with_threads(2)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        let total = plan_chunks(inst.n()).num_chunks;
+        let mut merged: Vec<ExecutionRecord> = Vec::new();
+        for range in ChunkRange::split(total, 4) {
+            let part = Engine::with_threads(3)
+                .with_chunk_range(range)
+                .run_all(&inst, &WalkLeft, &config)
+                .unwrap();
+            merged.extend(part.report.records);
+        }
+        // Contiguous ranges in order: concatenation is the serial sweep.
+        assert_eq!(merged, clean.report.records);
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Chunk-range partitioning: restricting one sweep to a disjoint slice of
+//! its planned chunks, so a fleet of worker processes can share the work.
+//!
+//! The chunk plan ([`plan_chunks`](crate::plan_chunks)) is a pure function
+//! of the start count, so every process that agrees on the sweep inputs
+//! agrees on the partition boundaries. A [`ChunkRange`] names a half-open
+//! slice `lo..hi` of that *full* plan of `total` chunks — the spec syntax
+//! is `lo..hi/total`, e.g. `VC_CHUNKS=0..512/2048` — and the engine then
+//! claims only chunks inside the slice. Because the range carries the
+//! plan's total, a worker launched against the wrong sweep shape fails
+//! loudly ([`RangeError::PlanMismatch`]) instead of silently computing a
+//! different slice than the coordinator intended.
+//!
+//! The range never enters the [`SweepId`](vc_ident::SweepId): identity
+//! covers the sweep (instance, algorithm, config, starts, full plan), not
+//! which process happens to execute which slice. All partitions of one
+//! sweep therefore share one identity, which is what lets their partial
+//! checkpoints be spliced back into a single file byte-identical to an
+//! unpartitioned run (see `splice`).
+
+/// Environment variable restricting a sweep to a chunk range
+/// (`VC_CHUNKS=lo..hi/total`; see [`ChunkRange::parse`]).
+pub const CHUNKS_ENV: &str = "VC_CHUNKS";
+
+/// A half-open slice `lo..hi` of a sweep's full chunk plan of `total`
+/// chunks. Construct with [`ChunkRange::new`] or [`ChunkRange::parse`];
+/// both enforce `lo <= hi <= total`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkRange {
+    lo: usize,
+    hi: usize,
+    total: usize,
+}
+
+/// An unusable chunk-range specification. Always loud: a worker running
+/// the wrong slice would poison the merged result, so nothing here is
+/// clamped or ignored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RangeError {
+    /// The spec does not have the `lo..hi/total` shape.
+    Malformed(String),
+    /// `lo > hi`: the slice is inverted.
+    Inverted {
+        /// First chunk of the slice.
+        lo: usize,
+        /// Past-the-end chunk of the slice.
+        hi: usize,
+    },
+    /// `hi > total`: the slice reaches past the plan it claims to slice.
+    BeyondTotal {
+        /// Past-the-end chunk of the slice.
+        hi: usize,
+        /// Chunks in the plan the spec names.
+        total: usize,
+    },
+    /// The range was planned against a different sweep shape: its `total`
+    /// disagrees with the actual chunk plan of the start set.
+    PlanMismatch {
+        /// Chunks the range says the plan has.
+        total: usize,
+        /// Chunks the sweep's plan actually has.
+        num_chunks: usize,
+    },
+}
+
+impl std::fmt::Display for RangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RangeError::Malformed(spec) => {
+                write!(f, "`{spec}` is not a chunk range (expected `lo..hi/total`)")
+            }
+            RangeError::Inverted { lo, hi } => {
+                write!(f, "chunk range {lo}..{hi} is inverted (lo > hi)")
+            }
+            RangeError::BeyondTotal { hi, total } => {
+                write!(
+                    f,
+                    "chunk range ends at {hi} but the plan has {total} chunks"
+                )
+            }
+            RangeError::PlanMismatch { total, num_chunks } => write!(
+                f,
+                "chunk range was cut from a plan of {total} chunks, but this sweep plans \
+                 {num_chunks} — the partition belongs to a different sweep shape"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RangeError {}
+
+impl ChunkRange {
+    /// A validated range `lo..hi` over a plan of `total` chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`RangeError::Inverted`] when `lo > hi`,
+    /// [`RangeError::BeyondTotal`] when `hi > total`.
+    pub fn new(lo: usize, hi: usize, total: usize) -> Result<Self, RangeError> {
+        if lo > hi {
+            return Err(RangeError::Inverted { lo, hi });
+        }
+        if hi > total {
+            return Err(RangeError::BeyondTotal { hi, total });
+        }
+        Ok(Self { lo, hi, total })
+    }
+
+    /// The unrestricted range covering a whole plan of `total` chunks.
+    pub fn full(total: usize) -> Self {
+        Self {
+            lo: 0,
+            hi: total,
+            total,
+        }
+    }
+
+    /// Parses a `lo..hi/total` spec (the `VC_CHUNKS` / `--chunks` syntax).
+    ///
+    /// # Errors
+    ///
+    /// [`RangeError::Malformed`] for anything that is not three integers
+    /// in that shape, plus the [`ChunkRange::new`] validations.
+    pub fn parse(spec: &str) -> Result<Self, RangeError> {
+        let malformed = || RangeError::Malformed(spec.trim().to_string());
+        let (range, total) = spec.trim().split_once('/').ok_or_else(malformed)?;
+        let (lo, hi) = range.split_once("..").ok_or_else(malformed)?;
+        let parse = |s: &str| s.trim().parse::<usize>().map_err(|_| malformed());
+        Self::new(parse(lo)?, parse(hi)?, parse(total)?)
+    }
+
+    /// First chunk of the slice.
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Past-the-end chunk of the slice.
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+
+    /// Chunks in the full plan this range slices.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Chunks inside the slice.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether the slice contains no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether `chunk` falls inside the slice.
+    pub fn contains(&self, chunk: usize) -> bool {
+        (self.lo..self.hi).contains(&chunk)
+    }
+
+    /// Whether this range covers its whole plan.
+    pub fn is_full(&self) -> bool {
+        self.lo == 0 && self.hi == self.total
+    }
+
+    /// Checks the range against the actual chunk count of a planned sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`RangeError::PlanMismatch`] when the range's `total` is not
+    /// `num_chunks`: the partition was cut from a different plan.
+    pub fn check_plan(&self, num_chunks: usize) -> Result<(), RangeError> {
+        if self.total == num_chunks {
+            Ok(())
+        } else {
+            Err(RangeError::PlanMismatch {
+                total: self.total,
+                num_chunks,
+            })
+        }
+    }
+
+    /// Cuts a plan of `total` chunks into `parts` contiguous, disjoint,
+    /// jointly-covering ranges (the coordinator side of a fleet). Earlier
+    /// ranges get the remainder chunks, so part sizes differ by at most
+    /// one; with `parts > total`, trailing ranges are empty. `parts` is
+    /// clamped to at least 1.
+    pub fn split(total: usize, parts: usize) -> Vec<ChunkRange> {
+        let parts = parts.max(1);
+        let base = total / parts;
+        let rem = total % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut lo = 0;
+        for p in 0..parts {
+            let hi = lo + base + usize::from(p < rem);
+            out.push(Self { lo, hi, total });
+            lo = hi;
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ChunkRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}/{}", self.lo, self.hi, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_through_display() {
+        for spec in ["0..512/2048", "3..3/7", "0..0/0", " 1..2/4 "] {
+            let range = ChunkRange::parse(spec).unwrap();
+            assert_eq!(
+                ChunkRange::parse(&range.to_string()),
+                Ok(range),
+                "spec {spec:?}"
+            );
+        }
+        let r = ChunkRange::parse("5..9/16").unwrap();
+        assert_eq!((r.lo(), r.hi(), r.total()), (5, 9, 16));
+        assert_eq!(r.len(), 4);
+        assert!(r.contains(5) && r.contains(8));
+        assert!(!r.contains(4) && !r.contains(9));
+        assert!(!r.is_full());
+        assert!(ChunkRange::full(16).is_full());
+    }
+
+    #[test]
+    fn malformed_specs_are_loud() {
+        for spec in ["", "0..4", "4/8", "0-4/8", "a..b/c", "0..4/8/2", "-1..4/8"] {
+            assert!(
+                matches!(ChunkRange::parse(spec), Err(RangeError::Malformed(_))),
+                "spec {spec:?}"
+            );
+        }
+        assert_eq!(
+            ChunkRange::parse("5..2/8"),
+            Err(RangeError::Inverted { lo: 5, hi: 2 })
+        );
+        assert_eq!(
+            ChunkRange::parse("0..9/8"),
+            Err(RangeError::BeyondTotal { hi: 9, total: 8 })
+        );
+    }
+
+    #[test]
+    fn plan_check_separates_sweep_shapes() {
+        let r = ChunkRange::parse("0..4/8").unwrap();
+        assert_eq!(r.check_plan(8), Ok(()));
+        assert_eq!(
+            r.check_plan(6),
+            Err(RangeError::PlanMismatch {
+                total: 8,
+                num_chunks: 6
+            })
+        );
+    }
+
+    #[test]
+    fn split_is_a_disjoint_cover() {
+        for (total, parts) in [(8, 4), (7, 3), (3, 5), (0, 2), (245, 16), (10, 1)] {
+            let ranges = ChunkRange::split(total, parts);
+            assert_eq!(ranges.len(), parts.max(1));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.lo(), next, "total {total} parts {parts}");
+                assert_eq!(r.total(), total);
+                assert!(r.len() <= total.div_ceil(parts.max(1)));
+                next = r.hi();
+            }
+            assert_eq!(next, total, "total {total} parts {parts}");
+        }
+        // The remainder goes to the earliest parts.
+        let ranges = ChunkRange::split(7, 3);
+        assert_eq!(
+            ranges.iter().map(ChunkRange::len).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
+    }
+}

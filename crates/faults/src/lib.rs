@@ -40,10 +40,12 @@
 #![forbid(unsafe_code)]
 
 mod algo;
+mod fleet;
 mod oracle;
 mod plan;
 mod splitmix;
 
 pub use algo::{Faulted, FaultedAlgorithm};
+pub use fleet::KillPlan;
 pub use oracle::FaultyOracle;
 pub use plan::{FaultPlan, SpecError, FAULTS_ENV};

@@ -76,6 +76,16 @@ impl IdHasher {
         self.words = self.words.wrapping_add(1);
     }
 
+    /// Folds a sequence of words, in order. Purely a convenience over
+    /// repeated [`IdHasher::word`] calls — no length prefix is added, so
+    /// callers folding variable-length sequences should fold the length
+    /// first (as [`IdHasher::text`] does).
+    pub fn words(&mut self, ws: &[u64]) {
+        for &w in ws {
+            self.word(w);
+        }
+    }
+
     /// Folds an optional word with a presence tag, so `None` and
     /// `Some(0)` are distinct.
     pub fn opt_word(&mut self, w: Option<u64>) {

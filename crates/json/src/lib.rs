@@ -4,9 +4,13 @@
 //! builds a [`Value`] tree for `compare-bench`; [`escape`] encodes a Rust
 //! string for embedding in hand-emitted documents.
 //!
-//! Besides the `xtask` binary, `vc-engine` uses this module to read and
-//! write sweep checkpoint files (`vc-engine-checkpoint/v1`), which is why
-//! it lives in the `xtask` *library* crate.
+//! This is a leaf crate on purpose: `vc-engine` decodes sweep checkpoint
+//! files (`vc-engine-checkpoint/v2`) with it, and `xtask` both lints the
+//! workspace *and* merges partial checkpoints through `vc-engine`, so the
+//! shared codec must sit below both to keep the dependency graph acyclic.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 /// A parsed JSON value. Object keys keep document order; numbers are
 /// `f64`, which is exact for every integer the baselines emit.
@@ -83,8 +87,8 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
             }
             c => out.push(c),
         }

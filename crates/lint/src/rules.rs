@@ -39,6 +39,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "crates/faults",
     "crates/ident",
     "crates/lint",
+    "crates/json",
 ];
 
 /// Crates whose root must carry `#![deny(missing_docs)]` (VC002).
@@ -51,6 +52,7 @@ const MISSING_DOCS_CRATES: &[&str] = &[
     "crates/faults",
     "crates/ident",
     "crates/lint",
+    "crates/json",
 ];
 
 /// The only file allowed to read the wall clock directly (VC006).
@@ -117,13 +119,15 @@ const ENV_ALLOWED_FILE: &str = "crates/engine/src/lib.rs";
 const ENV_ALLOWED_DIR: &str = "crates/xtask";
 
 /// Merge-path files VC012 scans for truncating casts: the engine (chunk
-/// merge, checkpoint decode), the mergeable metrics/histograms, and the
-/// binary instance-store decoder (untrusted on-disk length fields).
+/// merge, splice, checkpoint decode), the mergeable metrics/histograms,
+/// the binary instance-store decoder (untrusted on-disk length fields),
+/// and the JSON parser every checkpoint/partial decode flows through.
 const CAST_SCAN_DIR: &str = "crates/engine/src";
 const CAST_SCAN_FILES: &[&str] = &[
     "crates/trace/src/metrics.rs",
     "crates/trace/src/hist.rs",
     "crates/graph/src/store.rs",
+    "crates/json/src/lib.rs",
 ];
 
 /// Cast targets that can silently drop counter bits (VC012). `usize` and

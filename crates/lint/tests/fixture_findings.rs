@@ -34,6 +34,7 @@ fn each_rule_code_has_a_minimal_violating_fixture() {
         ("vc011", "examples/env.rs", 3, 18, "VC011"),
         ("vc012", "crates/engine/src/lib.rs", 6, 7, "VC012"),
         ("vc012_store", "crates/graph/src/store.rs", 6, 7, "VC012"),
+        ("vc012_json", "crates/json/src/lib.rs", 6, 7, "VC012"),
         ("vc013", "examples/unused.rs", 2, 1, "VC013"),
         ("vc014", "examples/malformed.rs", 2, 1, "VC014"),
     ];

@@ -1,0 +1,7 @@
+#![deny(missing_docs)]
+//! Fixture: a truncating cast on a parsed number in the JSON decoder.
+
+/// Narrows a parsed count without a range check.
+pub fn count(x: f64) -> usize {
+    x as usize
+}

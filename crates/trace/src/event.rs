@@ -56,6 +56,17 @@ pub enum TraceEvent {
         /// Start nodes per chunk (the final chunk may be shorter).
         chunk_size: usize,
     },
+    /// The sweep was restricted to a slice of the planned chunks — the
+    /// fleet-worker path. Emitted once per sweep, only under a chunk
+    /// range; the payload mirrors the `lo..hi/total` range spec.
+    PartitionRestricted {
+        /// First chunk of the slice.
+        lo: usize,
+        /// Past-the-end chunk of the slice.
+        hi: usize,
+        /// Chunks in the full plan being sliced.
+        total: usize,
+    },
     /// An engine worker claimed a chunk of start nodes.
     ChunkClaimed {
         /// Chunk index in the fixed partition of the start set.
@@ -116,6 +127,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::ChunkPlanned { chunks, chunk_size } => {
                 write!(f, "plan {chunks} chunks of {chunk_size} starts")
             }
+            TraceEvent::PartitionRestricted { lo, hi, total } => {
+                write!(f, "partition restricted to chunks {lo}..{hi}/{total}")
+            }
             TraceEvent::ChunkClaimed { chunk, starts } => {
                 write!(f, "claim chunk {chunk} ({starts} starts)")
             }
@@ -151,6 +165,11 @@ mod tests {
             TraceEvent::ChunkPlanned {
                 chunks: 2,
                 chunk_size: 64,
+            },
+            TraceEvent::PartitionRestricted {
+                lo: 0,
+                hi: 1,
+                total: 2,
             },
             TraceEvent::ChunkClaimed {
                 chunk: 0,

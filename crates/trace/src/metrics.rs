@@ -35,6 +35,14 @@ pub struct QueryStats {
     /// absorbed sweeps). Derived from the start count alone, so it is
     /// thread-invariant like every other field here.
     pub planned_chunk_size: u64,
+    /// Partition restrictions announced (one per range-restricted sweep;
+    /// 0 for unpartitioned sweeps). Absorbing every partition's metrics
+    /// of an N-way fleet run sums this to N.
+    pub partitions: u64,
+    /// Chunks inside the announced partition slices (sums `hi - lo`
+    /// across absorbed partitions; a full fleet's partitions sum to the
+    /// planned chunk count).
+    pub partition_chunks: u64,
     /// Chunks claimed by workers (= the planned chunk count of the sweep).
     pub chunks_claimed: u64,
     /// Chunks absorbed by the merge loop (= `chunks_claimed` minus any
@@ -65,6 +73,8 @@ impl QueryStats {
         self.frontier_advances += other.frontier_advances;
         self.chunks_planned += other.chunks_planned;
         self.planned_chunk_size = self.planned_chunk_size.max(other.planned_chunk_size);
+        self.partitions += other.partitions;
+        self.partition_chunks += other.partition_chunks;
         self.chunks_claimed += other.chunks_claimed;
         self.chunks_merged += other.chunks_merged;
         self.chunks_retried += other.chunks_retried;
@@ -152,6 +162,12 @@ impl Tracer for SweepMetrics {
     fn chunk_planned(&mut self, _chunks: usize, chunk_size: usize) {
         self.query.chunks_planned += 1;
         self.query.planned_chunk_size = self.query.planned_chunk_size.max(chunk_size as u64);
+    }
+
+    #[inline]
+    fn partition_restricted(&mut self, lo: usize, hi: usize, _total: usize) {
+        self.query.partitions += 1;
+        self.query.partition_chunks += (hi - lo) as u64;
     }
 
     #[inline]
@@ -260,6 +276,26 @@ mod tests {
         m.absorb(other);
         assert_eq!(m.query.chunks_planned, 2);
         assert_eq!(m.query.planned_chunk_size, 128);
+    }
+
+    #[test]
+    fn partition_metrics_absorb_across_partitions() {
+        // Three fleet partitions of one 10-chunk sweep: absorbed, their
+        // slices account for every planned chunk exactly once.
+        let mut merged = SweepMetrics::new();
+        for (lo, hi) in [(0, 4), (4, 7), (7, 10)] {
+            let mut part = SweepMetrics::new();
+            part.chunk_planned(10, 64);
+            part.partition_restricted(lo, hi, 10);
+            merged.absorb(part);
+        }
+        assert_eq!(merged.query.partitions, 3);
+        assert_eq!(merged.query.partition_chunks, 10);
+        // An unpartitioned sweep announces nothing.
+        let mut solo = SweepMetrics::new();
+        solo.chunk_planned(10, 64);
+        assert_eq!(solo.query.partitions, 0);
+        assert_eq!(solo.query.partition_chunks, 0);
     }
 
     #[test]

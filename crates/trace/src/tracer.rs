@@ -56,6 +56,16 @@ pub trait Tracer {
         let _ = (chunks, chunk_size);
     }
 
+    /// The sweep was restricted to the chunk slice `lo..hi` of a full
+    /// plan of `total` chunks (fleet execution). Emitted once per sweep
+    /// on the merged tracer, right after [`Tracer::chunk_planned`], and
+    /// only for range-restricted runs — an unpartitioned sweep emits
+    /// nothing, so its metrics are unchanged by the fleet feature.
+    #[inline]
+    fn partition_restricted(&mut self, lo: usize, hi: usize, total: usize) {
+        let _ = (lo, hi, total);
+    }
+
     /// An engine worker claimed chunk `chunk` holding `starts` start nodes.
     #[inline]
     fn chunk_claimed(&mut self, chunk: usize, starts: usize) {
@@ -125,6 +135,11 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
     #[inline]
     fn chunk_planned(&mut self, chunks: usize, chunk_size: usize) {
         (**self).chunk_planned(chunks, chunk_size);
+    }
+
+    #[inline]
+    fn partition_restricted(&mut self, lo: usize, hi: usize, total: usize) {
+        (**self).partition_restricted(lo, hi, total);
     }
 
     #[inline]
@@ -262,6 +277,10 @@ impl Tracer for RecordingTracer {
         self.push(TraceEvent::ChunkPlanned { chunks, chunk_size });
     }
 
+    fn partition_restricted(&mut self, lo: usize, hi: usize, total: usize) {
+        self.push(TraceEvent::PartitionRestricted { lo, hi, total });
+    }
+
     fn chunk_claimed(&mut self, chunk: usize, starts: usize) {
         self.push(TraceEvent::ChunkClaimed { chunk, starts });
     }
@@ -337,6 +356,7 @@ mod tests {
             t.frontier_advanced(1);
             t.answer_finalized(1, 2, 1, 1, false);
             t.chunk_planned(2, 64);
+            t.partition_restricted(0, 1, 2);
             t.chunk_claimed(0, 64);
             t.chunk_timed(0, 99);
             t.chunk_merged(0);
@@ -345,6 +365,6 @@ mod tests {
         }
         let mut inner = RecordingTracer::new();
         drive(&mut inner);
-        assert_eq!(inner.events.len(), 10);
+        assert_eq!(inner.events.len(), 11);
     }
 }

@@ -1,9 +1,9 @@
 //! Library surface of the `xtask` automation crate.
 //!
 //! Most of `xtask` lives in the binary (`cargo run -p xtask -- …`, see
-//! `src/main.rs`); this library exposes the pieces other workspace crates
-//! reuse — currently the dependency-free [`json`] module, which
-//! `vc-engine` uses to serialize and parse sweep checkpoint files so the
-//! workspace needs no real JSON dependency offline.
+//! `src/main.rs`). The JSON codec the gates use moved to the leaf crate
+//! [`vc_json`] so that `vc-engine` (checkpoint files) and this crate
+//! (baseline diffing, checkpoint merging) can share it without a
+//! dependency cycle; the old `xtask::json` path is kept as a re-export.
 
-pub mod json;
+pub use vc_json as json;

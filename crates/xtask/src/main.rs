@@ -19,6 +19,15 @@
 //! `vc-lint-report/v1` lint report; the workspace's vendored no-op serde
 //! cannot do this).
 //!
+//! `cargo run -p xtask -- merge-checkpoints <out> <part>...` splices
+//! partial `vc-engine-checkpoint/v2` files written by range-restricted
+//! fleet workers (`VC_CHUNKS=lo..hi/total`) into the one complete
+//! checkpoint a single unpartitioned run would have written —
+//! byte-identical, via [`vc_engine::splice_checkpoints`]. Validation is
+//! strict (same sweep identity and chunk count everywhere, pairwise
+//! disjoint and complete chunk coverage) and every failure names the
+//! offending file. See DESIGN.md §15.
+//!
 //! `cargo run -p xtask -- compare-bench <baseline> <fresh> [--tol-pct N]`
 //! diffs a freshly generated `BENCH_engine.json` against the committed
 //! baseline: rows are keyed `(case, threads)`; the combinatorial count
@@ -259,6 +268,58 @@ fn run_compare_bench(args: &[String]) -> ExitCode {
     }
 }
 
+/// Loads every path as a `vc-engine-checkpoint/v2` document and splices
+/// the parts into one complete checkpoint. Errors name the offending
+/// file: part indices in the engine's [`vc_engine::SpliceError`] are
+/// resolved back to the paths they came from.
+fn splice_files(part_paths: &[String]) -> Result<vc_engine::SweepCheckpoint, String> {
+    let mut parts = Vec::with_capacity(part_paths.len());
+    for path in part_paths {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let ckpt =
+            vc_engine::SweepCheckpoint::from_json(&src).map_err(|e| format!("{path}: {e}"))?;
+        parts.push(ckpt);
+    }
+    vc_engine::splice_checkpoints(&parts).map_err(|e| {
+        let named: Vec<String> = part_paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("part {i} = {p}"))
+            .collect();
+        format!("{e} ({})", named.join(", "))
+    })
+}
+
+fn run_merge_checkpoints(args: &[String]) -> ExitCode {
+    let Some((out_path, part_paths)) = args.split_first() else {
+        eprintln!("usage: cargo run -p xtask -- merge-checkpoints <out> <part>...");
+        return ExitCode::FAILURE;
+    };
+    if part_paths.is_empty() {
+        eprintln!("usage: cargo run -p xtask -- merge-checkpoints <out> <part>...");
+        eprintln!("xtask merge-checkpoints: no partial checkpoints given");
+        return ExitCode::FAILURE;
+    }
+    let merged = match splice_files(part_paths) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("xtask merge-checkpoints: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out_path, merged.to_json()) {
+        eprintln!("xtask merge-checkpoints: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "xtask merge-checkpoints: spliced {} part(s) covering {} chunk(s) of sweep {} into {out_path}",
+        part_paths.len(),
+        merged.num_chunks,
+        merged.identity.sweep_id,
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -271,6 +332,7 @@ fn main() -> ExitCode {
             }
         },
         Some("compare-bench") => run_compare_bench(&args[1..]),
+        Some("merge-checkpoints") => run_merge_checkpoints(&args[1..]),
         Some("check-json") => match args.get(1) {
             Some(path) => match std::fs::read_to_string(path) {
                 Ok(src) => match json::validate(&src) {
@@ -297,7 +359,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cargo run -p xtask -- \
                  <lint [--json] | check-json <path> | compare-bench <baseline> <fresh> \
-                 [--tol-pct N]>"
+                 [--tol-pct N] | merge-checkpoints <out> <part>...>"
             );
             ExitCode::FAILURE
         }
@@ -457,6 +519,71 @@ mod tests {
             .map(ToString::to_string)
             .collect();
         assert!(parse_compare_args(&bad).is_err());
+    }
+
+    /// A partial checkpoint of sweep 5 over `num_chunks` chunks, holding
+    /// (empty) record lists for exactly the `owned` chunk indices.
+    fn partial(num_chunks: usize, owned: &[usize]) -> vc_engine::SweepCheckpoint {
+        let identity = vc_engine::SweepIdentity {
+            instance_id: vc_engine::InstanceId::from_raw(3),
+            sweep_id: vc_engine::SweepId::from_raw(5),
+        };
+        let mut ckpt = vc_engine::SweepCheckpoint::fresh(identity, num_chunks);
+        for &c in owned {
+            ckpt.chunks[c] = Some(Vec::new());
+        }
+        ckpt
+    }
+
+    /// Writes each checkpoint to `<target>/<dir>/part<i>.json` and
+    /// returns the paths. Each test uses a distinct `dir` so parallel
+    /// test threads never share files.
+    fn write_parts(dir: &str, parts: &[vc_engine::SweepCheckpoint]) -> Vec<String> {
+        let root = workspace_root().join("target").join(dir);
+        std::fs::create_dir_all(&root).unwrap();
+        parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let path = root.join(format!("part{i}.json"));
+                std::fs::write(&path, p.to_json()).unwrap();
+                path.to_string_lossy().into_owned()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_checkpoints_splices_disjoint_files() {
+        let paths = write_parts("xtask-merge-ok", &[partial(3, &[0, 2]), partial(3, &[1])]);
+        let merged = splice_files(&paths).unwrap();
+        assert!(merged.is_complete());
+        // Byte-identical to the checkpoint of one unpartitioned run.
+        assert_eq!(merged.to_json(), partial(3, &[0, 1, 2]).to_json());
+    }
+
+    #[test]
+    fn merge_checkpoints_names_the_offending_file() {
+        // Overlap: both parts supply chunk 1.
+        let paths = write_parts(
+            "xtask-merge-overlap",
+            &[partial(3, &[0, 1]), partial(3, &[1, 2])],
+        );
+        let err = splice_files(&paths).unwrap_err();
+        assert!(err.contains("not disjoint"), "{err}");
+        assert!(err.contains("part1.json"), "{err}");
+
+        // Unreadable path: named directly.
+        let missing = vec!["target/xtask-merge-no-such-file.json".to_string()];
+        let err = splice_files(&missing).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        assert!(err.contains("no-such-file"), "{err}");
+    }
+
+    #[test]
+    fn merge_checkpoints_rejects_gaps() {
+        let paths = write_parts("xtask-merge-gap", &[partial(4, &[0, 3])]);
+        let err = splice_files(&paths).unwrap_err();
+        assert!(err.contains("reassign"), "{err}");
     }
 
     #[test]

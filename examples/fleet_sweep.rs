@@ -1,0 +1,264 @@
+//! Fleet execution end to end: one sweep sharded across worker
+//! *processes*, spliced back together byte-identically — including after
+//! a worker is murdered mid-sweep (DESIGN.md §15).
+//!
+//! ```text
+//! cargo run --example fleet_sweep
+//! ```
+//!
+//! The coordinator (the default mode) drives two drills against a serial
+//! reference checkpoint:
+//!
+//! 1. **Partitioned sweep.** The chunk plan is split into four disjoint
+//!    `VC_CHUNKS=lo..hi/total` slices; four worker processes (this same
+//!    binary re-executed with `--worker`) each run their slice against
+//!    their own checkpoint file, and the partials are spliced into one
+//!    checkpoint asserted byte-identical to the serial run.
+//! 2. **Kill and reassign.** A seeded [`vc_faults::KillPlan`] picks one
+//!    worker and murders it after a deterministic number of chunks (a
+//!    chunk quota makes the process exit mid-slice, the repo's standard
+//!    deterministic kill). The splice then fails *loudly* with the exact
+//!    missing chunks, the coordinator reassigns them to a recovery
+//!    worker, and the five partials splice — again byte-identical to the
+//!    serial run.
+//!
+//! Workers read their slice from the `VC_CHUNKS` variable the coordinator
+//! sets on the child process — the same ambient interface a real fleet
+//! launcher (or a human with four shells) would use. All files land in
+//! `target/fleet/`, which CI uploads as an artifact when the drill fails.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use vc_core::problems::leaf_coloring::DistanceSolver;
+use vc_engine::{splice_checkpoints, ChunkRange, Engine, SpliceError, SweepCheckpoint};
+use vc_faults::KillPlan;
+use vc_graph::{gen, load_instance, save_instance};
+use vc_model::run::RunConfig;
+
+/// Worker processes in the fleet.
+const WORKERS: usize = 4;
+/// Threads per worker (and for the serial reference run).
+const THREADS: usize = 2;
+/// Seed for the kill drill — same seed, same murder, every run.
+const KILL_SEED: u64 = 7;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--worker") {
+        run_worker(&args[1..]);
+    } else {
+        run_coordinator();
+    }
+}
+
+/// Fleet-worker mode: load the instance, run the `VC_CHUNKS` slice of
+/// the sweep against the given checkpoint file, exit. `--quota N` caps
+/// the worker at `N` chunks — the coordinator's deterministic murder
+/// weapon for drill 2.
+fn run_worker(args: &[String]) {
+    let (instance_path, ckpt_path) = match (args.first(), args.get(1)) {
+        (Some(i), Some(c)) => (i, c),
+        _ => {
+            eprintln!("usage: fleet_sweep --worker <instance> <checkpoint> [--quota N]");
+            std::process::exit(2);
+        }
+    };
+    let quota = match (args.get(2).map(String::as_str), args.get(3)) {
+        (None, _) => None,
+        (Some("--quota"), Some(n)) => Some(n.parse::<usize>().expect("--quota takes a number")),
+        _ => {
+            eprintln!("usage: fleet_sweep --worker <instance> <checkpoint> [--quota N]");
+            std::process::exit(2);
+        }
+    };
+    let inst = load_instance(Path::new(instance_path)).unwrap_or_else(|e| {
+        eprintln!("worker: cannot load {instance_path}: {e}");
+        std::process::exit(2);
+    });
+    // `from_env` picks up the coordinator-set `VC_CHUNKS` and
+    // `VC_THREADS` — the worker binary itself has no range flag.
+    let mut engine = Engine::from_env().unwrap_or_else(|e| {
+        eprintln!("worker: {e}");
+        std::process::exit(2);
+    });
+    if let Some(q) = quota {
+        engine = engine.with_chunk_quota(q);
+    }
+    let report = engine
+        .run_recorded_with_checkpoint(
+            &inst,
+            &DistanceSolver,
+            &RunConfig::default(),
+            Path::new(ckpt_path),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("worker: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "worker {}: {}/{} chunks on disk",
+        engine
+            .chunk_range()
+            .map_or_else(|| "unrestricted".to_string(), |r| r.to_string()),
+        report.completed_chunks,
+        report.num_chunks
+    );
+}
+
+/// Spawns this binary as a fleet worker for one slice. The slice travels
+/// via `VC_CHUNKS` on the child's environment; ambient deadline/fault
+/// variables are scrubbed so the drill is hermetic.
+fn spawn_worker(
+    instance: &Path,
+    part: &Path,
+    range: ChunkRange,
+    quota: Option<usize>,
+) -> std::process::Child {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--worker")
+        .arg(instance)
+        .arg(part)
+        .env("VC_CHUNKS", range.to_string())
+        .env("VC_THREADS", THREADS.to_string())
+        .env_remove("VC_DEADLINE_MS")
+        .env_remove("VC_FAULTS");
+    if let Some(q) = quota {
+        cmd.arg("--quota").arg(q.to_string());
+    }
+    cmd.spawn().expect("spawn fleet worker")
+}
+
+/// Waits for every child and panics on the first non-success status —
+/// a worker that dies *unexpectedly* is a bug, not a drill.
+fn join_all(children: Vec<std::process::Child>) {
+    for (w, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait on fleet worker");
+        assert!(status.success(), "worker {w} failed with {status}");
+    }
+}
+
+/// Reads one partial checkpoint back from disk.
+fn read_partial(path: &Path) -> SweepCheckpoint {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    SweepCheckpoint::from_json(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn run_coordinator() {
+    let dir = PathBuf::from("target/fleet");
+    std::fs::create_dir_all(&dir).expect("target/fleet is writable");
+
+    // One instance, saved once, loaded by every worker through the
+    // identity-checked binary store.
+    let inst = gen::random_full_binary_tree(777, 5);
+    let instance_path = dir.join("instance.vci");
+    save_instance(&inst, &instance_path).expect("save instance");
+
+    // The serial reference: one unpartitioned process, one checkpoint.
+    let config = RunConfig::default();
+    let serial_path = dir.join("serial.json");
+    let _ = std::fs::remove_file(&serial_path);
+    let serial = Engine::with_threads(THREADS)
+        .run_recorded_with_checkpoint(&inst, &DistanceSolver, &config, &serial_path)
+        .expect("serial reference sweep");
+    assert!(serial.is_complete());
+    let serial_bytes = std::fs::read(&serial_path).expect("read serial checkpoint");
+    let num_chunks = serial.num_chunks;
+    println!(
+        "serial reference: n={} starts, {num_chunks} chunks, {} records",
+        inst.n(),
+        serial.records.len()
+    );
+
+    // ---- Drill 1: partitioned sweep, spliced byte-identically --------
+    let ranges = ChunkRange::split(num_chunks, WORKERS);
+    let part_paths: Vec<PathBuf> = (0..WORKERS)
+        .map(|w| dir.join(format!("part{w}.json")))
+        .collect();
+    for p in &part_paths {
+        let _ = std::fs::remove_file(p);
+    }
+    let children = ranges
+        .iter()
+        .zip(&part_paths)
+        .map(|(range, part)| spawn_worker(&instance_path, part, *range, None))
+        .collect();
+    join_all(children);
+    let parts: Vec<SweepCheckpoint> = part_paths.iter().map(|p| read_partial(p)).collect();
+    let merged = splice_checkpoints(&parts).expect("disjoint partials splice");
+    let merged_path = dir.join("merged.json");
+    std::fs::write(&merged_path, merged.to_json()).expect("write merged checkpoint");
+    let merged_bytes = std::fs::read(&merged_path).expect("read merged checkpoint");
+    assert!(
+        merged_bytes == serial_bytes,
+        "fleet merge must be byte-identical to the serial checkpoint"
+    );
+    println!(
+        "drill 1 OK: {WORKERS} workers over {:?} spliced byte-identically to the serial run",
+        ranges.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+
+    // ---- Drill 2: murder one worker, reassign, splice ----------------
+    let kill = KillPlan::new(KILL_SEED);
+    let victim = kill.victim(WORKERS);
+    let kill_after = kill.kill_after_chunks(ranges[victim].len());
+    println!(
+        "drill 2: killing worker {victim} (slice {}) after {kill_after} chunk(s)",
+        ranges[victim]
+    );
+    let kill_paths: Vec<PathBuf> = (0..WORKERS)
+        .map(|w| dir.join(format!("kill{w}.json")))
+        .collect();
+    for p in &kill_paths {
+        let _ = std::fs::remove_file(p);
+    }
+    let children = ranges
+        .iter()
+        .zip(&kill_paths)
+        .enumerate()
+        .map(|(w, (range, part))| {
+            let quota = (w == victim).then_some(kill_after);
+            spawn_worker(&instance_path, part, *range, quota)
+        })
+        .collect();
+    join_all(children);
+
+    // The splice must refuse the gap loudly and name the missing chunks.
+    let mut parts: Vec<SweepCheckpoint> = kill_paths.iter().map(|p| read_partial(p)).collect();
+    let missing = match splice_checkpoints(&parts) {
+        Err(SpliceError::Incomplete { missing }) => missing,
+        other => panic!("the murdered slice must surface as Incomplete, got {other:?}"),
+    };
+    let expected: Vec<usize> = (ranges[victim].lo() + kill_after..ranges[victim].hi()).collect();
+    assert_eq!(
+        missing, expected,
+        "the gap is exactly the victim's unfinished tail"
+    );
+
+    // Reassign the missing slice to a recovery worker and splice again.
+    let recovery = ChunkRange::new(missing[0], missing[missing.len() - 1] + 1, num_chunks)
+        .expect("the missing tail is a valid slice");
+    let recovery_path = dir.join("recovery.json");
+    let _ = std::fs::remove_file(&recovery_path);
+    println!("drill 2: reassigning {recovery} to a recovery worker");
+    join_all(vec![spawn_worker(
+        &instance_path,
+        &recovery_path,
+        recovery,
+        None,
+    )]);
+    parts.push(read_partial(&recovery_path));
+    let merged = splice_checkpoints(&parts).expect("recovered partials splice");
+    let recovered_path = dir.join("merged_recovered.json");
+    std::fs::write(&recovered_path, merged.to_json()).expect("write recovered checkpoint");
+    let recovered_bytes = std::fs::read(&recovered_path).expect("read recovered checkpoint");
+    assert!(
+        recovered_bytes == serial_bytes,
+        "kill + reassign + splice must still be byte-identical to the serial checkpoint"
+    );
+    println!(
+        "drill 2 OK: kill, reassign and splice reproduced the serial checkpoint byte for byte"
+    );
+}

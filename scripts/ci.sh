@@ -1,10 +1,16 @@
 #!/usr/bin/env sh
-# Tier-1 verification plus the static-analysis and regression passes, in
-# order, fail-fast:
-#   fmt -> build -> test -> determinism suites under forced threading
-#   -> fault suite under forced threading -> clippy -> xtask lint
-#   -> baseline well-formedness -> bench regression gate -> trace report
-#   well-formedness
+# Offline verification pipeline, runnable whole or in slices:
+#
+#   scripts/ci.sh             # everything (the full pre-merge gate)
+#   scripts/ci.sh --quick     # tier-1 only: fmt -> build -> cargo test -q
+#   scripts/ci.sh fast-gate   # fmt + clippy + xtask lint + JSON documents
+#   scripts/ci.sh tests       # test suites incl. VC_THREADS=2 determinism,
+#                             # fault and fleet-splice suites
+#   scripts/ci.sh gates       # release gates: bench baseline, trace/theta
+#                             # reports, fleet drill + merge cross-check
+#
+# The three named stages are exactly the three parallel CI jobs
+# (.github/workflows/ci.yml), so a local stage run reproduces a CI lane.
 # Run from anywhere; works fully offline (deps are vendored, see README).
 # Each step prints its wall time so CI logs show where the minutes go.
 set -eu
@@ -22,101 +28,176 @@ step() {
     echo "    ($_label: $((_t1 - _t0))s)"
 }
 
-step "cargo fmt --check" cargo fmt --check
+# ---------------------------------------------------------------------------
+# fast-gate: formatting, clippy and the determinism linter — everything
+# that fails in seconds-to-a-few-minutes without running a sweep.
+# ---------------------------------------------------------------------------
+run_fast_gate() {
+    step "cargo fmt --check" cargo fmt --check
 
-step "cargo build --release" cargo build --release
+    step "cargo clippy --all-targets -- -D warnings" \
+        cargo clippy --all-targets -- -D warnings
 
-step "cargo test -q" cargo test -q
+    step "cargo clippy --features proptest -p vc-bench" \
+        cargo clippy --all-targets --features proptest -p vc-bench -- -D warnings
 
-# The plain test run above already exercises the engine at 1/2/8 workers;
-# re-running the determinism-sensitive suites with VC_THREADS=2
-# additionally covers the env override that production sweeps use.
-step "VC_THREADS=2 determinism suites" \
-    env VC_THREADS=2 cargo test -q -p vc-bench \
-    --test engine_determinism \
-    --test lower_bounds \
-    --test pipeline_hybrid_hh \
-    --test trace_determinism \
-    --test checkpoint_identity \
-    --test ident_canonical
+    # Lint gate: emit the machine-readable vc-lint-report/v1 document first
+    # (so the artifact exists even when the gate fails — the findings also
+    # go to stderr), then validate the document itself. Any finding,
+    # including an unused or malformed suppression pragma, fails the build.
+    LINT_REPORT=target/LINT_report.json
+    step "xtask lint --json" \
+        sh -c "cargo run -p xtask -- lint --json > $LINT_REPORT"
 
-# Fault suite (DESIGN.md §11), under the same forced two-worker engine:
-# an injected chunk panic must leave a recovered sweep whose merged counts
-# are identical to the clean run of the surviving chunks; a checkpoint
-# killed mid-sweep and resumed must be byte-identical to an unbroken run;
-# and every Table-1 solver must honor the degradation contract under
-# refusal/crash/corruption/squeeze plans.
-step "VC_THREADS=2 fault suite (engine robustness)" \
-    env VC_THREADS=2 cargo test -q -p vc-engine -p vc-faults
+    step "xtask check-json lint report" \
+        cargo run -p xtask -- check-json "$LINT_REPORT"
 
-step "VC_THREADS=2 fault suite (injection contracts)" \
-    env VC_THREADS=2 cargo test -q -p vc-bench \
-    --test fault_transparency \
-    --test fault_degradation
+    step "xtask check-json BENCH_engine.json" \
+        cargo run -p xtask -- check-json BENCH_engine.json
+}
 
-step "VC_THREADS=2 fault suite (audited faulty replay)" \
-    env VC_THREADS=2 cargo test -q -p vc-audit --test faulty_replay
+# ---------------------------------------------------------------------------
+# tests: the full test pyramid, then the determinism-sensitive suites
+# again under the VC_THREADS=2 env override production sweeps use.
+# ---------------------------------------------------------------------------
+run_tests() {
+    step "cargo build --release" cargo build --release
 
-# End-to-end demonstration: a faulted sweep degrades loudly, then a
-# checkpointed sweep killed after two chunks resumes to a byte-identical
-# result (asserted inside the example).
-step "VC_THREADS=2 fault sweep example" \
-    env VC_THREADS=2 cargo run --release --example fault_sweep
+    step "cargo test -q" cargo test -q
 
-step "cargo clippy --all-targets -- -D warnings" \
-    cargo clippy --all-targets -- -D warnings
+    # The plain test run above already exercises the engine at 1/2/8
+    # workers; re-running the determinism-sensitive suites with
+    # VC_THREADS=2 additionally covers the env override that production
+    # sweeps use. fleet_splice is in this set: partition splicing must be
+    # byte-identical at every worker thread count.
+    step "VC_THREADS=2 determinism suites" \
+        env VC_THREADS=2 cargo test -q -p vc-bench \
+        --test engine_determinism \
+        --test lower_bounds \
+        --test pipeline_hybrid_hh \
+        --test trace_determinism \
+        --test checkpoint_identity \
+        --test ident_canonical \
+        --test fleet_splice
 
-step "cargo clippy --features proptest -p vc-bench" \
-    cargo clippy --all-targets --features proptest -p vc-bench -- -D warnings
+    # Fault suite (DESIGN.md §11), under the same forced two-worker engine:
+    # an injected chunk panic must leave a recovered sweep whose merged
+    # counts are identical to the clean run of the surviving chunks; a
+    # checkpoint killed mid-sweep and resumed must be byte-identical to an
+    # unbroken run; and every Table-1 solver must honor the degradation
+    # contract under refusal/crash/corruption/squeeze plans.
+    step "VC_THREADS=2 fault suite (engine robustness)" \
+        env VC_THREADS=2 cargo test -q -p vc-engine -p vc-faults
 
-# Lint gate: emit the machine-readable vc-lint-report/v1 document first
-# (so the artifact exists even when the gate fails — the findings also go
-# to stderr), then validate the document itself. Any finding, including
-# an unused or malformed suppression pragma, fails the build.
-LINT_REPORT=target/LINT_report.json
-step "xtask lint --json" \
-    sh -c "cargo run -p xtask -- lint --json > $LINT_REPORT"
+    step "VC_THREADS=2 fault suite (injection contracts)" \
+        env VC_THREADS=2 cargo test -q -p vc-bench \
+        --test fault_transparency \
+        --test fault_degradation
 
-step "xtask check-json lint report" \
-    cargo run -p xtask -- check-json "$LINT_REPORT"
+    step "VC_THREADS=2 fault suite (audited faulty replay)" \
+        env VC_THREADS=2 cargo test -q -p vc-audit --test faulty_replay
 
-step "xtask check-json BENCH_engine.json" \
-    cargo run -p xtask -- check-json BENCH_engine.json
+    # End-to-end demonstration: a faulted sweep degrades loudly, then a
+    # checkpointed sweep killed after two chunks resumes to a
+    # byte-identical result (asserted inside the example).
+    step "VC_THREADS=2 fault sweep example" \
+        env VC_THREADS=2 cargo run --release --example fault_sweep
+}
 
-# Bench regression gate: regenerate the engine baseline on this machine and
-# diff it against the committed one. Count fields (n, runs, incomplete,
-# total_queries, max_volume, max_distance) and the content-addressed
-# instance_id must match exactly — drift means a semantic regression, or a
-# case silently measuring a different instance. Throughput fields are
-# advisory within 25%.
-FRESH_BASELINE=target/BENCH_engine.fresh.json
-step "regenerate engine baseline" \
-    cargo run --release --example engine_baseline "$FRESH_BASELINE"
+# ---------------------------------------------------------------------------
+# gates: release-mode regression gates — the bench baseline diff, the
+# trace and Θ-classifier documents, and the fleet execution drill.
+# ---------------------------------------------------------------------------
+run_gates() {
+    step "cargo build --release" cargo build --release
 
-step "xtask compare-bench" \
-    cargo run -p xtask -- compare-bench BENCH_engine.json "$FRESH_BASELINE" --tol-pct 25
+    # Bench regression gate: regenerate the engine baseline on this
+    # machine and diff it against the committed one. Count fields (n,
+    # runs, incomplete, total_queries, max_volume, max_distance) and the
+    # content-addressed instance_id must match exactly — drift means a
+    # semantic regression, or a case silently measuring a different
+    # instance. Throughput fields are advisory within 25%.
+    FRESH_BASELINE=target/BENCH_engine.fresh.json
+    step "regenerate engine baseline" \
+        cargo run --release --example engine_baseline "$FRESH_BASELINE"
 
-# Trace report: generate the vc-trace-report/v1 document with tracing
-# enabled and check it is well-formed JSON.
-TRACE_REPORT=target/TRACE_report.json
-step "generate trace report" \
-    cargo run --release --example trace_report "$TRACE_REPORT"
+    step "xtask compare-bench" \
+        cargo run -p xtask -- compare-bench BENCH_engine.json "$FRESH_BASELINE" --tol-pct 25
 
-step "xtask check-json trace report" \
-    cargo run -p xtask -- check-json "$TRACE_REPORT"
+    # Trace report: generate the vc-trace-report/v1 document with tracing
+    # enabled and check it is well-formed JSON.
+    TRACE_REPORT=target/TRACE_report.json
+    step "generate trace report" \
+        cargo run --release --example trace_report "$TRACE_REPORT"
 
-# Θ-classifier gate: run the million-node pipeline end to end (generate →
-# binary store round-trip → adaptive-chunk sweeps at n up to 262 143) and
-# fit the measured leaf-coloring volume curves. The example itself asserts
-# the Table-1 families (D-VOL near-linear, R-VOL logarithmic), 1/2/8-thread
-# byte-identity and checkpoint resume at n ≥ 1e5 — a misclassification or
-# determinism drift exits nonzero here. The vc-theta-report/v1 document is
-# then checked for well-formedness and uploaded as a CI artifact.
-THETA_REPORT=target/THETA_report.json
-step "generate theta report (empirical Θ-classifier)" \
-    cargo run --release --example theta_report "$THETA_REPORT"
+    step "xtask check-json trace report" \
+        cargo run -p xtask -- check-json "$TRACE_REPORT"
 
-step "xtask check-json theta report" \
-    cargo run -p xtask -- check-json "$THETA_REPORT"
+    # Θ-classifier gate: run the million-node pipeline end to end
+    # (generate → binary store round-trip → adaptive-chunk sweeps at n up
+    # to 262 143) and fit the measured leaf-coloring volume curves. The
+    # example itself asserts the Table-1 families (D-VOL near-linear,
+    # R-VOL logarithmic), 1/2/8-thread byte-identity and checkpoint
+    # resume at n ≥ 1e5 — a misclassification or determinism drift exits
+    # nonzero here. The vc-theta-report/v1 document is then checked for
+    # well-formedness and uploaded as a CI artifact.
+    THETA_REPORT=target/THETA_report.json
+    step "generate theta report (empirical Θ-classifier)" \
+        cargo run --release --example theta_report "$THETA_REPORT"
 
-echo "CI OK"
+    step "xtask check-json theta report" \
+        cargo run -p xtask -- check-json "$THETA_REPORT"
+
+    # Fleet execution drill (DESIGN.md §15): four worker *processes* run
+    # disjoint VC_CHUNKS slices of one sweep, the partials are spliced
+    # byte-identically to the serial checkpoint, and a seeded kill plan
+    # murders one worker mid-slice to exercise reassign-and-resplice.
+    # Both byte-identity claims are asserted inside the example; the
+    # partial checkpoints stay in target/fleet/ as failure artifacts.
+    step "VC_THREADS=2 fleet sweep drill" \
+        env VC_THREADS=2 cargo run --release --example fleet_sweep
+
+    # Cross-check the standalone merge tool against the drill's partials:
+    # the spliced file it writes must be byte-identical to the serial
+    # checkpoint the drill produced.
+    step "xtask merge-checkpoints cross-check" \
+        cargo run -p xtask -- merge-checkpoints target/fleet/merged_xtask.json \
+        target/fleet/part0.json target/fleet/part1.json \
+        target/fleet/part2.json target/fleet/part3.json
+
+    step "fleet merge byte-identity" \
+        cmp target/fleet/merged_xtask.json target/fleet/serial.json
+}
+
+MODE=${1:-all}
+case "$MODE" in
+--quick)
+    # Tier-1 only (ROADMAP.md): the fastest signal that the tree builds
+    # and the suites pass. No clippy, no lint, no release gates.
+    step "cargo fmt --check" cargo fmt --check
+    step "cargo build" cargo build
+    step "cargo test -q" cargo test -q
+    echo "CI OK (quick)"
+    exit 0
+    ;;
+fast-gate)
+    run_fast_gate
+    ;;
+tests)
+    run_tests
+    ;;
+gates)
+    run_gates
+    ;;
+all)
+    run_fast_gate
+    run_tests
+    run_gates
+    ;;
+*)
+    echo "usage: scripts/ci.sh [--quick | fast-gate | tests | gates]" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI OK ($MODE)"
