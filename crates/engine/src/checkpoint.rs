@@ -32,9 +32,10 @@
 //! for the cost-summary sweeps behind `BENCH_*.json` baselines, where the
 //! records are the product.
 
-use crate::partition::{ChunkRange, RangeError};
+use crate::partition::{ChunkSet, RangeError};
 use crate::{plan_chunks, run_sharded, Engine};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
 use vc_graph::Instance;
 use vc_ident::{IdHasher, InstanceId, SweepId};
 use vc_json as json;
@@ -150,12 +151,15 @@ pub struct SweepCheckpoint {
     pub identity: SweepIdentity,
     /// Total chunks in the sweep's fixed partition.
     pub num_chunks: usize,
-    /// The chunk range the writing engine was restricted to, if any —
-    /// fleet workers record their slice here so partial files are
-    /// self-describing. `None` for unrestricted runs *and* for spliced
-    /// merges, so the `partition` key is absent from full checkpoints and
-    /// a merged file is byte-identical to a single-process run's.
-    pub partition: Option<ChunkRange>,
+    /// The chunk set the writing engine was restricted to, if any —
+    /// fleet workers record their slice (or reassigned chunk set) here so
+    /// partial files are self-describing. `None` for unrestricted runs
+    /// *and* for spliced merges, so the `partition` key is absent from
+    /// full checkpoints and a merged file is byte-identical to a
+    /// single-process run's. Single-run sets display exactly like the
+    /// historical `ChunkRange` stamps, so range-partitioned files keep
+    /// their byte layout.
+    pub partition: Option<ChunkSet>,
     /// Per-chunk completed records, in chunk order.
     pub chunks: Vec<Option<Vec<ExecutionRecord>>>,
 }
@@ -194,11 +198,11 @@ impl SweepCheckpoint {
             self.identity.instance_id,
             self.identity.sweep_id,
         );
-        // The partition key is present exactly for range-restricted
+        // The partition key is present exactly for chunk-restricted
         // writers; full and spliced checkpoints stay on the historical
         // byte layout.
-        if let Some(range) = self.partition {
-            let _ = writeln!(out, "  \"partition\": \"{range}\",");
+        if let Some(set) = &self.partition {
+            let _ = writeln!(out, "  \"partition\": \"{set}\",");
         }
         let _ = write!(
             out,
@@ -291,12 +295,10 @@ impl SweepCheckpoint {
             None => None,
             Some(v) => {
                 let spec = v.as_str().ok_or("partition is not a string")?;
-                let range =
-                    ChunkRange::parse(spec).map_err(|e| format!("malformed partition: {e}"))?;
-                range
-                    .check_plan(num_chunks)
+                let set = ChunkSet::parse(spec).map_err(|e| format!("malformed partition: {e}"))?;
+                set.check_plan(num_chunks)
                     .map_err(|e| format!("partition does not fit this checkpoint: {e}"))?;
-                Some(range)
+                Some(set)
             }
         };
         let chunk_vals = doc
@@ -390,6 +392,49 @@ impl CheckpointReport {
     }
 }
 
+/// The incremental checkpoint writer behind
+/// [`Engine::with_live_checkpoint`]: after every completed chunk the
+/// updated partial checkpoint is rewritten to disk (write-then-rename, so
+/// a reader never sees a torn file). This is the progress heartbeat a
+/// fleet supervisor observes — chunk-count deltas in the part file through
+/// the sanctioned clock — without any channel back into the sweep itself:
+/// the sink only *writes* state the sweep already produced, so liveness
+/// observation cannot perturb determinism (DESIGN.md §16).
+pub(crate) struct LiveCheckpointSink {
+    path: PathBuf,
+    tmp: PathBuf,
+    state: Mutex<SweepCheckpoint>,
+}
+
+impl LiveCheckpointSink {
+    /// A sink rewriting `path` from `state` (pre-stamped with the
+    /// writer's partition and any resumed chunks) on every commit.
+    pub(crate) fn new(path: &Path, state: SweepCheckpoint) -> Self {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        Self {
+            path: path.to_path_buf(),
+            tmp: PathBuf::from(tmp),
+            state: Mutex::new(state),
+        }
+    }
+
+    /// Records `chunk` as complete and rewrites the file. Heartbeats are
+    /// advisory: an I/O failure here only delays suspicion, so it is
+    /// swallowed — the authoritative final write at the end of the run
+    /// still fails loudly.
+    pub(crate) fn commit(&self, chunk: usize, records: Vec<ExecutionRecord>) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.chunks[chunk] = Some(records);
+        let json = state.to_json();
+        // The write stays under the lock so commits land on disk in
+        // commit order and the rename below never clobbers a newer file.
+        if std::fs::write(&self.tmp, json).is_ok() {
+            let _ = std::fs::rename(&self.tmp, &self.path);
+        }
+    }
+}
+
 impl Engine {
     /// Runs a recorded sweep against a checkpoint file at `path`:
     /// previously checkpointed chunks are skipped, freshly completed
@@ -468,6 +513,13 @@ impl Engine {
         };
 
         let done: Vec<bool> = ckpt.chunks.iter().map(Option::is_some).collect();
+        // The file records the *writer's* restriction: a fleet worker's
+        // partial is stamped with its chunk set, while unrestricted runs
+        // (and resumes) keep the historical no-partition layout.
+        ckpt.partition = self.chunk_set().cloned();
+        let sink = self
+            .live_checkpoint()
+            .then(|| LiveCheckpointSink::new(path, ckpt.clone()));
         let run = run_sharded::<A, NoopTracer>(
             inst,
             algo,
@@ -475,16 +527,13 @@ impl Engine {
             &starts,
             self.limits(&sw, starts.len())?,
             Some(&done),
+            sink.as_ref(),
         );
         for (c, recs) in run.chunk_records.into_iter().enumerate() {
             if let Some(recs) = recs {
                 ckpt.chunks[c] = Some(recs);
             }
         }
-        // The file records the *writer's* restriction: a fleet worker's
-        // partial is stamped with its slice, while unrestricted runs (and
-        // resumes) keep the historical no-partition layout.
-        ckpt.partition = self.chunk_range();
         std::fs::write(path, ckpt.to_json()).map_err(|e| EngineError::Io(e.to_string()))?;
 
         let mut acc = CostAccumulator::default();
@@ -669,6 +718,55 @@ mod tests {
         let a = std::fs::read(&unbroken_path).unwrap();
         let b = std::fs::read(&resumed_path).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn live_checkpoint_runs_write_the_same_final_bytes() {
+        let inst = vc_graph::gen::random_full_binary_tree(333, 5); // 6 chunks
+        let config = RunConfig::default();
+        let plain_path = temp_path("live_plain.json");
+        let live_path = temp_path("live_live.json");
+        let _ = std::fs::remove_file(&plain_path);
+        let _ = std::fs::remove_file(&live_path);
+        let plain = Engine::with_threads(2)
+            .run_recorded_with_checkpoint(&inst, &WalkLeft, &config, &plain_path)
+            .unwrap();
+        let live = Engine::with_threads(2)
+            .with_live_checkpoint()
+            .run_recorded_with_checkpoint(&inst, &WalkLeft, &config, &live_path)
+            .unwrap();
+        // Live commits change how often the file is written, never what
+        // the final bytes are.
+        assert_eq!(live.records, plain.records);
+        assert_eq!(
+            std::fs::read(&live_path).unwrap(),
+            std::fs::read(&plain_path).unwrap()
+        );
+        // No temp file is left behind: every commit renamed into place.
+        let mut tmp = live_path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+    }
+
+    #[test]
+    fn restricted_writers_stamp_their_chunk_set() {
+        let inst = vc_graph::gen::random_full_binary_tree(333, 5); // 6 chunks
+        let config = RunConfig::default();
+        let path = temp_path("stamped_set.json");
+        let _ = std::fs::remove_file(&path);
+        let set = ChunkSet::parse("1..3,5/6").unwrap();
+        Engine::with_threads(2)
+            .with_chunk_set(set.clone())
+            .with_live_checkpoint()
+            .run_recorded_with_checkpoint(&inst, &WalkLeft, &config, &path)
+            .unwrap();
+        let ckpt = SweepCheckpoint::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(ckpt.partition, Some(set));
+        // Exactly the claimed chunks carry records.
+        let done: Vec<usize> = (0..ckpt.num_chunks)
+            .filter(|&c| ckpt.chunks[c].is_some())
+            .collect();
+        assert_eq!(done, vec![1, 2, 5]);
     }
 
     #[test]

@@ -61,20 +61,26 @@
 //! takes the chunked path, so panic isolation and chunk-level event counts
 //! are uniform across thread counts.
 //!
-//! ## Fleet execution (DESIGN.md §15)
+//! ## Fleet execution (DESIGN.md §15–16)
 //!
 //! Because the chunk plan is a pure function of the start count, the sweep
 //! can be sharded across *processes* as well as threads:
-//! [`Engine::with_chunk_range`] (or `VC_CHUNKS=lo..hi/total`) restricts a
-//! run to a disjoint slice of the planned chunks, each worker process
-//! checkpoints its slice, and [`splice_checkpoints`] recombines the
-//! partial files into one checkpoint byte-identical to a single-process
-//! run. The range never enters the [`SweepId`] — all partitions of one
-//! sweep share one identity — and chunks outside the configured range are
-//! reported in [`EngineReport::out_of_range_chunks`], distinct from the
-//! degradation ledgers: a partition worker that finishes its slice is
-//! healthy, not degraded. See `examples/fleet_sweep.rs` for the
-//! coordinator side (spawn, kill, reassign, merge).
+//! [`Engine::with_chunk_set`] (or `VC_CHUNKS=lo..hi/total`, including
+//! non-contiguous sets like `VC_CHUNKS=3..7,12/40`) restricts a run to a
+//! disjoint subset of the planned chunks, each worker process checkpoints
+//! its claim, and [`splice_checkpoints`] recombines the partial files
+//! into one checkpoint byte-identical to a single-process run. The set
+//! never enters the [`SweepId`] — all partitions of one sweep share one
+//! identity — and chunks outside the configured set are reported in
+//! [`EngineReport::out_of_range_chunks`], distinct from the degradation
+//! ledgers: a partition worker that finishes its claim is healthy, not
+//! degraded. Under [`Engine::with_live_checkpoint`] (or
+//! `VC_LIVE_CHECKPOINT=1`) the partial file is rewritten atomically after
+//! every completed chunk, turning it into a progress heartbeat; when a
+//! worker dies anyway, [`splice_partial`] merges what exists and names
+//! the gap, so a supervisor (the `vc-fleet` crate) can reassign exactly
+//! the missing chunks. See `examples/fleet_sweep.rs` for the supervised
+//! drill (spawn, kill, reassign, merge).
 //!
 //! The worker count defaults to `std::thread::available_parallelism` and can
 //! be overridden with the `VC_THREADS` environment variable. Malformed
@@ -103,9 +109,11 @@ pub use checkpoint::{
     sweep_identity, CheckpointReport, EngineError, SweepCheckpoint, SweepIdentity,
     CHECKPOINT_SCHEMA,
 };
-pub use partition::{ChunkRange, RangeError, CHUNKS_ENV};
-pub use splice::{splice_checkpoints, SpliceError};
+pub use partition::{ChunkRange, ChunkSet, RangeError, CHUNKS_ENV};
+pub use splice::{format_chunk_groups, splice_checkpoints, splice_partial, SpliceError};
 pub use vc_ident::{InstanceId, SweepId};
+
+use checkpoint::LiveCheckpointSink;
 
 /// Smallest start count per work chunk. Small sweeps (at most
 /// [`TARGET_CHUNKS`] × this many starts) are partitioned into chunks of
@@ -176,6 +184,11 @@ pub const THREADS_ENV: &str = "VC_THREADS";
 /// milliseconds (checked at chunk-claim boundaries; see
 /// [`Engine::with_deadline`]).
 pub const DEADLINE_ENV: &str = "VC_DEADLINE_MS";
+
+/// Environment variable enabling incremental checkpoint writes (`0`/`1`;
+/// see [`Engine::with_live_checkpoint`]). Fleet supervisors set this on
+/// workers so part files double as progress heartbeats.
+pub const LIVE_CHECKPOINT_ENV: &str = "VC_LIVE_CHECKPOINT";
 
 /// Attempts per chunk: the first run plus one retry from a fresh scratch.
 /// Bounded so a deterministically-panicking chunk cannot spin forever.
@@ -257,6 +270,20 @@ fn parse_deadline_ms(raw: &str) -> Result<Duration, EnvError> {
         })
 }
 
+/// Parses a `VC_LIVE_CHECKPOINT` value: exactly `0` or `1`. Anything
+/// fuzzier (`yes`, `on`, …) is refused so a typo cannot silently disable
+/// the heartbeat a supervisor depends on.
+fn parse_live_checkpoint(raw: &str) -> Result<bool, EnvError> {
+    match raw.trim() {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        other => Err(EnvError {
+            var: LIVE_CHECKPOINT_ENV,
+            message: format!("`{other}` is not `0` or `1`"),
+        }),
+    }
+}
+
 /// A sharded sweep runner with a fixed worker-thread count and optional
 /// degradation limits (deadline, chunk quota, cancel flag).
 #[derive(Clone, Debug)]
@@ -265,24 +292,27 @@ pub struct Engine {
     deadline: Option<Duration>,
     quota: Option<usize>,
     cancel: Option<CancelFlag>,
-    range: Option<ChunkRange>,
+    set: Option<ChunkSet>,
+    live: bool,
 }
 
 impl Engine {
     /// An engine with the ambient configuration: worker count from the
     /// `VC_THREADS` environment variable when set to a positive integer
     /// (otherwise `std::thread::available_parallelism`, otherwise 1), a
-    /// cooperative deadline from `VC_DEADLINE_MS` when set, and a chunk
-    /// range from `VC_CHUNKS=lo..hi/total` when set (the fleet-worker
-    /// path; see [`Engine::with_chunk_range`]). Unset or blank variables
-    /// mean "use the default"; anything else must parse.
+    /// cooperative deadline from `VC_DEADLINE_MS` when set, a chunk set
+    /// from `VC_CHUNKS=lo..hi/total` / `VC_CHUNKS=3..7,12/40` when set
+    /// (the fleet-worker path; see [`Engine::with_chunk_set`]), and
+    /// incremental checkpoint writes from `VC_LIVE_CHECKPOINT=1` (see
+    /// [`Engine::with_live_checkpoint`]). Unset or blank variables mean
+    /// "use the default"; anything else must parse.
     ///
     /// # Errors
     ///
     /// [`EnvError`] when any variable is set to garbage
     /// (`VC_THREADS=0`, `VC_THREADS=abc`, `VC_DEADLINE_MS=1s`,
-    /// `VC_CHUNKS=512..0/2048`, …) — a startup error, never a silently
-    /// ignored override.
+    /// `VC_CHUNKS=512..0/2048`, `VC_LIVE_CHECKPOINT=yes`, …) — a startup
+    /// error, never a silently ignored override.
     pub fn from_env() -> Result<Self, EnvError> {
         let threads = match std::env::var(THREADS_ENV) {
             Ok(raw) if !raw.trim().is_empty() => parse_threads(&raw)?,
@@ -292,18 +322,23 @@ impl Engine {
             Ok(raw) if !raw.trim().is_empty() => Some(parse_deadline_ms(&raw)?),
             _ => None,
         };
-        let range = match std::env::var(CHUNKS_ENV) {
+        let set = match std::env::var(CHUNKS_ENV) {
             Ok(raw) if !raw.trim().is_empty() => {
-                Some(ChunkRange::parse(&raw).map_err(|e| EnvError {
+                Some(ChunkSet::parse(&raw).map_err(|e| EnvError {
                     var: CHUNKS_ENV,
                     message: e.to_string(),
                 })?)
             }
             _ => None,
         };
+        let live = match std::env::var(LIVE_CHECKPOINT_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => parse_live_checkpoint(&raw)?,
+            _ => false,
+        };
         let mut engine = Self::with_threads(threads);
         engine.deadline = deadline;
-        engine.range = range;
+        engine.set = set;
+        engine.live = live;
         Ok(engine)
     }
 
@@ -315,7 +350,8 @@ impl Engine {
             deadline: None,
             quota: None,
             cancel: None,
-            range: None,
+            set: None,
+            live: false,
         }
     }
 
@@ -348,16 +384,36 @@ impl Engine {
     }
 
     /// Restricts the sweep to the chunks inside `range` — the worker side
-    /// of fleet execution (DESIGN.md §15). Claims start at `range.lo()`
-    /// and stop at `range.hi()`; chunks outside the slice land in
+    /// of fleet execution (DESIGN.md §15). Shorthand for
+    /// [`Engine::with_chunk_set`] with a single contiguous run.
+    pub fn with_chunk_range(self, range: ChunkRange) -> Self {
+        self.with_chunk_set(range.into())
+    }
+
+    /// Restricts the sweep to the chunks inside `set` — the worker side
+    /// of fleet execution (DESIGN.md §15/§16). Claims walk the set's
+    /// chunks in ascending order; chunks outside it land in
     /// [`EngineReport::out_of_range_chunks`] and do **not** mark the
-    /// report degraded. The range's `total` must equal the sweep's planned
+    /// report degraded. The set's `total` must equal the sweep's planned
     /// chunk count or the run fails loudly with
     /// [`RangeError::PlanMismatch`]. A quota
-    /// ([`Engine::with_chunk_quota`]) counts *within* the range: quota `k`
-    /// executes exactly chunks `range.lo()..range.lo() + k`.
-    pub fn with_chunk_range(mut self, range: ChunkRange) -> Self {
-        self.range = Some(range);
+    /// ([`Engine::with_chunk_quota`]) counts *within* the set: quota `k`
+    /// executes exactly the set's first `k` chunks. Supervisors use
+    /// non-contiguous sets to reassign exactly a dead worker's missing
+    /// chunks instead of a whole slice.
+    pub fn with_chunk_set(mut self, set: ChunkSet) -> Self {
+        self.set = Some(set);
+        self
+    }
+
+    /// Enables incremental checkpoint writes: during
+    /// [`Engine::run_recorded_with_checkpoint`] the partial file is
+    /// rewritten (atomically, write-then-rename) after every completed
+    /// chunk instead of only at the end. This turns part files into
+    /// progress heartbeats a fleet supervisor can watch; it changes how
+    /// *often* the file is written, never what the final bytes are.
+    pub fn with_live_checkpoint(mut self) -> Self {
+        self.live = true;
         self
     }
 
@@ -366,9 +422,14 @@ impl Engine {
         self.threads
     }
 
-    /// The configured chunk range, if any.
-    pub fn chunk_range(&self) -> Option<ChunkRange> {
-        self.range
+    /// The configured chunk set, if any.
+    pub fn chunk_set(&self) -> Option<&ChunkSet> {
+        self.set.as_ref()
+    }
+
+    /// Whether incremental checkpoint writes are enabled.
+    pub fn live_checkpoint(&self) -> bool {
+        self.live
     }
 
     /// Runs `algo` from every selected start node of `inst`, sharding the
@@ -405,6 +466,7 @@ impl Engine {
             config,
             &starts,
             self.limits(&sw, starts.len())?,
+            None,
             None,
         );
         Ok(self.finish_report(run, sw).0)
@@ -448,6 +510,7 @@ impl Engine {
             &starts,
             self.limits(&sw, starts.len())?,
             None,
+            None,
         );
         Ok(self.finish_report(run, sw))
     }
@@ -456,8 +519,8 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`RangeError::PlanMismatch`] when a configured chunk range names a
-    /// different total than the sweep's plan — running the slice anyway
+    /// [`RangeError::PlanMismatch`] when a configured chunk set names a
+    /// different total than the sweep's plan — running the claim anyway
     /// would partition a sweep the coordinator never cut.
     fn limits<'a>(
         &'a self,
@@ -465,27 +528,28 @@ impl Engine {
         num_starts: usize,
     ) -> Result<SweepLimits<'a>, RangeError> {
         let plan = plan_chunks(num_starts);
-        if let Some(range) = self.range {
-            range.check_plan(plan.num_chunks)?;
+        if let Some(set) = &self.set {
+            set.check_plan(plan.num_chunks)?;
         }
-        // The claim window is the configured range (the full plan when
-        // unrestricted), further clamped by the chunk quota — which counts
-        // within the window so a fleet worker can be "killed" after k of
-        // *its* chunks.
-        let window = self
-            .range
-            .unwrap_or_else(|| ChunkRange::full(plan.num_chunks));
+        // The claim sequence is the configured set's chunks in ascending
+        // order (the full plan when unrestricted), further clamped by the
+        // chunk quota — which counts within the sequence so a fleet worker
+        // can be "killed" after k of *its* chunks.
+        let claims: Vec<usize> = match &self.set {
+            Some(set) => set.chunks().collect(),
+            None => (0..plan.num_chunks).collect(),
+        };
+        let claim_limit = self.quota.map_or(claims.len(), |q| q.min(claims.len()));
+        let workers = self.threads.min(claims.len().max(1));
         Ok(SweepLimits {
             sw,
             deadline: self.deadline,
             plan,
-            claim_base: window.lo(),
-            claim_limit: self
-                .quota
-                .map_or(window.hi(), |q| window.hi().min(window.lo() + q)),
-            range: self.range,
+            claims,
+            claim_limit,
+            set: self.set.as_ref(),
             cancel: self.cancel.as_ref(),
-            workers: self.threads.min(window.len().max(1)),
+            workers,
         })
     }
 
@@ -509,23 +573,25 @@ impl Engine {
     }
 }
 
-/// The per-sweep limit set: deadline clock, chunk-claim window and cancel
-/// flag, all checked at chunk-claim boundaries.
+/// The per-sweep limit set: deadline clock, chunk-claim sequence and
+/// cancel flag, all checked at chunk-claim boundaries.
 struct SweepLimits<'a> {
     sw: &'a Stopwatch,
     deadline: Option<Duration>,
     /// The size-adaptive chunk partition of the start set.
     plan: ChunkPlan,
-    /// First chunk index workers claim (the range's `lo`, 0 unrestricted).
-    claim_base: usize,
-    /// First chunk index workers must not claim (range- and
-    /// quota-clamped).
+    /// The chunk indices this run may execute, ascending: the configured
+    /// set's chunks, or every planned chunk when unrestricted. Workers
+    /// claim positions in this sequence.
+    claims: Vec<usize>,
+    /// First *position* in `claims` workers must not claim
+    /// (quota-clamped).
     claim_limit: usize,
-    /// The configured chunk range, for merge-time classification of
-    /// unclaimed chunks (outside the range ≠ degraded).
-    range: Option<ChunkRange>,
+    /// The configured chunk set, for merge-time classification of
+    /// unclaimed chunks (outside the set ≠ degraded).
+    set: Option<&'a ChunkSet>,
     cancel: Option<&'a CancelFlag>,
-    /// Worker threads after clamping to the claim-window width.
+    /// Worker threads after clamping to the claim-sequence length.
     workers: usize,
 }
 
@@ -636,6 +702,7 @@ fn run_sharded<A, T>(
     starts: &[usize],
     limits: SweepLimits<'_>,
     done: Option<&[bool]>,
+    sink: Option<&LiveCheckpointSink>,
 ) -> ShardedRun<A::Output, T>
 where
     A: QueryAlgorithm + Sync,
@@ -682,10 +749,11 @@ where
                         if limits.should_stop() {
                             break;
                         }
-                        let c = limits.claim_base + next.fetch_add(1, Ordering::Relaxed);
-                        if c >= limits.claim_limit {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= limits.claim_limit {
                             break;
                         }
+                        let c = limits.claims[i];
                         if done.is_some_and(|d| d[c]) {
                             continue; // already checkpointed
                         }
@@ -706,6 +774,12 @@ where
                                     scratch = ExecScratch::new();
                                 }
                             }
+                        }
+                        if let (Some(sink), Some((outs, _, _))) = (sink, &outcome) {
+                            // Live heartbeat: persist the completed chunk
+                            // into the partial checkpoint so a supervisor
+                            // can observe progress mid-run.
+                            sink.commit(c, outs.iter().map(|(_, _, rec)| rec.clone()).collect());
                         }
                         produced.push((c, outcome));
                     }
@@ -742,8 +816,12 @@ where
     // The plan is announced once, on the merged tracer (the merge loop is
     // serial), so the event count and its arguments are thread-invariant.
     merged_tracer.chunk_planned(num_chunks, plan.chunk_size);
-    if let Some(range) = limits.range {
-        merged_tracer.partition_restricted(range.lo(), range.hi(), range.total());
+    if let Some(set) = limits.set {
+        // One event per contiguous run: a single-range set announces
+        // itself exactly like the historical whole-slice partition.
+        for r in set.ranges() {
+            merged_tracer.partition_restricted(r.lo(), r.hi(), r.total());
+        }
     }
     let mut aborted = Vec::new();
     let mut skipped = Vec::new();
@@ -773,9 +851,9 @@ where
                 chunk_records.push(None);
             }
             Slot::Unclaimed if pre_done => chunk_records.push(None),
-            // A chunk outside the configured range is another partition's
+            // A chunk outside the configured set is another partition's
             // work, deliberately left alone — not degradation.
-            Slot::Unclaimed if limits.range.is_some_and(|r| !r.contains(c)) => {
+            Slot::Unclaimed if limits.set.is_some_and(|s| !s.contains(c)) => {
                 out_of_range.push(c);
                 chunk_records.push(None);
             }
@@ -1237,6 +1315,57 @@ mod tests {
             report.report.records,
             clean.report.records[2 * CHUNK..3 * CHUNK]
         );
+    }
+
+    #[test]
+    fn chunk_set_executes_exactly_the_non_contiguous_claim() {
+        let inst = gen::random_full_binary_tree(333, 5); // 6 chunks
+        let config = RunConfig::default();
+        let clean = Engine::with_threads(2)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        let set = ChunkSet::parse("0..2,4/6").unwrap();
+        for threads in [1, 2, 8] {
+            let report = Engine::with_threads(threads)
+                .with_chunk_set(set.clone())
+                .run_all(&inst, &WalkLeft, &config)
+                .unwrap();
+            // A finished reassignment claim is healthy; the gap chunks
+            // belong to other workers.
+            assert!(!report.degraded, "thread count {threads}");
+            assert!(report.aborted_chunks.is_empty());
+            assert!(report.skipped_chunks.is_empty());
+            assert_eq!(report.out_of_range_chunks, vec![2, 3, 5]);
+            // Records are the concatenation of the set's chunks in
+            // ascending chunk order, exactly as the splice expects.
+            let mut expect = clean.report.records[..2 * CHUNK].to_vec();
+            expect.extend_from_slice(&clean.report.records[4 * CHUNK..5 * CHUNK]);
+            assert_eq!(report.report.records, expect);
+            assert_eq!(report.summary.runs, 3 * CHUNK);
+        }
+    }
+
+    #[test]
+    fn quota_counts_within_the_chunk_set() {
+        let inst = gen::random_full_binary_tree(333, 5); // 6 chunks
+        let config = RunConfig::default();
+        let clean = Engine::with_threads(2)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        let report = Engine::with_threads(2)
+            .with_chunk_set(ChunkSet::parse("1,3..5/6").unwrap())
+            .with_chunk_quota(2)
+            .run_all(&inst, &WalkLeft, &config)
+            .unwrap();
+        // Quota 2 executes the set's first two chunks (1 and 3); the
+        // rest of the set is skipped (degradation), everything outside
+        // is merely out of range.
+        assert!(report.degraded);
+        assert_eq!(report.skipped_chunks, vec![4]);
+        assert_eq!(report.out_of_range_chunks, vec![0, 2, 5]);
+        let mut expect = clean.report.records[CHUNK..2 * CHUNK].to_vec();
+        expect.extend_from_slice(&clean.report.records[3 * CHUNK..4 * CHUNK]);
+        assert_eq!(report.report.records, expect);
     }
 
     #[test]

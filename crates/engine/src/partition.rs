@@ -1,25 +1,29 @@
-//! Chunk-range partitioning: restricting one sweep to a disjoint slice of
-//! its planned chunks, so a fleet of worker processes can share the work.
+//! Chunk partitioning: restricting one sweep to a disjoint subset of its
+//! planned chunks, so a fleet of worker processes can share the work.
 //!
 //! The chunk plan ([`plan_chunks`](crate::plan_chunks)) is a pure function
 //! of the start count, so every process that agrees on the sweep inputs
 //! agrees on the partition boundaries. A [`ChunkRange`] names a half-open
 //! slice `lo..hi` of that *full* plan of `total` chunks — the spec syntax
 //! is `lo..hi/total`, e.g. `VC_CHUNKS=0..512/2048` — and the engine then
-//! claims only chunks inside the slice. Because the range carries the
-//! plan's total, a worker launched against the wrong sweep shape fails
-//! loudly ([`RangeError::PlanMismatch`]) instead of silently computing a
+//! claims only chunks inside the slice. A [`ChunkSet`] generalizes the
+//! range to any union of slices (`VC_CHUNKS=3..7,12/40`): this is the
+//! shape a supervisor reassigns when a dead worker's missing chunks are
+//! not contiguous. Because both carry the plan's total, a worker launched
+//! against the wrong sweep shape fails loudly
+//! ([`RangeError::PlanMismatch`]) instead of silently computing a
 //! different slice than the coordinator intended.
 //!
-//! The range never enters the [`SweepId`](vc_ident::SweepId): identity
-//! covers the sweep (instance, algorithm, config, starts, full plan), not
-//! which process happens to execute which slice. All partitions of one
-//! sweep therefore share one identity, which is what lets their partial
-//! checkpoints be spliced back into a single file byte-identical to an
-//! unpartitioned run (see `splice`).
+//! The partition never enters the [`SweepId`](vc_ident::SweepId):
+//! identity covers the sweep (instance, algorithm, config, starts, full
+//! plan), not which process happens to execute which slice. All
+//! partitions of one sweep therefore share one identity, which is what
+//! lets their partial checkpoints be spliced back into a single file
+//! byte-identical to an unpartitioned run (see `splice`).
 
-/// Environment variable restricting a sweep to a chunk range
-/// (`VC_CHUNKS=lo..hi/total`; see [`ChunkRange::parse`]).
+/// Environment variable restricting a sweep to a chunk set
+/// (`VC_CHUNKS=lo..hi/total` or `VC_CHUNKS=3..7,12/40`; see
+/// [`ChunkSet::parse`]).
 pub const CHUNKS_ENV: &str = "VC_CHUNKS";
 
 /// A half-open slice `lo..hi` of a sweep's full chunk plan of `total`
@@ -207,6 +211,192 @@ impl std::fmt::Display for ChunkRange {
     }
 }
 
+/// A sorted, disjoint set of chunks of a plan of `total` chunks: the
+/// reassignment-grade generalization of [`ChunkRange`]. Where a range
+/// names one contiguous slice, a set names any union of slices — exactly
+/// what a fleet supervisor hands a recovery worker when a dead worker's
+/// missing chunks are not contiguous. The spec syntax extends the range
+/// syntax: comma-separated items before the `/total`, each either a
+/// half-open run `lo..hi` or a single chunk index, e.g.
+/// `VC_CHUNKS=3..7,12/40`.
+///
+/// Sets are normalized on construction — runs sorted, overlapping or
+/// adjacent runs coalesced, empty runs dropped — so two specs naming the
+/// same chunks compare equal and display identically. A single-run set
+/// displays exactly like the equivalent [`ChunkRange`], which keeps the
+/// `partition` stamps of range-restricted checkpoints byte-compatible
+/// with the historical layout; the empty set displays as `0..0/total`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkSet {
+    /// Sorted, disjoint, non-adjacent, non-empty half-open runs.
+    runs: Vec<(usize, usize)>,
+    total: usize,
+}
+
+impl ChunkSet {
+    /// A validated set from arbitrary half-open runs over a plan of
+    /// `total` chunks. Runs may arrive unsorted, overlapping, adjacent or
+    /// empty; the set is normalized.
+    ///
+    /// # Errors
+    ///
+    /// The [`ChunkRange::new`] validations, per run:
+    /// [`RangeError::Inverted`] and [`RangeError::BeyondTotal`].
+    pub fn from_runs(runs: &[(usize, usize)], total: usize) -> Result<Self, RangeError> {
+        let mut keep = Vec::with_capacity(runs.len());
+        for &(lo, hi) in runs {
+            let r = ChunkRange::new(lo, hi, total)?;
+            if !r.is_empty() {
+                keep.push((lo, hi));
+            }
+        }
+        keep.sort_unstable();
+        let mut normalized: Vec<(usize, usize)> = Vec::with_capacity(keep.len());
+        for (lo, hi) in keep {
+            match normalized.last_mut() {
+                // Touching or overlapping runs coalesce into one.
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => normalized.push((lo, hi)),
+            }
+        }
+        Ok(Self {
+            runs: normalized,
+            total,
+        })
+    }
+
+    /// The set of exactly the given chunk indices (any order, duplicates
+    /// welcome), grouped into maximal contiguous runs.
+    ///
+    /// # Errors
+    ///
+    /// [`RangeError::BeyondTotal`] when an index is outside the plan.
+    pub fn from_chunks(chunks: &[usize], total: usize) -> Result<Self, RangeError> {
+        let runs: Vec<(usize, usize)> = chunks.iter().map(|&c| (c, c + 1)).collect();
+        Self::from_runs(&runs, total)
+    }
+
+    /// The unrestricted set covering a whole plan of `total` chunks.
+    pub fn full(total: usize) -> Self {
+        ChunkRange::full(total).into()
+    }
+
+    /// Parses an extended `VC_CHUNKS` spec: comma-separated runs and/or
+    /// single chunk indices, then `/total` — `0..512/2048`, `3..7,12/40`,
+    /// `12/40`. The plain [`ChunkRange`] syntax is a valid one-item set.
+    ///
+    /// # Errors
+    ///
+    /// [`RangeError::Malformed`] for anything that is not that shape,
+    /// plus the per-run [`ChunkSet::from_runs`] validations.
+    pub fn parse(spec: &str) -> Result<Self, RangeError> {
+        let malformed = || RangeError::Malformed(spec.trim().to_string());
+        let (items, total) = spec.trim().split_once('/').ok_or_else(malformed)?;
+        let total: usize = total.trim().parse().map_err(|_| malformed())?;
+        let mut runs = Vec::new();
+        for item in items.split(',') {
+            let item = item.trim();
+            let run = match item.split_once("..") {
+                Some((lo, hi)) => (
+                    lo.trim().parse().map_err(|_| malformed())?,
+                    hi.trim().parse().map_err(|_| malformed())?,
+                ),
+                None => {
+                    let c: usize = item.parse().map_err(|_| malformed())?;
+                    (c, c + 1)
+                }
+            };
+            runs.push(run);
+        }
+        Self::from_runs(&runs, total)
+    }
+
+    /// Chunks in the full plan this set partitions.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Chunks inside the set.
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|(lo, hi)| hi - lo).sum()
+    }
+
+    /// Whether the set contains no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Whether `chunk` falls inside the set.
+    pub fn contains(&self, chunk: usize) -> bool {
+        self.runs.iter().any(|&(lo, hi)| (lo..hi).contains(&chunk))
+    }
+
+    /// Whether this set covers its whole plan.
+    pub fn is_full(&self) -> bool {
+        self.runs == [(0, self.total)] || (self.total == 0 && self.runs.is_empty())
+    }
+
+    /// Checks the set against the actual chunk count of a planned sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`RangeError::PlanMismatch`] when the set's `total` is not
+    /// `num_chunks`: the partition was cut from a different plan.
+    pub fn check_plan(&self, num_chunks: usize) -> Result<(), RangeError> {
+        if self.total == num_chunks {
+            Ok(())
+        } else {
+            Err(RangeError::PlanMismatch {
+                total: self.total,
+                num_chunks,
+            })
+        }
+    }
+
+    /// The maximal contiguous runs of the set, ascending, as ranges over
+    /// the same plan.
+    pub fn ranges(&self) -> impl Iterator<Item = ChunkRange> + '_ {
+        let total = self.total;
+        self.runs
+            .iter()
+            .map(move |&(lo, hi)| ChunkRange { lo, hi, total })
+    }
+
+    /// Every chunk index in the set, ascending.
+    pub fn chunks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.runs.iter().flat_map(|&(lo, hi)| lo..hi)
+    }
+}
+
+impl From<ChunkRange> for ChunkSet {
+    fn from(range: ChunkRange) -> Self {
+        let runs = if range.is_empty() {
+            Vec::new()
+        } else {
+            vec![(range.lo, range.hi)]
+        };
+        Self {
+            runs,
+            total: range.total,
+        }
+    }
+}
+
+impl std::fmt::Display for ChunkSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.runs.is_empty() {
+            return write!(f, "0..0/{}", self.total);
+        }
+        for (i, (lo, hi)) in self.runs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{lo}..{hi}")?;
+        }
+        write!(f, "/{}", self.total)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +470,76 @@ mod tests {
         assert_eq!(
             ranges.iter().map(ChunkRange::len).collect::<Vec<_>>(),
             vec![3, 2, 2]
+        );
+    }
+
+    #[test]
+    fn set_parse_normalizes_and_round_trips() {
+        // Unsorted items, a bare index and an adjacent run all normalize.
+        let set = ChunkSet::parse("12, 3..5, 5..7/40").unwrap();
+        assert_eq!(set.to_string(), "3..7,12..13/40");
+        assert_eq!(ChunkSet::parse(&set.to_string()), Ok(set.clone()));
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.total(), 40);
+        assert_eq!(set.chunks().collect::<Vec<_>>(), vec![3, 4, 5, 6, 12]);
+        assert!(set.contains(3) && set.contains(6) && set.contains(12));
+        assert!(!set.contains(2) && !set.contains(7) && !set.contains(13));
+        assert!(!set.is_empty() && !set.is_full());
+        let runs: Vec<(usize, usize)> = set.ranges().map(|r| (r.lo(), r.hi())).collect();
+        assert_eq!(runs, vec![(3, 7), (12, 13)]);
+        assert!(set.ranges().all(|r| r.total() == 40));
+    }
+
+    #[test]
+    fn set_from_chunks_groups_contiguous_indices() {
+        let set = ChunkSet::from_chunks(&[12, 4, 3, 6, 5, 4], 40).unwrap();
+        assert_eq!(set, ChunkSet::parse("3..7,12/40").unwrap());
+        assert_eq!(ChunkSet::from_chunks(&[], 8).unwrap().to_string(), "0..0/8");
+        assert_eq!(
+            ChunkSet::from_chunks(&[8], 8),
+            Err(RangeError::BeyondTotal { hi: 9, total: 8 })
+        );
+    }
+
+    #[test]
+    fn single_run_sets_display_like_the_equivalent_range() {
+        // Byte-compatibility of checkpoint partition stamps rests on this.
+        for spec in ["0..512/2048", "3..3/7", "2..4/6"] {
+            let range = ChunkRange::parse(spec).unwrap();
+            let set = ChunkSet::from(range);
+            if !range.is_empty() {
+                assert_eq!(set.to_string(), range.to_string(), "spec {spec:?}");
+            }
+            assert_eq!(set.len(), range.len());
+            assert_eq!(set.is_full(), range.is_full());
+        }
+        assert!(ChunkSet::full(6).is_full());
+        assert!(ChunkSet::full(0).is_full());
+        assert_eq!(ChunkSet::full(6).to_string(), "0..6/6");
+    }
+
+    #[test]
+    fn malformed_set_specs_are_loud() {
+        for spec in ["", "3..7,12", "3..7,,12/40", "/40", "a,3/40", "1..2/x"] {
+            assert!(
+                matches!(ChunkSet::parse(spec), Err(RangeError::Malformed(_))),
+                "spec {spec:?}"
+            );
+        }
+        assert_eq!(
+            ChunkSet::parse("5..2,7/8"),
+            Err(RangeError::Inverted { lo: 5, hi: 2 })
+        );
+        assert_eq!(
+            ChunkSet::parse("0..9/8"),
+            Err(RangeError::BeyondTotal { hi: 9, total: 8 })
+        );
+        assert_eq!(
+            ChunkSet::parse("0..4/8").unwrap().check_plan(6),
+            Err(RangeError::PlanMismatch {
+                total: 8,
+                num_chunks: 6
+            })
         );
     }
 }

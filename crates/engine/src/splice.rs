@@ -19,6 +19,11 @@
 //! assigned; rerun or reassign before merging). A silent gap would
 //! masquerade as a finished sweep with missing records, which is exactly
 //! the failure mode the engine exists to rule out.
+//!
+//! Supervised recovery uses [`splice_partial`] instead: it performs the
+//! same validations but *returns* the gap next to a merged, resumable
+//! partial checkpoint, so a recovery worker continues the merged file
+//! directly instead of re-running whole slices (DESIGN.md §16).
 
 use crate::checkpoint::{SweepCheckpoint, SweepIdentity};
 
@@ -59,11 +64,42 @@ pub enum SpliceError {
     },
     /// No part completed these chunks: the partition does not cover the
     /// plan (ascending). Reassign or rerun the missing slices, then
-    /// splice again.
+    /// splice again — or merge what exists with [`splice_partial`].
     Incomplete {
         /// Every chunk index no part supplied, ascending.
         missing: Vec<usize>,
+        /// Total chunks in the plan, so the rendered message is a
+        /// complete, pasteable `VC_CHUNKS` reassignment spec.
+        total: usize,
     },
+}
+
+/// Formats chunk indices sorted, deduplicated and grouped into maximal
+/// contiguous half-open runs, single chunks bare: `[5, 3, 4, 12, 5]` →
+/// `"3..6, 12"`. Each item (whitespace aside) is valid `VC_CHUNKS` item
+/// syntax, so the groups paste directly into a reassignment spec.
+pub fn format_chunk_groups(chunks: &[usize]) -> String {
+    let mut sorted = chunks.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    for c in sorted {
+        match groups.last_mut() {
+            Some(last) if c == last.1 => last.1 = c + 1,
+            _ => groups.push((c, c + 1)),
+        }
+    }
+    let rendered: Vec<String> = groups
+        .iter()
+        .map(|&(lo, hi)| {
+            if hi == lo + 1 {
+                lo.to_string()
+            } else {
+                format!("{lo}..{hi}")
+            }
+        })
+        .collect();
+    rendered.join(", ")
 }
 
 impl std::fmt::Display for SpliceError {
@@ -96,13 +132,15 @@ impl std::fmt::Display for SpliceError {
                 "chunk {chunk} was completed by both part {first} and part {second} — \
                  the partition is not disjoint"
             ),
-            SpliceError::Incomplete { missing } => {
+            SpliceError::Incomplete { missing, total } => {
                 write!(
                     f,
-                    "{} chunk(s) have no records (first missing: {}): the partition does \
-                     not cover the plan — reassign or rerun the missing slices",
+                    "{} chunk(s) have no records (missing: {}): the partition does not \
+                     cover the plan — reassign the gap (VC_CHUNKS={}/{total}) or merge \
+                     what exists with splice_partial",
                     missing.len(),
-                    missing.first().map_or(0, |c| *c)
+                    format_chunk_groups(missing),
+                    format_chunk_groups(missing).replace(", ", ","),
                 )
             }
         }
@@ -123,6 +161,38 @@ impl std::error::Error for SpliceError {}
 /// See [`SpliceError`]: empty input, identity or shape mismatch between
 /// parts, overlapping chunk coverage, or incomplete coverage.
 pub fn splice_checkpoints(parts: &[SweepCheckpoint]) -> Result<SweepCheckpoint, SpliceError> {
+    let (merged, missing) = splice_partial(parts)?;
+    if !missing.is_empty() {
+        return Err(SpliceError::Incomplete {
+            missing,
+            total: merged.num_chunks,
+        });
+    }
+    Ok(merged)
+}
+
+/// Splices whatever disjoint partial coverage exists — the recovery side
+/// of fleet supervision. Where [`splice_checkpoints`] refuses a gap,
+/// `splice_partial` merges the supplied chunks into one resumable partial
+/// checkpoint and *returns* the gap: the merged file can be handed
+/// straight to `Engine::run_recorded_with_checkpoint`, which executes
+/// only the missing chunks, so recovery cost is proportional to the lost
+/// work rather than to whole lost slices.
+///
+/// The merged checkpoint carries no `partition` stamp (like a full
+/// splice), so once the missing chunks are filled in the file is
+/// byte-identical to an unbroken single-process run. The second element
+/// is every chunk no part supplied, ascending — empty exactly when the
+/// coverage is complete.
+///
+/// # Errors
+///
+/// The [`splice_checkpoints`] validations minus the coverage check:
+/// empty input, identity or shape mismatch between parts, overlapping
+/// chunk coverage.
+pub fn splice_partial(
+    parts: &[SweepCheckpoint],
+) -> Result<(SweepCheckpoint, Vec<usize>), SpliceError> {
     let first = parts.first().ok_or(SpliceError::Empty)?;
     let identity: SweepIdentity = first.identity;
     let num_chunks = first.num_chunks;
@@ -165,14 +235,12 @@ pub fn splice_checkpoints(parts: &[SweepCheckpoint]) -> Result<SweepCheckpoint, 
         .enumerate()
         .filter_map(|(c, o)| o.is_none().then_some(c))
         .collect();
-    if !missing.is_empty() {
-        return Err(SpliceError::Incomplete { missing });
-    }
-    // `fresh` leaves `partition: None`: the merged file is a full
-    // checkpoint, so the partition stamps of the inputs must not leak
-    // into it — that is what makes the splice byte-identical to an
+    // `fresh` leaves `partition: None`: the merged file is a (possibly
+    // partial) checkpoint of the *whole* sweep, so the partition stamps
+    // of the inputs must not leak into it — that is what makes a complete
+    // splice, or a resumed partial one, byte-identical to an
     // unpartitioned run.
-    Ok(merged)
+    Ok((merged, missing))
 }
 
 #[cfg(test)]
@@ -268,10 +336,63 @@ mod tests {
         assert_eq!(
             err,
             SpliceError::Incomplete {
-                missing: vec![1, 2, 3]
+                missing: vec![1, 2, 3],
+                total: 5
             }
         );
         assert!(err.to_string().contains("reassign"), "{err}");
+        // The message carries a pasteable reassignment spec.
+        assert!(err.to_string().contains("VC_CHUNKS=1..4/5"), "{err}");
+    }
+
+    #[test]
+    fn missing_chunks_format_as_grouped_ranges() {
+        assert_eq!(format_chunk_groups(&[]), "");
+        assert_eq!(format_chunk_groups(&[12]), "12");
+        assert_eq!(format_chunk_groups(&[3, 4, 5, 6]), "3..7");
+        // Unsorted, duplicated input is sorted and deduplicated first.
+        assert_eq!(format_chunk_groups(&[12, 4, 3, 6, 5, 4]), "3..7, 12");
+        assert_eq!(format_chunk_groups(&[0, 2, 3, 9]), "0, 2..4, 9");
+        // The rendered groups round-trip through the ChunkSet spec syntax.
+        let spec = format!(
+            "{}/40",
+            format_chunk_groups(&[12, 4, 3, 6, 5]).replace(", ", ",")
+        );
+        assert_eq!(
+            crate::ChunkSet::parse(&spec),
+            crate::ChunkSet::from_chunks(&[3, 4, 5, 6, 12], 40)
+        );
+    }
+
+    #[test]
+    fn partial_splice_merges_what_exists_and_returns_the_gap() {
+        let parts = [part(1, 5, &[4]), part(1, 5, &[0])];
+        let (merged, missing) = splice_partial(&parts).unwrap();
+        assert_eq!(missing, vec![1, 2, 3]);
+        assert_eq!(merged.partition, None);
+        assert_eq!(merged.completed_chunks(), 2);
+        assert_eq!(merged.chunks[0], Some(vec![rec(0)]));
+        assert_eq!(merged.chunks[4], Some(vec![rec(4)]));
+        // Filling the gap and splicing the result with nothing else
+        // reproduces the full merge.
+        let mut filled = merged.clone();
+        for c in missing {
+            filled.chunks[c] = Some(vec![rec(c)]);
+        }
+        let full = splice_checkpoints(std::slice::from_ref(&filled)).unwrap();
+        assert_eq!(full, part(1, 5, &[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn partial_splice_of_complete_coverage_has_no_gap() {
+        let parts = [part(1, 3, &[1]), part(1, 3, &[0, 2])];
+        let (merged, missing) = splice_partial(&parts).unwrap();
+        assert!(missing.is_empty());
+        assert_eq!(merged, splice_checkpoints(&parts).unwrap());
+        // The strict validations still apply.
+        assert_eq!(splice_partial(&[]), Err(SpliceError::Empty));
+        let overlap = splice_partial(&[part(1, 3, &[0, 1]), part(1, 3, &[1])]).unwrap_err();
+        assert!(matches!(overlap, SpliceError::Overlap { chunk: 1, .. }));
     }
 
     #[test]
@@ -285,9 +406,9 @@ mod tests {
     #[test]
     fn partition_stamps_do_not_leak_into_the_merge() {
         let mut a = part(4, 2, &[0]);
-        a.partition = Some(crate::ChunkRange::parse("0..1/2").unwrap());
+        a.partition = Some(crate::ChunkSet::parse("0..1/2").unwrap());
         let mut b = part(4, 2, &[1]);
-        b.partition = Some(crate::ChunkRange::parse("1..2/2").unwrap());
+        b.partition = Some(crate::ChunkSet::parse("1..2/2").unwrap());
         let merged = splice_checkpoints(&[a, b]).unwrap();
         assert_eq!(merged.partition, None);
         assert_eq!(merged.to_json(), part(4, 2, &[0, 1]).to_json());

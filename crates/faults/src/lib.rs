@@ -46,6 +46,6 @@ mod plan;
 mod splitmix;
 
 pub use algo::{Faulted, FaultedAlgorithm};
-pub use fleet::KillPlan;
+pub use fleet::{CrashStyle, KillPlan};
 pub use oracle::FaultyOracle;
 pub use plan::{FaultPlan, SpecError, FAULTS_ENV};

@@ -1,0 +1,177 @@
+//! [`FleetReport`]: the loud, machine-readable ledger of a supervised
+//! fleet run.
+//!
+//! The chaos drill's acceptance bar is that the report *accounts for
+//! every injected death and reassignment*: each launch, suspicion,
+//! failed exit, reassignment and abandonment a [`Supervisor`] run
+//! performs lands in exactly one counter here. The JSON form
+//! (`vc-fleet-report/v1`) is hand-rolled like every other artifact in
+//! the workspace and validated in CI with the dependency-free `vc-json`
+//! parser.
+//!
+//! [`Supervisor`]: crate::Supervisor
+
+/// Schema identifier written into every serialized fleet report.
+pub const FLEET_REPORT_SCHEMA: &str = "vc-fleet-report/v1";
+
+/// Per-worker-slot accounting. Recovery launches are attributed to the
+/// slot whose death they repair, so one slot can accumulate several
+/// launches.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Launches started on this slot (1 for an untroubled worker).
+    pub launches: u32,
+    /// Launches on this slot killed by the liveness deadline.
+    pub suspected: u32,
+    /// Launches on this slot that exited without completing their claim
+    /// (crashes and clean-but-incomplete exits alike).
+    pub failed: u32,
+    /// Chunks this slot's launches contributed to the final merge.
+    pub completed_chunks: usize,
+}
+
+/// The full ledger of one supervised fleet run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Total chunks in the sweep's plan.
+    pub num_chunks: usize,
+    /// Total launches across all slots (initial workers + recoveries).
+    pub launches: u32,
+    /// Workers declared dead by the liveness deadline (sum of the
+    /// per-slot `suspected` counters).
+    pub suspected: u32,
+    /// Chunk reassignment events: one per chunk per recovery launch
+    /// asked to run it.
+    pub reassigned: u32,
+    /// Chunks that exhausted their launch cap and were abandoned,
+    /// ascending. Non-empty exactly when [`FleetReport::degraded`].
+    pub abandoned_chunks: Vec<usize>,
+    /// Per-chunk launch counts: how many launches were asked to run
+    /// each chunk (1 everywhere for an untroubled fleet).
+    pub chunk_attempts: Vec<u32>,
+    /// Per-slot accounting, indexed by worker slot.
+    pub workers: Vec<WorkerReport>,
+    /// Whether the merged checkpoint is incomplete (chunks abandoned).
+    pub degraded: bool,
+}
+
+impl FleetReport {
+    /// Total worker deaths the supervisor handled: deadline suspicions
+    /// plus incomplete exits.
+    pub fn deaths(&self) -> u32 {
+        self.workers.iter().map(|w| w.suspected + w.failed).sum()
+    }
+
+    /// Serializes the report as a `vc-fleet-report/v1` JSON document —
+    /// a pure function of the report state.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"{}\",\n  \"num_chunks\": {},\n  \"launches\": {},\n  \
+             \"suspected\": {},\n  \"reassigned\": {},\n  \"deaths\": {},\n  \
+             \"degraded\": {},\n",
+            vc_json::escape(FLEET_REPORT_SCHEMA),
+            self.num_chunks,
+            self.launches,
+            self.suspected,
+            self.reassigned,
+            self.deaths(),
+            self.degraded,
+        );
+        let _ = write!(out, "  \"abandoned_chunks\": [");
+        for (i, c) in self.abandoned_chunks.iter().enumerate() {
+            let _ = write!(out, "{}{c}", if i > 0 { ", " } else { "" });
+        }
+        out.push_str("],\n  \"chunk_attempts\": [");
+        for (i, a) in self.chunk_attempts.iter().enumerate() {
+            let _ = write!(out, "{}{a}", if i > 0 { ", " } else { "" });
+        }
+        out.push_str("],\n  \"workers\": [\n");
+        for (w, rep) in self.workers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"worker\": {w}, \"launches\": {}, \"suspected\": {}, \
+                 \"failed\": {}, \"completed_chunks\": {}}}{}",
+                rep.launches,
+                rep.suspected,
+                rep.failed,
+                rep.completed_chunks,
+                if w + 1 < self.workers.len() { "," } else { "" },
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetReport {
+        FleetReport {
+            num_chunks: 6,
+            launches: 5,
+            suspected: 1,
+            reassigned: 3,
+            abandoned_chunks: vec![4],
+            chunk_attempts: vec![1, 1, 2, 2, 3, 1],
+            workers: vec![
+                WorkerReport {
+                    launches: 1,
+                    suspected: 0,
+                    failed: 0,
+                    completed_chunks: 2,
+                },
+                WorkerReport {
+                    launches: 2,
+                    suspected: 1,
+                    failed: 1,
+                    completed_chunks: 3,
+                },
+            ],
+            degraded: true,
+        }
+    }
+
+    #[test]
+    fn deaths_sum_suspicions_and_failed_exits() {
+        assert_eq!(sample().deaths(), 2);
+        assert_eq!(FleetReport::default().deaths(), 0);
+    }
+
+    #[test]
+    fn report_json_is_parseable_and_faithful() {
+        let report = sample();
+        let doc = vc_json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(vc_json::Value::as_str),
+            Some(FLEET_REPORT_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("launches").and_then(vc_json::Value::as_u64),
+            Some(5)
+        );
+        assert_eq!(doc.get("deaths").and_then(vc_json::Value::as_u64), Some(2));
+        assert_eq!(
+            doc.get("abandoned_chunks")
+                .and_then(vc_json::Value::as_arr)
+                .map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("chunk_attempts")
+                .and_then(vc_json::Value::as_arr)
+                .map(<[_]>::len),
+            Some(6)
+        );
+        let workers = doc.get("workers").and_then(vc_json::Value::as_arr).unwrap();
+        assert_eq!(workers.len(), 2);
+        assert_eq!(
+            workers[1].get("suspected").and_then(vc_json::Value::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -47,6 +47,14 @@ impl Value {
         }
     }
 
+    /// The boolean value, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string value, if any.
     pub fn as_str(&self) -> Option<&str> {
         match self {

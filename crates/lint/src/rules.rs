@@ -37,6 +37,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "crates/engine",
     "crates/trace",
     "crates/faults",
+    "crates/fleet",
     "crates/ident",
     "crates/lint",
     "crates/json",
@@ -50,6 +51,7 @@ const MISSING_DOCS_CRATES: &[&str] = &[
     "crates/engine",
     "crates/trace",
     "crates/faults",
+    "crates/fleet",
     "crates/ident",
     "crates/lint",
     "crates/json",
@@ -57,6 +59,15 @@ const MISSING_DOCS_CRATES: &[&str] = &[
 
 /// The only file allowed to read the wall clock directly (VC006).
 const CLOCK_ALLOWLIST: &[&str] = &["crates/trace/src/time.rs"];
+
+/// The only file allowed to sleep or wait on wall-clock time (VC015):
+/// the fleet supervisor's poll/backoff loop. Everywhere else a sleep is
+/// either a hidden scheduling dependency (library code) or a flakiness
+/// seed (tests).
+const SLEEP_ALLOWLIST: &[&str] = &["crates/fleet/src/supervisor.rs"];
+
+/// Call idents VC015 hunts for: the std blocking-wait family.
+const SLEEP_IDENTS: &[&str] = &["sleep", "sleep_ms", "sleep_until", "park_timeout"];
 
 /// The only directory allowed to call `catch_unwind` (VC007).
 const CATCH_UNWIND_ALLOWED_DIR: &str = "crates/engine/src";
@@ -894,6 +905,55 @@ impl Rule for NoTruncatingCasts {
 }
 
 // ---------------------------------------------------------------------------
+// VC015 no-stray-sleeps
+// ---------------------------------------------------------------------------
+
+/// VC015: blocking waits stay in the fleet supervisor.
+pub struct NoStraySleeps;
+
+/// Info for [`NoStraySleeps`].
+pub static VC015: RuleInfo = RuleInfo {
+    code: "VC015",
+    name: "no-stray-sleeps",
+    summary: "thread::sleep family only in the vc-fleet supervisor module",
+};
+
+impl Rule for NoStraySleeps {
+    fn info(&self) -> &'static RuleInfo {
+        &VC015
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in &ws.files {
+            if SLEEP_ALLOWLIST.contains(&f.rel.as_str()) {
+                continue;
+            }
+            // Tests included: a sleep in a test is a flakiness seed —
+            // poll a condition or drive a scripted backend instead.
+            let idx = f.code_indices(true);
+            for k in 0..idx.len() {
+                let called = SLEEP_IDENTS
+                    .iter()
+                    .find(|name| matches_at(f, &idx, k, &[Pat::I(name), Pat::P(b'(')]));
+                if let Some(name) = called {
+                    out.push(finding_at(
+                        f,
+                        idx[k],
+                        &VC015,
+                        format!(
+                            "`{name}(…)` outside the fleet supervisor; voluntary waits \
+                             belong in vc-fleet's poll/backoff loop — elsewhere they \
+                             hide scheduling assumptions (or flakiness) the sweep's \
+                             determinism contract forbids"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver-emitted suppression findings (not rules, but cataloged codes)
 // ---------------------------------------------------------------------------
 
@@ -926,15 +986,19 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(NoFloatsInMergedCounts),
         Box::new(CentralizedEnvAccess),
         Box::new(NoTruncatingCasts),
+        Box::new(NoStraySleeps),
     ]
 }
 
 /// The full code catalog (rules plus driver-emitted codes), for
-/// documentation and tooling.
+/// documentation and tooling, in code order. The driver-emitted
+/// suppression codes (VC013/VC014) slot in between the registry rules,
+/// so the merged list is re-sorted.
 pub fn catalog() -> Vec<&'static RuleInfo> {
     let mut infos: Vec<&'static RuleInfo> = registry().iter().map(|r| r.info()).collect();
     infos.push(&UNUSED_SUPPRESSION);
     infos.push(&MALFORMED_SUPPRESSION);
+    infos.sort_by_key(|i| i.code);
     infos
 }
 
@@ -995,6 +1059,33 @@ mod tests {
         assert_eq!(findings.len(), 1, "only the non-allowlisted read fires");
         assert_eq!(findings[0].code, "VC006");
         assert_eq!(findings[0].file, "crates/engine/src/lib.rs");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_sleep_rule_fires_everywhere_but_the_supervisor() {
+        let (ws, dir) = ws(&[
+            (
+                "crates/engine/src/lib.rs",
+                "fn f() { std::thread::sleep(d); }\n\
+                 #[cfg(test)]\nmod t { fn g() { std::thread::sleep(d); } }\n",
+            ),
+            (
+                "crates/fleet/src/supervisor.rs",
+                "fn p() { std::thread::sleep(d); }\n",
+            ),
+            (
+                "crates/comm/src/lib.rs",
+                "fn h(t: &std::thread::Thread) { std::thread::park_timeout(d); let sleepy = 1; }\n",
+            ),
+        ]);
+        let findings = run_rule(&NoStraySleeps, &ws);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings.iter().all(|f| f.code == "VC015"));
+        assert!(
+            findings.iter().all(|f| !f.file.starts_with("crates/fleet")),
+            "the supervisor is sanctioned"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1165,6 +1256,6 @@ mod t { fn f(x: u64) -> u8 { x as u8 } }
         sorted.dedup();
         assert_eq!(codes, sorted, "codes are unique and in order");
         assert_eq!(codes.first(), Some(&"VC001"));
-        assert_eq!(codes.last(), Some(&"VC014"));
+        assert_eq!(codes.last(), Some(&"VC015"));
     }
 }

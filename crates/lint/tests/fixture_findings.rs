@@ -37,6 +37,7 @@ fn each_rule_code_has_a_minimal_violating_fixture() {
         ("vc012_json", "crates/json/src/lib.rs", 6, 7, "VC012"),
         ("vc013", "examples/unused.rs", 2, 1, "VC013"),
         ("vc014", "examples/malformed.rs", 2, 1, "VC014"),
+        ("vc015", "examples/sleepy.rs", 3, 18, "VC015"),
     ];
     for &(name, file, line, col, code) in expected {
         let r = run(name);
@@ -77,7 +78,7 @@ fn suppressed_variants_run_clean_and_count_the_suppression() {
 #[test]
 fn the_catalog_covers_every_fixture_code() {
     let codes: Vec<&str> = vc_lint::catalog().iter().map(|i| i.code).collect();
-    for n in 1..=14 {
+    for n in 1..=15 {
         let code = format!("VC{n:03}");
         assert!(
             codes.contains(&code.as_str()),

@@ -1,0 +1,4 @@
+//! Fixture: a blocking wait outside the fleet supervisor.
+fn main() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -102,6 +102,33 @@ pub enum TraceEvent {
         /// Chunk index.
         chunk: usize,
     },
+    /// A fleet supervisor declared a worker dead: its partial checkpoint
+    /// made no progress for a full liveness deadline (or its process
+    /// exited). Emitted by `vc-fleet`, never by the engine itself.
+    WorkerSuspected {
+        /// Fleet worker index.
+        worker: usize,
+        /// Chunks the worker had completed when suspected.
+        completed: usize,
+        /// Chunks the worker was assigned.
+        assigned: usize,
+    },
+    /// A fleet supervisor reassigned a dead worker's chunk to a new
+    /// launch.
+    ChunkReassigned {
+        /// Chunk index in the sweep's fixed partition.
+        chunk: usize,
+        /// How many launches have now been asked to run this chunk.
+        attempt: u32,
+    },
+    /// Partial checkpoints were merged into a resumable checkpoint
+    /// (`splice_partial`), possibly with gaps left to reassign.
+    PartialSplice {
+        /// Chunks present in the merged checkpoint.
+        merged: usize,
+        /// Chunks still missing after the merge.
+        missing: usize,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -141,6 +168,23 @@ impl fmt::Display for TraceEvent {
                 write!(f, "retry chunk {chunk} (attempt {attempt})")
             }
             TraceEvent::ChunkAborted { chunk } => write!(f, "abort chunk {chunk}"),
+            TraceEvent::WorkerSuspected {
+                worker,
+                completed,
+                assigned,
+            } => write!(
+                f,
+                "suspect worker {worker} dead ({completed}/{assigned} chunks done)"
+            ),
+            TraceEvent::ChunkReassigned { chunk, attempt } => {
+                write!(f, "reassign chunk {chunk} (attempt {attempt})")
+            }
+            TraceEvent::PartialSplice { merged, missing } => {
+                write!(
+                    f,
+                    "partial splice: {merged} chunks merged, {missing} missing"
+                )
+            }
         }
     }
 }
@@ -185,6 +229,19 @@ mod tests {
                 attempt: 1,
             },
             TraceEvent::ChunkAborted { chunk: 0 },
+            TraceEvent::WorkerSuspected {
+                worker: 1,
+                completed: 2,
+                assigned: 3,
+            },
+            TraceEvent::ChunkReassigned {
+                chunk: 2,
+                attempt: 2,
+            },
+            TraceEvent::PartialSplice {
+                merged: 5,
+                missing: 1,
+            },
         ];
         for e in events {
             assert!(!e.to_string().is_empty());

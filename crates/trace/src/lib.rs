@@ -53,6 +53,6 @@ pub mod tracer;
 
 pub use event::TraceEvent;
 pub use hist::Log2Hist;
-pub use metrics::{QueryStats, SchedStats, SweepMetrics};
+pub use metrics::{FleetStats, QueryStats, SchedStats, SweepMetrics};
 pub use report::{CaseTrace, TraceReport, TRACE_REPORT_SCHEMA};
 pub use tracer::{MergeTracer, NoopTracer, RecordingTracer, Tracer};

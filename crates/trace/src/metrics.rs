@@ -86,6 +86,33 @@ impl QueryStats {
     }
 }
 
+/// Fleet-supervision observations: suspicions, reassignments and partial
+/// splices as emitted by `vc-fleet`. Like [`SchedStats`] these **vary
+/// between runs** — *when* a worker is suspected depends on wall-clock
+/// deadlines — so they are excluded from every determinism comparison;
+/// what they must account for is every injected death and every
+/// reassignment of a drill (the `FleetReport` invariant).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Workers declared dead by a supervisor.
+    pub workers_suspected: u64,
+    /// Chunk reassignments issued to recovery launches.
+    pub chunks_reassigned: u64,
+    /// Partial-splice merges performed.
+    pub partial_splices: u64,
+    /// Chunks still missing across those merges (sums each merge's gap).
+    pub missing_chunks: u64,
+}
+
+impl FleetStats {
+    fn absorb(&mut self, other: &FleetStats) {
+        self.workers_suspected += other.workers_suspected;
+        self.chunks_reassigned += other.chunks_reassigned;
+        self.partial_splices += other.partial_splices;
+        self.missing_chunks += other.missing_chunks;
+    }
+}
+
 /// Wall-clock / scheduling observations. **Varies between runs** — never
 /// compare these in a determinism test.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -115,6 +142,8 @@ pub struct SweepMetrics {
     pub query: QueryStats,
     /// Run-varying scheduling observations.
     pub sched: SchedStats,
+    /// Run-varying fleet-supervision observations.
+    pub fleet: FleetStats,
 }
 
 impl SweepMetrics {
@@ -197,12 +226,29 @@ impl Tracer for SweepMetrics {
     fn chunk_aborted(&mut self, _chunk: usize) {
         self.query.chunks_aborted += 1;
     }
+
+    #[inline]
+    fn worker_suspected(&mut self, _worker: usize, _completed: usize, _assigned: usize) {
+        self.fleet.workers_suspected += 1;
+    }
+
+    #[inline]
+    fn chunk_reassigned(&mut self, _chunk: usize, _attempt: u32) {
+        self.fleet.chunks_reassigned += 1;
+    }
+
+    #[inline]
+    fn partial_splice(&mut self, _merged: usize, missing: usize) {
+        self.fleet.partial_splices += 1;
+        self.fleet.missing_chunks += missing as u64;
+    }
 }
 
 impl MergeTracer for SweepMetrics {
     fn absorb(&mut self, other: Self) {
         self.query.absorb(&other.query);
         self.sched.absorb(&other.sched);
+        self.fleet.absorb(&other.fleet);
     }
 }
 
@@ -296,6 +342,29 @@ mod tests {
         solo.chunk_planned(10, 64);
         assert_eq!(solo.query.partitions, 0);
         assert_eq!(solo.query.partition_chunks, 0);
+    }
+
+    #[test]
+    fn fleet_stats_count_supervision_events() {
+        let mut m = SweepMetrics::new();
+        m.worker_suspected(1, 2, 4);
+        m.chunk_reassigned(2, 2);
+        m.chunk_reassigned(3, 2);
+        m.partial_splice(4, 2);
+        assert_eq!(m.fleet.workers_suspected, 1);
+        assert_eq!(m.fleet.chunks_reassigned, 2);
+        assert_eq!(m.fleet.partial_splices, 1);
+        assert_eq!(m.fleet.missing_chunks, 2);
+        // Fleet counters absorb like the other sections — and never touch
+        // the deterministic query section.
+        let mut other = SweepMetrics::new();
+        other.worker_suspected(0, 0, 3);
+        other.partial_splice(6, 0);
+        m.absorb(other);
+        assert_eq!(m.fleet.workers_suspected, 2);
+        assert_eq!(m.fleet.partial_splices, 2);
+        assert_eq!(m.fleet.missing_chunks, 2);
+        assert_eq!(m.query, QueryStats::default());
     }
 
     #[test]

@@ -98,6 +98,29 @@ pub trait Tracer {
     fn chunk_aborted(&mut self, chunk: usize) {
         let _ = chunk;
     }
+
+    /// A fleet supervisor declared worker `worker` dead with
+    /// `completed` of its `assigned` chunks done (no heartbeat progress
+    /// within the liveness deadline, or a process exit). Emitted by
+    /// `vc-fleet`, never by the engine.
+    #[inline]
+    fn worker_suspected(&mut self, worker: usize, completed: usize, assigned: usize) {
+        let _ = (worker, completed, assigned);
+    }
+
+    /// A fleet supervisor reassigned chunk `chunk` to a new launch;
+    /// `attempt` launches have now been asked to run it.
+    #[inline]
+    fn chunk_reassigned(&mut self, chunk: usize, attempt: u32) {
+        let _ = (chunk, attempt);
+    }
+
+    /// Partial checkpoints were merged (`splice_partial`): `merged`
+    /// chunks present, `missing` still absent.
+    #[inline]
+    fn partial_splice(&mut self, merged: usize, missing: usize) {
+        let _ = (merged, missing);
+    }
 }
 
 /// Forward hooks through mutable references, so a long-lived tracer can
@@ -165,6 +188,21 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
     #[inline]
     fn chunk_aborted(&mut self, chunk: usize) {
         (**self).chunk_aborted(chunk);
+    }
+
+    #[inline]
+    fn worker_suspected(&mut self, worker: usize, completed: usize, assigned: usize) {
+        (**self).worker_suspected(worker, completed, assigned);
+    }
+
+    #[inline]
+    fn chunk_reassigned(&mut self, chunk: usize, attempt: u32) {
+        (**self).chunk_reassigned(chunk, attempt);
+    }
+
+    #[inline]
+    fn partial_splice(&mut self, merged: usize, missing: usize) {
+        (**self).partial_splice(merged, missing);
     }
 }
 
@@ -300,6 +338,22 @@ impl Tracer for RecordingTracer {
     fn chunk_aborted(&mut self, chunk: usize) {
         self.push(TraceEvent::ChunkAborted { chunk });
     }
+
+    fn worker_suspected(&mut self, worker: usize, completed: usize, assigned: usize) {
+        self.push(TraceEvent::WorkerSuspected {
+            worker,
+            completed,
+            assigned,
+        });
+    }
+
+    fn chunk_reassigned(&mut self, chunk: usize, attempt: u32) {
+        self.push(TraceEvent::ChunkReassigned { chunk, attempt });
+    }
+
+    fn partial_splice(&mut self, merged: usize, missing: usize) {
+        self.push(TraceEvent::PartialSplice { merged, missing });
+    }
 }
 
 #[cfg(test)]
@@ -362,9 +416,12 @@ mod tests {
             t.chunk_merged(0);
             t.chunk_retried(1, 1);
             t.chunk_aborted(1);
+            t.worker_suspected(0, 1, 2);
+            t.chunk_reassigned(1, 2);
+            t.partial_splice(1, 1);
         }
         let mut inner = RecordingTracer::new();
         drive(&mut inner);
-        assert_eq!(inner.events.len(), 11);
+        assert_eq!(inner.events.len(), 14);
     }
 }

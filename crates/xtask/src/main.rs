@@ -3,7 +3,7 @@
 //! `cargo run -p xtask -- lint [--json]` runs the workspace determinism
 //! linter. The linter itself lives in `crates/lint` (the `vc-lint`
 //! library): a token-level scanner enforcing the repo's architectural
-//! invariants under stable rule codes (`VC001`…`VC014`) with
+//! invariants under stable rule codes (`VC001`…`VC015`) with
 //! `file:line:col` spans and inline suppression pragmas
 //! (`// vc-lint: allow(VC00x, reason = "…")`). See DESIGN.md §13 for the
 //! rule catalog and the README for the code table. This binary is the
@@ -27,6 +27,15 @@
 //! strict (same sweep identity and chunk count everywhere, pairwise
 //! disjoint and complete chunk coverage) and every failure names the
 //! offending file. See DESIGN.md §15.
+//!
+//! `cargo run -p xtask -- merge-checkpoints --partial <out> <part>...` is
+//! the recovery-path variant ([`vc_engine::splice_partial`], DESIGN.md
+//! §16): gaps are not an error. It writes whatever coverage exists as a
+//! resumable merged checkpoint and prints a machine-readable
+//! `vc-fleet-missing/v1` JSON document on stdout naming the missing
+//! chunks (as a list and as a `VC_CHUNKS`-pasteable spec), so a fleet
+//! supervisor — or a human — can launch a recovery worker for exactly the
+//! gap. CI validates the document with `check-json`.
 //!
 //! `cargo run -p xtask -- compare-bench <baseline> <fresh> [--tol-pct N]`
 //! diffs a freshly generated `BENCH_engine.json` against the committed
@@ -268,11 +277,9 @@ fn run_compare_bench(args: &[String]) -> ExitCode {
     }
 }
 
-/// Loads every path as a `vc-engine-checkpoint/v2` document and splices
-/// the parts into one complete checkpoint. Errors name the offending
-/// file: part indices in the engine's [`vc_engine::SpliceError`] are
-/// resolved back to the paths they came from.
-fn splice_files(part_paths: &[String]) -> Result<vc_engine::SweepCheckpoint, String> {
+/// Loads every path as a `vc-engine-checkpoint/v2` document. Errors name
+/// the offending file.
+fn load_parts(part_paths: &[String]) -> Result<Vec<vc_engine::SweepCheckpoint>, String> {
     let mut parts = Vec::with_capacity(part_paths.len());
     for path in part_paths {
         let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -280,43 +287,125 @@ fn splice_files(part_paths: &[String]) -> Result<vc_engine::SweepCheckpoint, Str
             vc_engine::SweepCheckpoint::from_json(&src).map_err(|e| format!("{path}: {e}"))?;
         parts.push(ckpt);
     }
-    vc_engine::splice_checkpoints(&parts).map_err(|e| {
-        let named: Vec<String> = part_paths
-            .iter()
-            .enumerate()
-            .map(|(i, p)| format!("part {i} = {p}"))
-            .collect();
-        format!("{e} ({})", named.join(", "))
-    })
+    Ok(parts)
+}
+
+/// Resolves the part indices in the engine's [`vc_engine::SpliceError`]
+/// back to the paths they came from.
+fn name_splice_error(e: vc_engine::SpliceError, part_paths: &[String]) -> String {
+    let named: Vec<String> = part_paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| format!("part {i} = {p}"))
+        .collect();
+    format!("{e} ({})", named.join(", "))
+}
+
+/// Loads and splices the parts into one complete checkpoint
+/// (gap-refusing `merge-checkpoints` mode).
+fn splice_files(part_paths: &[String]) -> Result<vc_engine::SweepCheckpoint, String> {
+    let parts = load_parts(part_paths)?;
+    vc_engine::splice_checkpoints(&parts).map_err(|e| name_splice_error(e, part_paths))
+}
+
+/// Loads and merges the parts into a resumable partial checkpoint plus
+/// its missing chunks (`merge-checkpoints --partial` mode).
+fn splice_files_partial(
+    part_paths: &[String],
+) -> Result<(vc_engine::SweepCheckpoint, Vec<usize>), String> {
+    let parts = load_parts(part_paths)?;
+    vc_engine::splice_partial(&parts).map_err(|e| name_splice_error(e, part_paths))
+}
+
+/// The `vc-fleet-missing/v1` document `merge-checkpoints --partial`
+/// prints on stdout: the merged file, the coverage, the missing chunks
+/// as a JSON list, and the same chunks as a `VC_CHUNKS`-pasteable spec
+/// (empty string when nothing is missing).
+fn missing_doc(out_path: &str, merged: &vc_engine::SweepCheckpoint, missing: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let spec = if missing.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "{}/{}",
+            vc_engine::format_chunk_groups(missing),
+            merged.num_chunks
+        )
+    };
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"schema\": \"vc-fleet-missing/v1\",\n  \"out\": \"{}\",\n  \
+         \"num_chunks\": {},\n  \"merged_chunks\": {},\n  \"complete\": {},\n  \
+         \"missing\": [",
+        json::escape(out_path),
+        merged.num_chunks,
+        merged.completed_chunks(),
+        missing.is_empty(),
+    );
+    for (i, c) in missing.iter().enumerate() {
+        let _ = write!(out, "{}{c}", if i > 0 { ", " } else { "" });
+    }
+    let _ = write!(out, "],\n  \"spec\": \"{}\"\n}}\n", json::escape(&spec));
+    out
 }
 
 fn run_merge_checkpoints(args: &[String]) -> ExitCode {
+    let usage = "usage: cargo run -p xtask -- merge-checkpoints [--partial] <out> <part>...";
+    let (partial, args) = match args.split_first() {
+        Some((flag, rest)) if flag == "--partial" => (true, rest),
+        _ => (false, args),
+    };
     let Some((out_path, part_paths)) = args.split_first() else {
-        eprintln!("usage: cargo run -p xtask -- merge-checkpoints <out> <part>...");
+        eprintln!("{usage}");
         return ExitCode::FAILURE;
     };
     if part_paths.is_empty() {
-        eprintln!("usage: cargo run -p xtask -- merge-checkpoints <out> <part>...");
+        eprintln!("{usage}");
         eprintln!("xtask merge-checkpoints: no partial checkpoints given");
         return ExitCode::FAILURE;
     }
-    let merged = match splice_files(part_paths) {
-        Ok(merged) => merged,
-        Err(e) => {
-            eprintln!("xtask merge-checkpoints: {e}");
-            return ExitCode::FAILURE;
+    let (merged, missing) = if partial {
+        match splice_files_partial(part_paths) {
+            Ok((merged, missing)) => (merged, missing),
+            Err(e) => {
+                eprintln!("xtask merge-checkpoints: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match splice_files(part_paths) {
+            Ok(merged) => (merged, Vec::new()),
+            Err(e) => {
+                eprintln!("xtask merge-checkpoints: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     if let Err(e) = std::fs::write(out_path, merged.to_json()) {
         eprintln!("xtask merge-checkpoints: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
-    println!(
-        "xtask merge-checkpoints: spliced {} part(s) covering {} chunk(s) of sweep {} into {out_path}",
-        part_paths.len(),
-        merged.num_chunks,
-        merged.identity.sweep_id,
-    );
+    if partial {
+        // Stdout carries only the machine-readable document (CI pipes it
+        // into check-json); the human summary goes to stderr.
+        print!("{}", missing_doc(out_path, &merged, &missing));
+        eprintln!(
+            "xtask merge-checkpoints: merged {} part(s) into {out_path}: \
+             {}/{} chunk(s) present, {} missing",
+            part_paths.len(),
+            merged.completed_chunks(),
+            merged.num_chunks,
+            missing.len(),
+        );
+    } else {
+        println!(
+            "xtask merge-checkpoints: spliced {} part(s) covering {} chunk(s) of sweep {} into {out_path}",
+            part_paths.len(),
+            merged.num_chunks,
+            merged.identity.sweep_id,
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -359,7 +448,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cargo run -p xtask -- \
                  <lint [--json] | check-json <path> | compare-bench <baseline> <fresh> \
-                 [--tol-pct N] | merge-checkpoints <out> <part>...>"
+                 [--tol-pct N] | merge-checkpoints [--partial] <out> <part>...>"
             );
             ExitCode::FAILURE
         }
@@ -584,6 +673,63 @@ mod tests {
         let paths = write_parts("xtask-merge-gap", &[partial(4, &[0, 3])]);
         let err = splice_files(&paths).unwrap_err();
         assert!(err.contains("reassign"), "{err}");
+    }
+
+    #[test]
+    fn partial_merge_succeeds_on_gaps_and_reports_them() {
+        let paths = write_parts(
+            "xtask-merge-partial",
+            &[partial(6, &[0, 1]), partial(6, &[4])],
+        );
+        let (merged, missing) = splice_files_partial(&paths).unwrap();
+        assert_eq!(merged.completed_chunks(), 3);
+        assert_eq!(missing, vec![2, 3, 5]);
+        // The merged file resumes like any checkpoint: no partition stamp.
+        assert_eq!(merged.partition, None);
+
+        // Overlaps are still refused, with the file named.
+        let paths = write_parts(
+            "xtask-merge-partial-overlap",
+            &[partial(6, &[0, 1]), partial(6, &[1])],
+        );
+        let err = splice_files_partial(&paths).unwrap_err();
+        assert!(err.contains("not disjoint"), "{err}");
+        assert!(err.contains("part1.json"), "{err}");
+    }
+
+    #[test]
+    fn missing_doc_is_valid_json_with_a_pasteable_spec() {
+        let merged = partial(6, &[0, 1, 4]);
+        let doc_src = missing_doc("target/out.json", &merged, &[2, 3, 5]);
+        let doc = json::parse(&doc_src).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some("vc-fleet-missing/v1")
+        );
+        assert_eq!(
+            doc.get("complete").and_then(json::Value::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            doc.get("missing")
+                .and_then(json::Value::as_arr)
+                .map(<[_]>::len),
+            Some(3)
+        );
+        let spec = doc.get("spec").and_then(json::Value::as_str).unwrap();
+        assert_eq!(spec, "2..4, 5/6");
+        // The spec really parses as a chunk-set reassignment.
+        let set = vc_engine::ChunkSet::parse(spec).unwrap();
+        assert_eq!(set.chunks().collect::<Vec<_>>(), vec![2, 3, 5]);
+
+        // A complete merge reports an empty gap and an empty spec.
+        let doc_src = missing_doc("out.json", &partial(2, &[0, 1]), &[]);
+        let doc = json::parse(&doc_src).unwrap();
+        assert_eq!(
+            doc.get("complete").and_then(json::Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(doc.get("spec").and_then(json::Value::as_str), Some(""));
     }
 
     #[test]

@@ -1,47 +1,58 @@
 //! Fleet execution end to end: one sweep sharded across worker
-//! *processes*, spliced back together byte-identically — including after
-//! a worker is murdered mid-sweep (DESIGN.md §15).
+//! *processes* under the `vc-fleet` supervisor, spliced back together
+//! byte-identically — including after workers are murdered mid-sweep
+//! (DESIGN.md §15–16).
 //!
 //! ```text
 //! cargo run --example fleet_sweep
 //! ```
 //!
-//! The coordinator (the default mode) drives two drills against a serial
-//! reference checkpoint:
+//! The coordinator (the default mode) drives the [`vc_fleet::Supervisor`]
+//! against a serial reference checkpoint:
 //!
-//! 1. **Partitioned sweep.** The chunk plan is split into four disjoint
-//!    `VC_CHUNKS=lo..hi/total` slices; four worker processes (this same
-//!    binary re-executed with `--worker`) each run their slice against
-//!    their own checkpoint file, and the partials are spliced into one
-//!    checkpoint asserted byte-identical to the serial run.
-//! 2. **Kill and reassign.** A seeded [`vc_faults::KillPlan`] picks one
-//!    worker and murders it after a deterministic number of chunks (a
-//!    chunk quota makes the process exit mid-slice, the repo's standard
-//!    deterministic kill). The splice then fails *loudly* with the exact
-//!    missing chunks, the coordinator reassigns them to a recovery
-//!    worker, and the five partials splice — again byte-identical to the
-//!    serial run.
+//! 1. **Healthy fleet.** Four worker processes (this same binary
+//!    re-executed with `--worker`) each run one contiguous
+//!    `VC_CHUNKS` slice with live checkpoints on; the supervisor merges
+//!    their part files (`target/fleet/part0..3.json`) into a checkpoint
+//!    asserted byte-identical to the serial run.
+//! 2. **Chaos matrix.** For each seeded [`vc_faults::KillPlan`], the
+//!    plan's victims are given a deterministic crash: a *clean exit*
+//!    mid-slice (the chunk quota) or a *mid-sweep stall* (commit some
+//!    chunks, then park forever until the liveness deadline kills the
+//!    process). The supervisor detects every death through part-file
+//!    heartbeats, reassigns exactly the missing chunks as `ChunkSet`
+//!    recovery launches, and the final merge is asserted byte-identical
+//!    to the serial checkpoint — for every (seed, plan) in the matrix.
 //!
-//! Workers read their slice from the `VC_CHUNKS` variable the coordinator
-//! sets on the child process — the same ambient interface a real fleet
-//! launcher (or a human with four shells) would use. All files land in
-//! `target/fleet/`, which CI uploads as an artifact when the drill fails.
+//! Every drill's [`vc_fleet::FleetReport`] is accumulated into the
+//! machine-readable `target/fleet/FLEET_report.json`
+//! (`vc-fleet-drill/v1`), which CI validates with `check-json` and
+//! uploads as an artifact. Workers read their assignment from the
+//! `VC_CHUNKS` / `VC_LIVE_CHECKPOINT` variables the backend sets on the
+//! child process — the same ambient interface a real fleet launcher (or
+//! a human with four shells) would use.
 
 use std::path::{Path, PathBuf};
-use std::process::Command;
+use std::process::{Child, Command};
+use std::time::Duration;
 
 use vc_core::problems::leaf_coloring::DistanceSolver;
-use vc_engine::{splice_checkpoints, ChunkRange, Engine, SpliceError, SweepCheckpoint};
-use vc_faults::KillPlan;
+use vc_engine::Engine;
+use vc_faults::{CrashStyle, KillPlan};
+use vc_fleet::{
+    FleetConfig, FleetError, FleetOutcome, LaunchSpec, Supervisor, WorkerBackend, WorkerStatus,
+};
 use vc_graph::{gen, load_instance, save_instance};
 use vc_model::run::RunConfig;
+use vc_trace::SweepMetrics;
 
 /// Worker processes in the fleet.
 const WORKERS: usize = 4;
 /// Threads per worker (and for the serial reference run).
 const THREADS: usize = 2;
-/// Seed for the kill drill — same seed, same murder, every run.
-const KILL_SEED: u64 = 7;
+/// The chaos matrix: (kill-plan seed, victims per drill). Same seeds,
+/// same murders, every run.
+const CHAOS: &[(u64, usize)] = &[(11, 1), (42, 2), (1870, 2)];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,30 +65,39 @@ fn main() {
 
 /// Fleet-worker mode: load the instance, run the `VC_CHUNKS` slice of
 /// the sweep against the given checkpoint file, exit. `--quota N` caps
-/// the worker at `N` chunks — the coordinator's deterministic murder
-/// weapon for drill 2.
+/// the worker at `N` chunks (a deterministic clean-exit crash);
+/// `--park` additionally stalls the process forever after the quota
+/// instead of exiting, so the supervisor's liveness deadline has to
+/// murder it.
 fn run_worker(args: &[String]) {
+    let usage = || -> ! {
+        eprintln!("usage: fleet_sweep --worker <instance> <checkpoint> [--quota N] [--park]");
+        std::process::exit(2);
+    };
     let (instance_path, ckpt_path) = match (args.first(), args.get(1)) {
         (Some(i), Some(c)) => (i, c),
-        _ => {
-            eprintln!("usage: fleet_sweep --worker <instance> <checkpoint> [--quota N]");
-            std::process::exit(2);
-        }
+        _ => usage(),
     };
-    let quota = match (args.get(2).map(String::as_str), args.get(3)) {
-        (None, _) => None,
-        (Some("--quota"), Some(n)) => Some(n.parse::<usize>().expect("--quota takes a number")),
-        _ => {
-            eprintln!("usage: fleet_sweep --worker <instance> <checkpoint> [--quota N]");
-            std::process::exit(2);
+    let mut quota = None;
+    let mut park = false;
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--quota" => match rest.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => quota = Some(n),
+                _ => usage(),
+            },
+            "--park" => park = true,
+            _ => usage(),
         }
-    };
+    }
     let inst = load_instance(Path::new(instance_path)).unwrap_or_else(|e| {
         eprintln!("worker: cannot load {instance_path}: {e}");
         std::process::exit(2);
     });
-    // `from_env` picks up the coordinator-set `VC_CHUNKS` and
-    // `VC_THREADS` — the worker binary itself has no range flag.
+    // `from_env` picks up the supervisor-set `VC_CHUNKS`,
+    // `VC_LIVE_CHECKPOINT` and `VC_THREADS` — the worker binary itself
+    // has no assignment flags.
     let mut engine = Engine::from_env().unwrap_or_else(|e| {
         eprintln!("worker: {e}");
         std::process::exit(2);
@@ -99,51 +119,170 @@ fn run_worker(args: &[String]) {
     println!(
         "worker {}: {}/{} chunks on disk",
         engine
-            .chunk_range()
-            .map_or_else(|| "unrestricted".to_string(), |r| r.to_string()),
+            .chunk_set()
+            .map_or_else(|| "unrestricted".to_string(), ToString::to_string),
         report.completed_chunks,
         report.num_chunks
     );
-}
-
-/// Spawns this binary as a fleet worker for one slice. The slice travels
-/// via `VC_CHUNKS` on the child's environment; ambient deadline/fault
-/// variables are scrubbed so the drill is hermetic.
-fn spawn_worker(
-    instance: &Path,
-    part: &Path,
-    range: ChunkRange,
-    quota: Option<usize>,
-) -> std::process::Child {
-    let exe = std::env::current_exe().expect("own executable path");
-    let mut cmd = Command::new(exe);
-    cmd.arg("--worker")
-        .arg(instance)
-        .arg(part)
-        .env("VC_CHUNKS", range.to_string())
-        .env("VC_THREADS", THREADS.to_string())
-        .env_remove("VC_DEADLINE_MS")
-        .env_remove("VC_FAULTS");
-    if let Some(q) = quota {
-        cmd.arg("--quota").arg(q.to_string());
-    }
-    cmd.spawn().expect("spawn fleet worker")
-}
-
-/// Waits for every child and panics on the first non-success status —
-/// a worker that dies *unexpectedly* is a bug, not a drill.
-fn join_all(children: Vec<std::process::Child>) {
-    for (w, mut child) in children.into_iter().enumerate() {
-        let status = child.wait().expect("wait on fleet worker");
-        assert!(status.success(), "worker {w} failed with {status}");
+    if park {
+        // A mid-sweep stall: the part file stops growing but the process
+        // never exits. Only the supervisor's kill ends this worker.
+        // (`park` can wake spuriously, hence the loop.)
+        loop {
+            std::thread::park();
+        }
     }
 }
 
-/// Reads one partial checkpoint back from disk.
-fn read_partial(path: &Path) -> SweepCheckpoint {
-    let src = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    SweepCheckpoint::from_json(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+/// One deterministic fault to inject into a worker slot's *first*
+/// launch: crash after `after` chunks, in the plan's chosen style.
+#[derive(Clone, Copy)]
+struct Fault {
+    after: usize,
+    style: CrashStyle,
+}
+
+/// The real-process [`WorkerBackend`]: every launch is this binary
+/// re-executed in `--worker` mode with its assignment on the child
+/// environment. Faults are consumed on a slot's first launch only, so
+/// recovery launches are always healthy.
+struct ProcessBackend {
+    instance: PathBuf,
+    faults: Vec<Option<Fault>>,
+}
+
+impl ProcessBackend {
+    /// A healthy backend for `workers` slots.
+    fn healthy(instance: PathBuf) -> Self {
+        Self {
+            instance,
+            faults: vec![None; WORKERS],
+        }
+    }
+}
+
+impl WorkerBackend for ProcessBackend {
+    type Handle = Child;
+
+    fn launch(&mut self, spec: &LaunchSpec) -> Result<Child, FleetError> {
+        let fault = self.faults.get_mut(spec.worker).and_then(Option::take);
+        let launch_err = |message: String| FleetError::Launch {
+            worker: spec.worker,
+            message,
+        };
+        let exe = std::env::current_exe().map_err(|e| launch_err(e.to_string()))?;
+        let mut cmd = Command::new(exe);
+        cmd.arg("--worker")
+            .arg(&self.instance)
+            .arg(&spec.part_path)
+            .env("VC_CHUNKS", spec.chunks.to_string())
+            .env("VC_LIVE_CHECKPOINT", "1")
+            .env("VC_THREADS", THREADS.to_string())
+            .env_remove("VC_DEADLINE_MS")
+            .env_remove("VC_FAULTS");
+        if let Some(Fault { after, style }) = fault {
+            cmd.arg("--quota").arg(after.to_string());
+            if style == CrashStyle::MidChunkStall {
+                cmd.arg("--park");
+            }
+        }
+        cmd.spawn().map_err(|e| launch_err(e.to_string()))
+    }
+
+    fn poll(&mut self, child: &mut Child) -> WorkerStatus {
+        match child.try_wait() {
+            Ok(Some(status)) => WorkerStatus::Exited {
+                success: status.success(),
+            },
+            Ok(None) => WorkerStatus::Running,
+            Err(_) => WorkerStatus::Exited { success: false },
+        }
+    }
+
+    fn kill(&mut self, child: &mut Child) {
+        // Synchronous by contract: after the wait the child can no
+        // longer write its part file.
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// The supervisor configuration for process drills: a generous liveness
+/// deadline (workers commit chunks in well under a second, so five
+/// silent seconds really is a death), a fast poll, and the default
+/// retry cap.
+fn drill_config() -> FleetConfig {
+    FleetConfig {
+        workers: WORKERS,
+        liveness_deadline: Duration::from_secs(5),
+        poll_interval: Duration::from_millis(50),
+        max_chunk_attempts: 3,
+        backoff_base: Duration::from_millis(50),
+        backoff_cap: Duration::from_millis(500),
+    }
+}
+
+/// One accumulated drill row for the `vc-fleet-drill/v1` document.
+struct DrillRow {
+    label: String,
+    seed: Option<u64>,
+    victims: Vec<usize>,
+    styles: Vec<&'static str>,
+    report_json: String,
+}
+
+/// Renders the aggregate `vc-fleet-drill/v1` document.
+fn drill_doc(rows: &[DrillRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"schema\": \"vc-fleet-drill/v1\",\n  \"drills\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let victims: Vec<String> = row.victims.iter().map(ToString::to_string).collect();
+        let styles: Vec<String> = row.styles.iter().map(|s| format!("\"{s}\"")).collect();
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{}\", \"seed\": {}, \"victims\": [{}], \
+             \"styles\": [{}], \"byte_identical\": true, \"report\": {}}}{}",
+            row.label,
+            row.seed.map_or("null".to_string(), |s| s.to_string()),
+            victims.join(", "),
+            styles.join(", "),
+            row.report_json.trim_end(),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs one supervised drill and asserts the fleet invariant: the
+/// supervisor converges with no abandoned chunks and the merged
+/// checkpoint is byte-identical to the serial reference.
+fn run_drill(
+    label: &str,
+    backend: &mut ProcessBackend,
+    num_chunks: usize,
+    part_dir: &Path,
+    serial_bytes: &[u8],
+) -> (FleetOutcome, SweepMetrics) {
+    std::fs::create_dir_all(part_dir).expect("part dir is writable");
+    let mut metrics = SweepMetrics::default();
+    let outcome = Supervisor::new(drill_config())
+        .run(backend, num_chunks, part_dir, &mut metrics)
+        .unwrap_or_else(|e| panic!("{label}: supervisor failed: {e}"));
+    assert!(
+        outcome.missing.is_empty(),
+        "{label}: supervisor must converge without abandoned chunks, missing {:?}",
+        outcome.missing
+    );
+    assert!(!outcome.report.degraded, "{label}: degraded fleet");
+    let merged_path = part_dir.join("merged.json");
+    std::fs::write(&merged_path, outcome.checkpoint.to_json()).expect("write merged checkpoint");
+    let merged_bytes = std::fs::read(&merged_path).expect("read merged checkpoint");
+    assert!(
+        merged_bytes == serial_bytes,
+        "{label}: fleet merge must be byte-identical to the serial checkpoint"
+    );
+    (outcome, metrics)
 }
 
 fn run_coordinator() {
@@ -171,94 +310,94 @@ fn run_coordinator() {
         inst.n(),
         serial.records.len()
     );
+    let mut rows: Vec<DrillRow> = Vec::new();
 
-    // ---- Drill 1: partitioned sweep, spliced byte-identically --------
-    let ranges = ChunkRange::split(num_chunks, WORKERS);
-    let part_paths: Vec<PathBuf> = (0..WORKERS)
-        .map(|w| dir.join(format!("part{w}.json")))
-        .collect();
-    for p in &part_paths {
-        let _ = std::fs::remove_file(p);
+    // ---- Drill 1: healthy fleet, supervised, byte-identical ----------
+    for w in 0..WORKERS {
+        let _ = std::fs::remove_file(dir.join(format!("part{w}.json")));
     }
-    let children = ranges
-        .iter()
-        .zip(&part_paths)
-        .map(|(range, part)| spawn_worker(&instance_path, part, *range, None))
-        .collect();
-    join_all(children);
-    let parts: Vec<SweepCheckpoint> = part_paths.iter().map(|p| read_partial(p)).collect();
-    let merged = splice_checkpoints(&parts).expect("disjoint partials splice");
-    let merged_path = dir.join("merged.json");
-    std::fs::write(&merged_path, merged.to_json()).expect("write merged checkpoint");
-    let merged_bytes = std::fs::read(&merged_path).expect("read merged checkpoint");
-    assert!(
-        merged_bytes == serial_bytes,
-        "fleet merge must be byte-identical to the serial checkpoint"
-    );
-    println!(
-        "drill 1 OK: {WORKERS} workers over {:?} spliced byte-identically to the serial run",
-        ranges.iter().map(ToString::to_string).collect::<Vec<_>>()
-    );
+    let mut backend = ProcessBackend::healthy(instance_path.clone());
+    let (outcome, _) = run_drill("healthy", &mut backend, num_chunks, &dir, &serial_bytes);
+    assert_eq!(outcome.report.deaths(), 0, "healthy fleet must stay alive");
+    assert_eq!(outcome.report.launches, WORKERS as u32);
+    println!("drill 1 OK: {WORKERS} supervised workers spliced byte-identically to the serial run");
+    rows.push(DrillRow {
+        label: "healthy".to_string(),
+        seed: None,
+        victims: Vec::new(),
+        styles: Vec::new(),
+        report_json: outcome.report.to_json(),
+    });
 
-    // ---- Drill 2: murder one worker, reassign, splice ----------------
-    let kill = KillPlan::new(KILL_SEED);
-    let victim = kill.victim(WORKERS);
-    let kill_after = kill.kill_after_chunks(ranges[victim].len());
-    println!(
-        "drill 2: killing worker {victim} (slice {}) after {kill_after} chunk(s)",
-        ranges[victim]
-    );
-    let kill_paths: Vec<PathBuf> = (0..WORKERS)
-        .map(|w| dir.join(format!("kill{w}.json")))
-        .collect();
-    for p in &kill_paths {
-        let _ = std::fs::remove_file(p);
+    // ---- Chaos matrix: murder victims, supervise, byte-identity ------
+    for &(seed, count) in CHAOS {
+        let plan = KillPlan::new(seed);
+        let victims = plan.victims(WORKERS, count);
+        let slices = vc_engine::ChunkRange::split(num_chunks, WORKERS);
+        let mut backend = ProcessBackend::healthy(instance_path.clone());
+        let mut styles: Vec<&'static str> = Vec::new();
+        for &v in &victims {
+            let style = plan.crash_style(v);
+            let after = plan.kill_after_chunks_for(v, slices[v].len());
+            styles.push(match style {
+                CrashStyle::CleanExit => "clean-exit",
+                CrashStyle::MidChunkStall => "mid-chunk-stall",
+            });
+            println!(
+                "chaos seed {seed}: worker {v} (slice {}) dies {} after {after} chunk(s)",
+                slices[v],
+                styles.last().expect("style just pushed"),
+            );
+            backend.faults[v] = Some(Fault { after, style });
+        }
+        let label = format!("chaos-{seed}");
+        let chaos_dir = dir.join(&label);
+        let (outcome, metrics) =
+            run_drill(&label, &mut backend, num_chunks, &chaos_dir, &serial_bytes);
+        // The report must account for every injected death: each victim
+        // slot shows a suspicion or a failed exit, and chunks really
+        // were reassigned.
+        for &v in &victims {
+            let slot = &outcome.report.workers[v];
+            assert!(
+                slot.suspected + slot.failed >= 1,
+                "{label}: victim {v} left no trace in the report"
+            );
+        }
+        assert!(
+            outcome.report.deaths() >= victims.len() as u32,
+            "{label}: {} deaths reported for {} victims",
+            outcome.report.deaths(),
+            victims.len()
+        );
+        assert!(
+            outcome.report.reassigned > 0,
+            "{label}: every victim dies mid-slice, so chunks must be reassigned"
+        );
+        assert_eq!(
+            metrics.fleet.chunks_reassigned,
+            u64::from(outcome.report.reassigned),
+            "{label}: trace metrics and report must agree"
+        );
+        println!(
+            "{label} OK: victims {victims:?} ({}), {} reassignment(s), byte-identical merge",
+            styles.join("/"),
+            outcome.report.reassigned,
+        );
+        rows.push(DrillRow {
+            label,
+            seed: Some(seed),
+            victims,
+            styles,
+            report_json: outcome.report.to_json(),
+        });
     }
-    let children = ranges
-        .iter()
-        .zip(&kill_paths)
-        .enumerate()
-        .map(|(w, (range, part))| {
-            let quota = (w == victim).then_some(kill_after);
-            spawn_worker(&instance_path, part, *range, quota)
-        })
-        .collect();
-    join_all(children);
 
-    // The splice must refuse the gap loudly and name the missing chunks.
-    let mut parts: Vec<SweepCheckpoint> = kill_paths.iter().map(|p| read_partial(p)).collect();
-    let missing = match splice_checkpoints(&parts) {
-        Err(SpliceError::Incomplete { missing }) => missing,
-        other => panic!("the murdered slice must surface as Incomplete, got {other:?}"),
-    };
-    let expected: Vec<usize> = (ranges[victim].lo() + kill_after..ranges[victim].hi()).collect();
-    assert_eq!(
-        missing, expected,
-        "the gap is exactly the victim's unfinished tail"
-    );
-
-    // Reassign the missing slice to a recovery worker and splice again.
-    let recovery = ChunkRange::new(missing[0], missing[missing.len() - 1] + 1, num_chunks)
-        .expect("the missing tail is a valid slice");
-    let recovery_path = dir.join("recovery.json");
-    let _ = std::fs::remove_file(&recovery_path);
-    println!("drill 2: reassigning {recovery} to a recovery worker");
-    join_all(vec![spawn_worker(
-        &instance_path,
-        &recovery_path,
-        recovery,
-        None,
-    )]);
-    parts.push(read_partial(&recovery_path));
-    let merged = splice_checkpoints(&parts).expect("recovered partials splice");
-    let recovered_path = dir.join("merged_recovered.json");
-    std::fs::write(&recovered_path, merged.to_json()).expect("write recovered checkpoint");
-    let recovered_bytes = std::fs::read(&recovered_path).expect("read recovered checkpoint");
-    assert!(
-        recovered_bytes == serial_bytes,
-        "kill + reassign + splice must still be byte-identical to the serial checkpoint"
-    );
+    let report_path = dir.join("FLEET_report.json");
+    std::fs::write(&report_path, drill_doc(&rows)).expect("write FLEET_report.json");
     println!(
-        "drill 2 OK: kill, reassign and splice reproduced the serial checkpoint byte for byte"
+        "fleet drills OK: {} supervised run(s) accounted in {}",
+        rows.len(),
+        report_path.display()
     );
 }

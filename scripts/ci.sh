@@ -7,7 +7,8 @@
 #   scripts/ci.sh tests       # test suites incl. VC_THREADS=2 determinism,
 #                             # fault and fleet-splice suites
 #   scripts/ci.sh gates       # release gates: bench baseline, trace/theta
-#                             # reports, fleet drill + merge cross-check
+#                             # reports, supervised chaos soak + merge
+#                             # cross-checks
 #
 # The three named stages are exactly the three parallel CI jobs
 # (.github/workflows/ci.yml), so a local stage run reproduces a CI lane.
@@ -148,18 +149,24 @@ run_gates() {
     step "xtask check-json theta report" \
         cargo run -p xtask -- check-json "$THETA_REPORT"
 
-    # Fleet execution drill (DESIGN.md §15): four worker *processes* run
-    # disjoint VC_CHUNKS slices of one sweep, the partials are spliced
-    # byte-identically to the serial checkpoint, and a seeded kill plan
-    # murders one worker mid-slice to exercise reassign-and-resplice.
-    # Both byte-identity claims are asserted inside the example; the
-    # partial checkpoints stay in target/fleet/ as failure artifacts.
-    step "VC_THREADS=2 fleet sweep drill" \
+    # Chaos soak (DESIGN.md §15–16): the vc-fleet supervisor runs four
+    # worker *processes* over disjoint VC_CHUNKS slices — once healthy,
+    # then once per seeded KillPlan in the chaos matrix, with victims
+    # dying by clean exit or mid-sweep stall. The example asserts, per
+    # drill, that the supervisor converges without manual intervention,
+    # that every injected death is accounted in the FleetReport, and that
+    # the merged checkpoint is byte-identical to the serial run. The
+    # aggregate vc-fleet-drill/v1 document and the partial checkpoints
+    # stay in target/fleet/ as CI artifacts.
+    step "VC_THREADS=2 supervised chaos soak" \
         env VC_THREADS=2 cargo run --release --example fleet_sweep
 
-    # Cross-check the standalone merge tool against the drill's partials:
-    # the spliced file it writes must be byte-identical to the serial
-    # checkpoint the drill produced.
+    step "xtask check-json fleet drill report" \
+        cargo run -p xtask -- check-json target/fleet/FLEET_report.json
+
+    # Cross-check the standalone merge tool against the healthy drill's
+    # partials: the spliced file it writes must be byte-identical to the
+    # serial checkpoint the drill produced.
     step "xtask merge-checkpoints cross-check" \
         cargo run -p xtask -- merge-checkpoints target/fleet/merged_xtask.json \
         target/fleet/part0.json target/fleet/part1.json \
@@ -167,6 +174,18 @@ run_gates() {
 
     step "fleet merge byte-identity" \
         cmp target/fleet/merged_xtask.json target/fleet/serial.json
+
+    # Partial-merge cross-check: drop one part, merge with --partial, and
+    # validate the machine-readable vc-fleet-missing/v1 gap document the
+    # tool prints on stdout.
+    step "xtask merge-checkpoints --partial cross-check" \
+        sh -c "cargo run -p xtask -- merge-checkpoints --partial \
+        target/fleet/merged_partial.json \
+        target/fleet/part0.json target/fleet/part1.json \
+        target/fleet/part3.json > target/fleet/MISSING_partial.json"
+
+    step "xtask check-json partial-merge missing document" \
+        cargo run -p xtask -- check-json target/fleet/MISSING_partial.json
 }
 
 MODE=${1:-all}

@@ -1,13 +1,16 @@
-//! Integration contract of fleet execution (DESIGN.md §15): a sweep
+//! Integration contract of fleet execution (DESIGN.md §15–16): a sweep
 //! partitioned into disjoint `ChunkRange` slices — each run as its own
 //! checkpointed "worker" — must splice back into a checkpoint
 //! byte-identical to the unpartitioned run, for any worker thread count;
-//! and every way a partition can be wrong (overlap, gap, foreign sweep,
-//! wrong plan) must be refused loudly rather than merged silently.
+//! every way a partition can be wrong (overlap, gap, foreign sweep,
+//! wrong plan) must be refused loudly rather than merged silently; and
+//! the partial-splice recovery path must merge surviving parts, name the
+//! gap, and resume to the serial bytes.
 
 use vc_core::problems::leaf_coloring::DistanceSolver;
 use vc_engine::{
-    plan_chunks, splice_checkpoints, ChunkRange, Engine, SpliceError, SweepCheckpoint,
+    plan_chunks, splice_checkpoints, splice_partial, ChunkRange, ChunkSet, Engine, SpliceError,
+    SweepCheckpoint,
 };
 use vc_graph::gen;
 use vc_model::run::RunConfig;
@@ -60,7 +63,7 @@ fn three_way_splice_is_byte_identical_to_serial_at_any_thread_count() {
                 let part = run_partition(&inst, range, threads, &path);
                 assert_eq!(
                     part.partition,
-                    Some(range),
+                    Some(ChunkSet::from(range)),
                     "the worker's file must be stamped with its slice"
                 );
                 part
@@ -94,7 +97,7 @@ fn single_partition_covering_the_plan_splices_to_the_serial_bytes() {
     // part drops the stamp and reproduces the serial bytes exactly.
     let full = ChunkRange::full(num_chunks);
     let part = run_partition(&inst, full, 2, &dir.join("full.json"));
-    assert_eq!(part.partition, Some(full));
+    assert_eq!(part.partition, Some(ChunkSet::from(full)));
     assert!(part.is_complete());
     let merged = splice_checkpoints(std::slice::from_ref(&part)).expect("one full part splices");
     assert_eq!(merged.partition, None);
@@ -158,7 +161,7 @@ fn coverage_gaps_are_refused_loudly() {
         &dir.join("b.json"),
     );
     let err = splice_checkpoints(&[a, b]).expect_err("a gap must be refused");
-    let SpliceError::Incomplete { missing } = &err else {
+    let SpliceError::Incomplete { missing, .. } = &err else {
         panic!("expected Incomplete, got {err:?}");
     };
     assert_eq!(*missing, (1..num_chunks - 1).collect::<Vec<_>>());
@@ -200,10 +203,10 @@ fn partition_stamp_round_trips_and_is_validated_against_the_plan() {
     let range = ChunkRange::new(1, 3, num_chunks).unwrap();
     let path = dir.join("part.json");
     let part = run_partition(&inst, range, 2, &path);
-    assert_eq!(part.partition, Some(range));
+    assert_eq!(part.partition, Some(ChunkSet::from(range)));
     // The stamp survives a JSON round trip bit for bit.
     let reread = SweepCheckpoint::from_json(&part.to_json()).expect("round trip parses");
-    assert_eq!(reread.partition, Some(range));
+    assert_eq!(reread.partition, Some(ChunkSet::from(range)));
     assert_eq!(reread.to_json(), part.to_json());
 
     // A stamp whose total disagrees with the file's own chunk count is a
@@ -216,6 +219,94 @@ fn partition_stamp_round_trips_and_is_validated_against_the_plan() {
     assert_ne!(forged, src, "the forgery must actually edit the stamp");
     let err = SweepCheckpoint::from_json(&forged).expect_err("mismatched stamp refused");
     assert!(err.contains("chunk"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_from_merged_partial_reaches_the_serial_bytes_at_any_thread_count() {
+    // The vc-fleet degraded-exit contract (DESIGN.md §16): when workers
+    // die and their chunks are abandoned, `splice_partial` still merges
+    // the survivors into one resumable file. Kill 2 of 4 workers
+    // mid-slice, merge the four partials, resume the *merged* file with
+    // an unrestricted engine — the final bytes must equal the serial run,
+    // whatever the resuming thread count.
+    let inst = gen::random_full_binary_tree(777, 5);
+    let num_chunks = plan_chunks(inst.n()).num_chunks;
+    let dir = temp_dir("resume-partial");
+
+    let serial_path = dir.join("serial.json");
+    let _ = std::fs::remove_file(&serial_path);
+    Engine::with_threads(2)
+        .run_recorded_with_checkpoint(&inst, &DistanceSolver, &RunConfig::default(), &serial_path)
+        .expect("serial sweep runs");
+    let serial_bytes = std::fs::read_to_string(&serial_path).expect("serial checkpoint readable");
+
+    let slices = ChunkRange::split(num_chunks, 4);
+    let victims = [1usize, 3];
+    for threads in [1usize, 2, 8] {
+        let parts: Vec<SweepCheckpoint> = slices
+            .iter()
+            .enumerate()
+            .map(|(w, &range)| {
+                let path = dir.join(format!("part-{threads}t-{w}.json"));
+                let _ = std::fs::remove_file(&path);
+                let mut engine = Engine::with_threads(threads).with_chunk_range(range);
+                if victims.contains(&w) {
+                    // The murder weapon: a one-chunk quota, so each victim
+                    // leaves a valid partial covering a strict prefix of
+                    // its slice.
+                    engine = engine.with_chunk_quota(1);
+                }
+                engine
+                    .run_recorded_with_checkpoint(
+                        &inst,
+                        &DistanceSolver,
+                        &RunConfig::default(),
+                        &path,
+                    )
+                    .expect("worker writes its partial");
+                SweepCheckpoint::from_json(&std::fs::read_to_string(&path).unwrap())
+                    .expect("partial parses")
+            })
+            .collect();
+
+        // A strict splice refuses the gap; the partial splice merges the
+        // survivors and names exactly the victims' unfinished chunks.
+        assert!(matches!(
+            splice_checkpoints(&parts),
+            Err(SpliceError::Incomplete { .. })
+        ));
+        let (merged, missing) = splice_partial(&parts).expect("partial splice merges survivors");
+        let expected_missing: Vec<usize> = victims
+            .iter()
+            .flat_map(|&w| slices[w].lo() + 1..slices[w].hi())
+            .collect();
+        assert_eq!(
+            missing, expected_missing,
+            "the gap must name every lost chunk"
+        );
+        assert_eq!(merged.partition, None, "the merged file is unrestricted");
+
+        // Resume the merged file directly: the engine re-executes only
+        // the gap, and the completed checkpoint matches the serial bytes.
+        let merged_path = dir.join(format!("merged-{threads}t.json"));
+        std::fs::write(&merged_path, merged.to_json()).expect("merged partial written");
+        let resumed = Engine::with_threads(threads)
+            .run_recorded_with_checkpoint(
+                &inst,
+                &DistanceSolver,
+                &RunConfig::default(),
+                &merged_path,
+            )
+            .expect("resume of the merged partial runs");
+        assert!(resumed.is_complete());
+        assert_eq!(
+            std::fs::read_to_string(&merged_path).expect("resumed checkpoint readable"),
+            serial_bytes,
+            "resume at {threads} threads must be byte-identical to the serial run"
+        );
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }
