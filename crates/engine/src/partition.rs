@@ -26,6 +26,21 @@
 /// [`ChunkSet::parse`]).
 pub const CHUNKS_ENV: &str = "VC_CHUNKS";
 
+/// Strict integer component of a chunk spec: ASCII digits only — no
+/// sign, no whitespace, no empty string. Both parse paths
+/// ([`ChunkRange::parse`] and [`ChunkSet::parse`]) route every number
+/// through this one helper, so `VC_CHUNKS=" 0..4/8"` and `+0..4/8` are
+/// rejected identically instead of depending on which parser happens to
+/// see them. A partition spec names chunks for a fleet worker; anything
+/// that is not exactly the canonical [`Display`](std::fmt::Display) form
+/// is refused loudly rather than normalized.
+fn parse_component(s: &str) -> Option<usize> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
 /// A half-open slice `lo..hi` of a sweep's full chunk plan of `total`
 /// chunks. Construct with [`ChunkRange::new`] or [`ChunkRange::parse`];
 /// both enforce `lo <= hi <= total`.
@@ -119,17 +134,20 @@ impl ChunkRange {
         }
     }
 
-    /// Parses a `lo..hi/total` spec (the `VC_CHUNKS` / `--chunks` syntax).
+    /// Parses a `lo..hi/total` spec (the `VC_CHUNKS` / `--chunks`
+    /// syntax). Parsing is strict: every component must be bare ASCII
+    /// digits, so whitespace anywhere (`" 0..4/8"`) and sign characters
+    /// (`"+0..4/8"`) are malformed rather than silently normalized.
     ///
     /// # Errors
     ///
     /// [`RangeError::Malformed`] for anything that is not three integers
     /// in that shape, plus the [`ChunkRange::new`] validations.
     pub fn parse(spec: &str) -> Result<Self, RangeError> {
-        let malformed = || RangeError::Malformed(spec.trim().to_string());
-        let (range, total) = spec.trim().split_once('/').ok_or_else(malformed)?;
+        let malformed = || RangeError::Malformed(spec.to_string());
+        let (range, total) = spec.split_once('/').ok_or_else(malformed)?;
         let (lo, hi) = range.split_once("..").ok_or_else(malformed)?;
-        let parse = |s: &str| s.trim().parse::<usize>().map_err(|_| malformed());
+        let parse = |s: &str| parse_component(s).ok_or_else(malformed);
         Self::new(parse(lo)?, parse(hi)?, parse(total)?)
     }
 
@@ -284,25 +302,26 @@ impl ChunkSet {
     /// Parses an extended `VC_CHUNKS` spec: comma-separated runs and/or
     /// single chunk indices, then `/total` — `0..512/2048`, `3..7,12/40`,
     /// `12/40`. The plain [`ChunkRange`] syntax is a valid one-item set.
+    /// Parsing is as strict as the range path: bare ASCII digits only,
+    /// no whitespace around commas or components, no sign characters.
     ///
     /// # Errors
     ///
     /// [`RangeError::Malformed`] for anything that is not that shape,
     /// plus the per-run [`ChunkSet::from_runs`] validations.
     pub fn parse(spec: &str) -> Result<Self, RangeError> {
-        let malformed = || RangeError::Malformed(spec.trim().to_string());
-        let (items, total) = spec.trim().split_once('/').ok_or_else(malformed)?;
-        let total: usize = total.trim().parse().map_err(|_| malformed())?;
+        let malformed = || RangeError::Malformed(spec.to_string());
+        let (items, total) = spec.split_once('/').ok_or_else(malformed)?;
+        let total = parse_component(total).ok_or_else(malformed)?;
         let mut runs = Vec::new();
         for item in items.split(',') {
-            let item = item.trim();
             let run = match item.split_once("..") {
                 Some((lo, hi)) => (
-                    lo.trim().parse().map_err(|_| malformed())?,
-                    hi.trim().parse().map_err(|_| malformed())?,
+                    parse_component(lo).ok_or_else(malformed)?,
+                    parse_component(hi).ok_or_else(malformed)?,
                 ),
                 None => {
-                    let c: usize = item.parse().map_err(|_| malformed())?;
+                    let c = parse_component(item).ok_or_else(malformed)?;
                     (c, c + 1)
                 }
             };
@@ -403,7 +422,7 @@ mod tests {
 
     #[test]
     fn parse_round_trips_through_display() {
-        for spec in ["0..512/2048", "3..3/7", "0..0/0", " 1..2/4 "] {
+        for spec in ["0..512/2048", "3..3/7", "0..0/0", "1..2/4"] {
             let range = ChunkRange::parse(spec).unwrap();
             assert_eq!(
                 ChunkRange::parse(&range.to_string()),
@@ -436,6 +455,44 @@ mod tests {
             ChunkRange::parse("0..9/8"),
             Err(RangeError::BeyondTotal { hi: 9, total: 8 })
         );
+    }
+
+    #[test]
+    fn both_parse_paths_reject_signs_and_whitespace_identically() {
+        // Historically the two parsers trimmed differently, so
+        // `VC_CHUNKS=" 0..4/8"` parsed on one path and not the other.
+        // Strictness is now shared: digits only, and the typed error
+        // carries the offending spec verbatim.
+        for spec in [
+            " 0..4/8", "0..4/8 ", "0 ..4/8", "0.. 4/8", "0..4/ 8", "0..4 /8", "+0..4/8", "0..+4/8",
+            "0..4/+8", "\t0..4/8", "0..4/8\n",
+        ] {
+            assert_eq!(
+                ChunkRange::parse(spec),
+                Err(RangeError::Malformed(spec.to_string())),
+                "range spec {spec:?}"
+            );
+            assert_eq!(
+                ChunkSet::parse(spec),
+                Err(RangeError::Malformed(spec.to_string())),
+                "set spec {spec:?}"
+            );
+        }
+        // Edge cases both paths must agree on: empty, lo==hi (a valid
+        // empty slice), hi>total (typed, not malformed).
+        for parse in [
+            (|s: &str| ChunkRange::parse(s).map(ChunkSet::from)) as fn(&str) -> _,
+            ChunkSet::parse as fn(&str) -> _,
+        ] {
+            assert!(matches!(parse(""), Err(RangeError::Malformed(_))));
+            let empty = parse("3..3/7").unwrap();
+            assert!(empty.is_empty());
+            assert_eq!(empty.total(), 7);
+            assert_eq!(
+                parse("0..9/8"),
+                Err(RangeError::BeyondTotal { hi: 9, total: 8 })
+            );
+        }
     }
 
     #[test]
@@ -476,7 +533,7 @@ mod tests {
     #[test]
     fn set_parse_normalizes_and_round_trips() {
         // Unsorted items, a bare index and an adjacent run all normalize.
-        let set = ChunkSet::parse("12, 3..5, 5..7/40").unwrap();
+        let set = ChunkSet::parse("12,3..5,5..7/40").unwrap();
         assert_eq!(set.to_string(), "3..7,12..13/40");
         assert_eq!(ChunkSet::parse(&set.to_string()), Ok(set.clone()));
         assert_eq!(set.len(), 5);
@@ -520,7 +577,16 @@ mod tests {
 
     #[test]
     fn malformed_set_specs_are_loud() {
-        for spec in ["", "3..7,12", "3..7,,12/40", "/40", "a,3/40", "1..2/x"] {
+        for spec in [
+            "",
+            "3..7,12",
+            "3..7,,12/40",
+            "/40",
+            "a,3/40",
+            "1..2/x",
+            "3..7, 12/40",
+            "+3..7/40",
+        ] {
             assert!(
                 matches!(ChunkSet::parse(spec), Err(RangeError::Malformed(_))),
                 "spec {spec:?}"

@@ -223,12 +223,19 @@ impl Supervisor {
                         retry.push(c);
                     }
                 }
-                let Ok(chunks) = ChunkSet::from_chunks(&retry, num_chunks) else {
-                    continue; // retry is empty: everything abandoned
-                };
-                if chunks.is_empty() {
+                if retry.is_empty() {
+                    // Every missing chunk is over the attempt cap: the
+                    // launch is abandoned wholesale, nothing will be
+                    // relaunched, and the relaunch backoff must not run —
+                    // sleeping here would stall the final merge for a
+                    // retry that never happens. The sleep below is
+                    // structurally reachable only when a relaunch
+                    // follows it.
                     continue;
                 }
+                let Ok(chunks) = ChunkSet::from_chunks(&retry, num_chunks) else {
+                    continue; // unreachable: retry chunks came from the plan
+                };
                 // Counter-driven backoff: exponential in the highest
                 // attempt number about to be retried, never in any
                 // measured time.
@@ -564,6 +571,41 @@ mod tests {
                 missing: 1
             }
         )));
+    }
+
+    #[test]
+    fn abandoning_pass_takes_no_backoff_sleep() {
+        let dir = part_dir("no-futile-backoff");
+        // One chunk, an attempt cap of 1 and a prohibitive backoff: the
+        // single launch stalls, is suspected and killed, and its chunk is
+        // immediately over the cap. The old flow computed and slept the
+        // relaunch backoff even on this abandoning pass; with a
+        // 30-second base that would stall the merge for half a minute.
+        // The run must instead finish in roughly one liveness deadline.
+        let stall = Script {
+            complete: 0,
+            exit: None,
+        };
+        let mut backend = ScriptedBackend::new(vec![stall]);
+        let config = FleetConfig {
+            max_chunk_attempts: 1,
+            backoff_base: Duration::from_secs(30),
+            backoff_cap: Duration::from_secs(30),
+            ..fast_config(1)
+        };
+        let sw = Stopwatch::start();
+        let out = Supervisor::new(config)
+            .run(&mut backend, 1, &dir, &mut vc_trace::NoopTracer)
+            .unwrap();
+        assert!(
+            sw.elapsed() < Duration::from_secs(10),
+            "abandoning pass slept the futile backoff ({:?} elapsed)",
+            sw.elapsed()
+        );
+        assert_eq!(out.report.launches, 1, "no relaunch after abandonment");
+        assert_eq!(out.report.abandoned_chunks, vec![0]);
+        assert_eq!(out.missing, vec![0]);
+        assert!(out.report.degraded);
     }
 
     #[test]

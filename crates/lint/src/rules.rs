@@ -41,6 +41,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "crates/ident",
     "crates/lint",
     "crates/json",
+    "crates/serve",
 ];
 
 /// Crates whose root must carry `#![deny(missing_docs)]` (VC002).
@@ -55,6 +56,7 @@ const MISSING_DOCS_CRATES: &[&str] = &[
     "crates/ident",
     "crates/lint",
     "crates/json",
+    "crates/serve",
 ];
 
 /// The only file allowed to read the wall clock directly (VC006).
@@ -109,6 +111,7 @@ const MERGE_TAINTED_CRATES: &[&str] = &[
     "crates/ident",
     "crates/faults",
     "crates/stats",
+    "crates/serve",
 ];
 
 /// Files inside [`MERGE_TAINTED_CRATES`] exempt from VC009. Empty today:
@@ -122,7 +125,7 @@ const MERGE_TAINT_FILE_ALLOWLIST: &[&str] = &[];
 const FLOAT_FIELD_ALLOWLIST: &[&str] = &["starts_per_sec", "queries_per_sec"];
 
 /// Directories whose structs VC010 scans.
-const FLOAT_SCAN_DIRS: &[&str] = &["crates/engine/src", "crates/trace/src"];
+const FLOAT_SCAN_DIRS: &[&str] = &["crates/engine/src", "crates/trace/src", "crates/serve/src"];
 
 /// The sanctioned environment-access sites (VC011): `Engine::from_env`
 /// (the engine crate root) and the `xtask` driver.

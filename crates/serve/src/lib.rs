@@ -1,0 +1,50 @@
+//! `vc-serve`: a content-addressed sweep service.
+//!
+//! The bench and audit pipelines resubmit the same sweeps constantly —
+//! every CI run, every parameter-sweep retry, every fleet splice check
+//! re-executes work whose result is a pure function of the sweep's
+//! content identity. This crate turns that identity into a service
+//! boundary:
+//!
+//! * **Memoization** — every submission resolves to a
+//!   [`vc_engine::SweepId`] via [`vc_engine::sweep_identity`]. Finished
+//!   results live in a content-addressed on-disk store
+//!   (`vc-serve-result/v1`, [`store::ResultStore`]) keyed by that id,
+//!   with identity-checked loads in the same discipline as the
+//!   `vc-instance/v1` graph store: the filename id, the embedded id and
+//!   a payload digest must all agree before a byte is trusted.
+//! * **One shared pool** — cache-miss jobs run on a single
+//!   [`vc_engine::Engine`] worker pool behind a deterministic
+//!   FIFO-with-priority queue ([`SweepService`]), instead of one engine
+//!   per caller.
+//! * **Checkpoint preemption** — a long batch sweep yields at a chunk
+//!   boundary when an interactive job arrives: the service trips the
+//!   run's [`vc_engine::CancelFlag`], the engine writes the partial
+//!   checkpoint exactly as a crashed run would, and the job is parked
+//!   and later resumed from that checkpoint. The engine's existing
+//!   kill-and-resume invariant makes the final checkpoint byte-identical
+//!   to an uninterrupted run at any thread count.
+//!
+//! A dependency-free line-delimited JSON protocol over a local Unix
+//! socket ([`server`]) exposes submit / poll / result / stats /
+//! shutdown, and [`SweepService::report_json`] emits a
+//! `vc-serve-report/v1` stats document (hits, misses, evictions,
+//! preemptions, queue depths). Scheduling transitions are published as
+//! [`vc_trace::TraceEvent`]s (`JobAdmitted`, `CacheHit`, `JobPreempted`,
+//! `JobResumed`).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod scheduler;
+pub mod server;
+pub mod spec;
+pub mod store;
+
+pub use scheduler::{
+    JobState, JobStatus, ServeConfig, ServeError, ServeStats, Submission, SweepService,
+    REPORT_SCHEMA,
+};
+pub use server::{request, ServeDaemon};
+pub use spec::{AlgorithmRef, InstanceRef, Priority, SpecError, StartsRef, SweepSpec};
+pub use store::{ResultStore, StoreError, RESULT_SCHEMA};

@@ -1,0 +1,880 @@
+//! The sweep service: one shared worker pool, a deterministic
+//! FIFO-with-priority queue, SweepId dedup and checkpoint preemption.
+//!
+//! ## Scheduling discipline
+//!
+//! A single scheduler thread owns the engine. It always runs the
+//! highest-priority queued job, breaking ties by admission order
+//! (job ids are monotonic). When an [`Priority::Interactive`] job is
+//! admitted while a [`Priority::Batch`] job runs, the service trips the
+//! running job's [`CancelFlag`]; the engine stops claiming chunks and
+//! writes its partial checkpoint — the *parked* state. The preempted job
+//! re-enters the queue and resumes from that checkpoint after the
+//! interactive work drains. Because the checkpoint path is the engine's
+//! ordinary kill-and-resume path, the final checkpoint of a preempted
+//! job is byte-identical to an uninterrupted run at any thread count.
+//!
+//! ## Dedup
+//!
+//! Submission resolves the spec to a [`SweepId`] first. A stored result
+//! is a cache hit (no execution, `CacheHit` trace event); an in-flight
+//! job with the same id is returned as-is (same job id, no second
+//! execution); only genuinely new work is admitted (`JobAdmitted`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use vc_engine::{CancelFlag, Engine, SweepId, SweepIdentity};
+use vc_graph::Instance;
+use vc_model::run::{RunConfig, StartError};
+use vc_trace::{RecordingTracer, TraceEvent, Tracer};
+
+use crate::spec::{Priority, SpecError, SweepSpec};
+use crate::store::{ResultStore, StoreError};
+
+/// Schema tag of the service stats document.
+pub const REPORT_SCHEMA: &str = "vc-serve-report/v1";
+
+/// Cap on retained trace events (oldest kept; beyond this the recorder
+/// counts drops instead of growing).
+const TRACE_CAP: usize = 65_536;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Engine worker threads for the shared pool.
+    pub threads: usize,
+    /// Directory of the content-addressed result store.
+    pub store_dir: PathBuf,
+    /// Directory for in-flight (and parked) sweep checkpoints.
+    pub spool_dir: PathBuf,
+    /// Optional result-store entry cap (FIFO eviction past it).
+    pub max_store_entries: Option<usize>,
+}
+
+/// Lifecycle of one submitted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the run queue.
+    Queued,
+    /// Executing on the shared pool.
+    Running,
+    /// Preempted at a chunk boundary; checkpoint parked, re-queued.
+    Parked,
+    /// Finished; result available from the store.
+    Done {
+        /// Whether the submission was answered from the store without
+        /// any execution.
+        cache_hit: bool,
+    },
+    /// Execution failed; see [`JobStatus::error`].
+    Failed,
+}
+
+impl JobState {
+    /// Stable lower-case wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Parked => "parked",
+            JobState::Done { .. } => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// A point-in-time view of one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Service-assigned job id (monotonic; doubles as admission order).
+    pub job: u64,
+    /// The sweep identity the spec resolved to.
+    pub sweep_id: SweepId,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Times this job was preempted.
+    pub preemptions: u64,
+    /// Chunks complete at the last observation.
+    pub completed_chunks: usize,
+    /// Chunks in the sweep's plan (0 until first observed).
+    pub num_chunks: usize,
+    /// Failure message, if [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+/// What a submission resolved to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Submission {
+    /// The job id to poll (an existing id when deduplicated).
+    pub job: u64,
+    /// The sweep identity the spec resolved to.
+    pub sweep_id: SweepId,
+    /// The submission was answered from the result store.
+    pub cache_hit: bool,
+    /// The submission matched an in-flight job and returned its id.
+    pub deduped: bool,
+}
+
+/// Integral service counters (the `vc-serve-report/v1` numbers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Specs submitted (including hits and dedups).
+    pub submissions: u64,
+    /// Submissions answered from the store without execution.
+    pub hits: u64,
+    /// Submissions that scheduled new work.
+    pub misses: u64,
+    /// Submissions folded into an in-flight job.
+    pub deduped: u64,
+    /// Chunk-boundary preemptions.
+    pub preemptions: u64,
+    /// Parked jobs that re-entered execution.
+    pub resumes: u64,
+    /// Jobs that finished and stored a result.
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Result-store evictions.
+    pub evictions: u64,
+    /// Deepest run queue observed.
+    pub max_queue_depth: usize,
+    /// Live result-store entries.
+    pub store_entries: usize,
+}
+
+/// Why a service call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The spec could not be decoded.
+    Spec(SpecError),
+    /// The spec's start selection is invalid for its instance.
+    Start(StartError),
+    /// The result store refused an operation.
+    Store(StoreError),
+    /// No job with the given id.
+    UnknownJob(u64),
+    /// The job has not finished, so it has no result yet.
+    NotDone(u64),
+    /// The job failed; message attached.
+    JobFailed(String),
+    /// Waiting for a state change timed out.
+    Timeout,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Spec(e) => write!(f, "bad spec: {e}"),
+            ServeError::Start(e) => write!(f, "bad start selection: {e}"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
+            ServeError::UnknownJob(job) => write!(f, "unknown job {job}"),
+            ServeError::NotDone(job) => write!(f, "job {job} has no result yet"),
+            ServeError::JobFailed(msg) => write!(f, "job failed: {msg}"),
+            ServeError::Timeout => write!(f, "timed out waiting for a state change"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SpecError> for ServeError {
+    fn from(e: SpecError) -> Self {
+        ServeError::Spec(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// Everything the scheduler needs to (re)run one job, resolved at
+/// submission time so the run loop never re-parses anything.
+struct PreparedSweep {
+    spec: SweepSpec,
+    config: RunConfig,
+    instance: Instance,
+    identity: SweepIdentity,
+}
+
+struct JobRecord {
+    status: JobStatus,
+    work: Option<Arc<PreparedSweep>>,
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, JobRecord>,
+    /// In-flight dedup index: raw SweepId -> job id.
+    by_sweep: BTreeMap<u64, u64>,
+    /// Queued job ids (scheduler picks by priority, then id).
+    queue: Vec<u64>,
+    running: Option<(u64, CancelFlag)>,
+    store: ResultStore,
+    tracer: RecordingTracer,
+    stats: ServeStats,
+    next_job: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signaled when the queue gains work or shutdown is requested.
+    work: Condvar,
+    /// Signaled on any job state change (pollers wait here).
+    change: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sweep service: owns the result store, the run queue and the
+/// scheduler thread driving the shared engine pool.
+pub struct SweepService {
+    shared: Arc<Shared>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+    threads: usize,
+    spool_dir: PathBuf,
+}
+
+impl SweepService {
+    /// Starts the service: opens the store, creates the spool and
+    /// spawns the scheduler thread.
+    pub fn start(config: &ServeConfig) -> Result<Self, ServeError> {
+        let store = ResultStore::open(&config.store_dir, config.max_store_entries)?;
+        std::fs::create_dir_all(&config.spool_dir)
+            .map_err(|e| ServeError::Store(StoreError::Io(e.to_string())))?;
+        let store_entries = store.len();
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                jobs: BTreeMap::new(),
+                by_sweep: BTreeMap::new(),
+                queue: Vec::new(),
+                running: None,
+                store,
+                tracer: RecordingTracer {
+                    cap: Some(TRACE_CAP),
+                    ..RecordingTracer::default()
+                },
+                stats: ServeStats {
+                    store_entries,
+                    ..ServeStats::default()
+                },
+                next_job: 1,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            change: Condvar::new(),
+        });
+        let threads = config.threads.max(1);
+        let spool_dir = config.spool_dir.clone();
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            let spool_dir = spool_dir.clone();
+            std::thread::spawn(move || scheduler_loop(&shared, threads, &spool_dir))
+        };
+        Ok(Self {
+            shared,
+            scheduler: Some(scheduler),
+            threads,
+            spool_dir,
+        })
+    }
+
+    /// Submits a spec. Resolves the sweep identity, then answers from
+    /// the store (cache hit), an in-flight job (dedup) or a fresh
+    /// admission — in that order.
+    pub fn submit(&self, spec: &SweepSpec) -> Result<Submission, ServeError> {
+        // Instance construction and identity folding happen outside the
+        // service lock; both are pure.
+        let instance = spec.instance.build();
+        let config = spec.run_config();
+        let starts = config
+            .starts
+            .starts(instance.n())
+            .map_err(ServeError::Start)?;
+        let identity = spec.algorithm.identity(&instance, &config, &starts);
+        let sweep_id = identity.sweep_id;
+
+        let mut g = self.shared.lock();
+        if g.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        g.stats.submissions += 1;
+        if g.store.contains(sweep_id) {
+            let job = g.next_job;
+            g.next_job += 1;
+            g.stats.hits += 1;
+            g.tracer.cache_hit(job);
+            g.jobs.insert(
+                job,
+                JobRecord {
+                    status: JobStatus {
+                        job,
+                        sweep_id,
+                        state: JobState::Done { cache_hit: true },
+                        priority: spec.priority,
+                        preemptions: 0,
+                        completed_chunks: 0,
+                        num_chunks: 0,
+                        error: None,
+                    },
+                    work: None,
+                },
+            );
+            self.shared.change.notify_all();
+            return Ok(Submission {
+                job,
+                sweep_id,
+                cache_hit: true,
+                deduped: false,
+            });
+        }
+        if let Some(&job) = g.by_sweep.get(&sweep_id.raw()) {
+            g.stats.deduped += 1;
+            return Ok(Submission {
+                job,
+                sweep_id,
+                cache_hit: false,
+                deduped: true,
+            });
+        }
+        let job = g.next_job;
+        g.next_job += 1;
+        g.stats.misses += 1;
+        g.jobs.insert(
+            job,
+            JobRecord {
+                status: JobStatus {
+                    job,
+                    sweep_id,
+                    state: JobState::Queued,
+                    priority: spec.priority,
+                    preemptions: 0,
+                    completed_chunks: 0,
+                    num_chunks: 0,
+                    error: None,
+                },
+                work: Some(Arc::new(PreparedSweep {
+                    spec: *spec,
+                    config,
+                    instance,
+                    identity,
+                })),
+            },
+        );
+        g.by_sweep.insert(sweep_id.raw(), job);
+        g.queue.push(job);
+        let depth = g.queue.len();
+        g.stats.max_queue_depth = g.stats.max_queue_depth.max(depth);
+        g.tracer.job_admitted(job, depth);
+        // An interactive arrival preempts a running batch job at its
+        // next chunk boundary: trip the flag, the engine parks itself.
+        if spec.priority == Priority::Interactive {
+            if let Some((running_id, flag)) = &g.running {
+                let running_batch = g
+                    .jobs
+                    .get(running_id)
+                    .is_some_and(|r| r.status.priority == Priority::Batch);
+                if running_batch {
+                    flag.cancel();
+                }
+            }
+        }
+        self.shared.work.notify_all();
+        self.shared.change.notify_all();
+        Ok(Submission {
+            job,
+            sweep_id,
+            cache_hit: false,
+            deduped: false,
+        })
+    }
+
+    /// The current status of `job`.
+    pub fn status(&self, job: u64) -> Result<JobStatus, ServeError> {
+        let g = self.shared.lock();
+        g.jobs
+            .get(&job)
+            .map(|r| r.status.clone())
+            .ok_or(ServeError::UnknownJob(job))
+    }
+
+    /// Blocks until `pred` holds for `job`'s status, or `timeout`
+    /// elapses ([`ServeError::Timeout`]).
+    pub fn wait_job(
+        &self,
+        job: u64,
+        timeout: Duration,
+        pred: impl Fn(&JobStatus) -> bool,
+    ) -> Result<JobStatus, ServeError> {
+        let mut g = self.shared.lock();
+        loop {
+            let status = g
+                .jobs
+                .get(&job)
+                .map(|r| r.status.clone())
+                .ok_or(ServeError::UnknownJob(job))?;
+            if pred(&status) {
+                return Ok(status);
+            }
+            let (guard, wait) = self
+                .shared
+                .change
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            g = guard;
+            if wait.timed_out() {
+                return Err(ServeError::Timeout);
+            }
+        }
+    }
+
+    /// Blocks until `job` is done and returns its stored result payload
+    /// (the sweep's final checkpoint document).
+    pub fn wait_result(&self, job: u64, timeout: Duration) -> Result<String, ServeError> {
+        let status = self.wait_job(job, timeout, |s| {
+            matches!(s.state, JobState::Done { .. } | JobState::Failed)
+        })?;
+        self.result_of(&status)
+    }
+
+    /// Returns the stored result payload of a finished `job`.
+    pub fn result(&self, job: u64) -> Result<String, ServeError> {
+        let status = self.status(job)?;
+        self.result_of(&status)
+    }
+
+    fn result_of(&self, status: &JobStatus) -> Result<String, ServeError> {
+        match status.state {
+            JobState::Done { .. } => {
+                let g = self.shared.lock();
+                Ok(g.store.load(status.sweep_id)?)
+            }
+            JobState::Failed => Err(ServeError::JobFailed(
+                status
+                    .error
+                    .clone()
+                    .unwrap_or_else(|| "unknown".to_string()),
+            )),
+            _ => Err(ServeError::NotDone(status.job)),
+        }
+    }
+
+    /// Blocks until the queue is empty and nothing is running.
+    pub fn wait_idle(&self, timeout: Duration) -> Result<ServeStats, ServeError> {
+        let mut g = self.shared.lock();
+        loop {
+            if g.queue.is_empty() && g.running.is_none() {
+                return Ok(self.stats_of(&g));
+            }
+            let (guard, wait) = self
+                .shared
+                .change
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            g = guard;
+            if wait.timed_out() {
+                return Err(ServeError::Timeout);
+            }
+        }
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        let g = self.shared.lock();
+        self.stats_of(&g)
+    }
+
+    fn stats_of(&self, g: &Inner) -> ServeStats {
+        ServeStats {
+            evictions: g.store.evictions(),
+            store_entries: g.store.len(),
+            ..g.stats
+        }
+    }
+
+    /// The trace events recorded so far (scheduling transitions).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.shared.lock().tracer.events.clone()
+    }
+
+    /// Emits the `vc-serve-report/v1` stats document as compact JSON
+    /// (single line, so it can double as a protocol payload).
+    pub fn report_json(&self) -> String {
+        use std::fmt::Write as _;
+        let g = self.shared.lock();
+        let stats = self.stats_of(&g);
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{REPORT_SCHEMA}\",\"threads\":{},\"submissions\":{},\
+             \"hits\":{},\"misses\":{},\"deduped\":{},\"preemptions\":{},\"resumes\":{},\
+             \"completed\":{},\"failed\":{},\"evictions\":{},\"queue_depth\":{},\
+             \"max_queue_depth\":{},\"store_entries\":{},\"jobs\":[",
+            self.threads,
+            stats.submissions,
+            stats.hits,
+            stats.misses,
+            stats.deduped,
+            stats.preemptions,
+            stats.resumes,
+            stats.completed,
+            stats.failed,
+            stats.evictions,
+            g.queue.len(),
+            stats.max_queue_depth,
+            stats.store_entries,
+        );
+        for (i, record) in g.jobs.values().enumerate() {
+            let s = &record.status;
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"job\":{},\"sweep_id\":\"{}\",\"state\":\"{}\",\"cache_hit\":{},\
+                 \"preemptions\":{},\"completed_chunks\":{},\"num_chunks\":{}}}",
+                s.job,
+                s.sweep_id,
+                s.state.name(),
+                matches!(s.state, JobState::Done { cache_hit: true }),
+                s.preemptions,
+                s.completed_chunks,
+                s.num_chunks,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Stops accepting work, cancels any running job (it parks like any
+    /// other preemption), joins the scheduler and returns final stats.
+    /// Queued jobs stay queued and are reported as such.
+    pub fn shutdown(mut self) -> ServeStats {
+        {
+            let mut g = self.shared.lock();
+            g.shutdown = true;
+            if let Some((_, flag)) = &g.running {
+                flag.cancel();
+            }
+            self.shared.work.notify_all();
+            self.shared.change.notify_all();
+        }
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    /// The spool path for a sweep's in-flight checkpoint.
+    pub fn spool_path(&self, sweep_id: SweepId) -> PathBuf {
+        spool_path(&self.spool_dir, sweep_id)
+    }
+}
+
+impl Drop for SweepService {
+    fn drop(&mut self) {
+        let mut g = self.shared.lock();
+        g.shutdown = true;
+        if let Some((_, flag)) = &g.running {
+            flag.cancel();
+        }
+        self.shared.work.notify_all();
+        drop(g);
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn spool_path(spool_dir: &std::path::Path, sweep_id: SweepId) -> PathBuf {
+    spool_dir.join(format!("{sweep_id}.ckpt.json"))
+}
+
+/// Picks the queue index to run next: highest priority first, then
+/// lowest job id (admission order). Returns `None` on an empty queue.
+fn pick_next(g: &Inner) -> Option<usize> {
+    let mut best: Option<(usize, Priority, u64)> = None;
+    for (idx, &job) in g.queue.iter().enumerate() {
+        let priority = g
+            .jobs
+            .get(&job)
+            .map(|r| r.status.priority)
+            .unwrap_or(Priority::Batch);
+        let better = match best {
+            None => true,
+            Some((_, bp, bj)) => priority > bp || (priority == bp && job < bj),
+        };
+        if better {
+            best = Some((idx, priority, job));
+        }
+    }
+    best.map(|(idx, _, _)| idx)
+}
+
+fn scheduler_loop(shared: &Shared, threads: usize, spool_dir: &std::path::Path) {
+    loop {
+        // Claim the next job (or exit on shutdown).
+        let (job, work, flag) = {
+            let mut g = shared.lock();
+            let claimed = loop {
+                if g.shutdown {
+                    return;
+                }
+                if let Some(idx) = pick_next(&g) {
+                    break g.queue.remove(idx);
+                }
+                g = shared.work.wait(g).unwrap_or_else(PoisonError::into_inner);
+            };
+            let flag = CancelFlag::new();
+            let inner = &mut *g;
+            let Some(record) = inner.jobs.get_mut(&claimed) else {
+                continue;
+            };
+            let Some(work) = record.work.clone() else {
+                continue;
+            };
+            if record.status.state == JobState::Parked {
+                inner.stats.resumes += 1;
+                inner
+                    .tracer
+                    .job_resumed(claimed, record.status.completed_chunks);
+            }
+            record.status.state = JobState::Running;
+            inner.running = Some((claimed, flag.clone()));
+            shared.change.notify_all();
+            (claimed, work, flag)
+        };
+
+        // Run outside the lock. A tripped flag stops chunk claims; the
+        // engine still writes the (partial) checkpoint file.
+        let ckpt = spool_path(spool_dir, work.identity.sweep_id);
+        let engine = Engine::with_threads(threads).with_cancel_flag(flag);
+        let outcome =
+            work.spec
+                .algorithm
+                .run_checkpointed(&engine, &work.instance, &work.config, &ckpt);
+
+        let mut g = shared.lock();
+        let inner = &mut *g;
+        inner.running = None;
+        let Some(record) = inner.jobs.get_mut(&job) else {
+            shared.change.notify_all();
+            continue;
+        };
+        match outcome {
+            Ok(report) => {
+                record.status.completed_chunks = report.completed_chunks;
+                record.status.num_chunks = report.num_chunks;
+                if report.is_complete() {
+                    let stored = std::fs::read_to_string(&ckpt)
+                        .map_err(|e| e.to_string())
+                        .and_then(|payload| {
+                            inner
+                                .store
+                                .store(&work.identity, &payload)
+                                .map_err(|e| e.to_string())
+                        });
+                    match stored {
+                        Ok(()) => {
+                            let _ = std::fs::remove_file(&ckpt);
+                            record.status.state = JobState::Done { cache_hit: false };
+                            inner.stats.completed += 1;
+                        }
+                        Err(msg) => {
+                            record.status.state = JobState::Failed;
+                            record.status.error = Some(msg);
+                            inner.stats.failed += 1;
+                        }
+                    }
+                    inner.by_sweep.remove(&work.identity.sweep_id.raw());
+                } else {
+                    // Preempted at a chunk boundary: park and re-queue.
+                    record.status.state = JobState::Parked;
+                    record.status.preemptions += 1;
+                    inner.stats.preemptions += 1;
+                    inner.tracer.job_preempted(job, report.completed_chunks);
+                    inner.queue.push(job);
+                    inner.stats.max_queue_depth =
+                        inner.stats.max_queue_depth.max(inner.queue.len());
+                }
+            }
+            Err(e) => {
+                record.status.state = JobState::Failed;
+                record.status.error = Some(e.to_string());
+                inner.stats.failed += 1;
+                inner.by_sweep.remove(&work.identity.sweep_id.raw());
+            }
+        }
+        shared.change.notify_all();
+        shared.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AlgorithmRef, InstanceRef};
+
+    const WAIT: Duration = Duration::from_secs(120);
+
+    fn temp_config(tag: &str, threads: usize) -> ServeConfig {
+        let root =
+            std::env::temp_dir().join(format!("vc-serve-sched-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        ServeConfig {
+            threads,
+            store_dir: root.join("store"),
+            spool_dir: root.join("spool"),
+            max_store_entries: None,
+        }
+    }
+
+    fn small_spec(seed: u64) -> SweepSpec {
+        SweepSpec::new(
+            InstanceRef::FullBinaryTree { n: 255, seed },
+            AlgorithmRef::LeafDistance,
+        )
+    }
+
+    #[test]
+    fn miss_then_hit_is_byte_identical() {
+        let config = temp_config("hit", 2);
+        let service = SweepService::start(&config).expect("start");
+        let spec = small_spec(5);
+        let cold = service.submit(&spec).expect("submit");
+        assert!(!cold.cache_hit && !cold.deduped);
+        let cold_bytes = service.wait_result(cold.job, WAIT).expect("cold result");
+        let warm = service.submit(&spec).expect("resubmit");
+        assert!(warm.cache_hit);
+        assert_ne!(warm.job, cold.job);
+        let warm_bytes = service.wait_result(warm.job, WAIT).expect("warm result");
+        assert_eq!(cold_bytes, warm_bytes);
+        let stats = service.shutdown();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.completed, 1);
+        let _ = std::fs::remove_dir_all(config.store_dir.parent().unwrap_or(&config.store_dir));
+    }
+
+    #[test]
+    fn duplicate_inflight_submission_returns_the_same_job() {
+        let config = temp_config("dedup", 1);
+        let service = SweepService::start(&config).expect("start");
+        // Park a long blocker on the (single) scheduler first, so the
+        // job under test stays queued while its duplicate arrives.
+        let blocker = SweepSpec {
+            tape_seed: Some(3),
+            ..SweepSpec::new(
+                InstanceRef::FullBinaryTree { n: 65535, seed: 2 },
+                AlgorithmRef::LeafRandomWalk { step_factor: 32 },
+            )
+        };
+        let blocking = service.submit(&blocker).expect("submit blocker");
+        service
+            .wait_job(blocking.job, WAIT, |s| s.state == JobState::Running)
+            .expect("blocker runs");
+        let spec = small_spec(8);
+        let first = service.submit(&spec).expect("submit");
+        let second = service.submit(&spec).expect("duplicate");
+        assert!(second.deduped);
+        assert_eq!(second.job, first.job);
+        service.wait_result(first.job, WAIT).expect("result");
+        let stats = service.shutdown();
+        assert_eq!(stats.deduped, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.completed, 2);
+        let _ = std::fs::remove_dir_all(config.store_dir.parent().unwrap_or(&config.store_dir));
+    }
+
+    #[test]
+    fn interactive_preempts_batch_and_resume_is_byte_identical() {
+        let config = temp_config("preempt", 2);
+        let service = SweepService::start(&config).expect("start");
+        let batch = SweepSpec {
+            tape_seed: Some(7),
+            ..SweepSpec::new(
+                InstanceRef::FullBinaryTree { n: 65535, seed: 9 },
+                AlgorithmRef::LeafRandomWalk { step_factor: 32 },
+            )
+        };
+        let victim = service.submit(&batch).expect("submit batch");
+        service
+            .wait_job(victim.job, WAIT, |s| s.state == JobState::Running)
+            .expect("batch runs");
+        let interactive = SweepSpec {
+            priority: Priority::Interactive,
+            ..small_spec(1)
+        };
+        let urgent = service.submit(&interactive).expect("submit interactive");
+        service.wait_result(urgent.job, WAIT).expect("urgent done");
+        let preempted_bytes = service.wait_result(victim.job, WAIT).expect("victim done");
+        let status = service.status(victim.job).expect("status");
+        assert!(status.preemptions >= 1, "batch job was never preempted");
+        let stats = service.stats();
+        assert!(stats.preemptions >= 1);
+        assert!(stats.resumes >= 1);
+        let events = service.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::JobPreempted { job, .. } if *job == victim.job)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::JobResumed { job, .. } if *job == victim.job)));
+        drop(service);
+
+        // Reference: the same sweep, uninterrupted, fresh store.
+        let reference = temp_config("preempt-ref", 2);
+        let ref_service = SweepService::start(&reference).expect("start ref");
+        let sub = ref_service.submit(&batch).expect("submit ref");
+        let clean_bytes = ref_service.wait_result(sub.job, WAIT).expect("ref done");
+        assert_eq!(
+            preempted_bytes, clean_bytes,
+            "preempted+resumed checkpoint diverged from the uninterrupted run"
+        );
+        drop(ref_service);
+        let _ = std::fs::remove_dir_all(config.store_dir.parent().unwrap_or(&config.store_dir));
+        let _ =
+            std::fs::remove_dir_all(reference.store_dir.parent().unwrap_or(&reference.store_dir));
+    }
+
+    #[test]
+    fn report_is_valid_compact_json() {
+        let config = temp_config("report", 1);
+        let service = SweepService::start(&config).expect("start");
+        let sub = service.submit(&small_spec(2)).expect("submit");
+        service.wait_result(sub.job, WAIT).expect("result");
+        let report = service.report_json();
+        assert!(!report.contains('\n'));
+        let doc = vc_json::parse(&report).expect("report parses");
+        assert_eq!(
+            doc.get("schema").and_then(vc_json::Value::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(doc.get("misses").and_then(vc_json::Value::as_u64), Some(1));
+        let jobs = doc
+            .get("jobs")
+            .and_then(vc_json::Value::as_arr)
+            .expect("jobs");
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(
+            jobs[0].get("state").and_then(vc_json::Value::as_str),
+            Some("done")
+        );
+        drop(service);
+        let _ = std::fs::remove_dir_all(config.store_dir.parent().unwrap_or(&config.store_dir));
+    }
+}

@@ -129,6 +129,38 @@ pub enum TraceEvent {
         /// Chunks still missing after the merge.
         missing: usize,
     },
+    /// A sweep service scheduler admitted a cache-miss job into its run
+    /// queue. Emitted by `vc-serve`, never by the engine itself.
+    JobAdmitted {
+        /// The service-assigned job id.
+        job: u64,
+        /// Jobs waiting in the queue after admission (the admitted job
+        /// included).
+        queue_depth: usize,
+    },
+    /// A submitted sweep spec resolved to an already-stored result in the
+    /// service's content-addressed store — no execution scheduled.
+    CacheHit {
+        /// The service-assigned job id of the hit submission.
+        job: u64,
+    },
+    /// A running batch job was preempted at a chunk boundary so a
+    /// higher-priority job could take the worker pool; its checkpoint is
+    /// parked for a later resume.
+    JobPreempted {
+        /// The preempted job's id.
+        job: u64,
+        /// Chunks the job had completed when it yielded.
+        completed_chunks: usize,
+    },
+    /// A parked, previously preempted job re-entered execution from its
+    /// checkpoint.
+    JobResumed {
+        /// The resumed job's id.
+        job: u64,
+        /// Chunks already complete at resume time.
+        completed_chunks: usize,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -185,6 +217,18 @@ impl fmt::Display for TraceEvent {
                     "partial splice: {merged} chunks merged, {missing} missing"
                 )
             }
+            TraceEvent::JobAdmitted { job, queue_depth } => {
+                write!(f, "admit job {job} (queue depth {queue_depth})")
+            }
+            TraceEvent::CacheHit { job } => write!(f, "cache hit for job {job}"),
+            TraceEvent::JobPreempted {
+                job,
+                completed_chunks,
+            } => write!(f, "preempt job {job} ({completed_chunks} chunks done)"),
+            TraceEvent::JobResumed {
+                job,
+                completed_chunks,
+            } => write!(f, "resume job {job} ({completed_chunks} chunks done)"),
         }
     }
 }
@@ -241,6 +285,19 @@ mod tests {
             TraceEvent::PartialSplice {
                 merged: 5,
                 missing: 1,
+            },
+            TraceEvent::JobAdmitted {
+                job: 1,
+                queue_depth: 2,
+            },
+            TraceEvent::CacheHit { job: 1 },
+            TraceEvent::JobPreempted {
+                job: 1,
+                completed_chunks: 3,
+            },
+            TraceEvent::JobResumed {
+                job: 1,
+                completed_chunks: 3,
             },
         ];
         for e in events {

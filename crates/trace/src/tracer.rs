@@ -121,6 +121,35 @@ pub trait Tracer {
     fn partial_splice(&mut self, merged: usize, missing: usize) {
         let _ = (merged, missing);
     }
+
+    /// A sweep service admitted cache-miss job `job` into its run queue,
+    /// which now holds `queue_depth` waiting jobs. Emitted by
+    /// `vc-serve`, never by the engine.
+    #[inline]
+    fn job_admitted(&mut self, job: u64, queue_depth: usize) {
+        let _ = (job, queue_depth);
+    }
+
+    /// A submitted sweep resolved to a stored result: job `job` is a
+    /// cache hit and schedules no execution.
+    #[inline]
+    fn cache_hit(&mut self, job: u64) {
+        let _ = job;
+    }
+
+    /// Running job `job` was preempted at a chunk boundary with
+    /// `completed_chunks` chunks done; its checkpoint is parked.
+    #[inline]
+    fn job_preempted(&mut self, job: u64, completed_chunks: usize) {
+        let _ = (job, completed_chunks);
+    }
+
+    /// Parked job `job` resumed execution with `completed_chunks` chunks
+    /// already complete.
+    #[inline]
+    fn job_resumed(&mut self, job: u64, completed_chunks: usize) {
+        let _ = (job, completed_chunks);
+    }
 }
 
 /// Forward hooks through mutable references, so a long-lived tracer can
@@ -203,6 +232,26 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
     #[inline]
     fn partial_splice(&mut self, merged: usize, missing: usize) {
         (**self).partial_splice(merged, missing);
+    }
+
+    #[inline]
+    fn job_admitted(&mut self, job: u64, queue_depth: usize) {
+        (**self).job_admitted(job, queue_depth);
+    }
+
+    #[inline]
+    fn cache_hit(&mut self, job: u64) {
+        (**self).cache_hit(job);
+    }
+
+    #[inline]
+    fn job_preempted(&mut self, job: u64, completed_chunks: usize) {
+        (**self).job_preempted(job, completed_chunks);
+    }
+
+    #[inline]
+    fn job_resumed(&mut self, job: u64, completed_chunks: usize) {
+        (**self).job_resumed(job, completed_chunks);
     }
 }
 
@@ -354,6 +403,28 @@ impl Tracer for RecordingTracer {
     fn partial_splice(&mut self, merged: usize, missing: usize) {
         self.push(TraceEvent::PartialSplice { merged, missing });
     }
+
+    fn job_admitted(&mut self, job: u64, queue_depth: usize) {
+        self.push(TraceEvent::JobAdmitted { job, queue_depth });
+    }
+
+    fn cache_hit(&mut self, job: u64) {
+        self.push(TraceEvent::CacheHit { job });
+    }
+
+    fn job_preempted(&mut self, job: u64, completed_chunks: usize) {
+        self.push(TraceEvent::JobPreempted {
+            job,
+            completed_chunks,
+        });
+    }
+
+    fn job_resumed(&mut self, job: u64, completed_chunks: usize) {
+        self.push(TraceEvent::JobResumed {
+            job,
+            completed_chunks,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -419,9 +490,13 @@ mod tests {
             t.worker_suspected(0, 1, 2);
             t.chunk_reassigned(1, 2);
             t.partial_splice(1, 1);
+            t.job_admitted(1, 1);
+            t.cache_hit(1);
+            t.job_preempted(1, 3);
+            t.job_resumed(1, 3);
         }
         let mut inner = RecordingTracer::new();
         drive(&mut inner);
-        assert_eq!(inner.events.len(), 14);
+        assert_eq!(inner.events.len(), 18);
     }
 }

@@ -319,19 +319,13 @@ fn splice_files_partial(
 
 /// The `vc-fleet-missing/v1` document `merge-checkpoints --partial`
 /// prints on stdout: the merged file, the coverage, the missing chunks
-/// as a JSON list, and the same chunks as a `VC_CHUNKS`-pasteable spec
-/// (empty string when nothing is missing).
+/// as a JSON list, and — only when chunks are actually missing — the
+/// same chunks as a `VC_CHUNKS`-pasteable spec. A complete merge used to
+/// emit `"spec": ""`, an empty pasteable spec that the strict chunk
+/// parser (rightly) rejects; now the `spec` key is simply absent and
+/// `"complete": true` is the signal that nothing remains.
 fn missing_doc(out_path: &str, merged: &vc_engine::SweepCheckpoint, missing: &[usize]) -> String {
     use std::fmt::Write as _;
-    let spec = if missing.is_empty() {
-        String::new()
-    } else {
-        format!(
-            "{}/{}",
-            vc_engine::format_chunk_groups(missing),
-            merged.num_chunks
-        )
-    };
     let mut out = String::new();
     let _ = write!(
         out,
@@ -346,7 +340,19 @@ fn missing_doc(out_path: &str, merged: &vc_engine::SweepCheckpoint, missing: &[u
     for (i, c) in missing.iter().enumerate() {
         let _ = write!(out, "{}{c}", if i > 0 { ", " } else { "" });
     }
-    let _ = write!(out, "],\n  \"spec\": \"{}\"\n}}\n", json::escape(&spec));
+    out.push(']');
+    if missing.is_empty() {
+        out.push_str("\n}\n");
+    } else {
+        // Despaced so the spec parses under the strict `VC_CHUNKS`
+        // grammar (no whitespace components).
+        let spec = format!(
+            "{}/{}",
+            vc_engine::format_chunk_groups(missing).replace(", ", ","),
+            merged.num_chunks
+        );
+        let _ = write!(out, ",\n  \"spec\": \"{}\"\n}}\n", json::escape(&spec));
+    }
     out
 }
 
@@ -717,19 +723,21 @@ mod tests {
             Some(3)
         );
         let spec = doc.get("spec").and_then(json::Value::as_str).unwrap();
-        assert_eq!(spec, "2..4, 5/6");
-        // The spec really parses as a chunk-set reassignment.
+        assert_eq!(spec, "2..4,5/6");
+        // The spec really parses as a chunk-set reassignment under the
+        // strict grammar.
         let set = vc_engine::ChunkSet::parse(spec).unwrap();
         assert_eq!(set.chunks().collect::<Vec<_>>(), vec![2, 3, 5]);
 
-        // A complete merge reports an empty gap and an empty spec.
+        // A complete merge reports completeness and suppresses the spec
+        // key entirely — no empty pasteable `VC_CHUNKS` value.
         let doc_src = missing_doc("out.json", &partial(2, &[0, 1]), &[]);
         let doc = json::parse(&doc_src).unwrap();
         assert_eq!(
             doc.get("complete").and_then(json::Value::as_bool),
             Some(true)
         );
-        assert_eq!(doc.get("spec").and_then(json::Value::as_str), Some(""));
+        assert!(doc.get("spec").is_none());
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Serve drill: the `vc-serve` content-addressed sweep service end to
+//! end, at 1, 2 and 8 worker threads (DESIGN.md §17).
+//!
+//! ```text
+//! cargo run --release --example serve_drill
+//! ```
+//!
+//! Per thread count, against a fresh store:
+//!
+//! 1. **Hit after miss.** A cold submission executes and stores its
+//!    final checkpoint; resubmitting the identical spec is answered
+//!    from the store (`cache_hit`) with byte-identical payload and no
+//!    second execution.
+//! 2. **Duplicate-submission dedup.** Submitting a spec whose sweep is
+//!    already in flight returns the *same* job id without scheduling a
+//!    second run.
+//! 3. **Preemption under load.** An interactive job submitted while a
+//!    long batch sweep runs trips the batch job's cancel flag; the
+//!    batch job parks at a chunk boundary, the interactive job jumps
+//!    the queue, and the parked job resumes from its checkpoint. The
+//!    resumed job's stored result is asserted byte-identical to an
+//!    uninterrupted run of the same spec — and identical across all
+//!    three thread counts.
+//!
+//! A FIFO-eviction drill (entry cap 1) and a wire-protocol round trip
+//! over the Unix socket run once at the end. The last service's
+//! `vc-serve-report/v1` document lands in
+//! `target/serve/SERVE_report.json` for CI to `check-json` and upload.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use vc_json::Value;
+use vc_serve::{
+    AlgorithmRef, InstanceRef, JobState, Priority, ServeConfig, ServeDaemon, SweepService,
+    SweepSpec, REPORT_SCHEMA,
+};
+use vc_trace::TraceEvent;
+
+/// Generous bound on every wait: the drill must never hang CI, but no
+/// healthy run gets anywhere near it.
+const WAIT: Duration = Duration::from_secs(300);
+
+/// Worker-thread counts the byte-identity assertions span.
+const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
+
+fn fresh_config(tag: &str, threads: usize) -> ServeConfig {
+    let root = PathBuf::from("target/serve").join(tag);
+    let _ = std::fs::remove_dir_all(&root);
+    ServeConfig {
+        threads,
+        store_dir: root.join("store"),
+        spool_dir: root.join("spool"),
+        max_store_entries: None,
+    }
+}
+
+/// The cold/warm spec: a medium randomized sweep.
+fn medium_spec() -> SweepSpec {
+    SweepSpec {
+        tape_seed: Some(11),
+        ..SweepSpec::new(
+            InstanceRef::FullBinaryTree { n: 4095, seed: 5 },
+            AlgorithmRef::LeafRandomWalk { step_factor: 32 },
+        )
+    }
+}
+
+/// The preemption victim: long enough that the interactive submission
+/// always lands while it runs.
+fn long_batch_spec() -> SweepSpec {
+    SweepSpec {
+        tape_seed: Some(7),
+        ..SweepSpec::new(
+            InstanceRef::FullBinaryTree { n: 65535, seed: 9 },
+            AlgorithmRef::LeafRandomWalk { step_factor: 32 },
+        )
+    }
+}
+
+/// The queue jumper.
+fn interactive_spec() -> SweepSpec {
+    SweepSpec {
+        priority: Priority::Interactive,
+        ..SweepSpec::new(
+            InstanceRef::FullBinaryTree { n: 255, seed: 1 },
+            AlgorithmRef::LeafDistance,
+        )
+    }
+}
+
+/// Runs the three drill scenarios at one thread count; returns the
+/// (cold payload, preempted-and-resumed payload) byte strings.
+fn drill_at(threads: usize) -> (String, String) {
+    let tag = format!("t{threads}");
+    let config = fresh_config(&tag, threads);
+    let service = SweepService::start(&config).expect("service starts");
+
+    // 1. Hit after miss, byte-identical.
+    let cold = service.submit(&medium_spec()).expect("cold submit");
+    assert!(!cold.cache_hit && !cold.deduped, "{tag}: cold must miss");
+    let cold_bytes = service.wait_result(cold.job, WAIT).expect("cold result");
+    let warm = service.submit(&medium_spec()).expect("warm submit");
+    assert!(warm.cache_hit, "{tag}: resubmission must hit the store");
+    assert_ne!(warm.job, cold.job, "{tag}: a hit still gets its own job id");
+    let warm_bytes = service.wait_result(warm.job, WAIT).expect("warm result");
+    assert_eq!(
+        cold_bytes, warm_bytes,
+        "{tag}: cache hit must be byte-identical to the cold run"
+    );
+
+    // 2 + 3. Dedup and preemption against one long batch sweep. The
+    // interactive submission goes out the moment the batch job runs
+    // (its small instance folds in microseconds); the duplicate
+    // follows while the victim is parked or resuming — it stays
+    // in-flight until the resumed run completes.
+    let victim = service.submit(&long_batch_spec()).expect("batch submit");
+    service
+        .wait_job(victim.job, WAIT, |s| s.state == JobState::Running)
+        .expect("batch job starts running");
+    let urgent = service.submit(&interactive_spec()).expect("urgent submit");
+    assert!(!urgent.deduped && !urgent.cache_hit);
+    let duplicate = service.submit(&long_batch_spec()).expect("dup submit");
+    assert!(duplicate.deduped, "{tag}: in-flight duplicate must dedup");
+    assert_eq!(
+        duplicate.job, victim.job,
+        "{tag}: duplicate submission must return the same job id"
+    );
+    service
+        .wait_result(urgent.job, WAIT)
+        .expect("urgent result");
+    let victim_bytes = service
+        .wait_result(victim.job, WAIT)
+        .expect("victim result");
+    let status = service.status(victim.job).expect("victim status");
+    assert!(
+        status.preemptions >= 1,
+        "{tag}: the batch job must have been preempted at least once"
+    );
+    let events = service.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::JobPreempted { job, .. } if *job == victim.job)),
+        "{tag}: JobPreempted must be traced"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::JobResumed { job, .. } if *job == victim.job)),
+        "{tag}: JobResumed must be traced"
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.hits, 1, "{tag}");
+    assert_eq!(stats.deduped, 1, "{tag}");
+    assert!(stats.preemptions >= 1, "{tag}");
+    assert!(stats.resumes >= 1, "{tag}");
+    assert_eq!(stats.failed, 0, "{tag}");
+
+    // Reference: the same long sweep, uninterrupted, fresh store.
+    let ref_config = fresh_config(&format!("{tag}-ref"), threads);
+    let reference = SweepService::start(&ref_config).expect("reference starts");
+    let clean = reference.submit(&long_batch_spec()).expect("ref submit");
+    let clean_bytes = reference.wait_result(clean.job, WAIT).expect("ref result");
+    assert_eq!(
+        victim_bytes, clean_bytes,
+        "{tag}: preempted+resumed result must be byte-identical to an uninterrupted run"
+    );
+    reference.shutdown();
+
+    // Keep the last matrix point's service alive long enough to emit
+    // the report document; earlier points just shut down.
+    let report = service.report_json();
+    vc_json::validate(&report).expect("report is valid JSON");
+    if threads == THREAD_MATRIX[THREAD_MATRIX.len() - 1] {
+        std::fs::write("target/serve/SERVE_report.json", format!("{report}\n"))
+            .expect("write SERVE_report.json");
+    }
+    service.shutdown();
+    (cold_bytes, victim_bytes)
+}
+
+fn eviction_drill() {
+    let config = ServeConfig {
+        max_store_entries: Some(1),
+        ..fresh_config("evict", 2)
+    };
+    let service = SweepService::start(&config).expect("evict service starts");
+    let first = SweepSpec::new(
+        InstanceRef::FullBinaryTree { n: 511, seed: 2 },
+        AlgorithmRef::LeafDistance,
+    );
+    let second = SweepSpec::new(
+        InstanceRef::FullBinaryTree { n: 511, seed: 3 },
+        AlgorithmRef::LeafDistance,
+    );
+    let a = service.submit(&first).expect("submit first");
+    service.wait_result(a.job, WAIT).expect("first result");
+    let b = service.submit(&second).expect("submit second");
+    service.wait_result(b.job, WAIT).expect("second result");
+    let stats = service.stats();
+    assert_eq!(stats.evictions, 1, "cap 1 must evict the older entry");
+    assert_eq!(stats.store_entries, 1);
+    let again = service.submit(&first).expect("resubmit first");
+    assert!(
+        !again.cache_hit,
+        "an evicted result must be recomputed, not served"
+    );
+    service.wait_result(again.job, WAIT).expect("recomputed");
+    service.shutdown();
+    println!("eviction drill OK: FIFO cap enforced, eviction counted, evicted entry recomputed");
+}
+
+fn protocol_drill() {
+    let config = fresh_config("sock", 2);
+    let service = Arc::new(SweepService::start(&config).expect("socket service starts"));
+    let socket = PathBuf::from("target/serve/sock/serve.sock");
+    let daemon = ServeDaemon::bind(Arc::clone(&service), &socket).expect("daemon binds");
+
+    let line = format!(
+        "{{\"op\":\"submit\",\"spec\":{}}}",
+        interactive_spec().to_json_line()
+    );
+    let response = vc_serve::request(&socket, &line).expect("submit over socket");
+    let doc = vc_json::parse(&response).expect("submit response parses");
+    assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true));
+    let job = doc.get("job").and_then(Value::as_u64).expect("job id");
+
+    service
+        .wait_job(job, WAIT, |s| matches!(s.state, JobState::Done { .. }))
+        .expect("socket job finishes");
+    let response = vc_serve::request(&socket, &format!("{{\"op\":\"poll\",\"job\":{job}}}"))
+        .expect("poll over socket");
+    let doc = vc_json::parse(&response).expect("poll response parses");
+    assert_eq!(doc.get("state").and_then(Value::as_str), Some("done"));
+
+    let response = vc_serve::request(&socket, &format!("{{\"op\":\"result\",\"job\":{job}}}"))
+        .expect("result over socket");
+    let doc = vc_json::parse(&response).expect("result response parses");
+    let payload = doc.get("payload").and_then(Value::as_str).expect("payload");
+    vc_json::validate(payload).expect("payload is a valid checkpoint document");
+
+    let response = vc_serve::request(&socket, "{\"op\":\"stats\"}").expect("stats over socket");
+    let doc = vc_json::parse(&response).expect("stats response parses");
+    assert_eq!(
+        doc.get("report")
+            .and_then(|r| r.get("schema"))
+            .and_then(Value::as_str),
+        Some(REPORT_SCHEMA)
+    );
+
+    let response = vc_serve::request(&socket, "{\"op\":\"shutdown\"}").expect("shutdown op");
+    assert_eq!(response, "{\"ok\":true}");
+    daemon.join();
+    println!("protocol drill OK: submit/poll/result/stats/shutdown over the socket");
+}
+
+fn main() {
+    std::fs::create_dir_all("target/serve").expect("target/serve is writable");
+
+    let mut cold_payloads: Vec<String> = Vec::new();
+    let mut resumed_payloads: Vec<String> = Vec::new();
+    for threads in THREAD_MATRIX {
+        let (cold, resumed) = drill_at(threads);
+        println!(
+            "threads={threads}: hit-after-miss, dedup and preempt+resume byte-identity OK \
+             ({} payload bytes)",
+            resumed.len()
+        );
+        cold_payloads.push(cold);
+        resumed_payloads.push(resumed);
+    }
+    assert!(
+        cold_payloads.windows(2).all(|w| w[0] == w[1]),
+        "cold results must be byte-identical across thread counts"
+    );
+    assert!(
+        resumed_payloads.windows(2).all(|w| w[0] == w[1]),
+        "preempted+resumed results must be byte-identical across thread counts"
+    );
+    println!(
+        "thread matrix OK: results byte-identical at {:?} worker threads",
+        THREAD_MATRIX
+    );
+
+    eviction_drill();
+    protocol_drill();
+    println!("serve drill OK: report at target/serve/SERVE_report.json");
+}

@@ -8,7 +8,7 @@
 #                             # fault and fleet-splice suites
 #   scripts/ci.sh gates       # release gates: bench baseline, trace/theta
 #                             # reports, supervised chaos soak + merge
-#                             # cross-checks
+#                             # cross-checks, serve service soak
 #
 # The three named stages are exactly the three parallel CI jobs
 # (.github/workflows/ci.yml), so a local stage run reproduces a CI lane.
@@ -186,6 +186,18 @@ run_gates() {
 
     step "xtask check-json partial-merge missing document" \
         cargo run -p xtask -- check-json target/fleet/MISSING_partial.json
+
+    # Serve soak (DESIGN.md §17): the vc-serve drill exercises the
+    # content-addressed sweep service at 1/2/8 worker threads —
+    # hit-after-miss byte-identity, duplicate-submission dedup,
+    # interactive preemption with a byte-identical resumed checkpoint —
+    # plus the FIFO-eviction and Unix-socket protocol drills. The
+    # vc-serve-report/v1 document stays in target/serve/ as an artifact.
+    step "serve service soak" \
+        cargo run --release --example serve_drill
+
+    step "xtask check-json serve report" \
+        cargo run -p xtask -- check-json target/serve/SERVE_report.json
 }
 
 MODE=${1:-all}

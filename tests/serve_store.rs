@@ -1,0 +1,174 @@
+//! End-to-end contract of the `vc-serve-result/v1` content-addressed
+//! result store, mirroring the `vc-instance/v1` suite: payloads
+//! round-trip byte for byte, corrupt documents are rejected with typed
+//! errors, and an entry whose filename disagrees with its embedded
+//! sweep identity is refused before a byte of payload escapes.
+
+use std::path::PathBuf;
+
+use vc_engine::{InstanceId, SweepId, SweepIdentity};
+use vc_serve::{ResultStore, StoreError};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vc_serve_store_it_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ident(raw: u64) -> SweepIdentity {
+    SweepIdentity {
+        instance_id: InstanceId::from_raw(raw.rotate_left(17)),
+        sweep_id: SweepId::from_raw(raw),
+    }
+}
+
+/// A payload shaped like the checkpoint documents the service actually
+/// stores: nested JSON with escapes, not a flat token.
+fn checkpoint_like_payload() -> String {
+    "{\n  \"schema\": \"vc-engine-checkpoint/v2\",\n  \"rows\": [[0, 1], [2, 3]],\n  \
+     \"note\": \"quotes \\\" and \\\\ backslashes\"\n}\n"
+        .to_string()
+}
+
+#[test]
+fn payloads_round_trip_byte_for_byte() {
+    let dir = temp_store("rt");
+    let mut store = ResultStore::open(&dir, None).unwrap();
+    let payloads = [
+        checkpoint_like_payload(),
+        String::new(),
+        "[1,2,3]".to_string(),
+        "\"just a string with a newline\\n\"".to_string(),
+    ];
+    for (i, payload) in payloads.iter().enumerate() {
+        let id = ident(100 + i as u64);
+        store.store(&id, payload).unwrap();
+        assert_eq!(
+            &store.load(id.sweep_id).unwrap(),
+            payload,
+            "payload {i} drifted through the store"
+        );
+    }
+    // Reopening adopts every entry and still verifies on load.
+    let reopened = ResultStore::open(&dir, None).unwrap();
+    assert_eq!(reopened.len(), payloads.len());
+    for (i, payload) in payloads.iter().enumerate() {
+        assert_eq!(
+            &reopened.load(ident(100 + i as u64).sweep_id).unwrap(),
+            payload
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_documents_are_rejected_with_typed_errors() {
+    let dir = temp_store("corrupt");
+    let mut store = ResultStore::open(&dir, None).unwrap();
+    let id = ident(7);
+    store.store(&id, &checkpoint_like_payload()).unwrap();
+    let path = dir.join(format!("{}.json", id.sweep_id));
+    let pristine = std::fs::read_to_string(&path).unwrap();
+
+    // Flip one byte inside the escaped payload text (a letter of the
+    // embedded schema tag): the document still parses, but the digest
+    // no longer recomputes.
+    let payload_at = pristine.rfind("checkpoint").unwrap();
+    let mut flipped = pristine.clone().into_bytes();
+    assert!(flipped[payload_at].is_ascii_alphanumeric());
+    flipped[payload_at] ^= 0x01;
+    std::fs::write(&path, &flipped).unwrap();
+    assert!(matches!(
+        store.load(id.sweep_id),
+        Err(StoreError::DigestMismatch { .. })
+    ));
+
+    // Truncations at any depth are malformed, never a panic and never a
+    // payload.
+    for cut in [0, 1, pristine.len() / 3, pristine.len() - 2] {
+        std::fs::write(&path, &pristine.as_bytes()[..cut]).unwrap();
+        assert!(
+            matches!(store.load(id.sweep_id), Err(StoreError::Malformed(_))),
+            "cut at {cut} must report a malformed document"
+        );
+    }
+
+    // A wrong schema tag is refused before any identity is trusted.
+    std::fs::write(
+        &path,
+        pristine.replace("vc-serve-result/v1", "vc-serve-result/v9"),
+    )
+    .unwrap();
+    assert!(matches!(
+        store.load(id.sweep_id),
+        Err(StoreError::Malformed(_))
+    ));
+
+    // Restore the pristine bytes: the entry verifies again.
+    std::fs::write(&path, &pristine).unwrap();
+    assert_eq!(store.load(id.sweep_id).unwrap(), checkpoint_like_payload());
+
+    // A missing entry is NotFound, not Io.
+    assert_eq!(
+        store.load(SweepId::from_raw(0xdead)),
+        Err(StoreError::NotFound(SweepId::from_raw(0xdead)))
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn filename_and_payload_identity_must_agree() {
+    let dir = temp_store("rename");
+    let mut store = ResultStore::open(&dir, None).unwrap();
+    let original = ident(0x1234);
+    store.store(&original, &checkpoint_like_payload()).unwrap();
+
+    // Cross-link the document under a different sweep id, as a spliced
+    // backup or a copy-paste mistake would: the load must refuse it.
+    let alias = SweepId::from_raw(0x5678);
+    std::fs::copy(
+        dir.join(format!("{}.json", original.sweep_id)),
+        dir.join(format!("{alias}.json")),
+    )
+    .unwrap();
+    let reopened = ResultStore::open(&dir, None).unwrap();
+    assert!(reopened.contains(alias));
+    assert_eq!(
+        reopened.load(alias),
+        Err(StoreError::IdentityMismatch {
+            requested: alias,
+            stored: original.sweep_id,
+        })
+    );
+    // The genuine entry is untouched by the refusal.
+    assert_eq!(
+        reopened.load(original.sweep_id).unwrap(),
+        checkpoint_like_payload()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fifo_eviction_enforces_the_cap_and_counts() {
+    let dir = temp_store("evict");
+    let mut store = ResultStore::open(&dir, Some(3)).unwrap();
+    for raw in 1..=5u64 {
+        store
+            .store(&ident(raw), &checkpoint_like_payload())
+            .unwrap();
+    }
+    assert_eq!(store.len(), 3);
+    assert_eq!(store.evictions(), 2);
+    for raw in 1..=2u64 {
+        assert!(!store.contains(SweepId::from_raw(raw)));
+        assert!(matches!(
+            store.load(SweepId::from_raw(raw)),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+    for raw in 3..=5u64 {
+        assert!(store.contains(SweepId::from_raw(raw)));
+        assert!(store.load(SweepId::from_raw(raw)).is_ok());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
